@@ -1,0 +1,140 @@
+#ifndef ROTOM_BENCH_BENCH_COMMON_H_
+#define ROTOM_BENCH_BENCH_COMMON_H_
+
+// Shared configuration and table-printing helpers for the paper-table
+// benches. Each bench binary regenerates one table or figure of the Rotom
+// paper (SIGMOD 2021); see DESIGN.md's per-experiment index.
+//
+// Environment knobs:
+//   ROTOM_SEEDS=N   repeats per cell, averaged (default 1; paper uses 5)
+//   ROTOM_SMOKE=1   tiny budgets for a fast smoke run
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace rotom {
+namespace bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atoll(value);
+}
+
+inline bool Smoke() { return EnvInt("ROTOM_SMOKE", 0) != 0; }
+inline int64_t Seeds() { return std::max<int64_t>(1, EnvInt("ROTOM_SEEDS", 1)); }
+
+/// Classifier/seq2seq scale shared by every experiment (DESIGN.md
+/// Substitutions: 2-layer, 32-dim stand-in for the 12-layer LMs).
+inline eval::ExperimentOptions BaseExperimentOptions(int64_t max_len,
+                                                     int64_t seq_len) {
+  eval::ExperimentOptions o;
+  o.classifier.max_len = max_len;
+  o.classifier.dim = 32;
+  o.classifier.num_heads = 2;
+  o.classifier.num_layers = 2;
+  o.classifier.ffn_dim = 64;
+  o.classifier.dropout = 0.1f;
+  o.seq2seq.max_src_len = seq_len;
+  o.seq2seq.max_tgt_len = seq_len;
+  o.seq2seq.dim = 32;
+  o.seq2seq.num_heads = 2;
+  o.seq2seq.num_layers = 2;
+  o.seq2seq.ffn_dim = 64;
+  o.pretrain.epochs = 2;
+  o.pretrain.max_corpus = 384;
+  o.invda.max_corpus = 512;
+  o.invda.augments_per_example = 3;
+  o.invda.sampling.max_len = seq_len - 2;
+  o.batch_size = 16;
+  // Bench cost knobs: meta update every 2nd batch, half-size SSL batches
+  // (the exact paper loop uses 1 / 1.0; set here to fit the CPU budget).
+  o.meta_update_every = 2;
+  o.ssl_batch_ratio = 0.5;
+  return o;
+}
+
+inline eval::ExperimentOptions TextClsExperimentOptions() {
+  auto o = BaseExperimentOptions(/*max_len=*/24, /*seq_len=*/24);
+  o.invda.epochs = Smoke() ? 1 : 10;
+  o.invda.sampling.top_k = 10;
+  o.epochs = Smoke() ? 1 : 7;
+  return o;
+}
+
+inline eval::ExperimentOptions EmExperimentOptions() {
+  auto o = BaseExperimentOptions(/*max_len=*/56, /*seq_len=*/32);
+  o.same_origin.steps = Smoke() ? 20 : 400;
+  o.invda.epochs = Smoke() ? 1 : 12;
+  // Records need conservative sampling and light corruption: model codes
+  // are near-unpredictable tokens, and aggressive rewrites flip pair labels
+  // faster than the filter can learn to drop them.
+  o.invda.sampling.top_k = 3;
+  o.invda.corruption_ops = 1;
+  o.epochs = Smoke() ? 1 : 5;
+  return o;
+}
+
+inline eval::ExperimentOptions EdtExperimentOptions() {
+  auto o = BaseExperimentOptions(/*max_len=*/16, /*seq_len=*/16);
+  o.invda.epochs = Smoke() ? 1 : 10;
+  o.invda.sampling.top_k = 10;
+  o.epochs = Smoke() ? 1 : 6;
+  return o;
+}
+
+/// Mean test metric and train time over ROTOM_SEEDS runs.
+struct CellStats {
+  double metric = 0.0;
+  double train_seconds = 0.0;
+};
+
+inline CellStats RunMean(eval::TaskContext& context, eval::Method method) {
+  CellStats stats;
+  const int64_t seeds = Seeds();
+  for (int64_t s = 1; s <= seeds; ++s) {
+    const auto result = context.Run(method, static_cast<uint64_t>(s));
+    stats.metric += result.test_metric;
+    stats.train_seconds += result.train_seconds;
+  }
+  stats.metric /= static_cast<double>(seeds);
+  stats.train_seconds /= static_cast<double>(seeds);
+  return stats;
+}
+
+// ---- Fixed-width table printing ----
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::fflush(stdout);
+}
+
+inline void PrintHeader(const std::string& row_label,
+                        const std::vector<std::string>& columns) {
+  std::printf("%-22s", row_label.c_str());
+  for (const auto& c : columns) std::printf(" %11s", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values) {
+  std::printf("%-22s", label.c_str());
+  for (double v : values) {
+    if (v != v) {  // NaN marks an intentionally empty cell
+      std::printf(" %11s", "-");
+    } else {
+      std::printf(" %11.2f", v);
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace rotom
+
+#endif  // ROTOM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,116 @@
+// Reproduces paper Figure 3: test F1 as a function of the labeling budget,
+// for the EM datasets (upper panel; budgets 300-750) and the EDT datasets
+// (lower panel; budgets 50-200), with the Raha-like detector as the
+// reference line for EDT.
+//
+// Expected shape (paper Section 6.3/6.4): every curve rises with the budget;
+// Rotom or Rotom+SSL give the top curve in most panels, with the largest
+// margins at the smallest budgets.
+//
+// Each dataset uses ONE TaskContext built at the maximum budget; smaller
+// budgets train on nested prefixes of the same sample (RunWithBudget), so
+// pre-training and the InvDA cache are shared across the sweep.
+
+#include <string>
+#include <vector>
+
+#include "baselines/raha_like.h"
+#include "bench_common.h"
+#include "data/edt_gen.h"
+#include "data/em_gen.h"
+
+namespace {
+using namespace rotom;        // NOLINT
+using namespace rotom::bench; // NOLINT
+
+void PrintSeries(const std::string& dataset, const std::string& method,
+                 const std::vector<int64_t>& budgets,
+                 const std::vector<double>& values) {
+  std::printf("%-16s %-14s", dataset.c_str(), method.c_str());
+  for (size_t i = 0; i < budgets.size(); ++i) std::printf(" %7.2f", values[i]);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  // ---- Upper panel: EM budgets. ----
+  const std::vector<int64_t> em_budgets =
+      Smoke() ? std::vector<int64_t>{60} : std::vector<int64_t>{300, 525, 750};
+  PrintTitle("Figure 3 (upper): EM F1 vs labeling budget");
+  {
+    std::printf("%-16s %-14s", "dataset", "method");
+    for (int64_t b : em_budgets) std::printf(" %7lld", static_cast<long long>(b));
+    std::printf("\n");
+  }
+  for (const auto& name : data::EmDatasetNames()) {
+    data::EmOptions ds_options;
+    ds_options.budget = em_budgets.back();
+    ds_options.test_size = Smoke() ? 60 : 100;
+    ds_options.unlabeled_size = Smoke() ? 100 : 800;
+    ds_options.seed = 1;
+    auto ds = data::MakeEmDataset(name, ds_options);
+
+    auto options = EmExperimentOptions();
+    options.epochs = Smoke() ? 1 : 3;
+    // The sweep's cache covers 750 pairs; trim per-example generations to
+    // keep the one-time InvDA cost proportionate.
+    options.invda.augments_per_example = 2;
+    options.invda.epochs = Smoke() ? 1 : 10;
+    eval::TaskContext context(ds, options);
+    for (auto method : eval::AllMethods()) {
+      std::vector<double> series;
+      for (int64_t budget : em_budgets) {
+        double mean = 0.0;
+        for (int64_t s = 1; s <= Seeds(); ++s) {
+          mean += context.RunWithBudget(method, s, budget).test_metric;
+        }
+        series.push_back(mean / static_cast<double>(Seeds()));
+      }
+      PrintSeries(name, eval::MethodName(method), em_budgets, series);
+    }
+  }
+
+  // ---- Lower panel: EDT budgets (+ Raha reference line). ----
+  const std::vector<int64_t> edt_budgets =
+      Smoke() ? std::vector<int64_t>{30} : std::vector<int64_t>{50, 100, 150, 200};
+  PrintTitle("Figure 3 (lower): EDT F1 vs labeling budget");
+  {
+    std::printf("%-16s %-14s", "dataset", "method");
+    for (int64_t b : edt_budgets)
+      std::printf(" %7lld", static_cast<long long>(b));
+    std::printf("\n");
+  }
+  for (const auto& name : data::EdtDatasetNames()) {
+    data::EdtOptions ds_options;
+    ds_options.budget = edt_budgets.back();
+    ds_options.table_rows = Smoke() ? 120 : 400;
+    ds_options.seed = 1;
+    auto ds = data::MakeEdtDataset(name, ds_options);
+
+    // Raha-like reference (fit once on the full budget, like the paper's
+    // flat 20-tuple Raha line).
+    baselines::RahaLikeDetector raha;
+    raha.Fit(ds, /*seed=*/1);
+    PrintSeries(name, "Raha-like",
+                edt_budgets,
+                std::vector<double>(edt_budgets.size(), raha.EvaluateF1(ds)));
+
+    auto options = EdtExperimentOptions();
+    options.epochs = Smoke() ? 1 : 5;
+    eval::TaskContext context(ds, options);
+    for (auto method : eval::AllMethods()) {
+      std::vector<double> series;
+      for (int64_t budget : edt_budgets) {
+        double mean = 0.0;
+        for (int64_t s = 1; s <= Seeds(); ++s) {
+          mean += context.RunWithBudget(method, s, budget).test_metric;
+        }
+        series.push_back(mean / static_cast<double>(Seeds()));
+      }
+      PrintSeries(name, eval::MethodName(method), edt_budgets, series);
+    }
+  }
+  return 0;
+}

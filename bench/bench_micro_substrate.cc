@@ -1,0 +1,129 @@
+// Google-benchmark microbenches for the substrates: tensor math, tokenizer,
+// DA operators, encoder forward/backward, and seq2seq decoding. These bound
+// the cost of the experiment benches and catch performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "augment/ops.h"
+#include "models/classifier.h"
+#include "models/seq2seq.h"
+#include "nn/optim.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace rotom;  // NOLINT
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Variable a(Tensor::Randn({n, n}, rng), false);
+  Variable b(Tensor::Randn({n, n}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b).value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedAttentionShapedMatMul(benchmark::State& state) {
+  Rng rng(2);
+  Variable q(Tensor::Randn({16, 2, 48, 16}, rng), false);
+  Variable k(Tensor::Randn({16, 2, 16, 48}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(q, k).value().data());
+  }
+}
+BENCHMARK(BM_BatchedAttentionShapedMatMul);
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string input =
+      "[COL] title [VAL] efficient query processing in relational databases "
+      "[COL] year [VAL] 1999 [SEP] [COL] title [VAL] query processing";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::Tokenize(input));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_SimpleDaOp(benchmark::State& state) {
+  const auto op = static_cast<augment::DaOp>(state.range(0));
+  Rng rng(3);
+  const auto tokens = text::Tokenize(
+      "[COL] title [VAL] efficient query processing in relational databases "
+      "[COL] year [VAL] 1999");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(augment::ApplyDaOp(op, tokens, {}, rng));
+  }
+}
+BENCHMARK(BM_SimpleDaOp)
+    ->Arg(static_cast<int>(augment::DaOp::kTokenDel))
+    ->Arg(static_cast<int>(augment::DaOp::kSpanShuffle))
+    ->Arg(static_cast<int>(augment::DaOp::kColShuffle));
+
+models::ClassifierConfig BenchConfig() {
+  models::ClassifierConfig config;
+  config.num_classes = 2;
+  config.max_len = 48;
+  config.dim = 32;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.ffn_dim = 64;
+  return config;
+}
+
+void BM_ClassifierForward(benchmark::State& state) {
+  Rng rng(4);
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (int i = 0; i < 100; ++i) vocab->AddToken("tok" + std::to_string(i));
+  models::TransformerClassifier model(BenchConfig(), vocab, rng);
+  model.SetTraining(false);
+  std::vector<std::string> texts(16, "tok1 tok2 tok3 tok4 tok5 tok6 tok7");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictProbs(texts, rng).data());
+  }
+}
+BENCHMARK(BM_ClassifierForward);
+
+void BM_ClassifierTrainStep(benchmark::State& state) {
+  Rng rng(5);
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (int i = 0; i < 100; ++i) vocab->AddToken("tok" + std::to_string(i));
+  models::TransformerClassifier model(BenchConfig(), vocab, rng);
+  nn::Adam optimizer(model.Parameters(), 1e-3f);
+  std::vector<std::string> texts(16, "tok1 tok2 tok3 tok4 tok5 tok6 tok7");
+  std::vector<int64_t> labels(16, 1);
+  for (auto _ : state) {
+    optimizer.ZeroGrad();
+    ops::CrossEntropyMean(model.ForwardLogits(texts, rng), labels).Backward();
+    optimizer.Step();
+  }
+}
+BENCHMARK(BM_ClassifierTrainStep);
+
+void BM_Seq2SeqDecodeBatch(benchmark::State& state) {
+  Rng rng(6);
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (int i = 0; i < 100; ++i) vocab->AddToken("tok" + std::to_string(i));
+  models::Seq2SeqConfig config;
+  config.dim = 32;
+  config.num_heads = 2;
+  config.num_layers = 2;
+  config.ffn_dim = 64;
+  config.max_src_len = 24;
+  config.max_tgt_len = 24;
+  models::Seq2SeqModel model(config, vocab, rng);
+  model.SetTraining(false);
+  models::SamplingOptions sampling;
+  sampling.max_len = 16;
+  std::vector<std::string> sources(8, "tok1 tok2 tok3 tok4 tok5");
+  Rng gen_rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.GenerateBatch(sources, sampling, gen_rng));
+  }
+}
+BENCHMARK(BM_Seq2SeqDecodeBatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

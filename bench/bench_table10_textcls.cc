@@ -1,0 +1,67 @@
+// Reproduces paper Table 10: accuracy of Rotom on the 8 TextCLS datasets
+// with train/valid samples of 100, 300, and 500 examples.
+//
+// Expected shape (paper Section 6.5): the meta-learned methods give their
+// largest gains at size 100 (Rotom/Rotom+SSL several points over the
+// baseline on average), with the advantage shrinking as the labeling budget
+// grows; MixDA tends to be slightly more useful than InvDA on these tasks.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/textcls_gen.h"
+
+namespace {
+using namespace rotom;        // NOLINT
+using namespace rotom::bench; // NOLINT
+}  // namespace
+
+int main() {
+  const std::vector<int64_t> sizes =
+      Smoke() ? std::vector<int64_t>{40} : std::vector<int64_t>{100, 300, 500};
+  // Fewer epochs at larger budgets (the paper also trains fewer epochs when
+  // more data is available; Section 6.1).
+  auto epochs_for = [](int64_t size) {
+    if (size <= 100) return static_cast<int64_t>(5);
+    if (size <= 300) return static_cast<int64_t>(3);
+    return static_cast<int64_t>(2);
+  };
+
+  for (int64_t size : sizes) {
+    PrintTitle("Table 10: TextCLS accuracy, train/valid size " +
+               std::to_string(size));
+    std::vector<std::string> columns = data::TextClsDatasetNames();
+    columns.push_back("AVG");
+    PrintHeader("method", columns);
+
+    std::vector<std::vector<double>> cells(eval::AllMethods().size());
+    for (const auto& name : data::TextClsDatasetNames()) {
+      data::TextClsOptions ds_options;
+      ds_options.train_size = size;
+      ds_options.test_size = Smoke() ? 60 : 150;
+      ds_options.unlabeled_size = Smoke() ? 100 : 800;
+      ds_options.seed = 1;
+      auto ds = data::MakeTextClsDataset(name, ds_options);
+
+      auto options = TextClsExperimentOptions();
+      options.epochs = Smoke() ? 1 : epochs_for(size);
+      eval::TaskContext context(ds, options);
+      for (size_t m = 0; m < eval::AllMethods().size(); ++m) {
+        cells[m].push_back(
+            RunMean(context, eval::AllMethods()[m]).metric);
+      }
+      std::fprintf(stderr, "[table10] finished %s@%lld\n", name.c_str(),
+                   static_cast<long long>(size));
+    }
+
+    for (size_t m = 0; m < eval::AllMethods().size(); ++m) {
+      double avg = 0.0;
+      for (double v : cells[m]) avg += v;
+      cells[m].push_back(avg /
+                         static_cast<double>(data::TextClsDatasetNames().size()));
+      PrintRow(eval::MethodName(eval::AllMethods()[m]), cells[m]);
+    }
+  }
+  return 0;
+}

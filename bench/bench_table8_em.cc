@@ -1,0 +1,118 @@
+// Reproduces paper Table 8: F1 scores on the 5 EM datasets (clean + dirty
+// variants) in the low-resource setting, comparing DeepMatcher (trained on a
+// large "full" sample), DM with pre-trained embeddings, the fine-tuned LM
+// baseline, the Brunner et al. serialization variant, MixDA, InvDA, Rotom,
+// and Rotom+SSL.
+//
+// Expected shape (paper Section 6.3): Rotom+SSL best on average and
+// competitive with full-data DeepMatcher while using a fraction of the
+// labels; InvDA strongest on the textual datasets (Abt-Buy, Walmart-Amazon);
+// DBLP-ACM near-saturated for every LM method; DM+LM and Brunner close to
+// the LM baseline.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "baselines/deepmatcher.h"
+#include "bench_common.h"
+#include "data/em_gen.h"
+
+namespace {
+
+using namespace rotom;        // NOLINT
+using namespace rotom::bench; // NOLINT
+
+struct Variant {
+  std::string dataset;
+  bool dirty;
+  std::string label;
+};
+
+}  // namespace
+
+int main() {
+  const int64_t budget = Smoke() ? 60 : EnvInt("ROTOM_T8_BUDGET", 300);
+  const int64_t test_size = Smoke() ? 60 : 200;
+  const int64_t unlabeled = Smoke() ? 100 : 1000;
+
+  std::vector<Variant> variants;
+  for (const auto& name : data::EmDatasetNames()) {
+    variants.push_back({name, false, name});
+    if (data::EmHasDirtyVariant(name) && !Smoke()) {
+      variants.push_back({name, true, name + "/dirty"});
+    }
+  }
+
+  PrintTitle("Table 8: EM F1 with " + std::to_string(budget) +
+             " train+valid labels (paper: <=750)");
+  std::vector<std::string> columns;
+  for (const auto& v : variants) columns.push_back(v.label);
+  columns.push_back("AVG");
+  PrintHeader("method", columns);
+
+  const std::vector<std::string> rows = {
+      "DM (full)", "DM+LM",  "Baseline (LM)", "Brunner et al.",
+      "MixDA",     "InvDA",  "Rotom",         "Rotom+SSL"};
+  std::vector<std::vector<double>> cells(rows.size());
+
+  for (const auto& variant : variants) {
+    data::EmOptions ds_options;
+    ds_options.budget = budget;
+    ds_options.test_size = test_size;
+    ds_options.unlabeled_size = unlabeled;
+    ds_options.dirty = variant.dirty;
+    ds_options.seed = 1;
+    auto ds = data::MakeEmDataset(variant.dataset, ds_options);
+
+    auto options = EmExperimentOptions();
+    eval::TaskContext context(ds, options);
+
+    // DM trained on a large sample stands in for the paper's full-data
+    // DeepMatcher row (their numbers are from the complete datasets).
+    {
+      data::EmOptions full = ds_options;
+      full.budget = Smoke() ? 120 : 3000;
+      auto full_ds = data::MakeEmDataset(variant.dataset, full);
+      cells[0].push_back(
+          baselines::TrainAndEvalDeepMatcher(full_ds, /*seed=*/1));
+    }
+    // DM+LM: the comparison net initialized with the MLM-pretrained token
+    // embeddings (the paper's DM+RoBERTa analogue).
+    {
+      Tensor token_emb;
+      for (const auto& [name, tensor] : context.PretrainedState()) {
+        if (name == "encoder.token_emb.weight") token_emb = tensor;
+      }
+      cells[1].push_back(baselines::TrainAndEvalDeepMatcherWithEmbeddings(
+          ds, context.vocab_ptr(), token_emb, /*seed=*/1));
+    }
+
+    cells[2].push_back(RunMean(context, eval::Method::kBaseline).metric);
+
+    // Brunner et al.: same LM fine-tuning over marker-free serialization.
+    {
+      auto brunner_ds = baselines::BrunnerVariant(ds);
+      eval::TaskContext brunner_context(brunner_ds, options);
+      cells[3].push_back(
+          RunMean(brunner_context, eval::Method::kBaseline).metric);
+    }
+
+    cells[4].push_back(RunMean(context, eval::Method::kMixDa).metric);
+    cells[5].push_back(RunMean(context, eval::Method::kInvDa).metric);
+    cells[6].push_back(RunMean(context, eval::Method::kRotom).metric);
+    cells[7].push_back(RunMean(context, eval::Method::kRotomSsl).metric);
+    std::fprintf(stderr, "[table8] finished %s\n", variant.label.c_str());
+  }
+
+  for (size_t r = 0; r < rows.size(); ++r) {
+    double avg = 0.0;
+    for (double v : cells[r]) avg += v;
+    cells[r].push_back(avg / static_cast<double>(variants.size()));
+    PrintRow(rows[r], cells[r]);
+  }
+  std::printf(
+      "\nNotes: budgets/test sizes scaled for CPU; the paper's Table 8 uses\n"
+      "the original benchmark datasets and 5-run averages (ROTOM_SEEDS).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: train a low-resource text classifier with Rotom.
+//
+// This walks the full pipeline on a 100-example intent-classification task:
+//   1. build a task dataset (synthetic TREC-style stand-in),
+//   2. build the vocabulary and pre-train the small LM on unlabeled text,
+//   3. train the InvDA seq2seq augmenter (Algorithm 1),
+//   4. meta-train the classifier with Rotom (Algorithm 2),
+//   5. compare against plain fine-tuning on the same data.
+//
+// Run:  ./example_quickstart
+
+#include <cstdio>
+
+#include "data/textcls_gen.h"
+#include "eval/experiment.h"
+
+using namespace rotom;  // NOLINT: example brevity
+
+int main() {
+  // 1. A low-resource task: 100 labeled questions, 6 intent classes.
+  data::TextClsOptions data_options;
+  data_options.train_size = 100;
+  data_options.test_size = 300;
+  data_options.unlabeled_size = 1000;
+  data_options.seed = 7;
+  data::TaskDataset dataset = data::MakeTextClsDataset("trec", data_options);
+  std::printf("dataset: %s  train=%zu  test=%zu  unlabeled=%zu  classes=%lld\n",
+              dataset.name.c_str(), dataset.train.size(), dataset.test.size(),
+              dataset.unlabeled.size(),
+              static_cast<long long>(dataset.num_classes));
+
+  // 2-3. TaskContext bundles vocabulary, IDF weighting, masked-LM
+  // pre-training, and the InvDA generator; everything is cached and shared
+  // across the method runs below.
+  eval::ExperimentOptions options;
+  options.classifier.max_len = 24;
+  options.classifier.dim = 32;
+  options.classifier.num_layers = 2;
+  options.classifier.ffn_dim = 64;
+  options.seq2seq.max_src_len = 24;
+  options.seq2seq.max_tgt_len = 24;
+  options.seq2seq.dim = 32;
+  options.seq2seq.ffn_dim = 64;
+  options.invda.epochs = 10;
+  options.invda.max_corpus = 512;
+  options.invda.sampling.top_k = 10;
+  options.invda.sampling.max_len = 22;
+  options.epochs = 10;
+  eval::TaskContext context(dataset, options);
+  std::printf("preparing pre-trained LM and InvDA (one-time)...\n");
+  context.EnsureInvDa();
+
+  // 4-5. Plain fine-tuning vs the full meta-learned framework.
+  for (auto method : {eval::Method::kBaseline, eval::Method::kRotom,
+                      eval::Method::kRotomSsl}) {
+    eval::ExperimentResult result = context.Run(method, /*seed=*/1);
+    std::printf("%-10s  test accuracy %.2f%%  (train %.1fs)\n",
+                eval::MethodName(method), result.test_metric,
+                result.train_seconds);
+  }
+  std::printf(
+      "\nRotom combines simple DA operators with InvDA and learns to filter\n"
+      "and weight the augmented examples; with 100 labels it should beat\n"
+      "plain fine-tuning by several accuracy points.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every paper
+# table/figure, recording transcripts in the repo root.
+#
+# Usage:
+#   scripts/run_all.sh            # full run (tens of minutes on one CPU)
+#   ROTOM_SMOKE=1 scripts/run_all.sh   # minutes-long smoke pass
+#   ROTOM_SEEDS=5 scripts/run_all.sh   # paper-style 5-run averages
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  case "$b" in *CMake*|*cmake*|*CTest*) continue;; esac
+  echo "##### RUNNING $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

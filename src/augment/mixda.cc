@@ -1,0 +1,64 @@
+#include "augment/mixda.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace rotom {
+namespace augment {
+
+double SampleGamma(double shape, Rng& rng) {
+  ROTOM_CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost shape by 1 and correct with a uniform power.
+    const double u = rng.Uniform();
+    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = rng.Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+double SampleBeta(double alpha, Rng& rng) {
+  const double a = SampleGamma(alpha, rng);
+  const double b = SampleGamma(alpha, rng);
+  return a / (a + b);
+}
+
+double MixDaLambda(double alpha, Rng& rng) {
+  const double lambda = SampleBeta(alpha, rng);
+  return std::max(lambda, 1.0 - lambda);
+}
+
+Variable InterpolateRepresentations(const Variable& original,
+                                    const Variable& augmented,
+                                    const std::vector<double>& lambdas) {
+  ROTOM_CHECK(original.value().shape() == augmented.value().shape());
+  const int64_t b = original.value().size(0);
+  const int64_t d = original.value().size(1);
+  ROTOM_CHECK_EQ(static_cast<int64_t>(lambdas.size()), b);
+
+  // Row-wise lambda as [B, d] constant tensors.
+  Tensor lam({b, d});
+  Tensor one_minus({b, d});
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      lam.at({i, j}) = static_cast<float>(lambdas[i]);
+      one_minus.at({i, j}) = static_cast<float>(1.0 - lambdas[i]);
+    }
+  }
+  return ops::Add(ops::Mul(original, Variable(lam, false)),
+                  ops::Mul(augmented, Variable(one_minus, false)));
+}
+
+}  // namespace augment
+}  // namespace rotom

@@ -1,0 +1,33 @@
+#ifndef ROTOM_AUGMENT_MIXDA_H_
+#define ROTOM_AUGMENT_MIXDA_H_
+
+#include <vector>
+
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace rotom {
+namespace augment {
+
+/// Gamma(shape, 1) variate (Marsaglia–Tsang; shape > 0).
+double SampleGamma(double shape, Rng& rng);
+
+/// Beta(alpha, alpha) variate.
+double SampleBeta(double alpha, Rng& rng);
+
+/// MixDA interpolation coefficient [58]: lambda ~ Beta(alpha, alpha), folded
+/// to [0.5, 1] so the mixture stays closer to the ORIGINAL example — the
+/// "partial application" of a DA operator.
+double MixDaLambda(double alpha, Rng& rng);
+
+/// Interpolates [CLS] representations of the original and augmented
+/// sequences: lambda * original + (1 - lambda) * augmented. Both inputs are
+/// [B, d]; lambdas has one coefficient per row.
+Variable InterpolateRepresentations(const Variable& original,
+                                    const Variable& augmented,
+                                    const std::vector<double>& lambdas);
+
+}  // namespace augment
+}  // namespace rotom
+
+#endif  // ROTOM_AUGMENT_MIXDA_H_

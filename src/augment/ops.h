@@ -1,0 +1,79 @@
+#ifndef ROTOM_AUGMENT_OPS_H_
+#define ROTOM_AUGMENT_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "augment/synonyms.h"
+#include "text/idf.h"
+#include "util/rng.h"
+
+namespace rotom {
+namespace augment {
+
+/// The simple DA operators of paper Table 3. Token/span-level ops apply to
+/// every task; col_* only to record-structured inputs (EM, EDT); entity_swap
+/// only to EM pairs.
+enum class DaOp {
+  kTokenDel,
+  kTokenRepl,
+  kTokenSwap,
+  kTokenInsert,
+  kSpanDel,
+  kSpanShuffle,
+  kColShuffle,
+  kColDel,
+  kEntitySwap,
+};
+
+/// Short name ("token_del", ...).
+const char* DaOpName(DaOp op);
+
+/// All nine operators.
+const std::vector<DaOp>& AllDaOps();
+
+/// The operators applicable to a task (Table 3 footnote): col ops require
+/// record-structured inputs; entity_swap requires a pair task.
+std::vector<DaOp> OpsForTask(bool is_pair_task, bool is_record_task);
+
+/// Shared context for the operators: IDF-based importance sampling (paper
+/// Section 2.3: less important tokens are more likely to be deleted or
+/// replaced) and the synonym source. Either pointer may be null, in which
+/// case sampling is uniform / replacement falls back to token duplication.
+struct AugmentContext {
+  const text::IdfTable* idf = nullptr;
+  const SynonymLexicon* synonyms = nullptr;
+};
+
+/// Applies one operator to a token sequence. Structural markers
+/// ([COL]/[VAL]/[SEP]) are never deleted, replaced, or moved by the
+/// token/span ops; the col/entity ops reinterpret them instead.
+std::vector<std::string> ApplyDaOp(DaOp op,
+                                   const std::vector<std::string>& tokens,
+                                   const AugmentContext& context, Rng& rng);
+
+/// Convenience: tokenize -> ApplyDaOp -> detokenize.
+std::string AugmentText(const std::string& input, DaOp op,
+                        const AugmentContext& context, Rng& rng);
+
+// Structure helpers shared with InvDA's corruption and tests.
+
+/// A [COL] attr [VAL] value... span inside a serialized record.
+struct ColumnSpan {
+  size_t begin;  // index of the [COL] token
+  size_t end;    // one past the last token of the column
+};
+
+/// Finds the [COL] column spans of a serialized record within
+/// tokens[range_begin, range_end).
+std::vector<ColumnSpan> FindColumns(const std::vector<std::string>& tokens,
+                                    size_t range_begin, size_t range_end);
+
+/// Index of the top-level [SEP] separating the two entities of a pair, or
+/// tokens.size() if absent.
+size_t FindEntitySep(const std::vector<std::string>& tokens);
+
+}  // namespace augment
+}  // namespace rotom
+
+#endif  // ROTOM_AUGMENT_OPS_H_

@@ -1,0 +1,103 @@
+#include "augment/synonyms.h"
+
+namespace rotom {
+namespace augment {
+
+namespace {
+
+const std::vector<std::string>& EmptyList() {
+  static const std::vector<std::string>* empty = new std::vector<std::string>();
+  return *empty;
+}
+
+SynonymLexicon* BuildDefault() {
+  auto* lex = new SynonymLexicon();
+  const std::vector<std::vector<std::string>> groups = {
+      // Sentiment adjectives (cross-polarity kept separate).
+      {"great", "excellent", "wonderful", "fantastic", "superb", "amazing"},
+      {"good", "solid", "fine", "decent"},
+      {"brilliant", "outstanding", "impressive", "remarkable"},
+      {"perfect", "flawless", "ideal"},
+      {"enjoyable", "delightful", "satisfying", "charming"},
+      {"terrible", "awful", "horrible", "dreadful"},
+      {"bad", "poor", "weak", "mediocre"},
+      {"boring", "dull", "tedious", "forgettable"},
+      {"disappointing", "frustrating", "annoying"},
+      {"broken", "flawed", "defective"},
+      // Intensifiers.
+      {"very", "really", "extremely", "truly", "incredibly"},
+      {"somewhat", "fairly", "rather", "quite"},
+      // Interrogatives: replacing these *changes question intent*
+      // (paper Example 1.1) — deliberately included.
+      {"where", "what", "which"},
+      {"how", "why"},
+      {"who", "whom"},
+      // Review / product nouns.
+      {"movie", "film", "picture"},
+      {"story", "plot", "narrative"},
+      {"device", "gadget", "unit"},
+      {"screen", "display"},
+      {"sound", "audio"},
+      {"price", "cost"},
+      {"quality", "build"},
+      // Product spec words.
+      {"wireless", "cordless"},
+      {"portable", "compact", "travel"},
+      {"fast", "quick", "rapid", "high speed"},
+      {"big", "large", "huge"},
+      {"small", "little", "tiny", "mini"},
+      // Verbs common in generated text.
+      {"show", "list", "display"},
+      {"find", "locate", "search"},
+      {"book", "reserve"},
+      {"buy", "purchase"},
+      {"leave", "depart"},
+      {"arrive", "land"},
+      {"make", "create", "produce"},
+      {"need", "want", "require"},
+      // Data/paper words.
+      {"efficient", "effective", "fast"},
+      {"scalable", "parallel"},
+      {"approach", "method", "technique"},
+      {"algorithm", "procedure"},
+      {"database", "databases", "repository"},
+      {"query", "queries"},
+      {"model", "models"},
+      {"analysis", "evaluation", "study"},
+      {"framework", "system", "architecture"},
+      {"learning", "training"},
+      // Misc fillers.
+      {"also", "additionally"},
+      {"but", "however", "though"},
+      {"cheap", "inexpensive", "affordable"},
+      {"new", "recent", "latest"},
+      {"old", "vintage", "classic"},
+  };
+  for (const auto& g : groups) lex->AddGroup(g);
+  return lex;
+}
+
+}  // namespace
+
+const SynonymLexicon& SynonymLexicon::Default() {
+  static const SynonymLexicon* lex = BuildDefault();
+  return *lex;
+}
+
+void SynonymLexicon::AddGroup(const std::vector<std::string>& group) {
+  for (const auto& token : group) {
+    auto& entry = table_[token];
+    for (const auto& other : group) {
+      if (other != token) entry.push_back(other);
+    }
+  }
+}
+
+const std::vector<std::string>& SynonymLexicon::Synonyms(
+    const std::string& token) const {
+  auto it = table_.find(token);
+  return it == table_.end() ? EmptyList() : it->second;
+}
+
+}  // namespace augment
+}  // namespace rotom

@@ -1,0 +1,44 @@
+#ifndef ROTOM_AUGMENT_SYNONYMS_H_
+#define ROTOM_AUGMENT_SYNONYMS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rotom {
+namespace augment {
+
+/// Synonym source for token_repl / token_insert. The paper uses WordNet;
+/// this reproduction ships a built-in lexicon of synonym groups covering the
+/// generator vocabularies (see DESIGN.md, Substitutions). Like WordNet
+/// replacement, substitutions are *mostly* label-preserving but can shift
+/// meaning (e.g. interrogative pronouns), which is exactly the hazard
+/// Rotom's filtering model addresses (paper Example 1.1).
+class SynonymLexicon {
+ public:
+  /// The default lexicon with the built-in groups.
+  static const SynonymLexicon& Default();
+
+  /// Empty lexicon; add groups with AddGroup.
+  SynonymLexicon() = default;
+
+  /// Registers a group of mutually substitutable tokens.
+  void AddGroup(const std::vector<std::string>& group);
+
+  /// Synonyms of a token (excluding itself); empty if none known.
+  const std::vector<std::string>& Synonyms(const std::string& token) const;
+
+  bool HasSynonyms(const std::string& token) const {
+    return !Synonyms(token).empty();
+  }
+
+  int64_t size() const { return static_cast<int64_t>(table_.size()); }
+
+ private:
+  std::unordered_map<std::string, std::vector<std::string>> table_;
+};
+
+}  // namespace augment
+}  // namespace rotom
+
+#endif  // ROTOM_AUGMENT_SYNONYMS_H_

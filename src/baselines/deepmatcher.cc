@@ -1,0 +1,185 @@
+#include "baselines/deepmatcher.h"
+
+#include <algorithm>
+
+#include "augment/ops.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace rotom {
+namespace baselines {
+
+DeepMatcherNet::DeepMatcherNet(const Config& config,
+                               std::shared_ptr<const text::Vocabulary> vocab,
+                               Rng& rng)
+    : config_(config),
+      vocab_(std::move(vocab)),
+      embeddings_(vocab_->size(), config.embed_dim, rng),
+      hidden_(4 * config.embed_dim, config.hidden_dim, rng),
+      out_(config.hidden_dim, 2, rng) {
+  RegisterSubmodule("embeddings", &embeddings_);
+  RegisterSubmodule("hidden", &hidden_);
+  RegisterSubmodule("out", &out_);
+}
+
+Variable DeepMatcherNet::EncodeEntity(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int64_t> ids;
+  for (const auto& t : tokens) {
+    if (static_cast<int64_t>(ids.size()) >= config_.max_tokens_per_entity)
+      break;
+    ids.push_back(vocab_->Id(t));
+  }
+  if (ids.empty()) ids.push_back(text::SpecialTokens::kUnk);
+  const int64_t n = static_cast<int64_t>(ids.size());
+  Variable vectors = embeddings_.Forward(ids);  // [n, d]
+  // Mean pooling: (1/n) * ones[1,n] x vectors -> [1, d] -> [d].
+  Variable pooled = ops::SelectIndex(
+      ops::MatMul(Variable(Tensor::Ones({1, n}), false), vectors), 0, 0);
+  return ops::Scale(pooled, 1.0f / static_cast<float>(n));
+}
+
+Variable DeepMatcherNet::ForwardLogits(
+    const std::vector<std::string>& pair_texts) const {
+  std::vector<Variable> rows;
+  rows.reserve(pair_texts.size());
+  for (const auto& textline : pair_texts) {
+    const auto tokens = text::Tokenize(textline);
+    const size_t sep = augment::FindEntitySep(tokens);
+    std::vector<std::string> left(tokens.begin(),
+                                  tokens.begin() + static_cast<int64_t>(sep));
+    std::vector<std::string> right(
+        sep < tokens.size() ? tokens.begin() + static_cast<int64_t>(sep) + 1
+                            : tokens.end(),
+        tokens.end());
+    Variable e1 = EncodeEntity(left);
+    Variable e2 = EncodeEntity(right);
+    // [e1; e2; |e1-e2|; e1*e2] comparison features.
+    rows.push_back(ops::ConcatLastDim(
+        {e1, e2, ops::Abs(ops::Sub(e1, e2)), ops::Mul(e1, e2)}));
+  }
+  // Stack 1-D rows into a [B, 4d] matrix via concat + reshape.
+  Variable features = ops::Reshape(
+      ops::ConcatLastDim(rows),
+      {static_cast<int64_t>(rows.size()), 4 * config_.embed_dim});
+  return out_.Forward(ops::Relu(hidden_.Forward(features)));
+}
+
+std::vector<int64_t> DeepMatcherNet::Predict(
+    const std::vector<std::string>& texts) const {
+  Tensor probs = ops::SoftmaxRows(ForwardLogits(texts).value());
+  std::vector<int64_t> preds(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i)
+    preds[i] = probs[static_cast<int64_t>(i) * 2 + 1] >
+                       probs[static_cast<int64_t>(i) * 2]
+                   ? 1
+                   : 0;
+  return preds;
+}
+
+namespace {
+
+double TrainAndEvalNet(DeepMatcherNet& net, const data::TaskDataset& dataset,
+                       Rng& rng, int64_t epochs, float lr);
+
+}  // namespace
+
+double TrainAndEvalDeepMatcher(const data::TaskDataset& dataset, uint64_t seed,
+                               int64_t epochs, float lr) {
+  Rng rng(seed * 7 + 3);
+  // From-scratch vocabulary over the training data (no pre-training).
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& e : dataset.train) docs.push_back(text::Tokenize(e.text));
+  for (const auto& t : dataset.unlabeled) docs.push_back(text::Tokenize(t));
+  auto vocab = std::make_shared<text::Vocabulary>(
+      text::Vocabulary::BuildFromCorpus(docs));
+
+  DeepMatcherNet::Config config;
+  DeepMatcherNet net(config, vocab, rng);
+  return TrainAndEvalNet(net, dataset, rng, epochs, lr);
+}
+
+double TrainAndEvalDeepMatcherWithEmbeddings(
+    const data::TaskDataset& dataset,
+    std::shared_ptr<const text::Vocabulary> vocab, const Tensor& embeddings,
+    uint64_t seed, int64_t epochs, float lr) {
+  Rng rng(seed * 11 + 5);
+  ROTOM_CHECK_EQ(embeddings.dim(), 2);
+  ROTOM_CHECK_EQ(embeddings.size(0), vocab->size());
+  DeepMatcherNet::Config config;
+  config.embed_dim = embeddings.size(1);
+  DeepMatcherNet net(config, std::move(vocab), rng);
+  // The embedding table is the net's first registered parameter.
+  net.Parameters()[0].value().CopyFrom(embeddings);
+  return TrainAndEvalNet(net, dataset, rng, epochs, lr);
+}
+
+namespace {
+
+double TrainAndEvalNet(DeepMatcherNet& net, const data::TaskDataset& dataset,
+                       Rng& rng, int64_t epochs, float lr) {
+  nn::Adam optimizer(net.Parameters(), lr);
+
+  std::vector<data::Example> train = dataset.train;
+  const int64_t batch_size = 16;
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(train);
+    for (size_t begin = 0; begin < train.size();
+         begin += static_cast<size_t>(batch_size)) {
+      const size_t end =
+          std::min(begin + static_cast<size_t>(batch_size), train.size());
+      std::vector<std::string> texts;
+      std::vector<int64_t> labels;
+      for (size_t i = begin; i < end; ++i) {
+        texts.push_back(train[i].text);
+        labels.push_back(train[i].label);
+      }
+      optimizer.ZeroGrad();
+      ops::CrossEntropyMean(net.ForwardLogits(texts), labels).Backward();
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+    }
+  }
+
+  std::vector<int64_t> preds;
+  std::vector<int64_t> labels;
+  for (size_t begin = 0; begin < dataset.test.size(); begin += 32) {
+    const size_t end = std::min(begin + 32, dataset.test.size());
+    std::vector<std::string> texts;
+    for (size_t i = begin; i < end; ++i) {
+      texts.push_back(dataset.test[i].text);
+      labels.push_back(dataset.test[i].label);
+    }
+    auto batch = net.Predict(texts);
+    preds.insert(preds.end(), batch.begin(), batch.end());
+  }
+  return 100.0 * eval::BinaryPrf(preds, labels).f1;
+}
+
+}  // namespace
+
+std::string BrunnerSerialize(const std::string& pair_text) {
+  std::vector<std::string> kept;
+  for (auto& token : text::Tokenize(pair_text)) {
+    if (token == "[COL]" || token == "[VAL]") continue;
+    kept.push_back(std::move(token));
+  }
+  return Join(kept, " ");
+}
+
+data::TaskDataset BrunnerVariant(const data::TaskDataset& dataset) {
+  data::TaskDataset out = dataset;
+  out.name = dataset.name + "_brunner";
+  out.is_record_task = false;  // markers removed; col ops no longer apply
+  for (auto& e : out.train) e.text = BrunnerSerialize(e.text);
+  for (auto& e : out.valid) e.text = BrunnerSerialize(e.text);
+  for (auto& e : out.test) e.text = BrunnerSerialize(e.text);
+  for (auto& t : out.unlabeled) t = BrunnerSerialize(t);
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace rotom

@@ -1,0 +1,73 @@
+#ifndef ROTOM_BASELINES_DEEPMATCHER_H_
+#define ROTOM_BASELINES_DEEPMATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "nn/layers.h"
+#include "text/vocab.h"
+
+namespace rotom {
+namespace baselines {
+
+/// A DeepMatcher-style [61] entity matcher: each entity of a serialized
+/// pair is summarized by an aggregate of (from-scratch) word embeddings, the
+/// two summaries are compared with [e1; e2; |e1-e2|; e1*e2] features, and a
+/// two-layer MLP classifies match/no-match. This is the classic deep-EM
+/// comparator row of paper Table 8 (no pre-trained LM).
+class DeepMatcherNet : public nn::Module {
+ public:
+  struct Config {
+    int64_t embed_dim = 48;
+    int64_t hidden_dim = 64;
+    int64_t max_tokens_per_entity = 32;
+  };
+
+  DeepMatcherNet(const Config& config,
+                 std::shared_ptr<const text::Vocabulary> vocab, Rng& rng);
+
+  /// Logits [B, 2] for serialized pair texts "<e1> [SEP] <e2>".
+  Variable ForwardLogits(const std::vector<std::string>& pair_texts) const;
+
+  std::vector<int64_t> Predict(const std::vector<std::string>& texts) const;
+
+ private:
+  /// Mean embedding of one entity's tokens -> [dim].
+  Variable EncodeEntity(const std::vector<std::string>& tokens) const;
+
+  Config config_;
+  std::shared_ptr<const text::Vocabulary> vocab_;
+  nn::EmbeddingLayer embeddings_;
+  nn::Linear hidden_;
+  nn::Linear out_;
+};
+
+/// Trains a DeepMatcherNet on the dataset and returns the test F1 (%).
+/// `epochs`/`lr` default to values that converge on the synthetic EM tasks.
+double TrainAndEvalDeepMatcher(const data::TaskDataset& dataset,
+                               uint64_t seed, int64_t epochs = 30,
+                               float lr = 3e-3f);
+
+/// The paper's DM+RoBERTa analogue: the same comparison net, but with the
+/// word-embedding layer initialized from a pre-trained LM's token embedding
+/// table (shape [vocab->size(), embed_dim]) and sharing its vocabulary.
+double TrainAndEvalDeepMatcherWithEmbeddings(
+    const data::TaskDataset& dataset,
+    std::shared_ptr<const text::Vocabulary> vocab, const Tensor& embeddings,
+    uint64_t seed, int64_t epochs = 30, float lr = 3e-3f);
+
+/// Re-serializes an entity pair the way Brunner & Stockinger [9] feed LMs:
+/// attribute values only, without [COL]/[VAL] markers.
+std::string BrunnerSerialize(const std::string& pair_text);
+
+/// Applies BrunnerSerialize to every example of a dataset (train/valid/test/
+/// unlabeled), producing the input format for the Brunner et al. row.
+data::TaskDataset BrunnerVariant(const data::TaskDataset& dataset);
+
+}  // namespace baselines
+}  // namespace rotom
+
+#endif  // ROTOM_BASELINES_DEEPMATCHER_H_

@@ -1,0 +1,487 @@
+#include "baselines/nlp_da.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "augment/ops.h"
+#include "eval/metrics.h"
+#include "models/seq2seq.h"
+#include "nn/optim.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rotom {
+namespace baselines {
+
+namespace {
+
+using augment::DaOp;
+
+const std::vector<DaOp>& PolicyOps() {
+  static const std::vector<DaOp>* ops = new std::vector<DaOp>{
+      DaOp::kTokenDel, DaOp::kTokenRepl, DaOp::kTokenInsert, DaOp::kTokenSwap};
+  return *ops;
+}
+
+std::unique_ptr<models::TransformerClassifier> MakeModel(
+    const models::ClassifierConfig& config,
+    std::shared_ptr<const text::Vocabulary> vocab,
+    const NamedTensors* pretrained_encoder, uint64_t seed) {
+  Rng rng(seed * 1013904223ULL + 5);
+  auto model =
+      std::make_unique<models::TransformerClassifier>(config, vocab, rng);
+  if (pretrained_encoder != nullptr) {
+    std::map<std::string, const Tensor*> by_name;
+    for (const auto& [name, tensor] : *pretrained_encoder) {
+      if (name.rfind("encoder.", 0) == 0) by_name[name] = &tensor;
+    }
+    NamedTensors full = model->StateDict();
+    for (auto& [name, tensor] : full) {
+      auto it = by_name.find(name);
+      if (it != by_name.end()) tensor.CopyFrom(*it->second);
+    }
+    model->LoadStateDict(full);
+  }
+  return model;
+}
+
+double ValidationLoss(models::TransformerClassifier& model,
+                      const std::vector<data::Example>& valid, Rng& rng) {
+  NoGradGuard guard;
+  const bool was_training = model.training();
+  model.SetTraining(false);
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t begin = 0; begin < valid.size(); begin += 32) {
+    const size_t end = std::min(begin + 32, valid.size());
+    std::vector<std::string> texts;
+    std::vector<int64_t> labels;
+    for (size_t i = begin; i < end; ++i) {
+      texts.push_back(valid[i].text);
+      labels.push_back(valid[i].label);
+    }
+    const Tensor probs = model.PredictProbs(texts, rng);
+    for (size_t i = 0; i < texts.size(); ++i) {
+      const float p = std::max(
+          probs[static_cast<int64_t>(i) * model.config().num_classes +
+                labels[i]],
+          1e-9f);
+      total -= std::log(p);
+      ++count;
+    }
+  }
+  model.SetTraining(was_training);
+  return count > 0 ? total / count : 0.0;
+}
+
+// Hu et al.-style: REINFORCE over a categorical policy of single-token ops
+// (kHuLearnedDa) or over per-example weights from a tiny scorer
+// (kHuWeighting). The reward is the decrease in validation loss.
+double RunHuVariant(bool learned_da, const data::TaskDataset& dataset,
+                    const models::ClassifierConfig& config,
+                    std::shared_ptr<const text::Vocabulary> vocab,
+                    const NamedTensors* pretrained_encoder,
+                    const NlpBaselineOptions& options) {
+  auto model = MakeModel(config, vocab, pretrained_encoder, options.seed);
+  Rng rng(options.seed);
+  nn::Adam optimizer(model->Parameters(), options.lr);
+
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& e : dataset.train) docs.push_back(text::Tokenize(e.text));
+  const text::IdfTable idf = text::IdfTable::Build(docs);
+  augment::AugmentContext ctx;
+  ctx.idf = &idf;
+  ctx.synonyms = &augment::SynonymLexicon::Default();
+
+  // Policy parameters.
+  std::vector<double> op_logits(PolicyOps().size(), 0.0);
+  // Weighting scorer over features [ce, max_prob, bias].
+  std::vector<double> weight_theta = {0.0, 0.0, 0.0};
+
+  const eval::MetricKind metric = eval::MetricKind::kAccuracy;
+  NamedTensors best_state = model->StateDict();
+  double best_valid = -1.0;
+  double prev_val_loss = ValidationLoss(*model, dataset.valid, rng);
+
+  std::vector<data::Example> train = dataset.train;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    model->SetTraining(true);
+    rng.Shuffle(train);
+    for (size_t begin = 0; begin < train.size();
+         begin += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          begin + static_cast<size_t>(options.batch_size), train.size());
+      std::vector<std::string> texts;
+      std::vector<int64_t> labels;
+      std::vector<size_t> ops_used;
+      for (size_t i = begin; i < end; ++i) {
+        labels.push_back(train[i].label);
+        if (learned_da) {
+          // Sample an op from the softmax policy and apply it.
+          std::vector<double> probs(op_logits.size());
+          double mx = *std::max_element(op_logits.begin(), op_logits.end());
+          double denom = 0.0;
+          for (size_t k = 0; k < op_logits.size(); ++k) {
+            probs[k] = std::exp(op_logits[k] - mx);
+            denom += probs[k];
+          }
+          for (auto& p : probs) p /= denom;
+          const size_t op_idx = static_cast<size_t>(rng.WeightedIndex(probs));
+          ops_used.push_back(op_idx);
+          texts.push_back(augment::AugmentText(
+              train[i].text, PolicyOps()[op_idx], ctx, rng));
+        } else {
+          texts.push_back(train[i].text);
+        }
+      }
+
+      optimizer.ZeroGrad();
+      Variable logits = model->ForwardLogits(texts, rng);
+      Variable ce = ops::CrossEntropyPerExample(logits, labels);
+      Variable loss;
+      if (!learned_da) {
+        // Weighted loss with softmax(theta . f_i) weights over the batch.
+        Tensor probs;
+        {
+          NoGradGuard guard;
+          probs = ops::SoftmaxRows(logits.value());
+        }
+        const int64_t b = static_cast<int64_t>(texts.size());
+        std::vector<double> scores(b);
+        double mx = -1e30;
+        for (int64_t i = 0; i < b; ++i) {
+          const double ce_i = ce.value()[i];
+          double max_p = 0.0;
+          for (int64_t j = 0; j < model->config().num_classes; ++j)
+            max_p = std::max(max_p,
+                             static_cast<double>(
+                                 probs[i * model->config().num_classes + j]));
+          scores[i] = weight_theta[0] * ce_i + weight_theta[1] * max_p +
+                      weight_theta[2];
+          mx = std::max(mx, scores[i]);
+        }
+        Tensor w({b});
+        double denom = 0.0;
+        for (int64_t i = 0; i < b; ++i) {
+          w[i] = static_cast<float>(std::exp(scores[i] - mx));
+          denom += w[i];
+        }
+        for (int64_t i = 0; i < b; ++i)
+          w[i] = static_cast<float>(w[i] / denom * b);  // mean-one
+        loss = ops::Scale(ops::Dot(ce, Variable(w, false)),
+                          1.0f / static_cast<float>(b));
+      } else {
+        loss = ops::Mean(ce);
+      }
+      loss.Backward();
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+
+      // REINFORCE on the policy with reward = validation-loss decrease.
+      const double val_loss = ValidationLoss(*model, dataset.valid, rng);
+      const double reward = prev_val_loss - val_loss;
+      prev_val_loss = val_loss;
+      if (learned_da) {
+        std::vector<double> probs(op_logits.size());
+        double mx = *std::max_element(op_logits.begin(), op_logits.end());
+        double denom = 0.0;
+        for (size_t k = 0; k < op_logits.size(); ++k) {
+          probs[k] = std::exp(op_logits[k] - mx);
+          denom += probs[k];
+        }
+        for (auto& p : probs) p /= denom;
+        for (size_t used : ops_used) {
+          for (size_t k = 0; k < op_logits.size(); ++k) {
+            const double grad_logp = (k == used ? 1.0 : 0.0) - probs[k];
+            op_logits[k] += options.policy_lr * reward * grad_logp;
+          }
+        }
+      } else {
+        // Nudge the scorer toward weighting schemes that reduced val loss.
+        weight_theta[0] += options.policy_lr * reward;
+        weight_theta[1] -= options.policy_lr * reward;
+      }
+    }
+    const double valid_metric =
+        eval::EvaluateModel(*model, dataset.valid, metric);
+    if (valid_metric > best_valid) {
+      best_valid = valid_metric;
+      best_state = model->StateDict();
+    }
+  }
+  model->LoadStateDict(best_state);
+  return eval::EvaluateModel(*model, dataset.test, metric);
+}
+
+// Kumar et al.-style conditional generation: a seq2seq model fine-tuned on
+// "<label> : <text>" -> "<text>" pairs over the labeled data, sampled to
+// produce label-conditioned augmentations; the classifier then trains on
+// originals + generations with NO filtering or weighting.
+double RunKumarCondGen(const data::TaskDataset& dataset,
+                       const models::ClassifierConfig& config,
+                       std::shared_ptr<const text::Vocabulary> vocab,
+                       const NamedTensors* pretrained_encoder,
+                       const NlpBaselineOptions& options) {
+  Rng rng(options.seed + 99);
+  models::Seq2SeqConfig gen_config;
+  gen_config.dim = config.dim;
+  gen_config.num_heads = config.num_heads;
+  gen_config.num_layers = config.num_layers;
+  gen_config.ffn_dim = config.ffn_dim;
+  gen_config.max_src_len = config.max_len;
+  gen_config.max_tgt_len = config.max_len;
+  gen_config.dropout = 0.0f;
+  models::Seq2SeqModel generator(gen_config, vocab, rng);
+
+  // Label-conditioned pairs from the (small) labeled set only — exactly the
+  // low-resource regime where Kumar et al.'s generators overfit/over-diversify.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& e : dataset.train) {
+    // Condition on the label plus a short prefix of the sequence.
+    auto tokens = text::Tokenize(e.text);
+    std::string prefix;
+    for (size_t i = 0; i < std::min<size_t>(tokens.size(), 3); ++i)
+      prefix += (i ? " " : "") + tokens[i];
+    pairs.emplace_back("label " + std::to_string(e.label) + " : " + prefix,
+                       e.text);
+  }
+  nn::Adam gen_opt(generator.Parameters(), 1e-3f);
+  generator.SetTraining(true);
+  for (int64_t epoch = 0; epoch < 3; ++epoch) {
+    Rng shuffle_rng(epoch);
+    auto shuffled = pairs;
+    shuffle_rng.Shuffle(shuffled);
+    for (size_t begin = 0; begin < shuffled.size(); begin += 8) {
+      const size_t end = std::min(begin + 8, shuffled.size());
+      std::vector<std::pair<std::string, std::string>> batch(
+          shuffled.begin() + begin, shuffled.begin() + end);
+      gen_opt.ZeroGrad();
+      generator.Loss(batch, rng).Backward();
+      nn::ClipGradNorm(gen_opt.params(), 5.0f);
+      gen_opt.Step();
+    }
+  }
+  generator.SetTraining(false);
+
+  // Generate augmentations and append them unfiltered.
+  models::SamplingOptions sampling;
+  sampling.max_len = config.max_len - 2;
+  std::vector<data::Example> augmented = dataset.train;
+  std::vector<std::string> sources;
+  std::vector<int64_t> source_labels;
+  for (const auto& e : dataset.train) {
+    for (int64_t k = 0; k < options.gen_per_example; ++k) {
+      auto tokens = text::Tokenize(e.text);
+      std::string prefix;
+      for (size_t i = 0; i < std::min<size_t>(tokens.size(), 3); ++i)
+        prefix += (i ? " " : "") + tokens[i];
+      sources.push_back("label " + std::to_string(e.label) + " : " + prefix);
+      source_labels.push_back(e.label);
+    }
+  }
+  for (size_t begin = 0; begin < sources.size(); begin += 32) {
+    const size_t end = std::min(begin + 32, sources.size());
+    std::vector<std::string> chunk(sources.begin() + begin,
+                                   sources.begin() + end);
+    auto outs = generator.GenerateBatch(chunk, sampling, rng);
+    for (size_t i = 0; i < outs.size(); ++i) {
+      if (!outs[i].empty())
+        augmented.push_back({outs[i], source_labels[begin + i]});
+    }
+  }
+
+  auto model = MakeModel(config, vocab, pretrained_encoder, options.seed);
+  nn::Adam optimizer(model->Parameters(), options.lr);
+  NamedTensors best_state = model->StateDict();
+  double best_valid = -1.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    model->SetTraining(true);
+    rng.Shuffle(augmented);
+    for (size_t begin = 0; begin < augmented.size();
+         begin += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          begin + static_cast<size_t>(options.batch_size), augmented.size());
+      std::vector<std::string> texts;
+      std::vector<int64_t> labels;
+      for (size_t i = begin; i < end; ++i) {
+        texts.push_back(augmented[i].text);
+        labels.push_back(augmented[i].label);
+      }
+      optimizer.ZeroGrad();
+      ops::CrossEntropyMean(model->ForwardLogits(texts, rng), labels)
+          .Backward();
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+    }
+    const double valid_metric =
+        eval::EvaluateModel(*model, dataset.valid, eval::MetricKind::kAccuracy);
+    if (valid_metric > best_valid) {
+      best_valid = valid_metric;
+      best_state = model->StateDict();
+    }
+  }
+  model->LoadStateDict(best_state);
+  return eval::EvaluateModel(*model, dataset.test,
+                             eval::MetricKind::kAccuracy);
+}
+
+// Kumar et al.'s BERT variant: mask tokens and resample them from an MLM
+// head trained on the unlabeled corpus; train the classifier on
+// originals + resampled copies, unfiltered.
+double RunKumarMlmResample(const data::TaskDataset& dataset,
+                           const models::ClassifierConfig& config,
+                           std::shared_ptr<const text::Vocabulary> vocab,
+                           const NamedTensors* pretrained_encoder,
+                           const NlpBaselineOptions& options) {
+  Rng rng(options.seed + 7);
+  // A tiny MLM: encoder + vocab head trained on the unlabeled pool.
+  models::TransformerClassifier mlm(config, vocab, rng);
+  nn::Linear mlm_head(config.dim, vocab->size(), rng);
+  {
+    std::vector<Variable> params = mlm.Parameters();
+    for (auto& p : mlm_head.Parameters()) params.push_back(p);
+    nn::Adam opt(params, 1e-3f);
+    std::vector<std::string> corpus = dataset.unlabeled;
+    if (corpus.size() > 256) corpus.resize(256);
+    for (const auto& e : dataset.train) corpus.push_back(e.text);
+    for (int64_t epoch = 0; epoch < 2; ++epoch) {
+      rng.Shuffle(corpus);
+      for (size_t begin = 0; begin < corpus.size(); begin += 16) {
+        const size_t end = std::min(begin + 16, corpus.size());
+        std::vector<std::string> chunk(corpus.begin() + begin,
+                                       corpus.begin() + end);
+        auto batch =
+            text::EncodeBatchForClassifier(*vocab, chunk, config.max_len);
+        std::vector<int64_t> positions, targets;
+        for (size_t i = 0; i < batch.ids.size(); ++i) {
+          if (text::Vocabulary::IsSpecial(batch.ids[i])) continue;
+          if (!rng.Bernoulli(0.15)) continue;
+          positions.push_back(static_cast<int64_t>(i));
+          targets.push_back(batch.ids[i]);
+          batch.ids[i] = text::SpecialTokens::kMask;
+        }
+        if (positions.empty()) continue;
+        opt.ZeroGrad();
+        Variable hidden = mlm.EncodeHidden(batch, rng);
+        Variable flat = ops::Reshape(hidden, {-1, config.dim});
+        Variable logits = mlm_head.Forward(ops::Embedding(flat, positions));
+        ops::CrossEntropyMean(logits, targets).Backward();
+        opt.Step();
+      }
+    }
+    mlm.SetTraining(false);
+  }
+
+  auto resample = [&](const std::string& input, Rng& r) {
+    auto tokens = text::Tokenize(input);
+    auto batch = text::EncodeBatchForClassifier(*vocab, {input},
+                                                config.max_len);
+    std::vector<int64_t> positions;
+    for (size_t i = 0; i < batch.ids.size(); ++i) {
+      if (text::Vocabulary::IsSpecial(batch.ids[i])) continue;
+      if (r.Bernoulli(0.2)) {
+        positions.push_back(static_cast<int64_t>(i));
+        batch.ids[i] = text::SpecialTokens::kMask;
+      }
+    }
+    if (positions.empty()) return input;
+    NoGradGuard guard;
+    Rng fwd(0);
+    Variable hidden = mlm.EncodeHidden(batch, fwd);
+    Variable flat = ops::Reshape(hidden, {-1, config.dim});
+    Variable logits = mlm_head.Forward(ops::Embedding(flat, positions));
+    const Tensor probs = ops::SoftmaxRows(logits.value());
+    // Rebuild the text with sampled replacements (position i in the encoded
+    // batch corresponds to token i-1 after the [CLS]).
+    for (size_t p = 0; p < positions.size(); ++p) {
+      const int64_t tok_index = positions[p] - 1;  // skip [CLS]
+      if (tok_index < 0 || tok_index >= static_cast<int64_t>(tokens.size()))
+        continue;
+      std::vector<double> row(vocab->size());
+      for (int64_t v = 0; v < vocab->size(); ++v)
+        row[v] = probs[static_cast<int64_t>(p) * vocab->size() + v];
+      for (int64_t s = 0; s < text::SpecialTokens::kCount; ++s) row[s] = 0.0;
+      tokens[tok_index] = vocab->Token(r.WeightedIndex(row));
+    }
+    return text::Detokenize(tokens);
+  };
+
+  std::vector<data::Example> augmented = dataset.train;
+  for (const auto& e : dataset.train) {
+    for (int64_t k = 0; k < options.gen_per_example; ++k)
+      augmented.push_back({resample(e.text, rng), e.label});
+  }
+
+  auto model = MakeModel(config, vocab, pretrained_encoder, options.seed);
+  nn::Adam optimizer(model->Parameters(), options.lr);
+  NamedTensors best_state = model->StateDict();
+  double best_valid = -1.0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    model->SetTraining(true);
+    rng.Shuffle(augmented);
+    for (size_t begin = 0; begin < augmented.size();
+         begin += static_cast<size_t>(options.batch_size)) {
+      const size_t end = std::min(
+          begin + static_cast<size_t>(options.batch_size), augmented.size());
+      std::vector<std::string> texts;
+      std::vector<int64_t> labels;
+      for (size_t i = begin; i < end; ++i) {
+        texts.push_back(augmented[i].text);
+        labels.push_back(augmented[i].label);
+      }
+      optimizer.ZeroGrad();
+      ops::CrossEntropyMean(model->ForwardLogits(texts, rng), labels)
+          .Backward();
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+    }
+    const double valid_metric =
+        eval::EvaluateModel(*model, dataset.valid, eval::MetricKind::kAccuracy);
+    if (valid_metric > best_valid) {
+      best_valid = valid_metric;
+      best_state = model->StateDict();
+    }
+  }
+  model->LoadStateDict(best_state);
+  return eval::EvaluateModel(*model, dataset.test,
+                             eval::MetricKind::kAccuracy);
+}
+
+}  // namespace
+
+const char* NlpBaselineName(NlpBaseline kind) {
+  switch (kind) {
+    case NlpBaseline::kHuLearnedDa: return "+Learned DA";
+    case NlpBaseline::kHuWeighting: return "+Weighting";
+    case NlpBaseline::kKumarCondGen: return "+CG w. BART-style";
+    case NlpBaseline::kKumarMlmResample: return "+CG w. BERT-style";
+  }
+  return "?";
+}
+
+double TrainAndEvalNlpBaseline(
+    NlpBaseline kind, const data::TaskDataset& dataset,
+    const models::ClassifierConfig& config,
+    std::shared_ptr<const text::Vocabulary> vocab,
+    const NamedTensors* pretrained_encoder,
+    const NlpBaselineOptions& options) {
+  switch (kind) {
+    case NlpBaseline::kHuLearnedDa:
+      return RunHuVariant(true, dataset, config, vocab, pretrained_encoder,
+                          options);
+    case NlpBaseline::kHuWeighting:
+      return RunHuVariant(false, dataset, config, vocab, pretrained_encoder,
+                          options);
+    case NlpBaseline::kKumarCondGen:
+      return RunKumarCondGen(dataset, config, vocab, pretrained_encoder,
+                             options);
+    case NlpBaseline::kKumarMlmResample:
+      return RunKumarMlmResample(dataset, config, vocab, pretrained_encoder,
+                                 options);
+  }
+  return 0.0;
+}
+
+}  // namespace baselines
+}  // namespace rotom

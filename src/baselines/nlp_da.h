@@ -1,0 +1,54 @@
+#ifndef ROTOM_BASELINES_NLP_DA_H_
+#define ROTOM_BASELINES_NLP_DA_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "models/classifier.h"
+#include "tensor/serialize.h"
+
+namespace rotom {
+namespace baselines {
+
+/// The Table 11 comparator techniques:
+///  - kHuLearnedDa:     Hu et al. [32]-style DA operator learned with
+///                      REINFORCE (single-token edits; policy over op type);
+///  - kHuWeighting:     Hu et al. [32]-style example weighting learned with
+///                      REINFORCE from the validation reward;
+///  - kKumarCondGen:    Kumar et al. [44]-style label-conditioned seq2seq
+///                      generation (their BART variant);
+///  - kKumarMlmResample: Kumar et al. [44]-style masked-resampling with a
+///                      masked LM (their BERT variant).
+/// None of them filter or weight the augmented examples the way Rotom does.
+enum class NlpBaseline {
+  kHuLearnedDa,
+  kHuWeighting,
+  kKumarCondGen,
+  kKumarMlmResample,
+};
+
+const char* NlpBaselineName(NlpBaseline kind);
+
+struct NlpBaselineOptions {
+  int64_t epochs = 8;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  float policy_lr = 0.1f;    // REINFORCE policy step size (Hu variants)
+  int64_t gen_per_example = 1;  // generated augmentations (Kumar variants)
+  uint64_t seed = 1;
+};
+
+/// Trains the given baseline on the dataset and returns test accuracy (%).
+/// `pretrained_encoder` (from TransformerClassifier::StateDict of an
+/// MLM-pre-trained model) is copied into the classifier when non-null so the
+/// comparison against Rotom uses the same starting point.
+double TrainAndEvalNlpBaseline(
+    NlpBaseline kind, const data::TaskDataset& dataset,
+    const models::ClassifierConfig& config,
+    std::shared_ptr<const text::Vocabulary> vocab,
+    const NamedTensors* pretrained_encoder, const NlpBaselineOptions& options);
+
+}  // namespace baselines
+}  // namespace rotom
+
+#endif  // ROTOM_BASELINES_NLP_DA_H_

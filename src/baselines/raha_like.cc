@@ -1,0 +1,167 @@
+#include "baselines/raha_like.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rotom {
+namespace baselines {
+
+std::pair<std::string, std::string> RahaLikeDetector::ParseCell(
+    const std::string& cell) {
+  // Format: "[COL] attr [VAL] value".
+  const std::string kCol = "[COL] ";
+  const std::string kVal = " [VAL] ";
+  const size_t val_pos = cell.find(kVal);
+  if (val_pos == std::string::npos || cell.rfind(kCol, 0) != 0) {
+    return {"", cell};
+  }
+  return {cell.substr(kCol.size(), val_pos - kCol.size()),
+          cell.substr(val_pos + kVal.size())};
+}
+
+std::string RahaLikeDetector::CharPattern(const std::string& value) {
+  std::string pattern;
+  char last = 0;
+  for (char c : value) {
+    char cls;
+    if (std::isdigit(static_cast<unsigned char>(c))) cls = '9';
+    else if (std::isalpha(static_cast<unsigned char>(c))) cls = 'a';
+    else if (std::isspace(static_cast<unsigned char>(c))) cls = '_';
+    else cls = '.';
+    if (cls != last) pattern += cls;  // run-length collapse
+    last = cls;
+  }
+  return pattern;
+}
+
+void RahaLikeDetector::Fit(const data::TaskDataset& dataset, uint64_t seed,
+                           int64_t epochs, float lr) {
+  columns_.clear();
+  // Column statistics from all available (unlabeled) cells — Raha profiles
+  // the whole dirty table without labels.
+  auto absorb = [&](const std::string& cell) {
+    const auto [attr, value] = ParseCell(cell);
+    auto& stats = columns_[attr];
+    ++stats.value_counts[value];
+    ++stats.pattern_counts[CharPattern(value)];
+    ++stats.total;
+  };
+  for (const auto& cell : dataset.unlabeled) absorb(cell);
+  for (const auto& e : dataset.train) absorb(e.text);
+
+  for (auto& [attr, stats] : columns_) {
+    double sum_len = 0.0, sum_len2 = 0.0, sum_digit = 0.0;
+    int64_t n = 0;
+    for (const auto& [value, count] : stats.value_counts) {
+      int64_t digits = 0;
+      for (char c : value)
+        digits += std::isdigit(static_cast<unsigned char>(c)) ? 1 : 0;
+      const double len = static_cast<double>(value.size());
+      const double digit_frac =
+          value.empty() ? 0.0 : static_cast<double>(digits) / value.size();
+      sum_len += len * count;
+      sum_len2 += len * len * count;
+      sum_digit += digit_frac * count;
+      n += count;
+    }
+    if (n > 0) {
+      stats.mean_length = sum_len / n;
+      const double var = sum_len2 / n - stats.mean_length * stats.mean_length;
+      stats.stddev_length = std::sqrt(std::max(var, 1e-6));
+      stats.mean_digit_fraction = sum_digit / n;
+    }
+  }
+
+  // Logistic regression on the labeled cells.
+  weights_.assign(kNumFeatures + 1, 0.0);
+  Rng rng(seed);
+  std::vector<std::vector<double>> xs;
+  std::vector<int64_t> ys;
+  for (const auto& e : dataset.train) {
+    xs.push_back(Features(e.text));
+    ys.push_back(e.label);
+  }
+  if (xs.empty()) return;
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = 0; i < xs.size(); ++i) {
+      double z = weights_.back();
+      for (int64_t j = 0; j < kNumFeatures; ++j) z += weights_[j] * xs[i][j];
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double err = static_cast<double>(ys[i]) - p;
+      for (int64_t j = 0; j < kNumFeatures; ++j)
+        weights_[j] += lr * err * xs[i][j];
+      weights_.back() += lr * err;
+    }
+  }
+}
+
+std::vector<double> RahaLikeDetector::Features(const std::string& cell) const {
+  const auto [attr, value] = ParseCell(cell);
+  auto it = columns_.find(attr);
+  std::vector<double> f(kNumFeatures, 0.0);
+  int64_t digits = 0, letters = 0, xs = 0;
+  for (char c : value) {
+    digits += std::isdigit(static_cast<unsigned char>(c)) ? 1 : 0;
+    letters += std::isalpha(static_cast<unsigned char>(c)) ? 1 : 0;
+    xs += c == 'x' ? 1 : 0;
+  }
+  const double len = static_cast<double>(value.size());
+  const double digit_frac = value.empty() ? 0.0 : digits / len;
+  if (it != columns_.end() && it->second.total > 0) {
+    const auto& stats = it->second;
+    const auto vc = stats.value_counts.find(value);
+    const double value_freq =
+        vc == stats.value_counts.end()
+            ? 0.0
+            : static_cast<double>(vc->second) / stats.total;
+    const auto pc = stats.pattern_counts.find(CharPattern(value));
+    const double pattern_freq =
+        pc == stats.pattern_counts.end()
+            ? 0.0
+            : static_cast<double>(pc->second) / stats.total;
+    f[0] = 1.0 - value_freq;                       // value rarity
+    f[1] = 1.0 - pattern_freq;                     // format rarity
+    f[2] = std::min(
+        std::fabs(len - stats.mean_length) / stats.stddev_length, 5.0);
+    f[3] = std::fabs(digit_frac - stats.mean_digit_fraction);
+  } else {
+    f[0] = f[1] = 1.0;
+    f[2] = 1.0;
+    f[3] = digit_frac;
+  }
+  f[4] = value.empty() || value == "n/a" || value == "null" ? 1.0 : 0.0;
+  f[5] = letters > 0 ? static_cast<double>(xs) / letters : 0.0;  // 'x' anomaly
+  f[6] = std::min(len / 20.0, 2.0);
+  f[7] = digit_frac;
+  return f;
+}
+
+std::vector<int64_t> RahaLikeDetector::Predict(
+    const std::vector<std::string>& cells) const {
+  ROTOM_CHECK_EQ(static_cast<int64_t>(weights_.size()), kNumFeatures + 1);
+  std::vector<int64_t> preds(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto f = Features(cells[i]);
+    double z = weights_.back();
+    for (int64_t j = 0; j < kNumFeatures; ++j) z += weights_[j] * f[j];
+    preds[i] = z > 0.0 ? 1 : 0;
+  }
+  return preds;
+}
+
+double RahaLikeDetector::EvaluateF1(const data::TaskDataset& dataset) const {
+  std::vector<std::string> cells;
+  std::vector<int64_t> labels;
+  for (const auto& e : dataset.test) {
+    cells.push_back(e.text);
+    labels.push_back(e.label);
+  }
+  return 100.0 * eval::BinaryPrf(Predict(cells), labels).f1;
+}
+
+}  // namespace baselines
+}  // namespace rotom

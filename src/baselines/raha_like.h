@@ -1,0 +1,60 @@
+#ifndef ROTOM_BASELINES_RAHA_LIKE_H_
+#define ROTOM_BASELINES_RAHA_LIKE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rotom {
+namespace baselines {
+
+/// A Raha-style [55] configuration-free error detector: an ensemble of
+/// lightweight detector features (value frequency, character-pattern
+/// frequency, length deviation, digit/letter anomalies) computed per column
+/// from the unlabeled table, combined by a logistic-regression vote trained
+/// on the few labeled cells. This is the non-LM SOTA comparator of paper
+/// Table 9 / Figure 3.
+class RahaLikeDetector {
+ public:
+  /// Feature vector length per cell.
+  static constexpr int64_t kNumFeatures = 8;
+
+  /// Builds column statistics from the dataset's unlabeled + train cells and
+  /// fits the vote combiner on ds.train. Cells are the serialized
+  /// "[COL] attr [VAL] value" strings produced by the EDT generator.
+  void Fit(const data::TaskDataset& dataset, uint64_t seed,
+           int64_t epochs = 200, float lr = 0.1f);
+
+  /// Predicts 1 (error) / 0 (clean) for serialized cells.
+  std::vector<int64_t> Predict(const std::vector<std::string>& cells) const;
+
+  /// Convenience: test F1 (%) on ds.test.
+  double EvaluateF1(const data::TaskDataset& dataset) const;
+
+  /// Extracts the detector features of one cell (exposed for tests).
+  std::vector<double> Features(const std::string& cell) const;
+
+ private:
+  struct ColumnStats {
+    std::unordered_map<std::string, int64_t> value_counts;
+    std::unordered_map<std::string, int64_t> pattern_counts;
+    double mean_length = 0.0;
+    double stddev_length = 1.0;
+    double mean_digit_fraction = 0.0;
+    int64_t total = 0;
+  };
+
+  static std::pair<std::string, std::string> ParseCell(
+      const std::string& cell);
+  static std::string CharPattern(const std::string& value);
+
+  std::unordered_map<std::string, ColumnStats> columns_;
+  std::vector<double> weights_;  // logistic regression [kNumFeatures + 1]
+};
+
+}  // namespace baselines
+}  // namespace rotom
+
+#endif  // ROTOM_BASELINES_RAHA_LIKE_H_

@@ -1,0 +1,84 @@
+#include "core/filtering.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace rotom {
+namespace core {
+
+FilteringModel::FilteringModel(int64_t num_classes, Rng& rng)
+    : num_classes_(num_classes) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(2 * num_classes + 2));
+  weight_ = RegisterParameter(
+      "weight",
+      Tensor::RandUniform({2 * num_classes, 2}, rng, -bound, bound));
+  // Start biased toward keeping (~0.88): the filter should earn the right
+  // to drop data rather than starve early batches of a cold-started model.
+  Tensor bias_init({2});
+  bias_init[1] = 2.0f;
+  bias_ = RegisterParameter("bias", bias_init);
+}
+
+Tensor FilteringModel::ComputeFeatures(const Tensor& probs_orig,
+                                       const Tensor& probs_aug,
+                                       const std::vector<int64_t>& labels) {
+  ROTOM_CHECK(probs_orig.shape() == probs_aug.shape());
+  ROTOM_CHECK_EQ(probs_orig.dim(), 2);
+  const int64_t b = probs_orig.size(0);
+  const int64_t c = probs_orig.size(1);
+  ROTOM_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+
+  Tensor features({b, 2 * c});
+  for (int64_t i = 0; i < b; ++i) {
+    ROTOM_CHECK_GE(labels[i], 0);
+    ROTOM_CHECK_LT(labels[i], c);
+    features.at({i, labels[i]}) = 1.0f;  // one-hot(y)
+    for (int64_t j = 0; j < c; ++j) {
+      const float p_aug = std::max(probs_aug.at({i, j}), 1e-8f);
+      const float p_orig = std::max(probs_orig.at({i, j}), 1e-8f);
+      // Elementwise KL term p_M(x_hat) * log(p_M(x_hat) / p_M(x)).
+      features.at({i, c + j}) = p_aug * std::log(p_aug / p_orig);
+    }
+  }
+  return features;
+}
+
+Variable FilteringModel::Forward(const Tensor& features) const {
+  ROTOM_CHECK_EQ(features.size(-1), 2 * num_classes_);
+  Variable x(features, false);
+  return ops::Softmax(ops::Add(ops::MatMul(x, weight_), bias_));
+}
+
+std::vector<bool> FilteringModel::SampleDecisions(const Tensor& probs,
+                                                  Rng& rng) {
+  ROTOM_CHECK_EQ(probs.size(-1), 2);
+  const int64_t b = probs.size(0);
+  std::vector<bool> decisions(b);
+  for (int64_t i = 0; i < b; ++i)
+    decisions[i] = rng.Bernoulli(probs.at({i, 1}));
+  return decisions;
+}
+
+Variable FilteringModel::ReinforceSurrogate(const Tensor& features,
+                                            const std::vector<bool>& decisions,
+                                            float validation_loss) const {
+  const int64_t b = features.size(0);
+  ROTOM_CHECK_EQ(static_cast<int64_t>(decisions.size()), b);
+  // -log p(keep=1 | e) for kept examples, via a soft-target cross entropy
+  // whose target row is one-hot(keep) for kept examples and all-zero for
+  // dropped ones (those contribute nothing to Eq. 3's sum).
+  Variable logits = ops::Add(
+      ops::MatMul(Variable(features, false), weight_), bias_);
+  Tensor target({b, 2});
+  for (int64_t i = 0; i < b; ++i) {
+    target.at({i, 1}) = decisions[i] ? 1.0f : 0.0f;
+  }
+  Variable neg_log_keep = ops::SoftCrossEntropyPerExample(logits, target);
+  Variable sum_log = ops::Scale(ops::Sum(neg_log_keep), -1.0f);
+  return ops::Scale(sum_log, validation_loss);
+}
+
+}  // namespace core
+}  // namespace rotom

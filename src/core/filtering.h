@@ -1,0 +1,54 @@
+#ifndef ROTOM_CORE_FILTERING_H_
+#define ROTOM_CORE_FILTERING_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace rotom {
+namespace core {
+
+/// The filtering model M_F of paper Section 4.1: a lightweight single-layer
+/// perceptron that decides whether to keep an augmented example. Its input
+/// features are concat(one_hot(y), elementwise KL divergence of the target
+/// model's prediction on the augmented sequence from its prediction on the
+/// original); W_F in R^{2|V| x 2}, softmax output.
+class FilteringModel : public nn::Module {
+ public:
+  FilteringModel(int64_t num_classes, Rng& rng);
+
+  /// Builds the feature matrix [B, 2C] from the target model's predicted
+  /// distributions on the original (probs_orig) and augmented (probs_aug)
+  /// sequences, both [B, C], and the class labels. These features are
+  /// constants w.r.t. the meta-gradient (the target model's contribution is
+  /// ignored by the REINFORCE estimator, Eq. 3).
+  static Tensor ComputeFeatures(const Tensor& probs_orig,
+                                const Tensor& probs_aug,
+                                const std::vector<int64_t>& labels);
+
+  /// Softmax over {drop, keep} per example -> [B, 2]; column 1 is the keep
+  /// probability. Differentiable w.r.t. this model's parameters.
+  Variable Forward(const Tensor& features) const;
+
+  /// Samples Bernoulli keep decisions from the keep probabilities (the
+  /// explore-and-exploit relaxation of the deterministic filter).
+  static std::vector<bool> SampleDecisions(const Tensor& probs, Rng& rng);
+
+  /// REINFORCE surrogate (paper Eq. 3): val_loss * sum over KEPT examples of
+  /// log p(keep). Backward through this yields the estimated gradient.
+  Variable ReinforceSurrogate(const Tensor& features,
+                              const std::vector<bool>& decisions,
+                              float validation_loss) const;
+
+  int64_t num_classes() const { return num_classes_; }
+
+ private:
+  int64_t num_classes_;
+  Variable weight_;  // [2C, 2]
+  Variable bias_;    // [2]
+};
+
+}  // namespace core
+}  // namespace rotom
+
+#endif  // ROTOM_CORE_FILTERING_H_

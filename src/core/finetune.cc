@@ -1,0 +1,95 @@
+#include "core/finetune.h"
+
+#include <algorithm>
+
+#include "augment/mixda.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rotom {
+namespace core {
+
+FinetuneTrainer::FinetuneTrainer(models::TransformerClassifier* model,
+                                 eval::MetricKind metric,
+                                 FinetuneOptions options)
+    : model_(model), metric_(metric), options_(options) {
+  ROTOM_CHECK(model != nullptr);
+}
+
+TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
+                                   const TextAugmenter& augmenter) {
+  ROTOM_CHECK(!ds.train.empty());
+  if (options_.aug_mode != AugMode::kNone) {
+    ROTOM_CHECK_MSG(augmenter != nullptr,
+                    "augmented modes need a TextAugmenter");
+  }
+  WallTimer timer;
+  Rng rng(options_.seed);
+  nn::Adam optimizer(model_->Parameters(), options_.lr);
+
+  TrainResult result;
+  NamedTensors best_state = model_->StateDict();
+  double best_metric = -1.0;
+
+  std::vector<data::Example> train = ds.train;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    model_->SetTraining(true);
+    rng.Shuffle(train);
+    for (size_t begin = 0; begin < train.size();
+         begin += static_cast<size_t>(options_.batch_size)) {
+      const size_t end = std::min(
+          begin + static_cast<size_t>(options_.batch_size), train.size());
+      std::vector<std::string> originals, augmented;
+      std::vector<int64_t> labels;
+      for (size_t i = begin; i < end; ++i) {
+        originals.push_back(train[i].text);
+        labels.push_back(train[i].label);
+        if (options_.aug_mode != AugMode::kNone) {
+          augmented.push_back(augmenter(train[i].text, rng));
+        }
+      }
+      optimizer.ZeroGrad();
+      Variable logits;
+      switch (options_.aug_mode) {
+        case AugMode::kNone:
+          logits = model_->ForwardLogits(originals, rng);
+          break;
+        case AugMode::kReplace:
+          logits = model_->ForwardLogits(augmented, rng);
+          break;
+        case AugMode::kMixDa: {
+          Variable cls_orig = model_->EncodeCls(originals, rng);
+          Variable cls_aug = model_->EncodeCls(augmented, rng);
+          std::vector<double> lambdas(originals.size());
+          for (auto& l : lambdas)
+            l = augment::MixDaLambda(options_.mixda_alpha, rng);
+          Variable mixed = augment::InterpolateRepresentations(
+              cls_orig, cls_aug, lambdas);
+          logits = model_->HeadLogits(mixed);
+          break;
+        }
+      }
+      ops::CrossEntropyMean(logits, labels).Backward();
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+    }
+
+    const double valid_metric =
+        eval::EvaluateModel(*model_, ds.valid, metric_);
+    if (valid_metric > best_metric) {
+      best_metric = valid_metric;
+      best_state = model_->StateDict();
+    }
+    ++result.epochs_run;
+  }
+
+  model_->LoadStateDict(best_state);
+  model_->SetTraining(false);
+  result.best_valid_metric = best_metric;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace core
+}  // namespace rotom

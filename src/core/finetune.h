@@ -1,0 +1,65 @@
+#ifndef ROTOM_CORE_FINETUNE_H_
+#define ROTOM_CORE_FINETUNE_H_
+
+#include <functional>
+#include <string>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/classifier.h"
+
+namespace rotom {
+namespace core {
+
+/// Outcome of a training run: the best validation score (percentage), the
+/// score of the restored-best model on the validation set, wall time, and
+/// number of epochs executed.
+struct TrainResult {
+  double best_valid_metric = 0.0;
+  double seconds = 0.0;
+  int64_t epochs_run = 0;
+};
+
+/// Produces one augmented variant of a text (simple DA op, InvDA sample,
+/// ...). May return the input unchanged.
+using TextAugmenter = std::function<std::string(const std::string&, Rng&)>;
+
+/// How augmented examples enter plain fine-tuning:
+///  - kNone:    no augmentation (the paper's LM baseline);
+///  - kReplace: each epoch trains on freshly augmented versions of every
+///              example (the paper's InvDA rows, and the classic EDA recipe);
+///  - kMixDa:   interpolates the LM representations of the original and the
+///              augmented sequence with lambda ~ Beta (the MixDA rows [58]).
+enum class AugMode { kNone, kReplace, kMixDa };
+
+struct FinetuneOptions {
+  int64_t epochs = 10;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  AugMode aug_mode = AugMode::kNone;
+  double mixda_alpha = 0.8;
+  uint64_t seed = 1;
+};
+
+/// Standard fine-tuning with per-epoch checkpoint selection on the
+/// validation metric (paper Section 6.1). The best checkpoint is restored
+/// into the model before returning.
+class FinetuneTrainer {
+ public:
+  FinetuneTrainer(models::TransformerClassifier* model,
+                  eval::MetricKind metric, FinetuneOptions options);
+
+  /// Trains on ds.train; `augmenter` is required for kReplace/kMixDa.
+  TrainResult Train(const data::TaskDataset& ds,
+                    const TextAugmenter& augmenter = nullptr);
+
+ private:
+  models::TransformerClassifier* model_;
+  eval::MetricKind metric_;
+  FinetuneOptions options_;
+};
+
+}  // namespace core
+}  // namespace rotom
+
+#endif  // ROTOM_CORE_FINETUNE_H_

@@ -1,0 +1,29 @@
+#include "core/label_cleaning.h"
+
+namespace rotom {
+namespace core {
+
+TrainResult TrainWithNoisyLabels(models::TransformerClassifier* model,
+                                 eval::MetricKind metric,
+                                 const data::TaskDataset& ds,
+                                 const NoisyLabelOptions& options) {
+  RotomOptions rotom_options;
+  rotom_options.epochs = options.epochs;
+  rotom_options.batch_size = options.batch_size;
+  rotom_options.lr = options.lr;
+  rotom_options.meta_lr = options.meta_lr;
+  rotom_options.seed = options.seed;
+  // No augmentation: the candidate stream is exactly the training set, and
+  // the meta models arbitrate the original examples.
+  rotom_options.include_original = true;
+  rotom_options.augments_per_example = 0;
+  rotom_options.filter_originals = true;
+  rotom_options.use_ssl = false;
+
+  RotomTrainer trainer(model, metric, rotom_options);
+  return trainer.Train(
+      ds, [](const std::string&, Rng&) { return std::vector<std::string>{}; });
+}
+
+}  // namespace core
+}  // namespace rotom

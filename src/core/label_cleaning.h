@@ -1,0 +1,35 @@
+#ifndef ROTOM_CORE_LABEL_CLEANING_H_
+#define ROTOM_CORE_LABEL_CLEANING_H_
+
+#include "core/rotom_trainer.h"
+
+namespace rotom {
+namespace core {
+
+/// Training-data debugging via Rotom's principle (paper Section 8): instead
+/// of relying on static rules or a separately trained cleaner, jointly train
+/// the filtering/weighting policy with the target model so that MISLABELED
+/// training examples are dropped or down-weighted — augmentation plays no
+/// role here. This is the "promising direction" the paper's conclusion
+/// sketches, implemented as a thin configuration of the meta-trainer:
+/// no augmented candidates, and the filter arbitrates the original examples.
+struct NoisyLabelOptions {
+  int64_t epochs = 8;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  float meta_lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+/// Meta-trains `model` on a dataset whose train labels may be noisy;
+/// `ds.valid` should be trusted (clean) labels, since the meta objective
+/// descends the validation loss. Returns the usual TrainResult.
+TrainResult TrainWithNoisyLabels(models::TransformerClassifier* model,
+                                 eval::MetricKind metric,
+                                 const data::TaskDataset& ds,
+                                 const NoisyLabelOptions& options);
+
+}  // namespace core
+}  // namespace rotom
+
+#endif  // ROTOM_CORE_LABEL_CLEANING_H_

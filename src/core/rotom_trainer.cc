@@ -1,0 +1,451 @@
+#include "core/rotom_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ssl.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rotom {
+namespace core {
+
+namespace {
+
+// One (original, augmented, label) tuple of the candidate stream.
+struct Candidate {
+  std::string original;
+  std::string augmented;
+  int64_t label;
+  bool is_original;  // untouched training examples bypass the filter
+};
+
+std::vector<Tensor> CloneValues(const std::vector<Variable>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(p.value().Clone());
+  return out;
+}
+
+// Clones gradients; parameters that received no gradient contribute zeros.
+std::vector<Tensor> CloneGrads(const std::vector<Variable>& params) {
+  std::vector<Tensor> out;
+  out.reserve(params.size());
+  for (const auto& p : params) {
+    out.push_back(p.has_grad() ? p.grad().Clone()
+                               : Tensor(p.value().shape()));
+  }
+  return out;
+}
+
+void SetValues(const std::vector<Variable>& params,
+               const std::vector<Tensor>& values) {
+  ROTOM_CHECK_EQ(params.size(), values.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const_cast<Variable&>(params[i]).value().CopyFrom(values[i]);
+  }
+}
+
+// params := base + alpha * delta.
+void SetValuesOffset(const std::vector<Variable>& params,
+                     const std::vector<Tensor>& base,
+                     const std::vector<Tensor>& delta, float alpha) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& v = const_cast<Variable&>(params[i]).value();
+    v.CopyFrom(base[i]);
+    v.AddScaled(delta[i], alpha);
+  }
+}
+
+float GlobalNorm(const std::vector<Tensor>& tensors) {
+  double acc = 0.0;
+  for (const auto& t : tensors) {
+    const float n = t.Norm();
+    acc += static_cast<double>(n) * n;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace
+
+RotomTrainer::RotomTrainer(models::TransformerClassifier* model,
+                           eval::MetricKind metric, RotomOptions options)
+    : model_(model), metric_(metric), options_(options) {
+  ROTOM_CHECK(model != nullptr);
+}
+
+TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
+                                const CandidateGenerator& candidates) {
+  ROTOM_CHECK(!ds.train.empty());
+  ROTOM_CHECK(!ds.valid.empty());
+  ROTOM_CHECK(candidates != nullptr);
+  WallTimer timer;
+  Rng rng(options_.seed);
+
+  // Meta models are created lazily here so they share the task vocabulary.
+  Rng init_rng(options_.seed * 31 + 7);
+  filtering_ = std::make_unique<FilteringModel>(
+      model_->config().num_classes, init_rng);
+  weighting_ = std::make_unique<WeightingModel>(model_->config(),
+                                                model_->vocab_ptr(), init_rng);
+  // The weighting model runs deterministically (no dropout): the
+  // finite-difference estimator needs identical stochasticity in the +/-
+  // passes.
+  weighting_->SetTraining(false);
+
+  nn::Adam opt_model(model_->Parameters(), options_.lr);
+  nn::Adam opt_filter(filtering_->Parameters(),
+                      options_.filter_lr > 0.0f ? options_.filter_lr
+                                                : options_.meta_lr);
+  nn::Adam opt_weight(weighting_->Parameters(), options_.meta_lr);
+
+  const std::vector<Variable> model_params = model_->Parameters();
+  const int64_t num_classes = model_->config().num_classes;
+
+  std::vector<std::string> unlabeled = ds.unlabeled;
+  if (static_cast<int64_t>(unlabeled.size()) > options_.max_unlabeled) {
+    rng.Shuffle(unlabeled);
+    unlabeled.resize(options_.max_unlabeled);
+  }
+  const bool ssl_active = options_.use_ssl && !unlabeled.empty();
+
+  TrainResult result;
+  NamedTensors best_state = model_->StateDict();
+  double best_metric = -1.0;
+  size_t valid_cursor = 0;
+  // Moving-average baseline for the REINFORCE estimator (standard variance
+  // reduction for Eq. 3; without it the always-positive validation loss
+  // uniformly crushes keep probabilities).
+  double reward_baseline = 0.0;
+  bool baseline_ready = false;
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Fresh candidate stream per epoch.
+    std::vector<Candidate> stream;
+    for (const auto& example : ds.train) {
+      if (options_.include_original) {
+        stream.push_back({example.text, example.text, example.label, true});
+      }
+      auto augs = candidates(example.text, rng);
+      if (static_cast<int64_t>(augs.size()) > options_.augments_per_example)
+        augs.resize(options_.augments_per_example);
+      for (auto& aug : augs) {
+        stream.push_back(
+            {example.text, std::move(aug), example.label, false});
+      }
+    }
+    rng.Shuffle(stream);
+
+    int64_t kept_count = 0, total_count = 0;
+    int64_t step_index = 0;
+    model_->SetTraining(true);
+
+    for (size_t begin = 0; begin < stream.size();
+         begin += static_cast<size_t>(options_.batch_size)) {
+      const size_t end = std::min(
+          begin + static_cast<size_t>(options_.batch_size), stream.size());
+      const int64_t b = static_cast<int64_t>(end - begin);
+      std::vector<std::string> orig_texts, aug_texts;
+      std::vector<int64_t> labels;
+      std::vector<bool> is_original;
+      for (size_t i = begin; i < end; ++i) {
+        orig_texts.push_back(stream[i].original);
+        aug_texts.push_back(stream[i].augmented);
+        labels.push_back(stream[i].label);
+        is_original.push_back(stream[i].is_original);
+      }
+
+      // ---- Inference passes for the meta features (no graph; the
+      // deterministic eval-mode predictions of the CURRENT model). ----
+      model_->SetTraining(false);
+      Tensor probs_orig, probs_aug;
+      {
+        NoGradGuard guard;
+        probs_orig = model_->PredictProbs(orig_texts, rng);
+        probs_aug = model_->PredictProbs(aug_texts, rng);
+      }
+      const Tensor features =
+          FilteringModel::ComputeFeatures(probs_orig, probs_aug, labels);
+
+      std::vector<bool> decisions(b, true);
+      if (options_.use_filtering) {
+        Tensor keep_probs;
+        {
+          NoGradGuard guard;
+          keep_probs = filtering_->Forward(features).value();
+        }
+        decisions = FilteringModel::SampleDecisions(keep_probs, rng);
+        // Original (unaugmented) training examples are trusted: the filter
+        // only arbitrates augmented candidates (paper Section 4.1 defines
+        // M_F over augmented examples). The label-cleaning extension
+        // (Section 8) opts originals back in via filter_originals.
+        if (!options_.filter_originals) {
+          for (int64_t i = 0; i < b; ++i) {
+            if (is_original[i]) decisions[i] = true;
+          }
+        }
+        if (std::none_of(decisions.begin(), decisions.end(),
+                         [](bool d) { return d; })) {
+          // Avoid an empty batch (the paper refills over-filtered batches).
+          decisions.assign(b, true);
+        }
+      }
+      std::vector<std::string> kept_texts;
+      std::vector<int64_t> kept_labels;
+      std::vector<int64_t> kept_rows;
+      for (int64_t i = 0; i < b; ++i) {
+        if (!decisions[i]) continue;
+        kept_texts.push_back(aug_texts[i]);
+        kept_labels.push_back(labels[i]);
+        kept_rows.push_back(i);
+      }
+      kept_count += static_cast<int64_t>(kept_rows.size());
+      total_count += b;
+
+      // ---- Optional SSL batch (Section 5): guessed labels, no filter. ----
+      std::vector<std::string> ssl_texts;
+      Tensor ssl_targets;
+      if (ssl_active && epoch >= options_.ssl_warmup_epochs) {
+        std::vector<std::string> pool;
+        const int64_t ssl_pool_size = std::max<int64_t>(
+            2, static_cast<int64_t>(options_.ssl_batch_ratio *
+                                    static_cast<double>(options_.batch_size)));
+        for (int64_t i = 0; i < ssl_pool_size; ++i) {
+          pool.push_back(
+              unlabeled[rng.UniformInt(static_cast<int64_t>(unlabeled.size()))]);
+        }
+        Tensor probs_u;
+        {
+          NoGradGuard guard;
+          probs_u = model_->PredictProbs(pool, rng);
+        }
+        const Tensor sharp_v1 =
+            SharpenV1(probs_u, options_.sharpen_temperature);
+        const PseudoLabels sharp_v2 =
+            SharpenV2(probs_u, options_.pseudo_threshold);
+        std::vector<std::vector<float>> target_rows;
+        // Class-balance cap: count how many examples of each guessed class
+        // (argmax) enter the batch and stop accepting a class past its cap.
+        const int64_t class_cap = std::max<int64_t>(
+            1, static_cast<int64_t>(options_.ssl_class_cap *
+                                    static_cast<double>(pool.size())));
+        std::vector<int64_t> class_counts(num_classes, 0);
+        for (size_t i = 0; i < pool.size(); ++i) {
+          const bool use_v2 = (i % 2 == 1);
+          if (use_v2 && !sharp_v2.confident[i]) continue;
+          const Tensor& src = use_v2 ? sharp_v2.targets : sharp_v1;
+          int64_t guess = 0;
+          for (int64_t j = 1; j < num_classes; ++j) {
+            if (src.at({static_cast<int64_t>(i), j}) >
+                src.at({static_cast<int64_t>(i), guess}))
+              guess = j;
+          }
+          if (class_counts[guess] >= class_cap) continue;
+          ++class_counts[guess];
+          // Augment the unlabeled sequence for consistency regularization.
+          auto augs = candidates(pool[i], rng);
+          ssl_texts.push_back(augs.empty() ? pool[i] : augs[0]);
+          std::vector<float> row(num_classes);
+          for (int64_t j = 0; j < num_classes; ++j)
+            row[j] = src.at({static_cast<int64_t>(i), j});
+          target_rows.push_back(std::move(row));
+        }
+        if (!ssl_texts.empty()) {
+          ssl_targets = Tensor(
+              {static_cast<int64_t>(ssl_texts.size()), num_classes});
+          for (size_t i = 0; i < target_rows.size(); ++i)
+            for (int64_t j = 0; j < num_classes; ++j)
+              ssl_targets.at({static_cast<int64_t>(i), j}) = target_rows[i][j];
+        }
+      }
+      const int64_t n_ssl = static_cast<int64_t>(ssl_texts.size());
+      const int64_t n_all = static_cast<int64_t>(kept_texts.size()) + n_ssl;
+
+      std::vector<std::string> all_texts = kept_texts;
+      all_texts.insert(all_texts.end(), ssl_texts.begin(), ssl_texts.end());
+
+      // L2 term of Eq. 2 (constant w.r.t. all gradients). Labeled rows
+      // reuse the probs_aug inference pass; only SSL rows need a fresh one.
+      Tensor l2({n_all});
+      if (options_.use_l2_term) {
+        for (int64_t i = 0; i < static_cast<int64_t>(kept_rows.size()); ++i) {
+          const int64_t src_row = kept_rows[i];
+          double acc = 0.0;
+          for (int64_t j = 0; j < num_classes; ++j) {
+            const double target = j == kept_labels[i] ? 1.0 : 0.0;
+            const double diff = probs_aug.at({src_row, j}) - target;
+            acc += diff * diff;
+          }
+          l2[i] = static_cast<float>(std::sqrt(acc));
+        }
+        if (n_ssl > 0) {
+          NoGradGuard guard;
+          const Tensor probs_ssl = model_->PredictProbs(ssl_texts, rng);
+          for (int64_t i = 0; i < n_ssl; ++i) {
+            const int64_t row = static_cast<int64_t>(kept_rows.size()) + i;
+            double acc = 0.0;
+            for (int64_t j = 0; j < num_classes; ++j) {
+              const double diff = probs_ssl.at({i, j}) - ssl_targets.at({i, j});
+              acc += diff * diff;
+            }
+            l2[row] = static_cast<float>(std::sqrt(acc));
+          }
+        }
+      }
+      model_->SetTraining(true);  // inference passes done
+
+      // Builds the weighted training loss with the CURRENT model parameters;
+      // reused by the finite-difference passes.
+      auto build_train_loss = [&]() -> Variable {
+        Variable logits = model_->ForwardLogits(all_texts, rng);
+        Variable ce;
+        if (n_ssl == 0) {
+          ce = ops::CrossEntropyPerExample(logits, kept_labels);
+        } else {
+          // Split logits into labeled and unlabeled rows.
+          const int64_t n_l = static_cast<int64_t>(kept_texts.size());
+          Tensor soft_targets({n_all, num_classes});
+          // Labeled rows use one-hot targets; unlabeled rows the guesses.
+          for (int64_t i = 0; i < n_l; ++i)
+            soft_targets.at({i, kept_labels[i]}) = 1.0f;
+          for (int64_t i = 0; i < n_ssl; ++i)
+            for (int64_t j = 0; j < num_classes; ++j)
+              soft_targets.at({n_l + i, j}) = ssl_targets.at({i, j});
+          ce = ops::SoftCrossEntropyPerExample(logits, soft_targets);
+        }
+        Variable weights;
+        if (options_.use_weighting) {
+          Variable w_raw = weighting_->Weights(all_texts, l2, rng);
+          weights = ops::NormalizeMeanOne(w_raw);
+        } else {
+          weights = Variable(Tensor::Ones({n_all}), false);
+        }
+        return ops::Scale(ops::Dot(ce, weights),
+                          1.0f / static_cast<float>(n_all));
+      };
+
+      // ---- Phase 1: update the target model (Algorithm 2 lines 5-7). ----
+      opt_model.ZeroGrad();
+      filtering_->ZeroGrad();
+      weighting_->ZeroGrad();
+      Variable loss_train = build_train_loss();
+      loss_train.Backward();
+      nn::ClipGradNorm(model_params, 5.0f);
+      const std::vector<Tensor> w_pre = CloneValues(model_params);
+      const std::vector<Tensor> g_train = CloneGrads(model_params);
+      opt_model.Step();
+      const std::vector<Tensor> w_post = CloneValues(model_params);
+
+      // ---- Phase 2: update M_F and M_W (lines 8-11). ----
+      const bool meta_step =
+          (options_.use_filtering || options_.use_weighting) &&
+          (step_index % std::max<int64_t>(1, options_.meta_update_every) == 0);
+      ++step_index;
+      if (meta_step) {
+        // Virtual step M' = M - eta * grad (line 8).
+        SetValuesOffset(model_params, w_pre, g_train, -options_.lr);
+
+        // Validation batch (cycled).
+        std::vector<std::string> val_texts;
+        std::vector<int64_t> val_labels;
+        for (int64_t i = 0; i < options_.batch_size; ++i) {
+          const auto& e = ds.valid[valid_cursor % ds.valid.size()];
+          ++valid_cursor;
+          val_texts.push_back(e.text);
+          val_labels.push_back(e.label);
+        }
+        model_->SetTraining(false);  // deterministic validation pass
+        opt_model.ZeroGrad();
+        Variable loss_val =
+            ops::CrossEntropyMean(model_->ForwardLogits(val_texts, rng),
+                                  val_labels);
+        loss_val.Backward();
+        const float val_value = loss_val.value()[0];
+        const std::vector<Tensor> v_grad = CloneGrads(model_params);
+
+        if (!baseline_ready) {
+          reward_baseline = val_value;
+          baseline_ready = true;
+        }
+        const float advantage =
+            static_cast<float>(val_value - reward_baseline);
+        reward_baseline = 0.9 * reward_baseline + 0.1 * val_value;
+
+        if (options_.use_filtering) {
+          // REINFORCE estimator (Eq. 3) with the moving-average baseline.
+          opt_filter.ZeroGrad();
+          std::vector<bool> surrogate_decisions = decisions;
+          if (!options_.filter_originals) {
+            for (int64_t i = 0; i < b; ++i) {
+              if (is_original[i]) surrogate_decisions[i] = false;
+            }
+          }
+          Variable surrogate = filtering_->ReinforceSurrogate(
+              features, surrogate_decisions, advantage);
+          surrogate.Backward();
+          opt_filter.Step();
+        }
+
+        if (options_.use_weighting) {
+          // Finite-difference 2nd-order estimate (Eq. 4), with epsilon
+          // normalized by ||grad_val|| as in DARTS [52].
+          const float v_norm = GlobalNorm(v_grad);
+          const float eps = options_.epsilon / (v_norm + 1e-8f);
+          const auto weight_params = weighting_->Parameters();
+
+          SetValuesOffset(model_params, w_pre, v_grad, eps);
+          opt_model.ZeroGrad();
+          weighting_->ZeroGrad();
+          build_train_loss().Backward();
+          const std::vector<Tensor> g_plus = CloneGrads(weight_params);
+
+          SetValuesOffset(model_params, w_pre, v_grad, -eps);
+          opt_model.ZeroGrad();
+          weighting_->ZeroGrad();
+          build_train_loss().Backward();
+          const std::vector<Tensor> g_minus = CloneGrads(weight_params);
+
+          // grad(M_W) = -eta * (g+ - g-) / (2 eps)
+          opt_weight.ZeroGrad();
+          const float scale = -options_.lr / (2.0f * eps);
+          for (size_t i = 0; i < weight_params.size(); ++i) {
+            Tensor diff = g_plus[i].Clone();
+            diff.AddScaled(g_minus[i], -1.0f);
+            diff.Scale(scale);
+            // Deposit the estimated gradient into the parameter's grad.
+            Variable p = weight_params[i];
+            ops::Sum(ops::Mul(p, Variable(diff, false))).Backward();
+          }
+          nn::ClipGradNorm(weight_params, 5.0f);
+          opt_weight.Step();
+        }
+
+        SetValues(model_params, w_post);  // resume from the real update
+        opt_model.ZeroGrad();
+        model_->SetTraining(true);
+      }
+    }
+
+    last_keep_fraction_ =
+        total_count > 0
+            ? static_cast<double>(kept_count) / static_cast<double>(total_count)
+            : 1.0;
+
+    const double valid_metric = eval::EvaluateModel(*model_, ds.valid, metric_);
+    if (valid_metric > best_metric) {
+      best_metric = valid_metric;
+      best_state = model_->StateDict();
+    }
+    ++result.epochs_run;
+  }
+
+  model_->LoadStateDict(best_state);
+  model_->SetTraining(false);
+  result.best_valid_metric = best_metric;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace core
+}  // namespace rotom

@@ -1,0 +1,50 @@
+#include "core/ssl.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rotom {
+namespace core {
+
+Tensor SharpenV1(const Tensor& probs, double temperature) {
+  ROTOM_CHECK_EQ(probs.dim(), 2);
+  ROTOM_CHECK_GT(temperature, 0.0);
+  const int64_t b = probs.size(0);
+  const int64_t c = probs.size(1);
+  Tensor out({b, c});
+  for (int64_t i = 0; i < b; ++i) {
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double powed =
+          std::pow(std::max<double>(probs.at({i, j}), 1e-12), 1.0 / temperature);
+      out.at({i, j}) = static_cast<float>(powed);
+      denom += powed;
+    }
+    for (int64_t j = 0; j < c; ++j)
+      out.at({i, j}) = static_cast<float>(out.at({i, j}) / denom);
+  }
+  return out;
+}
+
+PseudoLabels SharpenV2(const Tensor& probs, double threshold) {
+  ROTOM_CHECK_EQ(probs.dim(), 2);
+  const int64_t b = probs.size(0);
+  const int64_t c = probs.size(1);
+  PseudoLabels out;
+  out.targets = Tensor({b, c});
+  out.confident.assign(b, false);
+  for (int64_t i = 0; i < b; ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (probs.at({i, j}) > probs.at({i, best})) best = j;
+    if (probs.at({i, best}) >= threshold) {
+      out.targets.at({i, best}) = 1.0f;
+      out.confident[i] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rotom

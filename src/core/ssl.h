@@ -1,0 +1,27 @@
+#ifndef ROTOM_CORE_SSL_H_
+#define ROTOM_CORE_SSL_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rotom {
+namespace core {
+
+/// sharpen_v1 (paper Eq. 6): temperature sharpening of a predicted
+/// distribution; T in (0, 1], smaller = closer to one-hot. Row-wise on
+/// probs [B, C].
+Tensor SharpenV1(const Tensor& probs, double temperature);
+
+/// sharpen_v2 (paper Eq. 7): pseudo-labeling. Rows whose max probability
+/// reaches `threshold` become one-hot; `confident[i]` marks usable rows.
+struct PseudoLabels {
+  Tensor targets;               // [B, C]
+  std::vector<bool> confident;  // [B]
+};
+PseudoLabels SharpenV2(const Tensor& probs, double threshold);
+
+}  // namespace core
+}  // namespace rotom
+
+#endif  // ROTOM_CORE_SSL_H_

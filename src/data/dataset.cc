@@ -1,0 +1,47 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rotom {
+namespace data {
+
+std::vector<Example> SampleExamples(const std::vector<Example>& pool,
+                                    int64_t k, Rng& rng) {
+  const int64_t n = static_cast<int64_t>(pool.size());
+  k = std::min(k, n);
+  std::vector<Example> out;
+  out.reserve(k);
+  for (int64_t idx : rng.SampleWithoutReplacement(n, k)) out.push_back(pool[idx]);
+  return out;
+}
+
+std::vector<Example> SampleBalanced(const std::vector<Example>& pool,
+                                    int64_t k, int64_t num_classes, Rng& rng) {
+  ROTOM_CHECK_GT(num_classes, 0);
+  std::vector<std::vector<int64_t>> by_class(num_classes);
+  for (int64_t i = 0; i < static_cast<int64_t>(pool.size()); ++i) {
+    ROTOM_CHECK_LT(pool[i].label, num_classes);
+    by_class[pool[i].label].push_back(i);
+  }
+  const int64_t per_class = std::max<int64_t>(1, k / num_classes);
+  std::vector<Example> out;
+  for (auto& ids : by_class) {
+    rng.Shuffle(ids);
+    const int64_t take = std::min<int64_t>(per_class, ids.size());
+    for (int64_t i = 0; i < take; ++i) out.push_back(pool[ids[i]]);
+  }
+  rng.Shuffle(out);
+  return out;
+}
+
+double LabelFraction(const std::vector<Example>& examples, int64_t label) {
+  if (examples.empty()) return 0.0;
+  int64_t hits = 0;
+  for (const auto& e : examples) hits += e.label == label;
+  return static_cast<double>(hits) / static_cast<double>(examples.size());
+}
+
+}  // namespace data
+}  // namespace rotom

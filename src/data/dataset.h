@@ -1,0 +1,52 @@
+#ifndef ROTOM_DATA_DATASET_H_
+#define ROTOM_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rotom {
+namespace data {
+
+/// One labeled training/evaluation example: the serialized input text plus
+/// its class label.
+struct Example {
+  std::string text;
+  int64_t label = 0;
+};
+
+/// A complete benchmark task instance in the paper's low-resource setting:
+/// a small labeled train set, a validation set (which may simply reuse the
+/// train set to save labeling budget, as in the EM/EDT experiments), a test
+/// set, and an unlabeled pool for InvDA pre-training and Rotom+SSL.
+struct TaskDataset {
+  std::string name;
+  int64_t num_classes = 2;
+  std::vector<Example> train;
+  std::vector<Example> valid;
+  std::vector<Example> test;
+  std::vector<std::string> unlabeled;
+
+  /// True for entity-matching inputs "<e1> [SEP] <e2>" (enables entity_swap).
+  bool is_pair_task = false;
+  /// True for [COL]/[VAL]-structured inputs (enables col_shuffle/col_del).
+  bool is_record_task = false;
+};
+
+/// Uniform sample of k examples (without replacement; k clamped to size).
+std::vector<Example> SampleExamples(const std::vector<Example>& pool,
+                                    int64_t k, Rng& rng);
+
+/// Uniform sample keeping an equal number of examples per class (used by the
+/// EDT experiments, which balance clean/dirty cells). k is the total size.
+std::vector<Example> SampleBalanced(const std::vector<Example>& pool,
+                                    int64_t k, int64_t num_classes, Rng& rng);
+
+/// Fraction of examples with the given label.
+double LabelFraction(const std::vector<Example>& examples, int64_t label);
+
+}  // namespace data
+}  // namespace rotom
+
+#endif  // ROTOM_DATA_DATASET_H_

@@ -1,0 +1,36 @@
+#ifndef ROTOM_DATA_EDT_GEN_H_
+#define ROTOM_DATA_EDT_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "text/records.h"
+
+namespace rotom {
+namespace data {
+
+/// Options for synthesizing an error-detection benchmark stand-in
+/// (paper Table 6: budgets of 50..200 labeled cells, 20 held-out test rows).
+struct EdtOptions {
+  int64_t budget = 200;      // labeled cells (balanced clean/dirty)
+  int64_t test_rows = 20;    // held-out tuples (all their cells are tested)
+  int64_t table_rows = 400;  // total synthetic table size
+  /// Serialize "<row> [SEP] <cell>" instead of the cell alone (the paper's
+  /// context-dependent variant, Section 2.1; its experiments use the
+  /// context-independent form, which is also the default here).
+  bool context_dependent = false;
+  uint64_t seed = 0;
+};
+
+/// Builds one of the EDT dataset stand-ins. Supported names mirror [55]:
+/// beers, hospital, movies, rayyan, tax. Label 1 = erroneous cell.
+TaskDataset MakeEdtDataset(const std::string& name, const EdtOptions& options);
+
+/// The five dataset names in the paper's Table 9 order.
+const std::vector<std::string>& EdtDatasetNames();
+
+}  // namespace data
+}  // namespace rotom
+
+#endif  // ROTOM_DATA_EDT_GEN_H_

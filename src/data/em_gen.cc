@@ -1,0 +1,370 @@
+#include "data/em_gen.h"
+
+#include <functional>
+
+#include "data/lexicons.h"
+#include "text/tokenizer.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rotom {
+namespace data {
+
+namespace {
+
+using text::Record;
+
+// Per-dataset knobs controlling how different two views of the same entity
+// look (pos_* = noise on positives) and how similar non-matching pairs are
+// (near-miss siblings). Tuned so the fine-tuning baseline lands in the
+// paper's difficulty ordering: DBLP-ACM >> DBLP-Scholar >> Abt-Buy >
+// Walmart-Amazon > Amazon-Google.
+struct EmProfile {
+  bool papers = false;            // paper records vs product records
+  double drop_token_prob = 0.1;   // per-token deletion in titles (view B)
+  double abbrev_prob = 0.0;       // brand/venue abbreviation in view B
+  double missing_attr_prob = 0.0; // drop a whole attribute in view B
+  double author_initials = 0.0;   // papers: "first last" -> "f last"
+  double typo_prob = 0.0;         // per-record character typo in view B
+  double sibling_model_edit = 1.0; // product siblings: edit model code
+  double price_jitter = 0.0;      // relative price perturbation on positives
+  bool long_description = false;  // Abt-Buy style free-text description
+  bool category_attr = false;     // Walmart-Amazon style category column
+};
+
+EmProfile ProfileFor(const std::string& name) {
+  EmProfile p;
+  if (name == "dblp_acm") {
+    p.papers = true;
+    p.drop_token_prob = 0.02;
+    p.abbrev_prob = 0.6;
+    p.author_initials = 0.1;
+  } else if (name == "dblp_scholar") {
+    p.papers = true;
+    p.drop_token_prob = 0.10;
+    p.abbrev_prob = 0.8;
+    p.author_initials = 0.6;
+    p.missing_attr_prob = 0.15;
+    p.typo_prob = 0.10;
+  } else if (name == "abt_buy") {
+    p.long_description = true;
+    p.drop_token_prob = 0.10;
+    p.abbrev_prob = 0.25;
+    p.missing_attr_prob = 0.12;
+    p.price_jitter = 0.05;
+  } else if (name == "amazon_google") {
+    p.drop_token_prob = 0.28;
+    p.abbrev_prob = 0.5;
+    p.missing_attr_prob = 0.40;
+    p.typo_prob = 0.2;
+    p.price_jitter = 0.12;
+  } else if (name == "walmart_amazon") {
+    p.category_attr = true;
+    p.drop_token_prob = 0.14;
+    p.abbrev_prob = 0.35;
+    p.missing_attr_prob = 0.18;
+    p.typo_prob = 0.08;
+    p.price_jitter = 0.08;
+  } else {
+    ROTOM_CHECK_MSG(false, ("unknown EM dataset: " + name).c_str());
+  }
+  return p;
+}
+
+std::string MakeModelCode(Rng& rng) {
+  std::string code;
+  for (int i = 0; i < 2; ++i)
+    code += static_cast<char>('a' + rng.UniformInt(26));
+  code += '-';
+  for (int i = 0; i < 3; ++i)
+    code += static_cast<char>('0' + rng.UniformInt(10));
+  return code;
+}
+
+// The canonical (pre-view) entity.
+struct Entity {
+  int64_t brand = 0;    // index into Brands()
+  int64_t type = 0;     // index into ProductTypes()
+  std::string model;
+  std::vector<std::string> specs;
+  std::string color;
+  int64_t price_cents = 0;
+  // Papers:
+  std::vector<std::string> title_words;
+  std::vector<std::pair<std::string, std::string>> authors;  // (first, last)
+  int64_t venue = 0;
+  int64_t year = 0;
+};
+
+Entity MakeProduct(Rng& rng) {
+  Entity e;
+  e.brand = rng.UniformInt(static_cast<int64_t>(Brands().size()));
+  e.type = rng.UniformInt(static_cast<int64_t>(ProductTypes().size()));
+  e.model = MakeModelCode(rng);
+  // Single spec keeps serialized pairs within the classifier's max length.
+  e.specs.push_back(
+      ProductSpecs()[rng.UniformInt(static_cast<int64_t>(ProductSpecs().size()))]);
+  e.color = Colors()[rng.UniformInt(static_cast<int64_t>(Colors().size()))];
+  e.price_cents = 999 + rng.UniformInt(40000);
+  return e;
+}
+
+Entity MakePaper(Rng& rng) {
+  Entity e;
+  const int64_t num_words = 4 + rng.UniformInt(3);
+  for (int64_t i = 0; i < num_words; ++i)
+    e.title_words.push_back(PaperTitleWords()[rng.UniformInt(
+        static_cast<int64_t>(PaperTitleWords().size()))]);
+  const int64_t num_authors = 2;
+  for (int64_t i = 0; i < num_authors; ++i)
+    e.authors.emplace_back(
+        FirstNames()[rng.UniformInt(static_cast<int64_t>(FirstNames().size()))],
+        LastNames()[rng.UniformInt(static_cast<int64_t>(LastNames().size()))]);
+  e.venue = rng.UniformInt(static_cast<int64_t>(Venues().size()));
+  e.year = 1995 + rng.UniformInt(15);
+  return e;
+}
+
+// A near-miss non-match: same product line / same topic, small difference.
+Entity MakeSibling(const Entity& base, const EmProfile& profile, Rng& rng) {
+  Entity sib = base;
+  if (profile.papers) {
+    // Change one title word and the year: a different paper by a similar
+    // group at the same venue.
+    if (!sib.title_words.empty()) {
+      const int64_t i =
+          rng.UniformInt(static_cast<int64_t>(sib.title_words.size()));
+      sib.title_words[i] = PaperTitleWords()[rng.UniformInt(
+          static_cast<int64_t>(PaperTitleWords().size()))];
+    }
+    sib.year = base.year + 1 + rng.UniformInt(3);
+  } else {
+    // Same brand and type, different model revision (one char) or spec.
+    if (rng.Bernoulli(profile.sibling_model_edit * 0.7)) {
+      std::string m = sib.model;
+      m[m.size() - 1 - rng.UniformInt(3)] =
+          static_cast<char>('0' + rng.UniformInt(10));
+      if (m == sib.model) m.back() = m.back() == '9' ? '0' : m.back() + 1;
+      sib.model = m;
+    } else if (!sib.specs.empty()) {
+      sib.specs[0] = ProductSpecs()[rng.UniformInt(
+          static_cast<int64_t>(ProductSpecs().size()))];
+      sib.price_cents += 500 + rng.UniformInt(3000);
+    } else {
+      sib.model = MakeModelCode(rng);
+    }
+  }
+  return sib;
+}
+
+std::string ApplyTypo(const std::string& word, Rng& rng) {
+  if (word.size() < 3) return word;
+  std::string out = word;
+  const int64_t i = 1 + rng.UniformInt(static_cast<int64_t>(word.size()) - 2);
+  switch (rng.UniformInt(3)) {
+    case 0: out.erase(i, 1); break;                              // delete
+    case 1: std::swap(out[i - 1], out[i]); break;                // transpose
+    default: out[i] = static_cast<char>('a' + rng.UniformInt(26)); break;
+  }
+  return out;
+}
+
+std::string DropTokens(const std::string& title, double prob, Rng& rng) {
+  auto tokens = SplitWhitespace(title);
+  std::vector<std::string> kept;
+  for (auto& t : tokens) {
+    if (kept.size() + (tokens.size() - kept.size()) > 2 && rng.Bernoulli(prob) &&
+        tokens.size() > 2) {
+      continue;
+    }
+    kept.push_back(std::move(t));
+  }
+  if (kept.empty()) kept.push_back(tokens.front());
+  return Join(kept, " ");
+}
+
+std::string FormatPrice(int64_t cents, int style, Rng& rng, double jitter) {
+  if (jitter > 0.0) {
+    const double factor = 1.0 + rng.Uniform(-jitter, jitter);
+    cents = static_cast<int64_t>(static_cast<double>(cents) * factor);
+  }
+  // Whole dollars keep the serialized pair compact (token budget).
+  const int64_t dollars = cents / 100;
+  char buf[32];
+  if (style == 0) {
+    std::snprintf(buf, sizeof(buf), "$%lld", static_cast<long long>(dollars));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld usd",
+                  static_cast<long long>(dollars));
+  }
+  return buf;
+}
+
+// Renders a source-specific view of an entity as a Record. source 0 is the
+// "clean" source; source 1 carries the profile's noise.
+Record MakeView(const Entity& e, const EmProfile& profile, int source,
+                Rng& rng) {
+  Record r;
+  const bool noisy = source == 1;
+  if (profile.papers) {
+    std::string title = Join(e.title_words, " ");
+    if (noisy) title = DropTokens(title, profile.drop_token_prob, rng);
+    if (noisy && rng.Bernoulli(profile.typo_prob)) title = ApplyTypo(title, rng);
+    r.fields.emplace_back("title", title);
+
+    std::vector<std::string> author_strs;
+    for (const auto& [first, last] : e.authors) {
+      if (noisy && rng.Bernoulli(profile.author_initials)) {
+        author_strs.push_back(first.substr(0, 1) + " " + last);
+      } else {
+        author_strs.push_back(first + " " + last);
+      }
+    }
+    r.fields.emplace_back("authors", Join(author_strs, " , "));
+
+    if (!(noisy && rng.Bernoulli(profile.missing_attr_prob))) {
+      const std::string venue = noisy && rng.Bernoulli(profile.abbrev_prob)
+                                    ? VenueAbbreviations()[e.venue]
+                                    : Venues()[e.venue];
+      r.fields.emplace_back("venue", venue);
+    }
+    if (!(noisy && rng.Bernoulli(profile.missing_attr_prob))) {
+      r.fields.emplace_back("year", std::to_string(e.year));
+    }
+    return r;
+  }
+
+  // Products.
+  const std::string brand = noisy && rng.Bernoulli(profile.abbrev_prob)
+                                ? BrandAbbreviations()[e.brand]
+                                : Brands()[e.brand];
+  std::string title = brand + " " + ProductTypes()[e.type];
+  std::vector<std::string> specs = e.specs;
+  if (noisy) rng.Shuffle(specs);
+  for (const auto& s : specs) title += " " + s;
+  title += " " + e.model;
+  if (noisy) {
+    title = DropTokens(title, profile.drop_token_prob, rng);
+    if (rng.Bernoulli(profile.typo_prob)) title = ApplyTypo(title, rng);
+    // Model number formatting differences across sources ("ab-123"/"ab123").
+    if (rng.Bernoulli(0.5)) {
+      size_t dash = title.find('-');
+      if (dash != std::string::npos) title.erase(dash, 1);
+    }
+  }
+  r.fields.emplace_back("title", title);
+
+  if (profile.long_description) {
+    std::string desc = e.color + " " + ProductTypes()[e.type] + " with " +
+                       e.specs[0];
+    if (noisy) desc = DropTokens(desc, profile.drop_token_prob, rng);
+    r.fields.emplace_back("description", desc);
+  }
+  if (profile.category_attr &&
+      !(noisy && rng.Bernoulli(profile.missing_attr_prob))) {
+    r.fields.emplace_back("category",
+                          noisy ? "electronics" : ProductTypes()[e.type]);
+  }
+  if (!(noisy && rng.Bernoulli(profile.missing_attr_prob))) {
+    r.fields.emplace_back(
+        "price", FormatPrice(e.price_cents, noisy ? 1 : 0, rng,
+                             noisy ? profile.price_jitter : 0.0));
+  }
+  return r;
+}
+
+// The paper's dirty variants move attribute values into the wrong column.
+void MakeDirty(Record& r, Rng& rng) {
+  if (r.fields.size() < 2) return;
+  for (size_t i = 0; i + 1 < r.fields.size(); ++i) {
+    if (rng.Bernoulli(0.15)) {
+      // Append this value to another attribute and blank it out here.
+      const size_t j = rng.UniformInt(static_cast<int64_t>(r.fields.size()));
+      if (j != i) {
+        r.fields[j].second += " " + r.fields[i].second;
+        r.fields[i].second = "";
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TaskDataset MakeEmDataset(const std::string& name, const EmOptions& options) {
+  const EmProfile profile = ProfileFor(name);
+  Rng rng(options.seed * 104729 + std::hash<std::string>{}(name) +
+          (options.dirty ? 17 : 0));
+
+  const int64_t total_pairs =
+      options.budget + options.test_size + options.unlabeled_size;
+  // Each base entity yields ~4 pairs (1 positive + 3 negatives).
+  const int64_t num_entities = total_pairs / 4 + 64;
+
+  std::vector<Entity> entities;
+  entities.reserve(num_entities);
+  for (int64_t i = 0; i < num_entities; ++i) {
+    entities.push_back(profile.papers ? MakePaper(rng) : MakeProduct(rng));
+  }
+
+  auto render_pair = [&](const Entity& a, const Entity& b) {
+    Record left = MakeView(a, profile, 0, rng);
+    Record right = MakeView(b, profile, 1, rng);
+    if (options.dirty) {
+      MakeDirty(left, rng);
+      MakeDirty(right, rng);
+    }
+    return text::SerializeEntityPair(left, right);
+  };
+
+  std::vector<Example> pool;
+  pool.reserve(num_entities * 4);
+  for (int64_t i = 0; i < num_entities; ++i) {
+    const Entity& e = entities[i];
+    // Positive: two views of the same entity.
+    pool.push_back({render_pair(e, e), 1});
+    // Hard negative: near-miss sibling.
+    pool.push_back({render_pair(e, MakeSibling(e, profile, rng)), 0});
+    pool.push_back({render_pair(e, MakeSibling(e, profile, rng)), 0});
+    // Blocked random negative: another entity of the same type (shares
+    // tokens, as a blocking heuristic would produce).
+    const Entity& other = entities[rng.UniformInt(num_entities)];
+    pool.push_back({render_pair(e, other), 0});
+  }
+  rng.Shuffle(pool);
+
+  TaskDataset ds;
+  ds.name = name + (options.dirty ? "_dirty" : "");
+  ds.num_classes = 2;
+  ds.is_pair_task = true;
+  ds.is_record_task = true;
+
+  int64_t cursor = 0;
+  auto take = [&](int64_t k) {
+    std::vector<Example> out;
+    for (int64_t i = 0; i < k && cursor < static_cast<int64_t>(pool.size());
+         ++i, ++cursor)
+      out.push_back(pool[cursor]);
+    return out;
+  };
+  ds.test = take(options.test_size);
+  ds.train = take(options.budget);
+  ds.valid = ds.train;  // paper: validation reuses the training sample
+  for (const auto& e : take(options.unlabeled_size))
+    ds.unlabeled.push_back(e.text);
+  return ds;
+}
+
+const std::vector<std::string>& EmDatasetNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "abt_buy", "amazon_google", "dblp_acm", "dblp_scholar",
+      "walmart_amazon"};
+  return *names;
+}
+
+bool EmHasDirtyVariant(const std::string& name) {
+  return name == "dblp_acm" || name == "dblp_scholar" ||
+         name == "walmart_amazon";
+}
+
+}  // namespace data
+}  // namespace rotom

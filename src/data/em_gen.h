@@ -1,0 +1,38 @@
+#ifndef ROTOM_DATA_EM_GEN_H_
+#define ROTOM_DATA_EM_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "text/records.h"
+
+namespace rotom {
+namespace data {
+
+/// Options for synthesizing an entity-matching benchmark stand-in
+/// (paper Table 6: train+valid budgets of 300..750, clean/dirty variants).
+struct EmOptions {
+  int64_t budget = 750;          // |train| (= |valid|: paper reuses train)
+  int64_t test_size = 400;
+  int64_t unlabeled_size = 1500;
+  bool dirty = false;            // misplaced-attribute variant
+  uint64_t seed = 0;
+};
+
+/// Builds one of the EM dataset stand-ins. Supported names (difficulty
+/// profiles mirror the originals; see DESIGN.md): abt_buy, amazon_google,
+/// dblp_acm, dblp_scholar, walmart_amazon.
+TaskDataset MakeEmDataset(const std::string& name, const EmOptions& options);
+
+/// The five dataset names in the paper's Table 8 order.
+const std::vector<std::string>& EmDatasetNames();
+
+/// True for datasets that also have a dirty variant in the paper
+/// (DBLP-ACM, DBLP-Scholar, Walmart-Amazon).
+bool EmHasDirtyVariant(const std::string& name);
+
+}  // namespace data
+}  // namespace rotom
+
+#endif  // ROTOM_DATA_EM_GEN_H_

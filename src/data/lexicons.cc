@@ -1,0 +1,422 @@
+#include "data/lexicons.h"
+
+#include "util/check.h"
+
+namespace rotom {
+namespace data {
+
+namespace {
+
+// Convenience macro-free helper: each accessor exposes a function-local
+// static vector (allowed: function-local statics may use dynamic init).
+using Strings = std::vector<std::string>;
+
+}  // namespace
+
+const Strings& Brands() {
+  static const Strings* v = new Strings{
+      "sony",     "samsung",  "panasonic", "toshiba",  "canon",
+      "nikon",    "logitech", "netgear",   "linksys",  "garmin",
+      "philips",  "sharp",    "sandisk",   "kingston", "seagate",
+      "epson",    "brother",  "lexmark",   "pioneer",  "yamaha",
+      "kenwood",  "jvc",      "olympus",   "casio",    "motorola",
+      "nokia",    "belkin",   "dlink",     "tripp",    "apc",
+      "fellowes", "targus",   "kensington", "plantronics", "jabra",
+      "polk",     "bose",     "klipsch",   "onkyo",    "denon"};
+  return *v;
+}
+
+const Strings& BrandAbbreviations() {
+  static const Strings* v = new Strings{
+      "sny",  "smsg", "pana", "tosh", "cnn",
+      "nkn",  "logi", "ntgr", "lnks", "grmn",
+      "phl",  "shrp", "sndk", "kngs", "sgt",
+      "epsn", "brthr", "lxmk", "pnr",  "ymh",
+      "knwd", "jvc",  "olym", "cso",  "moto",
+      "nok",  "blkn", "dlnk", "trpp", "apc",
+      "flws", "trgs", "knsg", "plts", "jbr",
+      "plk",  "bse",  "klp",  "onk",  "dnn"};
+  return *v;
+}
+
+const Strings& ProductTypes() {
+  static const Strings* v = new Strings{
+      "headphones", "speaker",   "camera",     "camcorder", "router",
+      "switch",     "keyboard",  "mouse",      "monitor",   "printer",
+      "scanner",    "projector", "receiver",   "subwoofer", "turntable",
+      "telephone",  "shredder",  "calculator", "hard drive", "flash drive",
+      "memory card", "docking station", "surge protector", "laptop bag",
+      "gps navigator", "radio", "microphone", "webcam", "television",
+      "dvd player", "blu ray player", "soundbar", "amplifier", "tuner",
+      "charger", "battery pack", "cable modem", "access point"};
+  return *v;
+}
+
+const Strings& ProductSpecs() {
+  static const Strings* v = new Strings{
+      "wireless", "bluetooth", "portable", "compact",   "digital",
+      "hd",       "1080p",     "4k",       "dual band", "noise cancelling",
+      "rechargeable", "waterproof", "ergonomic", "backlit", "mechanical",
+      "optical",  "usb",       "hdmi",     "gigabit",   "stereo",
+      "surround", "wide angle", "zoom",    "high speed", "ultra slim"};
+  return *v;
+}
+
+const Strings& Colors() {
+  static const Strings* v = new Strings{"black", "white", "silver", "blue",
+                                        "red",   "gray",  "green"};
+  return *v;
+}
+
+const Strings& PaperTitleWords() {
+  static const Strings* v = new Strings{
+      "efficient",   "scalable",    "adaptive",    "parallel",   "distributed",
+      "incremental", "approximate", "optimal",     "robust",     "secure",
+      "query",       "queries",     "indexing",    "join",       "aggregation",
+      "transaction", "concurrency", "recovery",    "replication", "partitioning",
+      "clustering",  "classification", "mining",   "learning",   "optimization",
+      "processing",  "evaluation",  "estimation",  "sampling",   "caching",
+      "streams",     "databases",   "warehouses",  "schemas",    "views",
+      "integration", "cleaning",    "matching",    "extraction", "discovery",
+      "xml",         "relational",  "spatial",     "temporal",   "graph",
+      "semistructured", "multidimensional", "probabilistic", "declarative",
+      "techniques",  "algorithms",  "systems",     "framework",  "architecture",
+      "semantics",   "language",    "model",       "models",     "analysis"};
+  return *v;
+}
+
+const Strings& Venues() {
+  static const Strings* v = new Strings{
+      "international conference on management of data",
+      "very large data bases",
+      "international conference on data engineering",
+      "symposium on principles of database systems",
+      "conference on information and knowledge management",
+      "international conference on extending database technology",
+      "acm transactions on database systems",
+      "ieee transactions on knowledge and data engineering",
+      "the vldb journal",
+      "information systems"};
+  return *v;
+}
+
+const Strings& VenueAbbreviations() {
+  static const Strings* v = new Strings{"sigmod", "vldb",  "icde", "pods",
+                                        "cikm",   "edbt",  "tods", "tkde",
+                                        "vldbj",  "is"};
+  return *v;
+}
+
+const Strings& FirstNames() {
+  static const Strings* v = new Strings{
+      "james",  "mary",   "john",    "patricia", "robert", "jennifer",
+      "michael", "linda", "william", "elizabeth", "david", "barbara",
+      "richard", "susan", "joseph",  "jessica",  "thomas", "sarah",
+      "charles", "karen", "wei",     "ming",     "jun",    "yan",
+      "rajeev",  "anand", "priya",   "divesh",   "hector", "maria"};
+  return *v;
+}
+
+const Strings& LastNames() {
+  static const Strings* v = new Strings{
+      "smith",    "johnson", "williams", "brown",   "jones",    "garcia",
+      "miller",   "davis",   "rodriguez", "martinez", "hernandez", "lopez",
+      "gonzalez", "wilson",  "anderson", "thomas",  "taylor",   "moore",
+      "jackson",  "martin",  "lee",      "chen",    "wang",     "zhang",
+      "kumar",    "gupta",   "agrawal",  "srivastava", "widom",  "ullman"};
+  return *v;
+}
+
+const Strings& Cities() {
+  static const Strings* v = new Strings{
+      "springfield", "franklin",  "clinton",   "greenville", "bristol",
+      "fairview",    "salem",     "madison",   "georgetown", "arlington",
+      "ashland",     "dover",     "hudson",    "kingston",   "milton",
+      "newport",     "oxford",    "riverside", "cleveland",  "dayton"};
+  return *v;
+}
+
+const Strings& States() {
+  static const Strings* v = new Strings{"al", "ca", "co", "fl", "ga", "il",
+                                        "in", "ma", "mi", "mn", "ny", "nc",
+                                        "oh", "pa", "tx", "va", "wa", "wi"};
+  return *v;
+}
+
+const Strings& StreetNames() {
+  static const Strings* v = new Strings{
+      "main st",  "oak ave",   "maple dr",   "cedar ln",  "park blvd",
+      "lake rd",  "hill st",   "church st",  "elm ave",   "washington st",
+      "2nd ave",  "river rd",  "sunset blvd", "highland ave", "forest dr"};
+  return *v;
+}
+
+const Strings& BeerStyles() {
+  static const Strings* v = new Strings{
+      "american ipa",   "pale ale",      "stout",        "porter",
+      "amber ale",      "lager",         "pilsner",      "wheat ale",
+      "brown ale",      "double ipa",    "saison",       "kolsch",
+      "hefeweizen",     "blonde ale",    "red ale",      "barleywine"};
+  return *v;
+}
+
+const Strings& BreweryWords() {
+  static const Strings* v = new Strings{
+      "mountain", "river",  "valley", "iron",   "copper", "golden",
+      "lazy",     "rusty",  "wild",   "old",    "grand",  "lone",
+      "silver",   "thunder", "eagle", "harbor", "stone",  "pine"};
+  return *v;
+}
+
+const Strings& MovieTitleWords() {
+  static const Strings* v = new Strings{
+      "midnight", "shadow",  "return",  "secret",  "last",    "dark",
+      "golden",   "broken",  "silent",  "hidden",  "lost",    "final",
+      "summer",   "winter",  "city",    "river",   "house",   "garden",
+      "promise",  "journey", "legend",  "story",   "dream",   "night",
+      "king",     "queen",   "soldier", "teacher", "stranger", "detective"};
+  return *v;
+}
+
+const Strings& JournalWords() {
+  static const Strings* v = new Strings{
+      "journal",   "annals",     "archives",  "review",    "bulletin",
+      "medicine",  "surgery",    "pediatrics", "oncology", "cardiology",
+      "radiology", "psychiatry", "neurology", "pathology", "epidemiology"};
+  return *v;
+}
+
+const Strings& PositiveWords() {
+  static const Strings* v = new Strings{
+      "great",     "excellent", "amazing",   "wonderful", "fantastic",
+      "superb",    "brilliant", "delightful", "perfect",  "outstanding",
+      "enjoyable", "charming",  "impressive", "solid",    "satisfying",
+      "beautiful", "memorable", "engaging",  "fresh",     "compelling"};
+  return *v;
+}
+
+const Strings& NegativeWords() {
+  static const Strings* v = new Strings{
+      "terrible",  "awful",     "horrible",  "disappointing", "boring",
+      "dull",      "weak",      "poor",      "mediocre",      "flawed",
+      "annoying",  "tedious",   "forgettable", "clumsy",      "messy",
+      "shallow",   "pointless", "frustrating", "broken",      "cheap"};
+  return *v;
+}
+
+const Strings& NeutralFillerWords() {
+  static const Strings* v = new Strings{
+      "the",   "a",      "this",  "that",   "its",    "with",  "and",
+      "but",   "also",   "quite", "rather", "overall", "still", "though",
+      "again", "almost", "often", "mostly", "clearly", "simply"};
+  return *v;
+}
+
+const Strings& ReviewNouns() {
+  static const Strings* v = new Strings{
+      "movie",  "film",    "story",   "plot",     "acting",  "script",
+      "product", "device", "quality", "battery",  "screen",  "sound",
+      "design",  "price",  "service", "delivery", "ending",  "pacing",
+      "characters", "performance", "build", "material", "interface"};
+  return *v;
+}
+
+const Strings& IntensifierWords() {
+  static const Strings* v = new Strings{"very",  "really", "extremely",
+                                        "truly", "incredibly", "remarkably",
+                                        "somewhat", "fairly"};
+  return *v;
+}
+
+const Strings& NewsWorldWords() {
+  static const Strings* v = new Strings{
+      "government", "minister",  "election",  "treaty",   "border",
+      "embassy",    "parliament", "sanctions", "summit",  "diplomat",
+      "protest",    "ceasefire", "refugees",  "coalition", "president"};
+  return *v;
+}
+
+const Strings& NewsSportsWords() {
+  static const Strings* v = new Strings{
+      "coach",    "season",   "playoffs", "championship", "tournament",
+      "stadium",  "striker",  "quarterback", "innings",   "victory",
+      "defeat",   "league",   "transfer", "olympics",     "record"};
+  return *v;
+}
+
+const Strings& NewsBusinessWords() {
+  static const Strings* v = new Strings{
+      "shares",   "profit",   "earnings", "merger",   "investors",
+      "stocks",   "quarterly", "revenue", "acquisition", "bankruptcy",
+      "inflation", "markets", "dividend", "forecast", "regulator"};
+  return *v;
+}
+
+const Strings& NewsTechWords() {
+  static const Strings* v = new Strings{
+      "software",  "startup",  "internet", "chip",      "browser",
+      "smartphone", "security", "hackers", "satellite", "research",
+      "robotics",  "processor", "network", "upgrade",   "developers"};
+  return *v;
+}
+
+const Strings& QuestionAbbrevPhrases() {
+  static const Strings* v = new Strings{
+      "what does the abbreviation", "what does the acronym",
+      "what is the full form of", "what do the letters", "what does"};
+  return *v;
+}
+
+const Strings& QuestionEntityPhrases() {
+  static const Strings* v = new Strings{
+      "what breed of dog", "what color is", "what instrument does",
+      "what language is spoken in", "what currency is used in",
+      "what animal", "what product", "what team"};
+  return *v;
+}
+
+const Strings& QuestionDescriptionPhrases() {
+  static const Strings* v = new Strings{
+      "how does",     "why do",   "what is the definition of",
+      "what causes",  "describe", "what is the origin of",
+      "what is the reason for", "explain how"};
+  return *v;
+}
+
+const Strings& QuestionHumanPhrases() {
+  static const Strings* v = new Strings{
+      "who invented", "who wrote",   "who discovered", "who founded",
+      "who was the first person to", "who directed",   "who plays"};
+  return *v;
+}
+
+const Strings& QuestionLocationPhrases() {
+  static const Strings* v = new Strings{
+      "where is",  "what city hosts", "what country borders",
+      "what state is home to", "where can you find", "where was"};
+  return *v;
+}
+
+const Strings& QuestionNumericPhrases() {
+  static const Strings* v = new Strings{
+      "how many",  "how much does", "what year did", "how far is",
+      "how long does", "what is the population of", "how tall is"};
+  return *v;
+}
+
+const Strings& AirlineNames() {
+  static const Strings* v = new Strings{
+      "american airlines", "united", "delta",     "continental",
+      "northwest",         "us air", "twa",       "lufthansa",
+      "canadian airlines", "midwest express"};
+  return *v;
+}
+
+const Strings& AirportCities() {
+  static const Strings* v = new Strings{
+      "boston",      "denver",     "atlanta",   "dallas",       "baltimore",
+      "pittsburgh",  "oakland",    "charlotte", "milwaukee",    "philadelphia",
+      "san francisco", "washington", "phoenix", "detroit",      "orlando",
+      "cincinnati",  "memphis",    "seattle",   "minneapolis",  "cleveland"};
+  return *v;
+}
+
+namespace {
+
+const std::vector<Strings>& AtisPhraseBank() {
+  static const std::vector<Strings>* v = new std::vector<Strings>{
+      /*0 flight*/ {"show me flights from", "list flights from",
+                    "i need a flight from", "are there flights from"},
+      /*1 airfare*/ {"what is the cheapest fare from", "show me fares from",
+                     "how much is a ticket from", "what are the round trip fares from"},
+      /*2 ground_service*/ {"what ground transportation is available in",
+                            "how do i get downtown from the airport in",
+                            "is there a shuttle service in"},
+      /*3 airline*/ {"which airlines fly from", "what airline is flight",
+                     "which airline serves"},
+      /*4 abbreviation*/ {"what does fare code", "what does the abbreviation",
+                          "what is booking class"},
+      /*5 aircraft*/ {"what type of aircraft is used on the flight from",
+                      "what kind of plane flies from"},
+      /*6 flight_time*/ {"what are the departure times from",
+                         "when does the first flight leave from"},
+      /*7 quantity*/ {"how many flights are there from",
+                      "how many airlines fly from"},
+      /*8 airport*/ {"which airports are near", "what airport serves"},
+      /*9 distance*/ {"how far is the airport from downtown",
+                      "what is the distance from the airport to"},
+      /*10 city*/ {"what cities does the airline serve from",
+                   "what city is the airport in"},
+      /*11 capacity*/ {"how many passengers fit on the plane from",
+                       "what is the seating capacity of the flight from"},
+      /*12 flight_no*/ {"what is the flight number from",
+                        "give me the flight numbers from"},
+      /*13 meal*/ {"is a meal served on the flight from",
+                   "what meals are offered on the flight from"},
+      /*14 restriction*/ {"what restrictions apply to the fare from",
+                          "are there restrictions on the ticket from"},
+      /*15 cheapest*/ {"find the cheapest flight from",
+                       "what is the least expensive flight from"},
+      /*16 day_name*/ {"what day of the week does the flight leave from",
+                       "which days does the airline fly from"},
+      /*17 flight+airfare*/ {"show flights and fares from",
+                             "list flights with prices from"},
+      /*18 ground_fare*/ {"how much does a taxi cost in",
+                          "what is the limousine fare in"},
+      /*19 arrival_time*/ {"when does the flight arrive in",
+                           "what time does the plane land in"},
+      /*20 departure_date*/ {"what dates does the flight leave from",
+                             "when can i depart from"},
+      /*21 seat_class*/ {"is first class available on the flight from",
+                         "do you have business class seats from"},
+      /*22 stopover*/ {"does the flight from", "are there nonstop flights from"},
+      /*23 baggage*/ {"what is the baggage allowance on the flight from",
+                      "how many bags can i check on the flight from"}};
+  return *v;
+}
+
+const std::vector<Strings>& SnipsPhraseBank() {
+  static const std::vector<Strings>* v = new std::vector<Strings>{
+      /*0 AddToPlaylist*/ {"add this song to my playlist",
+                           "put the track on the playlist",
+                           "add the album to playlist"},
+      /*1 BookRestaurant*/ {"book a table for two at",
+                            "make a dinner reservation at",
+                            "reserve a restaurant in"},
+      /*2 GetWeather*/ {"what is the weather like in",
+                        "will it rain tomorrow in",
+                        "give me the forecast for"},
+      /*3 PlayMusic*/ {"play some music by", "play the latest album from",
+                       "put on a song by"},
+      /*4 RateBook*/ {"rate this book", "give the novel", "rate the saga"},
+      /*5 SearchCreativeWork*/ {"find the movie called",
+                                "show me the trailer for",
+                                "search for the tv series"},
+      /*6 SearchScreeningEvent*/ {"what time is the movie playing at",
+                                  "find movie schedules at",
+                                  "when is the film showing in"}};
+  return *v;
+}
+
+}  // namespace
+
+const Strings& AtisIntentPhrases(int intent) {
+  const auto& bank = AtisPhraseBank();
+  ROTOM_CHECK_GE(intent, 0);
+  ROTOM_CHECK_LT(intent, static_cast<int>(bank.size()));
+  return bank[intent];
+}
+
+int AtisNumIntents() { return static_cast<int>(AtisPhraseBank().size()); }
+
+const Strings& SnipsIntentPhrases(int intent) {
+  const auto& bank = SnipsPhraseBank();
+  ROTOM_CHECK_GE(intent, 0);
+  ROTOM_CHECK_LT(intent, static_cast<int>(bank.size()));
+  return bank[intent];
+}
+
+int SnipsNumIntents() { return static_cast<int>(SnipsPhraseBank().size()); }
+
+}  // namespace data
+}  // namespace rotom

@@ -1,0 +1,69 @@
+#ifndef ROTOM_DATA_LEXICONS_H_
+#define ROTOM_DATA_LEXICONS_H_
+
+#include <string>
+#include <vector>
+
+namespace rotom {
+namespace data {
+
+// Static word lists used by the synthetic dataset generators. The generators
+// replace the paper's benchmark downloads (see DESIGN.md, Substitutions);
+// these lexicons give the generated records/reviews/questions realistic
+// surface forms so the tokenizer, IDF weighting, and DA operators are
+// exercised the same way real data would.
+
+const std::vector<std::string>& Brands();
+const std::vector<std::string>& BrandAbbreviations();  // parallel to Brands()
+const std::vector<std::string>& ProductTypes();
+const std::vector<std::string>& ProductSpecs();
+const std::vector<std::string>& Colors();
+
+const std::vector<std::string>& PaperTitleWords();
+const std::vector<std::string>& Venues();
+const std::vector<std::string>& VenueAbbreviations();  // parallel to Venues()
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& States();
+const std::vector<std::string>& StreetNames();
+
+const std::vector<std::string>& BeerStyles();
+const std::vector<std::string>& BreweryWords();
+const std::vector<std::string>& MovieTitleWords();
+const std::vector<std::string>& JournalWords();
+
+const std::vector<std::string>& PositiveWords();
+const std::vector<std::string>& NegativeWords();
+const std::vector<std::string>& NeutralFillerWords();
+const std::vector<std::string>& ReviewNouns();
+const std::vector<std::string>& IntensifierWords();
+
+const std::vector<std::string>& NewsWorldWords();
+const std::vector<std::string>& NewsSportsWords();
+const std::vector<std::string>& NewsBusinessWords();
+const std::vector<std::string>& NewsTechWords();
+
+/// TREC-style question-class phrase banks.
+const std::vector<std::string>& QuestionAbbrevPhrases();
+const std::vector<std::string>& QuestionEntityPhrases();
+const std::vector<std::string>& QuestionDescriptionPhrases();
+const std::vector<std::string>& QuestionHumanPhrases();
+const std::vector<std::string>& QuestionLocationPhrases();
+const std::vector<std::string>& QuestionNumericPhrases();
+
+/// ATIS-style airline-domain fragments.
+const std::vector<std::string>& AirlineNames();
+const std::vector<std::string>& AirportCities();
+const std::vector<std::string>& AtisIntentPhrases(int intent);  // 24 intents
+int AtisNumIntents();
+
+/// SNIPS-style voice-assistant fragments, 7 intents.
+const std::vector<std::string>& SnipsIntentPhrases(int intent);
+int SnipsNumIntents();
+
+}  // namespace data
+}  // namespace rotom
+
+#endif  // ROTOM_DATA_LEXICONS_H_

@@ -1,0 +1,59 @@
+#ifndef ROTOM_DATA_LOADER_H_
+#define ROTOM_DATA_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace rotom {
+namespace data {
+
+// CSV loaders for user-supplied datasets. The synthetic generators stand in
+// for the paper's benchmarks, but a downstream user adopts the library with
+// their own files; these loaders produce the same TaskDataset structure the
+// trainers consume. All loaders treat the first CSV record as the header.
+
+/// Text classification: one text column and one label column (labels are
+/// arbitrary strings; they are enumerated in first-appearance order and the
+/// mapping is returned through `label_names`).
+StatusOr<std::vector<Example>> LoadTextClsCsv(
+    const std::string& path, const std::string& text_column,
+    const std::string& label_column, std::vector<std::string>* label_names);
+
+/// Entity matching: two tables with arbitrary schemas plus a pair file with
+/// columns (left_id, right_id, label in {0,1}). Records are serialized to
+/// the paper's [COL]/[VAL] format; ids refer to a designated id column.
+struct EmCsvSpec {
+  std::string left_table_path;
+  std::string right_table_path;
+  std::string pairs_path;
+  std::string id_column = "id";
+  std::string pair_left_column = "ltable_id";
+  std::string pair_right_column = "rtable_id";
+  std::string pair_label_column = "label";
+};
+StatusOr<std::vector<Example>> LoadEmPairsCsv(const EmCsvSpec& spec);
+
+/// Error detection: a dirty table plus (optionally) a ground-truth clean
+/// table of identical shape; every cell becomes one serialized example,
+/// labeled 1 where dirty != clean. With no clean table all labels are 0
+/// (useful for building unlabeled pools).
+StatusOr<std::vector<Example>> LoadEdtTableCsv(
+    const std::string& dirty_path, const std::string& clean_path = "",
+    bool context_dependent = false);
+
+/// Assembles a TaskDataset from loaded examples: shuffles, then splits off
+/// `train_size` for train (valid aliases train, as the paper's EM/EDT
+/// settings do), `test_size` for test, and uses the remaining texts as the
+/// unlabeled pool.
+TaskDataset MakeTaskDataset(std::vector<Example> examples, int64_t train_size,
+                            int64_t test_size, int64_t num_classes,
+                            bool is_pair_task, bool is_record_task,
+                            uint64_t seed, const std::string& name);
+
+}  // namespace data
+}  // namespace rotom
+
+#endif  // ROTOM_DATA_LOADER_H_

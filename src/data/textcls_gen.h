@@ -1,0 +1,37 @@
+#ifndef ROTOM_DATA_TEXTCLS_GEN_H_
+#define ROTOM_DATA_TEXTCLS_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace rotom {
+namespace data {
+
+/// Options for synthesizing a text-classification benchmark in the paper's
+/// low-resource setting (Table 7: sample train/valid of 100, 300, 500).
+struct TextClsOptions {
+  int64_t train_size = 300;
+  int64_t valid_size = -1;  // -1: same as train_size (paper samples equal)
+  int64_t test_size = 500;
+  int64_t unlabeled_size = 2000;
+  uint64_t seed = 0;
+};
+
+/// Builds one of the TextCLS benchmark stand-ins. Supported names mirror
+/// Table 7 plus "imdb" (used by the Table 11 comparison): ag, am2, am5,
+/// sst2, sst5, trec, atis, snips, imdb.
+TaskDataset MakeTextClsDataset(const std::string& name,
+                               const TextClsOptions& options);
+
+/// Names of the 8 main-table datasets, in the paper's column order.
+const std::vector<std::string>& TextClsDatasetNames();
+
+/// Number of classes for a supported dataset name.
+int64_t TextClsNumClasses(const std::string& name);
+
+}  // namespace data
+}  // namespace rotom
+
+#endif  // ROTOM_DATA_TEXTCLS_GEN_H_

@@ -1,0 +1,307 @@
+#include "eval/experiment.h"
+
+#include <map>
+#include <set>
+
+#include "core/finetune.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rotom {
+namespace eval {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kBaseline: return "Baseline";
+    case Method::kMixDa: return "MixDA";
+    case Method::kInvDa: return "InvDA";
+    case Method::kRotom: return "Rotom";
+    case Method::kRotomSsl: return "Rotom+SSL";
+  }
+  return "?";
+}
+
+const std::vector<Method>& AllMethods() {
+  static const std::vector<Method>* methods = new std::vector<Method>{
+      Method::kBaseline, Method::kMixDa, Method::kInvDa, Method::kRotom,
+      Method::kRotomSsl};
+  return *methods;
+}
+
+std::shared_ptr<text::Vocabulary> BuildTaskVocabulary(
+    const data::TaskDataset& dataset, int64_t max_size) {
+  // The unlabeled pool keeps its natural value multiplicities (they carry
+  // the frequency signal min_count relies on), but labeled texts that are
+  // literally drawn from that pool must not be counted twice: double
+  // counting would let a one-off corrupted value slip past the min_count
+  // filter at train time while its test-time siblings map to [UNK].
+  std::set<std::string> in_unlabeled(dataset.unlabeled.begin(),
+                                     dataset.unlabeled.end());
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& t : dataset.unlabeled) docs.push_back(text::Tokenize(t));
+  std::set<std::string> added;
+  for (const auto& e : dataset.train) {
+    if (in_unlabeled.count(e.text) == 0 && added.insert(e.text).second)
+      docs.push_back(text::Tokenize(e.text));
+  }
+  for (const auto& e : dataset.valid) {
+    if (in_unlabeled.count(e.text) == 0 && added.insert(e.text).second)
+      docs.push_back(text::Tokenize(e.text));
+  }
+  const bool is_edt = dataset.is_record_task && !dataset.is_pair_task;
+  return std::make_shared<text::Vocabulary>(
+      text::Vocabulary::BuildFromCorpus(docs, max_size, is_edt ? 2 : 1));
+}
+
+TaskContext::TaskContext(data::TaskDataset dataset, ExperimentOptions options)
+    : dataset_(std::move(dataset)),
+      options_(std::move(options)),
+      metric_(dataset_.is_record_task || dataset_.is_pair_task
+                  ? MetricKind::kF1
+                  : MetricKind::kAccuracy),
+      vocab_(BuildTaskVocabulary(dataset_)) {
+  options_.classifier.num_classes = dataset_.num_classes;
+
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& e : dataset_.train) docs.push_back(text::Tokenize(e.text));
+  for (const auto& t : dataset_.unlabeled)
+    docs.push_back(text::Tokenize(t));
+  idf_ = text::IdfTable::Build(docs);
+  aug_context_.idf = &idf_;
+  aug_context_.synonyms = &augment::SynonymLexicon::Default();
+  task_ops_ =
+      augment::OpsForTask(dataset_.is_pair_task, dataset_.is_record_task);
+  if (dataset_.is_pair_task) {
+    mixda_op_ = options_.mixda_op_em;
+  } else if (dataset_.is_record_task) {
+    mixda_op_ = options_.mixda_op_edt;
+  } else {
+    mixda_op_ = options_.mixda_op_textcls;
+  }
+}
+
+namespace {
+
+constexpr const char kPairSep[] = " [SEP] ";
+
+// Splits "left [SEP] right"; returns {text, ""} when unpaired.
+std::pair<std::string, std::string> SplitPair(const std::string& text) {
+  const size_t pos = text.find(kPairSep);
+  if (pos == std::string::npos) return {text, ""};
+  return {text.substr(0, pos), text.substr(pos + sizeof(kPairSep) - 1)};
+}
+
+}  // namespace
+
+void TaskContext::EnsurePretrained() {
+  if (pretrained_ready_) return;
+  Rng rng(0xC0FFEE);
+  models::TransformerClassifier model(options_.classifier, vocab_, rng);
+  std::vector<std::string> corpus = dataset_.unlabeled;
+  for (const auto& e : dataset_.train) corpus.push_back(e.text);
+  models::PretrainMaskedLm(model, corpus, rng, options_.pretrain);
+  if (dataset_.is_pair_task && options_.same_origin.steps > 0) {
+    // EM: add the self-supervised same-origin stage (substitution for the
+    // comparison ability a large pre-trained LM brings; DESIGN.md).
+    std::vector<std::string> records;
+    for (const auto& t : dataset_.unlabeled) {
+      auto [left, right] = SplitPair(t);
+      records.push_back(std::move(left));
+      if (!right.empty()) records.push_back(std::move(right));
+    }
+    models::PretrainSameOrigin(model, records, rng, options_.same_origin);
+  }
+  // Only the encoder transfers; the task head is re-initialized per run.
+  pretrained_state_ = model.StateDict();
+  pretrained_ready_ = true;
+}
+
+void TaskContext::EnsureInvDa() {
+  if (invda_ != nullptr) return;
+  invda_ = std::make_unique<invda::InvDa>(
+      options_.seq2seq, vocab_, aug_context_, /*is_pair_task=*/false,
+      dataset_.is_record_task, /*seed=*/0xDA7A);
+  // For pair tasks the seq2seq model works at single-record granularity
+  // (see InvDaSample): shorter sequences, easier reconstruction, and the
+  // augmented pair keeps a pristine left record to compare against.
+  std::vector<std::string> corpus;
+  std::vector<std::string> inputs;
+  if (dataset_.is_pair_task) {
+    for (const auto& t : dataset_.unlabeled) {
+      auto [left, right] = SplitPair(t);
+      corpus.push_back(std::move(left));
+      if (!right.empty()) corpus.push_back(std::move(right));
+    }
+    for (const auto& e : dataset_.train) {
+      auto [left, right] = SplitPair(e.text);
+      inputs.push_back(right.empty() ? left : right);
+    }
+  } else {
+    corpus = dataset_.unlabeled;
+    for (const auto& e : dataset_.train) inputs.push_back(e.text);
+  }
+  invda_->Train(corpus, options_.invda);
+  invda_->PrecomputeCache(inputs, options_.invda);
+}
+
+std::string TaskContext::InvDaSample(const std::string& input, Rng& rng) {
+  if (!dataset_.is_pair_task) return invda_->Sample(input, rng);
+  auto [left, right] = SplitPair(input);
+  if (right.empty()) return invda_->Sample(left, rng);
+  return left + kPairSep + invda_->Sample(right, rng);
+}
+
+bool TaskContext::InvDaHasCached(const std::string& input) const {
+  if (invda_ == nullptr) return false;
+  if (!dataset_.is_pair_task)
+    return !invda_->CachedAugmentations(input).empty();
+  auto [left, right] = SplitPair(input);
+  return !invda_->CachedAugmentations(right.empty() ? left : right).empty();
+}
+
+std::unique_ptr<models::TransformerClassifier> TaskContext::FreshModel(
+    uint64_t seed) {
+  EnsurePretrained();
+  Rng rng(seed * 2654435761ULL + 1);
+  auto model = std::make_unique<models::TransformerClassifier>(
+      options_.classifier, vocab_, rng);
+  // Transfer the pre-trained encoder; keep the fresh task head.
+  std::map<std::string, const Tensor*> pretrained;
+  for (const auto& [name, tensor] : pretrained_state_) {
+    if (name.rfind("encoder.", 0) == 0) pretrained[name] = &tensor;
+  }
+  NamedTensors full = model->StateDict();
+  for (auto& [name, tensor] : full) {
+    auto it = pretrained.find(name);
+    if (it != pretrained.end()) tensor.CopyFrom(*it->second);
+  }
+  model->LoadStateDict(full);
+  return model;
+}
+
+std::string TaskContext::RandomSimpleAugment(const std::string& input,
+                                             Rng& rng) const {
+  const augment::DaOp op =
+      task_ops_[rng.UniformInt(static_cast<int64_t>(task_ops_.size()))];
+  return augment::AugmentText(input, op, aug_context_, rng);
+}
+
+std::string TaskContext::MixDaAugment(const std::string& input,
+                                      Rng& rng) const {
+  return augment::AugmentText(input, mixda_op_, aug_context_, rng);
+}
+
+const NamedTensors& TaskContext::PretrainedState() {
+  EnsurePretrained();
+  return pretrained_state_;
+}
+
+ExperimentResult TaskContext::Run(Method method, uint64_t seed) {
+  return RunOnDataset(dataset_, method, seed);
+}
+
+ExperimentResult TaskContext::RunWithBudget(Method method, uint64_t seed,
+                                            int64_t budget) {
+  data::TaskDataset view = dataset_;
+  if (budget < static_cast<int64_t>(view.train.size())) {
+    view.train.resize(budget);
+  }
+  if (budget < static_cast<int64_t>(view.valid.size())) {
+    view.valid.resize(budget);
+  }
+  return RunOnDataset(view, method, seed);
+}
+
+ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
+                                           Method method, uint64_t seed) {
+  ExperimentResult result;
+  auto model = FreshModel(seed);
+
+  switch (method) {
+    case Method::kBaseline: {
+      core::FinetuneOptions options;
+      options.epochs = options_.epochs;
+      options.batch_size = options_.batch_size;
+      options.lr = options_.lr;
+      options.seed = seed;
+      core::FinetuneTrainer trainer(model.get(), metric_, options);
+      auto train = trainer.Train(ds);
+      result.valid_metric = train.best_valid_metric;
+      result.train_seconds = train.seconds;
+      break;
+    }
+    case Method::kMixDa: {
+      core::FinetuneOptions options;
+      options.epochs = options_.epochs;
+      options.batch_size = options_.batch_size;
+      options.lr = options_.lr;
+      options.seed = seed;
+      options.aug_mode = core::AugMode::kMixDa;
+      core::FinetuneTrainer trainer(model.get(), metric_, options);
+      auto train = trainer.Train(ds, [this](const std::string& s,
+                                                  Rng& r) {
+        return MixDaAugment(s, r);
+      });
+      result.valid_metric = train.best_valid_metric;
+      result.train_seconds = train.seconds;
+      break;
+    }
+    case Method::kInvDa: {
+      // Paper Section 6.1: same procedure as MixDA with the operator
+      // replaced by InvDA (generation is precomputed and cached).
+      EnsureInvDa();
+      core::FinetuneOptions options;
+      options.epochs = options_.epochs;
+      options.batch_size = options_.batch_size;
+      options.lr = options_.lr;
+      options.seed = seed;
+      options.aug_mode = core::AugMode::kMixDa;
+      core::FinetuneTrainer trainer(model.get(), metric_, options);
+      auto train = trainer.Train(
+          ds,
+          [this](const std::string& s, Rng& r) { return InvDaSample(s, r); });
+      result.valid_metric = train.best_valid_metric;
+      result.train_seconds = train.seconds;
+      break;
+    }
+    case Method::kRotom:
+    case Method::kRotomSsl: {
+      EnsureInvDa();
+      core::RotomOptions options;
+      options.epochs = options_.epochs;
+      options.batch_size = options_.batch_size;
+      options.lr = options_.lr;
+      options.meta_lr = options_.meta_lr;
+      options.augments_per_example = options_.augments_per_example;
+      options.meta_update_every = options_.meta_update_every;
+      options.ssl_batch_ratio = options_.ssl_batch_ratio;
+      options.seed = seed;
+      options.use_ssl = method == Method::kRotomSsl;
+      core::RotomTrainer trainer(model.get(), metric_, options);
+      // Candidate pool: one simple-op augmentation + one InvDA sample
+      // (Section 6.1: Rotom combines InvDA with MixDA's operators). For
+      // texts outside the precomputed InvDA cache (e.g. SSL's unlabeled
+      // sequences) only the cheap simple op is used — live seq2seq decoding
+      // inside the training loop would dominate wall time.
+      auto train = trainer.Train(
+          ds, [this](const std::string& s, Rng& r) {
+            std::vector<std::string> out;
+            out.push_back(RandomSimpleAugment(s, r));
+            if (InvDaHasCached(s)) {
+              out.push_back(InvDaSample(s, r));
+            }
+            return out;
+          });
+      result.valid_metric = train.best_valid_metric;
+      result.train_seconds = train.seconds;
+      break;
+    }
+  }
+
+  result.test_metric = EvaluateModel(*model, ds.test, metric_);
+  return result;
+}
+
+}  // namespace eval
+}  // namespace rotom

@@ -1,0 +1,128 @@
+#ifndef ROTOM_EVAL_EXPERIMENT_H_
+#define ROTOM_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "augment/ops.h"
+#include "core/rotom_trainer.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "invda/invda.h"
+#include "models/pretrain.h"
+
+namespace rotom {
+namespace eval {
+
+/// The five methods evaluated in every main table of the paper.
+enum class Method { kBaseline, kMixDa, kInvDa, kRotom, kRotomSsl };
+const char* MethodName(Method method);
+const std::vector<Method>& AllMethods();
+
+/// Scale and training knobs shared by every experiment. Defaults are the
+/// scaled-down configuration used throughout this reproduction.
+struct ExperimentOptions {
+  models::ClassifierConfig classifier;       // max_len adjusted per task
+  models::Seq2SeqConfig seq2seq;
+  models::PretrainOptions pretrain;
+  models::SameOriginOptions same_origin;     // pair tasks only (EM)
+  invda::InvDaOptions invda;
+
+  int64_t epochs = 8;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  float meta_lr = 1e-3f;
+  int64_t augments_per_example = 2;
+  // Cost knobs forwarded to RotomOptions (1 / 1.0 reproduce the paper's
+  // exact loop; benches trade a little fidelity for wall time).
+  int64_t meta_update_every = 1;
+  double ssl_batch_ratio = 1.0;
+
+  /// The fixed single operator MixDA applies per task family (the paper
+  /// tunes one generally-good operator per task type; Section 6.1).
+  augment::DaOp mixda_op_textcls = augment::DaOp::kTokenRepl;
+  augment::DaOp mixda_op_em = augment::DaOp::kColDel;  // safest for pairs
+  augment::DaOp mixda_op_edt = augment::DaOp::kTokenDel;
+};
+
+/// Result of one (dataset, method, seed) run.
+struct ExperimentResult {
+  double test_metric = 0.0;   // % accuracy (TextCLS) or F1 (EM/EDT)
+  double valid_metric = 0.0;
+  double train_seconds = 0.0; // fine-tuning wall time (paper Figure 4)
+};
+
+/// Per-dataset context caching the expensive shared pieces across methods:
+/// vocabulary, IDF table, the masked-LM pre-trained encoder weights, and the
+/// trained InvDA model with its precomputed augmentation cache (the paper
+/// also precomputes and caches InvDA outputs; Section 6.6).
+class TaskContext {
+ public:
+  TaskContext(data::TaskDataset dataset, ExperimentOptions options);
+
+  /// Runs one method; seed controls sampling/shuffling (the paper averages
+  /// over 5 runs; benches here default to fewer, see ROTOM_SEEDS).
+  ExperimentResult Run(Method method, uint64_t seed);
+
+  /// Like Run but restricts training (and validation) to the first `budget`
+  /// examples of the sample — nested labeling budgets for the Figure 3
+  /// sweeps, sharing this context's pre-training and InvDA cache.
+  ExperimentResult RunWithBudget(Method method, uint64_t seed, int64_t budget);
+
+  const data::TaskDataset& dataset() const { return dataset_; }
+  MetricKind metric() const { return metric_; }
+  const ExperimentOptions& options() const { return options_; }
+  std::shared_ptr<const text::Vocabulary> vocab_ptr() const { return vocab_; }
+
+  /// The MLM(+same-origin) pre-trained weights (computed on first use);
+  /// exposed so comparator baselines can start from the same checkpoint.
+  const NamedTensors& PretrainedState();
+
+  /// Forces InvDA training/caching now (otherwise lazy on first use).
+  void EnsureInvDa();
+
+  /// InvDA sampling that understands pair tasks: the seq2seq model is
+  /// trained on single serialized records (the granularity of the paper's
+  /// Table 5 examples), and a pair is augmented by rewriting its right-hand
+  /// record. Non-pair tasks sample directly. EnsureInvDa must run first.
+  std::string InvDaSample(const std::string& input, Rng& rng);
+  bool InvDaHasCached(const std::string& input) const;
+
+  /// One random applicable simple op (for Rotom's candidate pool).
+  std::string RandomSimpleAugment(const std::string& input, Rng& rng) const;
+  /// The task family's fixed MixDA operator.
+  std::string MixDaAugment(const std::string& input, Rng& rng) const;
+
+ private:
+  void EnsurePretrained();
+  std::unique_ptr<models::TransformerClassifier> FreshModel(uint64_t seed);
+  ExperimentResult RunOnDataset(const data::TaskDataset& ds, Method method,
+                                uint64_t seed);
+
+  data::TaskDataset dataset_;
+  ExperimentOptions options_;
+  MetricKind metric_;
+  std::shared_ptr<text::Vocabulary> vocab_;
+  text::IdfTable idf_;
+  augment::AugmentContext aug_context_;
+  std::vector<augment::DaOp> task_ops_;
+  augment::DaOp mixda_op_;
+
+  bool pretrained_ready_ = false;
+  NamedTensors pretrained_state_;
+  std::unique_ptr<invda::InvDa> invda_;
+};
+
+/// Builds the vocabulary for a task from its train+valid+unlabeled texts.
+/// For error-detection tasks (record-structured, unpaired) singleton tokens
+/// are dropped (min_count 2) so one-off corrupted values map to [UNK]
+/// consistently at train and test time — the word-level analogue of how a
+/// subword LM perceives rare typos as anomalous pieces.
+std::shared_ptr<text::Vocabulary> BuildTaskVocabulary(
+    const data::TaskDataset& dataset, int64_t max_size = 8192);
+
+}  // namespace eval
+}  // namespace rotom
+
+#endif  // ROTOM_EVAL_EXPERIMENT_H_

@@ -1,0 +1,40 @@
+#ifndef ROTOM_EVAL_METRICS_H_
+#define ROTOM_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/classifier.h"
+
+namespace rotom {
+namespace eval {
+
+/// Which score a task reports: accuracy for TextCLS, binary F1 (positive
+/// class = 1) for EM and EDT, as in the paper's Section 6.2.
+enum class MetricKind { kAccuracy, kF1 };
+
+/// Fraction of predictions equal to labels.
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels);
+
+/// Precision/recall/F1 of the positive class (label 1).
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+Prf BinaryPrf(const std::vector<int64_t>& predictions,
+              const std::vector<int64_t>& labels);
+
+/// Runs the model over the examples in batches and returns the metric
+/// (as a percentage in [0, 100], matching the paper's tables). The model's
+/// training mode is saved and restored.
+double EvaluateModel(models::TransformerClassifier& model,
+                     const std::vector<data::Example>& examples,
+                     MetricKind metric, int64_t batch_size = 32);
+
+}  // namespace eval
+}  // namespace rotom
+
+#endif  // ROTOM_EVAL_METRICS_H_

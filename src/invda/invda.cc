@@ -1,0 +1,150 @@
+#include "invda/invda.h"
+
+#include <algorithm>
+
+#include "nn/optim.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace rotom {
+namespace invda {
+
+std::vector<std::pair<std::string, std::string>> BuildCorruptionPairs(
+    const std::vector<std::string>& corpus, int64_t n_ops,
+    const augment::AugmentContext& context, bool is_pair_task,
+    bool is_record_task, Rng& rng) {
+  const std::vector<augment::DaOp> ops =
+      augment::OpsForTask(is_pair_task, is_record_task);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(corpus.size());
+  for (const auto& target : corpus) {
+    std::vector<std::string> tokens = text::Tokenize(target);
+    for (int64_t i = 0; i < n_ops; ++i) {
+      const augment::DaOp op =
+          ops[rng.UniformInt(static_cast<int64_t>(ops.size()))];
+      tokens = augment::ApplyDaOp(op, tokens, context, rng);
+    }
+    pairs.emplace_back(text::Detokenize(tokens), target);
+  }
+  return pairs;
+}
+
+InvDa::InvDa(const models::Seq2SeqConfig& config,
+             std::shared_ptr<const text::Vocabulary> vocab,
+             augment::AugmentContext context, bool is_pair_task,
+             bool is_record_task, uint64_t seed)
+    : context_(context),
+      is_pair_task_(is_pair_task),
+      is_record_task_(is_record_task),
+      rng_(seed),
+      model_(config, std::move(vocab), rng_) {}
+
+float InvDa::Train(const std::vector<std::string>& unlabeled,
+                   const InvDaOptions& options) {
+  sampling_ = options.sampling;
+  std::vector<std::string> corpus = unlabeled;
+  if (static_cast<int64_t>(corpus.size()) > options.max_corpus) {
+    rng_.Shuffle(corpus);
+    corpus.resize(options.max_corpus);
+  }
+  if (corpus.empty()) {
+    trained_ = true;  // degenerate but usable (generates from prior)
+    return 0.0f;
+  }
+
+  model_.SetTraining(true);
+  nn::Adam optimizer(model_.Parameters(), options.lr);
+  float last_loss = 0.0f;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fresh corruptions every epoch (Algorithm 1 line 4-6 resampled).
+    auto pairs = BuildCorruptionPairs(corpus, options.corruption_ops, context_,
+                                      is_pair_task_, is_record_task_, rng_);
+    rng_.Shuffle(pairs);
+    for (size_t begin = 0; begin < pairs.size(); begin += options.batch_size) {
+      const size_t end =
+          std::min(begin + options.batch_size, pairs.size());
+      std::vector<std::pair<std::string, std::string>> batch(
+          pairs.begin() + begin, pairs.begin() + end);
+      optimizer.ZeroGrad();
+      Variable loss = model_.Loss(batch, rng_);
+      loss.Backward();
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+      last_loss = loss.value()[0];
+    }
+  }
+  model_.SetTraining(false);
+  trained_ = true;
+  ROTOM_LOG(Debug) << "InvDA trained, final loss " << last_loss;
+  return last_loss;
+}
+
+std::vector<std::string> InvDa::Augment(const std::string& input,
+                                        int64_t count) {
+  ROTOM_CHECK_MSG(trained_, "InvDa::Train must run before Augment");
+  model_.SetTraining(false);
+  std::vector<std::string> sources(count, input);
+  return model_.GenerateBatch(sources, sampling_, rng_);
+}
+
+void InvDa::PrecomputeCache(const std::vector<std::string>& inputs,
+                            const InvDaOptions& options) {
+  ROTOM_CHECK_MSG(trained_, "InvDa::Train must run before PrecomputeCache");
+  sampling_ = options.sampling;
+  model_.SetTraining(false);
+  // Batch the decode: several inputs x several samples per call.
+  const int64_t per = options.augments_per_example;
+  const int64_t group = std::max<int64_t>(1, 32 / std::max<int64_t>(per, 1));
+  for (size_t begin = 0; begin < inputs.size();
+       begin += static_cast<size_t>(group)) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(group), inputs.size());
+    std::vector<std::string> sources;
+    for (size_t i = begin; i < end; ++i) {
+      if (cache_.count(inputs[i]) > 0) continue;
+      for (int64_t j = 0; j < per; ++j) sources.push_back(inputs[i]);
+    }
+    if (sources.empty()) continue;
+    const auto outputs = model_.GenerateBatch(sources, sampling_, rng_);
+    size_t cursor = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (cache_.count(inputs[i]) > 0) continue;
+      auto& entry = cache_[inputs[i]];
+      for (int64_t j = 0; j < per; ++j) {
+        const std::string& aug = outputs[cursor++];
+        // Keep unique non-empty augmentations, as the paper keeps unique
+        // transformed sequences.
+        if (!aug.empty() &&
+            std::find(entry.begin(), entry.end(), aug) == entry.end()) {
+          entry.push_back(aug);
+        }
+      }
+      if (entry.empty()) entry.push_back(inputs[i]);
+    }
+  }
+}
+
+std::string InvDa::Sample(const std::string& input, Rng& rng) {
+  auto it = cache_.find(input);
+  if (it == cache_.end() || it->second.empty()) {
+    auto generated = Augment(input, 1);
+    auto& entry = cache_[input];
+    if (!generated.empty() && !generated[0].empty())
+      entry.push_back(generated[0]);
+    else
+      entry.push_back(input);
+    it = cache_.find(input);
+  }
+  const auto& pool = it->second;
+  return pool[rng.UniformInt(static_cast<int64_t>(pool.size()))];
+}
+
+const std::vector<std::string>& InvDa::CachedAugmentations(
+    const std::string& input) const {
+  static const std::vector<std::string>* empty = new std::vector<std::string>();
+  auto it = cache_.find(input);
+  return it == cache_.end() ? *empty : it->second;
+}
+
+}  // namespace invda
+}  // namespace rotom

@@ -1,0 +1,75 @@
+#include "models/classifier.h"
+
+namespace rotom {
+namespace models {
+
+nn::TransformerConfig EncoderConfigFor(const ClassifierConfig& config,
+                                       int64_t vocab_size) {
+  nn::TransformerConfig enc;
+  enc.vocab_size = vocab_size;
+  enc.dim = config.dim;
+  enc.num_heads = config.num_heads;
+  enc.num_layers = config.num_layers;
+  enc.ffn_dim = config.ffn_dim;
+  enc.max_seq_len = config.max_len;
+  enc.dropout = config.dropout;
+  return enc;
+}
+
+TransformerClassifier::TransformerClassifier(
+    const ClassifierConfig& config,
+    std::shared_ptr<const text::Vocabulary> vocab, Rng& rng)
+    : config_(config),
+      vocab_(std::move(vocab)),
+      encoder_(EncoderConfigFor(config, vocab_->size()), rng),
+      head_(config.dim, config.num_classes, rng) {
+  RegisterSubmodule("encoder", &encoder_);
+  RegisterSubmodule("head", &head_);
+}
+
+Variable TransformerClassifier::ForwardLogits(
+    const std::vector<std::string>& texts, Rng& rng) const {
+  return head_.Forward(EncodeCls(texts, rng));
+}
+
+Variable TransformerClassifier::EncodeCls(const std::vector<std::string>& texts,
+                                          Rng& rng) const {
+  const auto batch =
+      text::EncodeBatchForClassifier(*vocab_, texts, config_.max_len);
+  const auto flags =
+      text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
+  return encoder_.EncodeCls(batch.ids, batch.batch, batch.max_len, batch.mask,
+                            rng, &flags);
+}
+
+Variable TransformerClassifier::EncodeHidden(const text::EncodedBatch& batch,
+                                             Rng& rng) const {
+  const auto flags =
+      text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
+  return encoder_.Forward(batch.ids, batch.batch, batch.max_len, batch.mask,
+                          rng, &flags);
+}
+
+Tensor TransformerClassifier::PredictProbs(const std::vector<std::string>& texts,
+                                           Rng& rng) const {
+  return ops::SoftmaxRows(ForwardLogits(texts, rng).value());
+}
+
+std::vector<int64_t> TransformerClassifier::Predict(
+    const std::vector<std::string>& texts, Rng& rng) const {
+  const Tensor probs = PredictProbs(texts, rng);
+  const int64_t c = probs.size(-1);
+  std::vector<int64_t> preds(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (probs[static_cast<int64_t>(i) * c + j] >
+          probs[static_cast<int64_t>(i) * c + best])
+        best = j;
+    preds[i] = best;
+  }
+  return preds;
+}
+
+}  // namespace models
+}  // namespace rotom

@@ -1,0 +1,176 @@
+#include "models/pretrain.h"
+
+#include <algorithm>
+
+#include "augment/ops.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace rotom {
+namespace models {
+
+float PretrainMaskedLm(TransformerClassifier& model,
+                       const std::vector<std::string>& corpus, Rng& rng,
+                       const PretrainOptions& options) {
+  if (corpus.empty()) return 0.0f;
+  const text::Vocabulary& vocab = model.vocab();
+  const int64_t vocab_size = vocab.size();
+  const int64_t max_len = model.config().max_len;
+  const int64_t dim = model.config().dim;
+
+  std::vector<std::string> texts = corpus;
+  if (static_cast<int64_t>(texts.size()) > options.max_corpus) {
+    rng.Shuffle(texts);
+    texts.resize(options.max_corpus);
+  }
+
+  // Temporary MLM head over the encoder's hidden states; discarded after
+  // pre-training, mirroring how LM pre-training heads are dropped before
+  // fine-tuning.
+  nn::Linear mlm_head(dim, vocab_size, rng);
+
+  std::vector<Variable> params = model.Parameters();
+  for (auto& p : mlm_head.Parameters()) params.push_back(p);
+  nn::Adam optimizer(params, options.lr);
+
+  model.SetTraining(true);
+  int64_t steps = 0;
+  float last_loss = 0.0f;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(texts);
+    for (size_t begin = 0; begin < texts.size();
+         begin += options.batch_size) {
+      if (options.max_steps >= 0 && steps >= options.max_steps) break;
+      const size_t end =
+          std::min(begin + options.batch_size, texts.size());
+      std::vector<std::string> batch_texts(texts.begin() + begin,
+                                           texts.begin() + end);
+      auto batch = text::EncodeBatchForClassifier(vocab, batch_texts, max_len);
+
+      // Select maskable positions and corrupt inputs in place.
+      std::vector<int64_t> positions;  // flat indices into [B*T]
+      std::vector<int64_t> targets;
+      for (size_t i = 0; i < batch.ids.size(); ++i) {
+        const int64_t id = batch.ids[i];
+        if (text::Vocabulary::IsSpecial(id)) continue;
+        if (!rng.Bernoulli(options.mask_prob)) continue;
+        positions.push_back(static_cast<int64_t>(i));
+        targets.push_back(id);
+        const double roll = rng.Uniform();
+        if (roll < 0.8) {
+          batch.ids[i] = text::SpecialTokens::kMask;
+        } else if (roll < 0.9) {
+          batch.ids[i] = text::SpecialTokens::kCount +
+                         rng.UniformInt(vocab_size - text::SpecialTokens::kCount);
+        }  // else keep
+      }
+      if (positions.empty()) continue;
+
+      optimizer.ZeroGrad();
+      Variable hidden = model.EncodeHidden(batch, rng);
+      Variable flat = ops::Reshape(hidden, {-1, dim});
+      // Gather masked rows (Embedding doubles as a differentiable row
+      // gather over any 2-D variable).
+      Variable gathered = ops::Embedding(flat, positions);
+      Variable logits = mlm_head.Forward(gathered);
+      Variable loss = ops::CrossEntropyMean(logits, targets);
+      loss.Backward();
+      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+      last_loss = loss.value()[0];
+      ++steps;
+    }
+  }
+  ROTOM_LOG(Debug) << "MLM pretraining finished after " << steps
+                   << " steps, loss " << last_loss;
+  return last_loss;
+}
+
+namespace {
+
+// A formatting-style view of a record: information is dropped or reordered
+// but no content token is replaced (mirrors how two data sources render the
+// same entity).
+std::string SameOriginPositiveView(const std::string& record, Rng& rng) {
+  static const augment::DaOp kViewOps[] = {augment::DaOp::kTokenDel,
+                                           augment::DaOp::kSpanShuffle,
+                                           augment::DaOp::kColDel,
+                                           augment::DaOp::kColShuffle};
+  auto tokens = text::Tokenize(record);
+  const int64_t n_ops = 1 + rng.UniformInt(2);
+  for (int64_t i = 0; i < n_ops; ++i) {
+    tokens = augment::ApplyDaOp(kViewOps[rng.UniformInt(4)], tokens, {}, rng);
+  }
+  return text::Detokenize(tokens);
+}
+
+// A near-miss: the record with 1-2 content tokens substituted by content
+// from another record (a different entity that looks very similar).
+std::string SameOriginNearMiss(const std::string& record,
+                               const std::string& donor, Rng& rng) {
+  auto tokens = text::Tokenize(record);
+  auto donor_tokens = text::Tokenize(donor);
+  std::vector<size_t> content;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!(tokens[i].size() >= 2 && tokens[i].front() == '[' &&
+          tokens[i].back() == ']'))
+      content.push_back(i);
+  }
+  if (content.empty() || donor_tokens.empty()) return donor;
+  const int64_t n_subs = 1 + rng.UniformInt(2);
+  for (int64_t s = 0; s < n_subs; ++s) {
+    const size_t pos =
+        content[rng.UniformInt(static_cast<int64_t>(content.size()))];
+    tokens[pos] = donor_tokens[rng.UniformInt(
+        static_cast<int64_t>(donor_tokens.size()))];
+  }
+  return text::Detokenize(tokens);
+}
+
+}  // namespace
+
+float PretrainSameOrigin(TransformerClassifier& model,
+                         const std::vector<std::string>& records, Rng& rng,
+                         const SameOriginOptions& options) {
+  if (records.size() < 4) return 0.0f;
+  ROTOM_CHECK_EQ(model.config().num_classes, 2);
+  nn::Adam optimizer(model.Parameters(), options.lr);
+  model.SetTraining(true);
+
+  const int64_t n = static_cast<int64_t>(records.size());
+  float last_loss = 0.0f;
+  for (int64_t step = 0; step < options.steps; ++step) {
+    std::vector<std::string> texts;
+    std::vector<int64_t> labels;
+    for (int64_t b = 0; b < options.batch_size; ++b) {
+      const std::string& left = records[rng.UniformInt(n)];
+      std::string right;
+      int64_t label;
+      const double roll = rng.Uniform();
+      if (roll < 0.5) {
+        right = SameOriginPositiveView(left, rng);
+        label = 1;
+      } else if (roll < 0.75) {
+        right = records[rng.UniformInt(n)];  // random different record
+        label = 0;
+      } else {
+        right = SameOriginNearMiss(left, records[rng.UniformInt(n)], rng);
+        label = 0;
+      }
+      texts.push_back(left + " [SEP] " + right);
+      labels.push_back(label);
+    }
+    optimizer.ZeroGrad();
+    Variable loss =
+        ops::CrossEntropyMean(model.ForwardLogits(texts, rng), labels);
+    loss.Backward();
+    nn::ClipGradNorm(optimizer.params(), 5.0f);
+    optimizer.Step();
+    last_loss = loss.value()[0];
+  }
+  ROTOM_LOG(Debug) << "same-origin pretraining loss " << last_loss;
+  return last_loss;
+}
+
+}  // namespace models
+}  // namespace rotom

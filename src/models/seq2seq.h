@@ -1,0 +1,78 @@
+#ifndef ROTOM_MODELS_SEQ2SEQ_H_
+#define ROTOM_MODELS_SEQ2SEQ_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/transformer.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace rotom {
+namespace models {
+
+/// Seq2seq hyper-parameters. Our stand-in for the T5-base backbone the
+/// paper fine-tunes for InvDA (DESIGN.md, Substitutions).
+struct Seq2SeqConfig {
+  int64_t max_src_len = 48;
+  int64_t max_tgt_len = 48;
+  int64_t dim = 64;
+  int64_t num_heads = 2;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  float dropout = 0.1f;
+};
+
+/// Sampling options for generation: top-k over the top-p nucleus, as the
+/// paper uses (Section 6.1: top-k sampling with k=120 over the top 98% most
+/// likely tokens; k scaled to our vocabulary size).
+struct SamplingOptions {
+  int64_t top_k = 20;
+  double top_p = 0.98;
+  int64_t max_len = 48;
+};
+
+/// Transformer encoder-decoder trained to map corrupted sequences back to
+/// originals (InvDA, paper Section 3).
+class Seq2SeqModel : public nn::Module {
+ public:
+  Seq2SeqModel(const Seq2SeqConfig& config,
+               std::shared_ptr<const text::Vocabulary> vocab, Rng& rng);
+
+  /// Teacher-forced mean token loss on a batch of (source, target) strings.
+  Variable Loss(const std::vector<std::pair<std::string, std::string>>& pairs,
+                Rng& rng) const;
+
+  /// Samples one output per source string (batched decoding). Determinism:
+  /// depends only on `rng` and parameters; set eval mode first.
+  std::vector<std::string> GenerateBatch(const std::vector<std::string>& sources,
+                                         const SamplingOptions& options,
+                                         Rng& rng) const;
+
+  /// Convenience wrapper around GenerateBatch for one input.
+  std::string Generate(const std::string& source,
+                       const SamplingOptions& options, Rng& rng) const;
+
+  /// Deterministic beam-search decode (an extension beyond the paper's
+  /// top-k sampling; useful when the single most faithful reconstruction is
+  /// wanted, e.g. for inspecting what InvDA learned). Returns the highest
+  /// log-probability completion.
+  std::string GenerateBeam(const std::string& source, int64_t beam_width,
+                           int64_t max_len) const;
+
+  const Seq2SeqConfig& config() const { return config_; }
+  const text::Vocabulary& vocab() const { return *vocab_; }
+
+ private:
+  Seq2SeqConfig config_;
+  std::shared_ptr<const text::Vocabulary> vocab_;
+  nn::TransformerEncoder encoder_;
+  nn::TransformerDecoder decoder_;
+};
+
+}  // namespace models
+}  // namespace rotom
+
+#endif  // ROTOM_MODELS_SEQ2SEQ_H_

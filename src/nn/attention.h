@@ -1,0 +1,40 @@
+#ifndef ROTOM_NN_ATTENTION_H_
+#define ROTOM_NN_ATTENTION_H_
+
+#include "nn/layers.h"
+
+namespace rotom {
+namespace nn {
+
+/// Converts a validity mask [B,S] (1 = real token, 0 = padding) into an
+/// additive attention bias (0 for valid keys, -1e9 for padding).
+Tensor MaskToAttentionBias(const Tensor& mask);
+
+/// Multi-head scaled-dot-product attention (as in "Attention Is All You
+/// Need"). Supports self-attention, cross-attention, padding masks, and a
+/// causal mask for decoding.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int64_t dim, int64_t num_heads, float dropout, Rng& rng);
+
+  /// query_in [B,Tq,d], kv_in [B,Ts,d]; key_bias [B,Ts] additive bias over
+  /// keys (use MaskToAttentionBias); causal adds a lower-triangular mask.
+  /// `rng` drives attention dropout when training.
+  Variable Forward(const Variable& query_in, const Variable& kv_in,
+                   const Tensor& key_bias, bool causal, Rng& rng) const;
+
+ private:
+  int64_t dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  float dropout_;
+  Linear q_proj_;
+  Linear k_proj_;
+  Linear v_proj_;
+  Linear out_proj_;
+};
+
+}  // namespace nn
+}  // namespace rotom
+
+#endif  // ROTOM_NN_ATTENTION_H_

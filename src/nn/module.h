@@ -1,0 +1,72 @@
+#ifndef ROTOM_NN_MODULE_H_
+#define ROTOM_NN_MODULE_H_
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/serialize.h"
+#include "tensor/variable.h"
+
+namespace rotom {
+namespace nn {
+
+/// Base class for neural-network building blocks. A module owns leaf
+/// parameter Variables (requires_grad=true) and may register child modules;
+/// Parameters() flattens the tree for the optimizer, StateDict() produces a
+/// named checkpoint (dotted paths, as in PyTorch).
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<Variable> Parameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+  /// Clears gradients of every parameter.
+  void ZeroGrad() const;
+
+  /// Sets training/eval mode recursively (affects dropout).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Named parameter snapshot; names are dotted paths rooted at `prefix`.
+  NamedTensors StateDict(const std::string& prefix = "") const;
+
+  /// Copies values from a checkpoint produced by StateDict() of an
+  /// identically-structured module. CHECK-fails on name/shape mismatch.
+  void LoadStateDict(const NamedTensors& state, const std::string& prefix = "");
+
+  /// Deep-copies parameter values from another identically-structured module.
+  void CopyParametersFrom(const Module& other);
+
+ protected:
+  /// Registers a trainable parameter initialized with `init` and returns a
+  /// reference valid for the module's lifetime.
+  Variable& RegisterParameter(std::string name, Tensor init);
+
+  /// Registers a child module (not owned).
+  void RegisterSubmodule(std::string name, Module* module);
+
+ private:
+  struct NamedParam {
+    std::string name;
+    Variable var;
+  };
+
+  std::deque<NamedParam> params_;  // deque: stable references
+  std::vector<std::pair<std::string, Module*>> submodules_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace rotom
+
+#endif  // ROTOM_NN_MODULE_H_

@@ -1,0 +1,80 @@
+#ifndef ROTOM_NN_OPTIM_H_
+#define ROTOM_NN_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace rotom {
+namespace nn {
+
+/// Base class for gradient-descent optimizers over a fixed parameter set.
+/// Parameters without an accumulated gradient are skipped by Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (const auto& p : params_) p.ZeroGrad();
+  }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional decoupled weight
+/// decay; the paper fine-tunes all models with Adam at lr 3e-5.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm);
+
+}  // namespace nn
+}  // namespace rotom
+
+#endif  // ROTOM_NN_OPTIM_H_

@@ -1,0 +1,172 @@
+#include "nn/transformer.h"
+
+namespace rotom {
+namespace nn {
+
+namespace {
+
+std::vector<int64_t> PositionIds(int64_t batch, int64_t seq_len,
+                                 int64_t max_seq_len) {
+  ROTOM_CHECK_LE(seq_len, max_seq_len);
+  std::vector<int64_t> pos(batch * seq_len);
+  for (int64_t b = 0; b < batch; ++b)
+    for (int64_t t = 0; t < seq_len; ++t) pos[b * seq_len + t] = t;
+  return pos;
+}
+
+}  // namespace
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const TransformerConfig& config, Rng& rng)
+    : dropout_(config.dropout),
+      attn_(config.dim, config.num_heads, config.dropout, rng),
+      ffn_(config.dim, config.ffn_dim, rng),
+      norm1_(config.dim),
+      norm2_(config.dim) {
+  RegisterSubmodule("attn", &attn_);
+  RegisterSubmodule("ffn", &ffn_);
+  RegisterSubmodule("norm1", &norm1_);
+  RegisterSubmodule("norm2", &norm2_);
+}
+
+Variable TransformerEncoderLayer::Forward(const Variable& x,
+                                          const Tensor& key_bias,
+                                          Rng& rng) const {
+  Variable attn_out = attn_.Forward(x, x, key_bias, /*causal=*/false, rng);
+  Variable h =
+      norm1_.Forward(ops::Add(x, ops::Dropout(attn_out, dropout_, rng, training())));
+  Variable ffn_out = ffn_.Forward(h);
+  return norm2_.Forward(
+      ops::Add(h, ops::Dropout(ffn_out, dropout_, rng, training())));
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       Rng& rng)
+    : config_(config),
+      token_emb_(config.vocab_size, config.dim, rng),
+      pos_emb_(config.max_seq_len, config.dim, rng),
+      flag_emb_(2, config.dim, rng),
+      emb_norm_(config.dim) {
+  ROTOM_CHECK_GT(config.vocab_size, 0);
+  RegisterSubmodule("token_emb", &token_emb_);
+  RegisterSubmodule("pos_emb", &pos_emb_);
+  RegisterSubmodule("flag_emb", &flag_emb_);
+  RegisterSubmodule("emb_norm", &emb_norm_);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, rng));
+    RegisterSubmodule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Variable TransformerEncoder::Forward(const std::vector<int64_t>& ids,
+                                     int64_t batch, int64_t seq_len,
+                                     const Tensor& mask, Rng& rng,
+                                     const std::vector<int64_t>* flags) const {
+  ROTOM_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * seq_len);
+  ROTOM_CHECK_EQ(mask.size(0), batch);
+  ROTOM_CHECK_EQ(mask.size(1), seq_len);
+
+  Variable tok = token_emb_.Forward(ids);
+  Variable pos =
+      pos_emb_.Forward(PositionIds(batch, seq_len, config_.max_seq_len));
+  Variable sum = ops::Add(tok, pos);
+  if (flags != nullptr) {
+    ROTOM_CHECK_EQ(flags->size(), ids.size());
+    sum = ops::Add(sum, flag_emb_.Forward(*flags));
+  }
+  Variable x = ops::Reshape(sum, {batch, seq_len, config_.dim});
+  x = emb_norm_.Forward(x);
+  x = ops::Dropout(x, config_.dropout, rng, training());
+
+  const Tensor key_bias = MaskToAttentionBias(mask);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, key_bias, rng);
+  }
+  return x;
+}
+
+Variable TransformerEncoder::EncodeCls(const std::vector<int64_t>& ids,
+                                       int64_t batch, int64_t seq_len,
+                                       const Tensor& mask, Rng& rng,
+                                       const std::vector<int64_t>* flags) const {
+  return ops::SelectIndex(Forward(ids, batch, seq_len, mask, rng, flags), 1,
+                          0);
+}
+
+TransformerDecoderLayer::TransformerDecoderLayer(
+    const TransformerConfig& config, Rng& rng)
+    : dropout_(config.dropout),
+      self_attn_(config.dim, config.num_heads, config.dropout, rng),
+      cross_attn_(config.dim, config.num_heads, config.dropout, rng),
+      ffn_(config.dim, config.ffn_dim, rng),
+      norm1_(config.dim),
+      norm2_(config.dim),
+      norm3_(config.dim) {
+  RegisterSubmodule("self_attn", &self_attn_);
+  RegisterSubmodule("cross_attn", &cross_attn_);
+  RegisterSubmodule("ffn", &ffn_);
+  RegisterSubmodule("norm1", &norm1_);
+  RegisterSubmodule("norm2", &norm2_);
+  RegisterSubmodule("norm3", &norm3_);
+}
+
+Variable TransformerDecoderLayer::Forward(const Variable& x,
+                                          const Tensor& self_key_bias,
+                                          const Variable& memory,
+                                          const Tensor& memory_key_bias,
+                                          Rng& rng) const {
+  Variable self_out =
+      self_attn_.Forward(x, x, self_key_bias, /*causal=*/true, rng);
+  Variable h = norm1_.Forward(
+      ops::Add(x, ops::Dropout(self_out, dropout_, rng, training())));
+  Variable cross_out =
+      cross_attn_.Forward(h, memory, memory_key_bias, /*causal=*/false, rng);
+  h = norm2_.Forward(
+      ops::Add(h, ops::Dropout(cross_out, dropout_, rng, training())));
+  Variable ffn_out = ffn_.Forward(h);
+  return norm3_.Forward(
+      ops::Add(h, ops::Dropout(ffn_out, dropout_, rng, training())));
+}
+
+TransformerDecoder::TransformerDecoder(const TransformerConfig& config,
+                                       Rng& rng)
+    : config_(config),
+      token_emb_(config.vocab_size, config.dim, rng),
+      pos_emb_(config.max_seq_len, config.dim, rng),
+      emb_norm_(config.dim),
+      vocab_proj_(config.dim, config.vocab_size, rng) {
+  ROTOM_CHECK_GT(config.vocab_size, 0);
+  RegisterSubmodule("token_emb", &token_emb_);
+  RegisterSubmodule("pos_emb", &pos_emb_);
+  RegisterSubmodule("emb_norm", &emb_norm_);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerDecoderLayer>(config, rng));
+    RegisterSubmodule("layer" + std::to_string(i), layers_.back().get());
+  }
+  RegisterSubmodule("vocab_proj", &vocab_proj_);
+}
+
+Variable TransformerDecoder::Forward(const std::vector<int64_t>& ids,
+                                     int64_t batch, int64_t seq_len,
+                                     const Tensor& target_mask,
+                                     const Variable& memory,
+                                     const Tensor& memory_mask,
+                                     Rng& rng) const {
+  ROTOM_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * seq_len);
+  Variable tok = token_emb_.Forward(ids);
+  Variable pos =
+      pos_emb_.Forward(PositionIds(batch, seq_len, config_.max_seq_len));
+  Variable x = ops::Reshape(ops::Add(tok, pos), {batch, seq_len, config_.dim});
+  x = emb_norm_.Forward(x);
+  x = ops::Dropout(x, config_.dropout, rng, training());
+
+  const Tensor self_bias = MaskToAttentionBias(target_mask);
+  const Tensor mem_bias = MaskToAttentionBias(memory_mask);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, self_bias, memory, mem_bias, rng);
+  }
+  return vocab_proj_.Forward(x);
+}
+
+}  // namespace nn
+}  // namespace rotom

@@ -1,0 +1,121 @@
+#ifndef ROTOM_NN_TRANSFORMER_H_
+#define ROTOM_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+
+namespace rotom {
+namespace nn {
+
+/// Hyper-parameters shared by the encoder and decoder stacks. The defaults
+/// are the scaled-down "pre-trained LM" configuration this reproduction uses
+/// in place of RoBERTa/DistilBERT (see DESIGN.md, Substitutions).
+struct TransformerConfig {
+  int64_t vocab_size = 0;  // required
+  int64_t dim = 64;
+  int64_t num_heads = 2;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  int64_t max_seq_len = 64;
+  float dropout = 0.1f;
+};
+
+/// One post-LN encoder block: x = LN(x + Drop(MHA(x))); x = LN(x + Drop(FF(x))).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& config, Rng& rng);
+
+  Variable Forward(const Variable& x, const Tensor& key_bias, Rng& rng) const;
+
+ private:
+  float dropout_;
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+  LayerNormLayer norm1_;
+  LayerNormLayer norm2_;
+};
+
+/// Token + learned-position embeddings followed by a stack of encoder
+/// layers. The [CLS]-style summary vector is row 0 of the output.
+///
+/// An optional per-token binary "flag" stream adds a third learned embedding
+/// (like BERT's segment embeddings). The sequence classifier uses it to mark
+/// tokens that occur on both sides of a [SEP]-separated pair — an input-level
+/// inductive bias standing in for the cross-sequence comparison ability that
+/// large pre-trained LMs bring to entity matching (DESIGN.md).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng& rng);
+
+  /// ids: flattened [batch * seq_len] token ids; mask [batch, seq_len] with
+  /// 1 for real tokens; flags (optional): flattened [batch * seq_len] values
+  /// in {0, 1}. Returns hidden states [batch, seq_len, dim].
+  Variable Forward(const std::vector<int64_t>& ids, int64_t batch,
+                   int64_t seq_len, const Tensor& mask, Rng& rng,
+                   const std::vector<int64_t>* flags = nullptr) const;
+
+  /// Convenience: Forward then select position 0 -> [batch, dim].
+  Variable EncodeCls(const std::vector<int64_t>& ids, int64_t batch,
+                     int64_t seq_len, const Tensor& mask, Rng& rng,
+                     const std::vector<int64_t>* flags = nullptr) const;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  EmbeddingLayer token_emb_;
+  EmbeddingLayer pos_emb_;
+  EmbeddingLayer flag_emb_;
+  LayerNormLayer emb_norm_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+/// One decoder block: causal self-attention, cross-attention over encoder
+/// memory, feed-forward; post-LN residuals throughout.
+class TransformerDecoderLayer : public Module {
+ public:
+  TransformerDecoderLayer(const TransformerConfig& config, Rng& rng);
+
+  Variable Forward(const Variable& x, const Tensor& self_key_bias,
+                   const Variable& memory, const Tensor& memory_key_bias,
+                   Rng& rng) const;
+
+ private:
+  float dropout_;
+  MultiHeadAttention self_attn_;
+  MultiHeadAttention cross_attn_;
+  FeedForward ffn_;
+  LayerNormLayer norm1_;
+  LayerNormLayer norm2_;
+  LayerNormLayer norm3_;
+};
+
+/// Decoder stack with an output projection to vocabulary logits.
+class TransformerDecoder : public Module {
+ public:
+  TransformerDecoder(const TransformerConfig& config, Rng& rng);
+
+  /// ids: flattened [batch * seq_len] target-side ids (teacher forcing
+  /// inputs); returns logits [batch, seq_len, vocab].
+  Variable Forward(const std::vector<int64_t>& ids, int64_t batch,
+                   int64_t seq_len, const Tensor& target_mask,
+                   const Variable& memory, const Tensor& memory_mask,
+                   Rng& rng) const;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  EmbeddingLayer token_emb_;
+  EmbeddingLayer pos_emb_;
+  LayerNormLayer emb_norm_;
+  std::vector<std::unique_ptr<TransformerDecoderLayer>> layers_;
+  Linear vocab_proj_;
+};
+
+}  // namespace nn
+}  // namespace rotom
+
+#endif  // ROTOM_NN_TRANSFORMER_H_

@@ -1,0 +1,891 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace rotom {
+namespace ops {
+
+using internal_autograd::MakeNode;
+using internal_autograd::VariableImpl;
+
+namespace {
+
+using ImplPtr = std::shared_ptr<VariableImpl>;
+
+// C[m,n] += A[m,k] * B[k,n]
+void GemmAB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (int64_t l = 0; l < k; ++l) {
+      const float av = a_row[l];
+      if (av == 0.0f) continue;
+      const float* b_row = b + l * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// C[m,n] += A[m,k] * B^T where B is [n,k]
+void GemmABT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t l = 0; l < k; ++l) acc += a_row[l] * b_row[l];
+      c_row[j] += acc;
+    }
+  }
+}
+
+// C[k,n] += A^T * B where A is [m,k], B is [m,n]
+void GemmATB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (int64_t l = 0; l < k; ++l) {
+      const float av = a_row[l];
+      if (av == 0.0f) continue;
+      float* c_row = c + l * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+bool SameShape(const Variable& a, const Variable& b) {
+  return a.value().shape() == b.value().shape();
+}
+
+// True if `suffix` equals the trailing dims of `shape`.
+bool IsSuffixShape(const std::vector<int64_t>& shape,
+                   const std::vector<int64_t>& suffix) {
+  if (suffix.size() > shape.size()) return false;
+  const size_t off = shape.size() - suffix.size();
+  for (size_t i = 0; i < suffix.size(); ++i)
+    if (shape[off + i] != suffix[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  const int64_t c = logits.size(-1);
+  const int64_t rows = logits.size() / c;
+  Tensor out(logits.shape());
+  const float* in = logits.data();
+  float* o = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = in + r * c;
+    float* orow = o + r * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    for (int64_t j = 0; j < c; ++j) orow[j] /= sum;
+  }
+  return out;
+}
+
+Tensor TransposeCopy(const Tensor& in, int64_t d0, int64_t d1) {
+  const int64_t nd = in.dim();
+  if (d0 < 0) d0 += nd;
+  if (d1 < 0) d1 += nd;
+  ROTOM_CHECK_GE(d0, 0);
+  ROTOM_CHECK_LT(d0, nd);
+  ROTOM_CHECK_GE(d1, 0);
+  ROTOM_CHECK_LT(d1, nd);
+  if (d0 == d1) return in.Clone();
+  if (d0 > d1) std::swap(d0, d1);
+
+  std::vector<int64_t> out_shape = in.shape();
+  std::swap(out_shape[d0], out_shape[d1]);
+
+  // Decompose the index space as [outer, I, mid, J, inner] where I and J are
+  // the swapped dimensions.
+  int64_t outer = 1, mid = 1, inner = 1;
+  for (int64_t d = 0; d < d0; ++d) outer *= in.size(d);
+  for (int64_t d = d0 + 1; d < d1; ++d) mid *= in.size(d);
+  for (int64_t d = d1 + 1; d < nd; ++d) inner *= in.size(d);
+  const int64_t di = in.size(d0);
+  const int64_t dj = in.size(d1);
+
+  Tensor out(out_shape);
+  const float* src = in.data();
+  float* dst = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < di; ++i) {
+      for (int64_t m = 0; m < mid; ++m) {
+        for (int64_t j = 0; j < dj; ++j) {
+          const float* s = src + (((o * di + i) * mid + m) * dj + j) * inner;
+          float* t = dst + (((o * dj + j) * mid + m) * di + i) * inner;
+          std::memcpy(t, s, sizeof(float) * inner);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  const auto& as = a.value().shape();
+  const auto& bs = b.value().shape();
+  ROTOM_CHECK_MSG(IsSuffixShape(as, bs), "Add: b must match a's trailing dims");
+  Tensor out = a.value().Clone();
+  const int64_t nb = b.value().size();
+  const int64_t reps = out.size() / nb;
+  {
+    float* o = out.data();
+    const float* bd = b.value().data();
+    for (int64_t r = 0; r < reps; ++r)
+      for (int64_t i = 0; i < nb; ++i) o[r * nb + i] += bd[i];
+  }
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeNode(std::move(out), {pa, pb}, [pa, pb, nb, reps](VariableImpl& n) {
+    const float* g = n.grad.data();
+    if (pa->requires_grad) pa->MutableGrad().AddInPlace(n.grad);
+    if (pb->requires_grad) {
+      float* gb = pb->MutableGrad().data();
+      for (int64_t r = 0; r < reps; ++r)
+        for (int64_t i = 0; i < nb; ++i) gb[i] += g[r * nb + i];
+    }
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  ROTOM_CHECK(SameShape(a, b));
+  Tensor out = a.value().Clone();
+  out.AddScaled(b.value(), -1.0f);
+  ImplPtr pa = a.impl(), pb = b.impl();
+  return MakeNode(std::move(out), {pa, pb}, [pa, pb](VariableImpl& n) {
+    if (pa->requires_grad) pa->MutableGrad().AddInPlace(n.grad);
+    if (pb->requires_grad) pb->MutableGrad().AddScaled(n.grad, -1.0f);
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  ROTOM_CHECK(SameShape(a, b));
+  Tensor out(a.value().shape());
+  const int64_t num = out.size();
+  {
+    float* o = out.data();
+    const float* x = a.value().data();
+    const float* y = b.value().data();
+    for (int64_t i = 0; i < num; ++i) o[i] = x[i] * y[i];
+  }
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor av = a.value(), bv = b.value();
+  return MakeNode(std::move(out), {pa, pb},
+                  [pa, pb, av, bv, num](VariableImpl& n) {
+                    const float* g = n.grad.data();
+                    if (pa->requires_grad) {
+                      float* ga = pa->MutableGrad().data();
+                      const float* y = bv.data();
+                      for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * y[i];
+                    }
+                    if (pb->requires_grad) {
+                      float* gb = pb->MutableGrad().data();
+                      const float* x = av.data();
+                      for (int64_t i = 0; i < num; ++i) gb[i] += g[i] * x[i];
+                    }
+                  });
+}
+
+Variable Scale(const Variable& a, float c) {
+  Tensor out = a.value().Clone();
+  out.Scale(c);
+  ImplPtr pa = a.impl();
+  return MakeNode(std::move(out), {pa}, [pa, c](VariableImpl& n) {
+    if (pa->requires_grad) pa->MutableGrad().AddScaled(n.grad, c);
+  });
+}
+
+Variable AddScalar(const Variable& a, float c) {
+  Tensor out = a.value().Clone();
+  float* o = out.data();
+  for (int64_t i = 0; i < out.size(); ++i) o[i] += c;
+  ImplPtr pa = a.impl();
+  return MakeNode(std::move(out), {pa}, [pa](VariableImpl& n) {
+    if (pa->requires_grad) pa->MutableGrad().AddInPlace(n.grad);
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  const auto& as = a.value().shape();
+  const auto& bs = b.value().shape();
+  ROTOM_CHECK_GE(as.size(), 2u);
+  ROTOM_CHECK_GE(bs.size(), 2u);
+  const int64_t m = as[as.size() - 2];
+  const int64_t k = as[as.size() - 1];
+  const int64_t k2 = bs[bs.size() - 2];
+  const int64_t n = bs[bs.size() - 1];
+  ROTOM_CHECK_MSG(k == k2, "MatMul: inner dims differ");
+
+  int64_t batch = 1;
+  for (size_t d = 0; d + 2 < as.size(); ++d) batch *= as[d];
+  const bool shared_b = bs.size() == 2 && as.size() > 2;
+  if (!shared_b && as.size() != bs.size()) {
+    ROTOM_CHECK_MSG(false, "MatMul: incompatible ranks");
+  }
+  if (!shared_b) {
+    for (size_t d = 0; d + 2 < as.size(); ++d) ROTOM_CHECK_EQ(as[d], bs[d]);
+  }
+
+  std::vector<int64_t> out_shape(as.begin(), as.end() - 2);
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+  {
+    const float* ad = a.value().data();
+    const float* bd = b.value().data();
+    float* od = out.data();
+    for (int64_t s = 0; s < batch; ++s) {
+      GemmAB(ad + s * m * k, shared_b ? bd : bd + s * k * n, od + s * m * n, m,
+             k, n);
+    }
+  }
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor av = a.value(), bv = b.value();
+  return MakeNode(
+      std::move(out), {pa, pb},
+      [pa, pb, av, bv, m, k, n, batch, shared_b](VariableImpl& node) {
+        const float* g = node.grad.data();
+        if (pa->requires_grad) {
+          float* ga = pa->MutableGrad().data();
+          const float* bd = bv.data();
+          for (int64_t s = 0; s < batch; ++s) {
+            GemmABT(g + s * m * n, shared_b ? bd : bd + s * k * n,
+                    ga + s * m * k, m, n, k);
+          }
+        }
+        if (pb->requires_grad) {
+          float* gb = pb->MutableGrad().data();
+          const float* ad = av.data();
+          for (int64_t s = 0; s < batch; ++s) {
+            GemmATB(ad + s * m * k, g + s * m * n,
+                    shared_b ? gb : gb + s * k * n, m, k, n);
+          }
+        }
+      });
+}
+
+Variable Transpose(const Variable& a, int64_t d0, int64_t d1) {
+  Tensor out = TransposeCopy(a.value(), d0, d1);
+  ImplPtr pa = a.impl();
+  return MakeNode(std::move(out), {pa}, [pa, d0, d1](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    pa->MutableGrad().AddInPlace(TransposeCopy(n.grad, d1, d0));
+  });
+}
+
+Variable Reshape(const Variable& a, std::vector<int64_t> shape) {
+  Tensor out = a.value().Reshape(std::move(shape));
+  ImplPtr pa = a.impl();
+  const std::vector<int64_t> orig = a.value().shape();
+  return MakeNode(std::move(out), {pa}, [pa, orig](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    pa->MutableGrad().AddInPlace(n.grad.Reshape(orig));
+  });
+}
+
+Variable Softmax(const Variable& a) {
+  Tensor out = SoftmaxRows(a.value());
+  ImplPtr pa = a.impl();
+  Tensor y = out;
+  const int64_t c = out.size(-1);
+  const int64_t rows = out.size() / c;
+  return MakeNode(std::move(out), {pa}, [pa, y, c, rows](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* yd = y.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * c;
+      const float* yr = yd + r * c;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < c; ++j) dot += gr[j] * yr[j];
+      float* gar = ga + r * c;
+      for (int64_t j = 0; j < c; ++j) gar[j] += yr[j] * (gr[j] - dot);
+    }
+  });
+}
+
+Variable LogSoftmax(const Variable& a) {
+  const int64_t c = a.value().size(-1);
+  const int64_t rows = a.value().size() / c;
+  Tensor out(a.value().shape());
+  {
+    const float* in = a.value().data();
+    float* o = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* row = in + r * c;
+      float mx = row[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
+      const float lse = mx + std::log(sum);
+      float* orow = o + r * c;
+      for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
+    }
+  }
+  ImplPtr pa = a.impl();
+  Tensor y = out;
+  return MakeNode(std::move(out), {pa}, [pa, y, c, rows](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* yd = y.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * c;
+      const float* yr = yd + r * c;
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < c; ++j) gsum += gr[j];
+      float* gar = ga + r * c;
+      for (int64_t j = 0; j < c; ++j)
+        gar[j] += gr[j] - std::exp(yr[j]) * gsum;
+    }
+  });
+}
+
+Variable Sum(const Variable& a) {
+  Tensor out = Tensor::Scalar(a.value().Sum());
+  ImplPtr pa = a.impl();
+  return MakeNode(std::move(out), {pa}, [pa](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    const float g = n.grad[0];
+    float* ga = pa->MutableGrad().data();
+    for (int64_t i = 0; i < pa->value.size(); ++i) ga[i] += g;
+  });
+}
+
+Variable Mean(const Variable& a) {
+  const int64_t num = a.value().size();
+  Tensor out = Tensor::Scalar(a.value().Mean());
+  ImplPtr pa = a.impl();
+  return MakeNode(std::move(out), {pa}, [pa, num](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    const float g = n.grad[0] / static_cast<float>(num);
+    float* ga = pa->MutableGrad().data();
+    for (int64_t i = 0; i < num; ++i) ga[i] += g;
+  });
+}
+
+Variable Dot(const Variable& a, const Variable& b) {
+  ROTOM_CHECK_EQ(a.value().dim(), 1);
+  ROTOM_CHECK(SameShape(a, b));
+  const int64_t num = a.value().size();
+  double acc = 0.0;
+  {
+    const float* x = a.value().data();
+    const float* y = b.value().data();
+    for (int64_t i = 0; i < num; ++i) acc += static_cast<double>(x[i]) * y[i];
+  }
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor av = a.value(), bv = b.value();
+  return MakeNode(Tensor::Scalar(static_cast<float>(acc)), {pa, pb},
+                  [pa, pb, av, bv](VariableImpl& n) {
+                    const float g = n.grad[0];
+                    if (pa->requires_grad) pa->MutableGrad().AddScaled(bv, g);
+                    if (pb->requires_grad) pb->MutableGrad().AddScaled(av, g);
+                  });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor out = a.value().Clone();
+  float* o = out.data();
+  const int64_t num = out.size();
+  for (int64_t i = 0; i < num; ++i) o[i] = o[i] > 0.0f ? o[i] : 0.0f;
+  ImplPtr pa = a.impl();
+  Tensor av = a.value();
+  return MakeNode(std::move(out), {pa}, [pa, av, num](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* x = av.data();
+    for (int64_t i = 0; i < num; ++i)
+      if (x[i] > 0.0f) ga[i] += g[i];
+  });
+}
+
+Variable Abs(const Variable& a) {
+  const int64_t num = a.value().size();
+  Tensor out(a.value().shape());
+  {
+    const float* x = a.value().data();
+    float* o = out.data();
+    for (int64_t i = 0; i < num; ++i) o[i] = std::fabs(x[i]);
+  }
+  ImplPtr pa = a.impl();
+  Tensor av = a.value();
+  return MakeNode(std::move(out), {pa}, [pa, av, num](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* x = av.data();
+    for (int64_t i = 0; i < num; ++i) {
+      if (x[i] > 0.0f) ga[i] += g[i];
+      else if (x[i] < 0.0f) ga[i] -= g[i];
+    }
+  });
+}
+
+Variable Gelu(const Variable& a) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  constexpr float kCubic = 0.044715f;
+  const int64_t num = a.value().size();
+  Tensor out(a.value().shape());
+  {
+    const float* x = a.value().data();
+    float* o = out.data();
+    for (int64_t i = 0; i < num; ++i) {
+      const float u = kSqrt2OverPi * (x[i] + kCubic * x[i] * x[i] * x[i]);
+      o[i] = 0.5f * x[i] * (1.0f + std::tanh(u));
+    }
+  }
+  ImplPtr pa = a.impl();
+  Tensor av = a.value();
+  return MakeNode(std::move(out), {pa}, [pa, av, num](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* x = av.data();
+    for (int64_t i = 0; i < num; ++i) {
+      const float xi = x[i];
+      const float u = kSqrt2OverPi * (xi + kCubic * xi * xi * xi);
+      const float t = std::tanh(u);
+      const float du = kSqrt2OverPi * (1.0f + 3.0f * kCubic * xi * xi);
+      ga[i] += g[i] * (0.5f * (1.0f + t) + 0.5f * xi * (1.0f - t * t) * du);
+    }
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  const int64_t num = a.value().size();
+  Tensor out(a.value().shape());
+  {
+    const float* x = a.value().data();
+    float* o = out.data();
+    for (int64_t i = 0; i < num; ++i) o[i] = std::tanh(x[i]);
+  }
+  ImplPtr pa = a.impl();
+  Tensor y = out;
+  return MakeNode(std::move(out), {pa}, [pa, y, num](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* yd = y.data();
+    for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * (1.0f - yd[i] * yd[i]);
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  const int64_t num = a.value().size();
+  Tensor out(a.value().shape());
+  {
+    const float* x = a.value().data();
+    float* o = out.data();
+    for (int64_t i = 0; i < num; ++i) o[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  ImplPtr pa = a.impl();
+  Tensor y = out;
+  return MakeNode(std::move(out), {pa}, [pa, y, num](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* yd = y.data();
+    for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * yd[i] * (1.0f - yd[i]);
+  });
+}
+
+Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  ROTOM_CHECK_LT(p, 1.0f);
+  const float keep = 1.0f - p;
+  const float scale = 1.0f / keep;
+  const int64_t num = a.value().size();
+  Tensor mask(a.value().shape());
+  Tensor out(a.value().shape());
+  {
+    const float* x = a.value().data();
+    float* md = mask.data();
+    float* o = out.data();
+    for (int64_t i = 0; i < num; ++i) {
+      md[i] = rng.Bernoulli(keep) ? scale : 0.0f;
+      o[i] = x[i] * md[i];
+    }
+  }
+  ImplPtr pa = a.impl();
+  return MakeNode(std::move(out), {pa}, [pa, mask, num](VariableImpl& n) {
+    if (!pa->requires_grad) return;
+    float* ga = pa->MutableGrad().data();
+    const float* g = n.grad.data();
+    const float* md = mask.data();
+    for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * md[i];
+  });
+}
+
+Variable Embedding(const Variable& table, const std::vector<int64_t>& ids) {
+  ROTOM_CHECK_EQ(table.value().dim(), 2);
+  const int64_t v = table.value().size(0);
+  const int64_t d = table.value().size(1);
+  const int64_t n = static_cast<int64_t>(ids.size());
+  Tensor out({n, d});
+  {
+    const float* t = table.value().data();
+    float* o = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+      ROTOM_CHECK_GE(ids[i], 0);
+      ROTOM_CHECK_LT(ids[i], v);
+      std::memcpy(o + i * d, t + ids[i] * d, sizeof(float) * d);
+    }
+  }
+  ImplPtr pt = table.impl();
+  return MakeNode(std::move(out), {pt}, [pt, ids, d, n](VariableImpl& node) {
+    if (!pt->requires_grad) return;
+    float* gt = pt->MutableGrad().data();
+    const float* g = node.grad.data();
+    for (int64_t i = 0; i < n; ++i) {
+      float* row = gt + ids[i] * d;
+      const float* gr = g + i * d;
+      for (int64_t j = 0; j < d; ++j) row[j] += gr[j];
+    }
+  });
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps) {
+  const int64_t d = x.value().size(-1);
+  ROTOM_CHECK_EQ(gamma.value().size(), d);
+  ROTOM_CHECK_EQ(beta.value().size(), d);
+  const int64_t rows = x.value().size() / d;
+
+  Tensor out(x.value().shape());
+  Tensor xhat(x.value().shape());
+  Tensor inv_std({rows});
+  {
+    const float* in = x.value().data();
+    const float* gm = gamma.value().data();
+    const float* bt = beta.value().data();
+    float* o = out.data();
+    float* xh = xhat.data();
+    float* is = inv_std.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* row = in + r * d;
+      double mu = 0.0;
+      for (int64_t j = 0; j < d; ++j) mu += row[j];
+      mu /= d;
+      double var = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff = row[j] - mu;
+        var += diff * diff;
+      }
+      var /= d;
+      const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+      is[r] = istd;
+      float* xhr = xh + r * d;
+      float* orow = o + r * d;
+      for (int64_t j = 0; j < d; ++j) {
+        xhr[j] = (row[j] - static_cast<float>(mu)) * istd;
+        orow[j] = gm[j] * xhr[j] + bt[j];
+      }
+    }
+  }
+  ImplPtr px = x.impl(), pg = gamma.impl(), pb = beta.impl();
+  Tensor gv = gamma.value();
+  return MakeNode(
+      std::move(out), {px, pg, pb},
+      [px, pg, pb, gv, xhat, inv_std, d, rows](VariableImpl& n) {
+        const float* g = n.grad.data();
+        const float* xh = xhat.data();
+        if (pg->requires_grad || pb->requires_grad) {
+          float* ggm = pg->requires_grad ? pg->MutableGrad().data() : nullptr;
+          float* gbt = pb->requires_grad ? pb->MutableGrad().data() : nullptr;
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* gr = g + r * d;
+            const float* xhr = xh + r * d;
+            for (int64_t j = 0; j < d; ++j) {
+              if (ggm != nullptr) ggm[j] += gr[j] * xhr[j];
+              if (gbt != nullptr) gbt[j] += gr[j];
+            }
+          }
+        }
+        if (px->requires_grad) {
+          float* gx = px->MutableGrad().data();
+          const float* gm = gv.data();
+          const float* is = inv_std.data();
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* gr = g + r * d;
+            const float* xhr = xh + r * d;
+            // dxhat = dy * gamma; dx = (dxhat - mean(dxhat)
+            //        - xhat * mean(dxhat*xhat)) * inv_std
+            double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+            for (int64_t j = 0; j < d; ++j) {
+              const double dxh = static_cast<double>(gr[j]) * gm[j];
+              sum_dxhat += dxh;
+              sum_dxhat_xhat += dxh * xhr[j];
+            }
+            const float mean_dxhat = static_cast<float>(sum_dxhat / d);
+            const float mean_dxhat_xhat =
+                static_cast<float>(sum_dxhat_xhat / d);
+            float* gxr = gx + r * d;
+            for (int64_t j = 0; j < d; ++j) {
+              const float dxh = gr[j] * gm[j];
+              gxr[j] +=
+                  (dxh - mean_dxhat - xhr[j] * mean_dxhat_xhat) * is[r];
+            }
+          }
+        }
+      });
+}
+
+Variable ConcatLastDim(const std::vector<Variable>& parts) {
+  ROTOM_CHECK(!parts.empty());
+  const auto& first_shape = parts[0].value().shape();
+  std::vector<int64_t> lead(first_shape.begin(), first_shape.end() - 1);
+  int64_t total_last = 0;
+  int64_t rows = 1;
+  for (int64_t d : lead) rows *= d;
+  std::vector<int64_t> widths;
+  for (const auto& p : parts) {
+    const auto& s = p.value().shape();
+    ROTOM_CHECK_EQ(s.size(), first_shape.size());
+    for (size_t d = 0; d + 1 < s.size(); ++d) ROTOM_CHECK_EQ(s[d], lead[d]);
+    widths.push_back(s.back());
+    total_last += s.back();
+  }
+  std::vector<int64_t> out_shape = lead;
+  out_shape.push_back(total_last);
+  Tensor out(out_shape);
+  {
+    float* o = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      int64_t off = 0;
+      for (size_t p = 0; p < parts.size(); ++p) {
+        const float* src = parts[p].value().data() + r * widths[p];
+        std::memcpy(o + r * total_last + off, src,
+                    sizeof(float) * widths[p]);
+        off += widths[p];
+      }
+    }
+  }
+  std::vector<ImplPtr> impls;
+  for (const auto& p : parts) impls.push_back(p.impl());
+  return MakeNode(std::move(out), impls,
+                  [impls, widths, rows, total_last](VariableImpl& n) {
+                    const float* g = n.grad.data();
+                    int64_t off = 0;
+                    for (size_t p = 0; p < impls.size(); ++p) {
+                      const int64_t w = widths[p];
+                      if (impls[p]->requires_grad) {
+                        float* gp = impls[p]->MutableGrad().data();
+                        for (int64_t r = 0; r < rows; ++r) {
+                          const float* gr = g + r * total_last + off;
+                          float* gpr = gp + r * w;
+                          for (int64_t j = 0; j < w; ++j) gpr[j] += gr[j];
+                        }
+                      }
+                      off += w;
+                    }
+                  });
+}
+
+Variable SelectIndex(const Variable& x, int64_t dim, int64_t index) {
+  const int64_t nd = x.value().dim();
+  if (dim < 0) dim += nd;
+  ROTOM_CHECK_GE(dim, 0);
+  ROTOM_CHECK_LT(dim, nd);
+  const int64_t extent = x.value().size(dim);
+  ROTOM_CHECK_GE(index, 0);
+  ROTOM_CHECK_LT(index, extent);
+
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < dim; ++d) outer *= x.value().size(d);
+  for (int64_t d = dim + 1; d < nd; ++d) inner *= x.value().size(d);
+
+  std::vector<int64_t> out_shape;
+  for (int64_t d = 0; d < nd; ++d)
+    if (d != dim) out_shape.push_back(x.value().size(d));
+  if (out_shape.empty()) out_shape.push_back(1);
+
+  Tensor out(out_shape);
+  {
+    const float* in = x.value().data();
+    float* o = out.data();
+    for (int64_t a = 0; a < outer; ++a) {
+      std::memcpy(o + a * inner, in + (a * extent + index) * inner,
+                  sizeof(float) * inner);
+    }
+  }
+  ImplPtr px = x.impl();
+  return MakeNode(std::move(out), {px},
+                  [px, outer, inner, extent, index](VariableImpl& n) {
+                    if (!px->requires_grad) return;
+                    float* gx = px->MutableGrad().data();
+                    const float* g = n.grad.data();
+                    for (int64_t a = 0; a < outer; ++a) {
+                      float* dst = gx + (a * extent + index) * inner;
+                      const float* src = g + a * inner;
+                      for (int64_t j = 0; j < inner; ++j) dst[j] += src[j];
+                    }
+                  });
+}
+
+Variable AddSequenceMask(const Variable& scores, const Tensor& bias) {
+  ROTOM_CHECK_EQ(bias.dim(), 2);
+  const int64_t b = bias.size(0);
+  const int64_t s = bias.size(1);
+  ROTOM_CHECK_EQ(scores.value().size(0), b);
+  ROTOM_CHECK_EQ(scores.value().size(-1), s);
+  const int64_t mid = scores.value().size() / (b * s);
+
+  Tensor out = scores.value().Clone();
+  {
+    float* o = out.data();
+    const float* bd = bias.data();
+    for (int64_t i = 0; i < b; ++i) {
+      const float* brow = bd + i * s;
+      for (int64_t m = 0; m < mid; ++m) {
+        float* row = o + (i * mid + m) * s;
+        for (int64_t j = 0; j < s; ++j) row[j] += brow[j];
+      }
+    }
+  }
+  ImplPtr ps = scores.impl();
+  return MakeNode(std::move(out), {ps}, [ps](VariableImpl& n) {
+    if (ps->requires_grad) ps->MutableGrad().AddInPlace(n.grad);
+  });
+}
+
+Variable AddCausalMask(const Variable& scores) {
+  ROTOM_CHECK_GE(scores.value().dim(), 2);
+  const int64_t s = scores.value().size(-1);
+  const int64_t t = scores.value().size(-2);
+  const int64_t mats = scores.value().size() / (t * s);
+  Tensor out = scores.value().Clone();
+  float* o = out.data();
+  for (int64_t m = 0; m < mats; ++m) {
+    float* mat = o + m * t * s;
+    for (int64_t i = 0; i < t; ++i) {
+      for (int64_t j = i + 1; j < s; ++j) mat[i * s + j] += -1e9f;
+    }
+  }
+  ImplPtr ps = scores.impl();
+  return MakeNode(std::move(out), {ps}, [ps](VariableImpl& n) {
+    if (ps->requires_grad) ps->MutableGrad().AddInPlace(n.grad);
+  });
+}
+
+Variable CrossEntropyPerExample(const Variable& logits,
+                                const std::vector<int64_t>& labels) {
+  ROTOM_CHECK_EQ(logits.value().dim(), 2);
+  const int64_t b = logits.value().size(0);
+  const int64_t c = logits.value().size(1);
+  ROTOM_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+
+  Tensor probs = SoftmaxRows(logits.value());
+  Tensor out({b});
+  {
+    const float* p = probs.data();
+    float* o = out.data();
+    for (int64_t i = 0; i < b; ++i) {
+      ROTOM_CHECK_GE(labels[i], 0);
+      ROTOM_CHECK_LT(labels[i], c);
+      const float pi = std::max(p[i * c + labels[i]], 1e-12f);
+      o[i] = -std::log(pi);
+    }
+  }
+  ImplPtr pl = logits.impl();
+  return MakeNode(std::move(out), {pl},
+                  [pl, probs, labels, b, c](VariableImpl& n) {
+                    if (!pl->requires_grad) return;
+                    float* gl = pl->MutableGrad().data();
+                    const float* g = n.grad.data();
+                    const float* p = probs.data();
+                    for (int64_t i = 0; i < b; ++i) {
+                      const float gi = g[i];
+                      float* row = gl + i * c;
+                      const float* prow = p + i * c;
+                      for (int64_t j = 0; j < c; ++j) row[j] += gi * prow[j];
+                      row[labels[i]] -= gi;
+                    }
+                  });
+}
+
+Variable CrossEntropyMean(const Variable& logits,
+                          const std::vector<int64_t>& labels) {
+  return Mean(CrossEntropyPerExample(logits, labels));
+}
+
+Variable SoftCrossEntropyPerExample(const Variable& logits,
+                                    const Tensor& target_probs) {
+  ROTOM_CHECK_EQ(logits.value().dim(), 2);
+  ROTOM_CHECK(logits.value().shape() == target_probs.shape());
+  const int64_t b = logits.value().size(0);
+  const int64_t c = logits.value().size(1);
+
+  Tensor probs = SoftmaxRows(logits.value());
+  Tensor out({b});
+  {
+    const float* p = probs.data();
+    const float* q = target_probs.data();
+    float* o = out.data();
+    for (int64_t i = 0; i < b; ++i) {
+      double loss = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        const float pij = std::max(p[i * c + j], 1e-12f);
+        loss -= static_cast<double>(q[i * c + j]) * std::log(pij);
+      }
+      o[i] = static_cast<float>(loss);
+    }
+  }
+  ImplPtr pl = logits.impl();
+  return MakeNode(std::move(out), {pl},
+                  [pl, probs, target_probs, b, c](VariableImpl& n) {
+                    if (!pl->requires_grad) return;
+                    float* gl = pl->MutableGrad().data();
+                    const float* g = n.grad.data();
+                    const float* p = probs.data();
+                    const float* q = target_probs.data();
+                    for (int64_t i = 0; i < b; ++i) {
+                      const float gi = g[i];
+                      float* row = gl + i * c;
+                      for (int64_t j = 0; j < c; ++j)
+                        row[j] += gi * (p[i * c + j] - q[i * c + j]);
+                    }
+                  });
+}
+
+Variable NormalizeMeanOne(const Variable& w) {
+  ROTOM_CHECK_EQ(w.value().dim(), 1);
+  const int64_t n = w.value().size();
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += w.value()[i];
+  const float s = static_cast<float>(total) + 1e-8f;
+  const float nf = static_cast<float>(n);
+
+  Tensor out({n});
+  for (int64_t i = 0; i < n; ++i) out[i] = nf * w.value()[i] / s;
+  ImplPtr pw = w.impl();
+  Tensor wv = w.value();
+  return MakeNode(std::move(out), {pw}, [pw, wv, s, nf, n](VariableImpl& node) {
+    if (!pw->requires_grad) return;
+    const float* g = node.grad.data();
+    const float* wd = wv.data();
+    double gw = 0.0;
+    for (int64_t i = 0; i < n; ++i) gw += static_cast<double>(g[i]) * wd[i];
+    const float correction = static_cast<float>(gw) * nf / (s * s);
+    float* gwd = pw->MutableGrad().data();
+    for (int64_t j = 0; j < n; ++j) gwd[j] += nf * g[j] / s - correction;
+  });
+}
+
+}  // namespace ops
+}  // namespace rotom

@@ -1,0 +1,125 @@
+#ifndef ROTOM_TENSOR_OPS_H_
+#define ROTOM_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace rotom {
+namespace ops {
+
+// Differentiable operators over Variables. Each builds one autodiff graph
+// node; gradients flow to every parent that requires them. Shapes are
+// validated with CHECKs.
+
+/// Elementwise a + b. `b` may also have a shape that is a suffix of `a`'s
+/// (e.g. bias [d] added to activations [B,T,d]); its gradient sums over the
+/// broadcast leading dimensions.
+Variable Add(const Variable& a, const Variable& b);
+
+/// Elementwise a - b (equal shapes).
+Variable Sub(const Variable& a, const Variable& b);
+
+/// Elementwise a * b (equal shapes).
+Variable Mul(const Variable& a, const Variable& b);
+
+/// a * c for scalar constant c.
+Variable Scale(const Variable& a, float c);
+
+/// a + c for scalar constant c.
+Variable AddScalar(const Variable& a, float c);
+
+/// Matrix product. Supports [m,k]x[k,n]; batched [*,m,k]x[*,k,n] with equal
+/// leading dims; and [*,m,k]x[k,n] with the right operand shared across the
+/// batch.
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Swaps dimensions d0 and d1 (copying).
+Variable Transpose(const Variable& a, int64_t d0, int64_t d1);
+
+/// Returns a view with a new shape (one dim may be -1).
+Variable Reshape(const Variable& a, std::vector<int64_t> shape);
+
+/// Softmax over the last dimension.
+Variable Softmax(const Variable& a);
+
+/// Log-softmax over the last dimension.
+Variable LogSoftmax(const Variable& a);
+
+/// Sum of all elements -> scalar.
+Variable Sum(const Variable& a);
+
+/// Mean of all elements -> scalar.
+Variable Mean(const Variable& a);
+
+/// Inner product of two 1-D variables -> scalar.
+Variable Dot(const Variable& a, const Variable& b);
+
+Variable Relu(const Variable& a);
+/// Elementwise absolute value (subgradient 0 at the kink).
+Variable Abs(const Variable& a);
+/// Gaussian error linear unit (tanh approximation, as in BERT).
+Variable Gelu(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Sigmoid(const Variable& a);
+
+/// Inverted dropout: keeps each element with probability 1-p and rescales by
+/// 1/(1-p). Identity when !training or p == 0.
+Variable Dropout(const Variable& a, float p, Rng& rng, bool training);
+
+/// Row gather: table [V,d], ids (each in [0,V)) -> [ids.size(), d].
+Variable Embedding(const Variable& table, const std::vector<int64_t>& ids);
+
+/// Layer normalization over the last dimension with learnable gain/bias
+/// (both of shape [d]).
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps = 1e-5f);
+
+/// Concatenates along the last dimension; all parts share leading dims.
+Variable ConcatLastDim(const std::vector<Variable>& parts);
+
+/// Slices index `index` out of dimension `dim`, removing that dimension.
+/// E.g. SelectIndex([B,T,d], 1, 0) -> [B,d] (the [CLS] position).
+Variable SelectIndex(const Variable& x, int64_t dim, int64_t index);
+
+/// Adds a constant per-(batch, key) bias to attention scores:
+/// scores [B,...,S] += bias[b,s]. Gradient passes through unchanged.
+/// Used for padding masks (bias 0 for valid keys, -1e9 for padding).
+Variable AddSequenceMask(const Variable& scores, const Tensor& bias);
+
+/// Adds -1e9 to entries above the main diagonal of the last two dimensions
+/// (scores [..., T, S]): position t may only attend to keys s <= t.
+/// Gradient passes through unchanged.
+Variable AddCausalMask(const Variable& scores);
+
+/// Per-example cross entropy: logits [B,C], labels[i] in [0,C) -> [B].
+Variable CrossEntropyPerExample(const Variable& logits,
+                                const std::vector<int64_t>& labels);
+
+/// Mean cross entropy -> scalar.
+Variable CrossEntropyMean(const Variable& logits,
+                          const std::vector<int64_t>& labels);
+
+/// Per-example cross entropy against soft target distributions (constant):
+/// loss_i = -sum_c q[i,c] log softmax(logits)[i,c].
+Variable SoftCrossEntropyPerExample(const Variable& logits,
+                                    const Tensor& target_probs);
+
+/// Rescales a 1-D weight vector so the batch mean is 1:
+/// y_i = n * w_i / sum(w). Differentiable; used to normalize the weighting
+/// model's outputs within a batch (paper Section 4.1).
+Variable NormalizeMeanOne(const Variable& w);
+
+// Non-differentiable helpers on raw tensors.
+
+/// Softmax of each row of a [B,C] tensor (pure tensor math, no graph).
+Tensor SoftmaxRows(const Tensor& logits);
+
+/// Transposed copy of a tensor with dims d0 and d1 swapped.
+Tensor TransposeCopy(const Tensor& in, int64_t d0, int64_t d1);
+
+}  // namespace ops
+}  // namespace rotom
+
+#endif  // ROTOM_TENSOR_OPS_H_

@@ -1,0 +1,74 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace rotom {
+
+namespace {
+
+constexpr char kMagic[6] = "ROTM1";
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveTensors(const std::string& path, const NamedTensors& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint64_t>(out, tensors.size());
+  for (const auto& [name, tensor] : tensors) {
+    WritePod<uint64_t>(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WritePod<uint64_t>(out, tensor.shape().size());
+    for (int64_t d : tensor.shape()) WritePod<int64_t>(out, d);
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(sizeof(float) * tensor.size()));
+  }
+  if (!out) return Status::Error("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<NamedTensors> LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string(magic, sizeof(magic)) != std::string(kMagic, sizeof(kMagic))) {
+    return Status::Error("bad magic in " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return Status::Error("truncated header");
+  NamedTensors tensors;
+  tensors.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadPod(in, &name_len)) return Status::Error("truncated name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) return Status::Error("truncated name");
+    uint64_t ndim = 0;
+    if (!ReadPod(in, &ndim)) return Status::Error("truncated rank");
+    std::vector<int64_t> shape(ndim);
+    for (auto& d : shape)
+      if (!ReadPod(in, &d)) return Status::Error("truncated shape");
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float) * t.size()));
+    if (!in) return Status::Error("truncated tensor data");
+    tensors.emplace_back(std::move(name), std::move(t));
+  }
+  return tensors;
+}
+
+}  // namespace rotom

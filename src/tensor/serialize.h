@@ -1,0 +1,25 @@
+#ifndef ROTOM_TENSOR_SERIALIZE_H_
+#define ROTOM_TENSOR_SERIALIZE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace rotom {
+
+/// A named collection of tensors (model checkpoint).
+using NamedTensors = std::vector<std::pair<std::string, Tensor>>;
+
+/// Writes named tensors to a simple binary container
+/// (magic "ROTM1", count, then {name, ndim, dims, float data} per entry).
+Status SaveTensors(const std::string& path, const NamedTensors& tensors);
+
+/// Reads a container written by SaveTensors.
+StatusOr<NamedTensors> LoadTensors(const std::string& path);
+
+}  // namespace rotom
+
+#endif  // ROTOM_TENSOR_SERIALIZE_H_

@@ -1,0 +1,39 @@
+#include "text/idf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace rotom {
+namespace text {
+
+IdfTable IdfTable::Build(const std::vector<std::vector<std::string>>& docs) {
+  IdfTable table;
+  table.num_documents_ = static_cast<int64_t>(docs.size());
+  std::unordered_map<std::string, int64_t> df;
+  for (const auto& doc : docs) {
+    std::unordered_set<std::string> seen(doc.begin(), doc.end());
+    for (const auto& token : seen) ++df[token];
+  }
+  const double n = static_cast<double>(table.num_documents_);
+  for (const auto& [token, count] : df) {
+    const double idf =
+        std::log((1.0 + n) / (1.0 + static_cast<double>(count))) + 1.0;
+    table.idf_[token] = idf;
+    table.max_idf_ = std::max(table.max_idf_, idf);
+  }
+  return table;
+}
+
+double IdfTable::Idf(const std::string& token) const {
+  auto it = idf_.find(token);
+  return it == idf_.end() ? max_idf_ : it->second;
+}
+
+double IdfTable::CorruptionWeight(const std::string& token) const {
+  if (token.size() >= 2 && token.front() == '[' && token.back() == ']')
+    return 0.0;
+  return max_idf_ - Idf(token) + 0.05;
+}
+
+}  // namespace text
+}  // namespace rotom

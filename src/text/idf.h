@@ -1,0 +1,41 @@
+#ifndef ROTOM_TEXT_IDF_H_
+#define ROTOM_TEXT_IDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rotom {
+namespace text {
+
+/// Inverse-document-frequency table. The paper samples tokens for
+/// deletion/replacement by importance, measured by IDF, so that less
+/// important (low-IDF) tokens are more likely to be altered (Section 2.3).
+class IdfTable {
+ public:
+  IdfTable() = default;
+
+  /// Builds from a corpus where each element is one document's tokens.
+  static IdfTable Build(const std::vector<std::vector<std::string>>& docs);
+
+  /// idf(t) = log((1 + N) / (1 + df(t))) + 1; unseen tokens get the maximum
+  /// observed value (they are maximally "important").
+  double Idf(const std::string& token) const;
+
+  /// Sampling weight proportional to how *unimportant* a token is:
+  /// max_idf - idf + epsilon. Special bracketed tokens get weight 0 so DA
+  /// never deletes structural markers.
+  double CorruptionWeight(const std::string& token) const;
+
+  int64_t num_documents() const { return num_documents_; }
+
+ private:
+  std::unordered_map<std::string, double> idf_;
+  double max_idf_ = 1.0;
+  int64_t num_documents_ = 0;
+};
+
+}  // namespace text
+}  // namespace rotom
+
+#endif  // ROTOM_TEXT_IDF_H_

@@ -1,0 +1,38 @@
+#include "text/records.h"
+
+#include "util/check.h"
+
+namespace rotom {
+namespace text {
+
+std::string Record::Get(const std::string& attr) const {
+  for (const auto& [a, v] : fields)
+    if (a == attr) return v;
+  return "";
+}
+
+std::string SerializeRecord(const Record& record) {
+  std::string out;
+  for (const auto& [attr, value] : record.fields) {
+    if (!out.empty()) out += ' ';
+    out += "[COL] " + attr + " [VAL] " + value;
+  }
+  return out;
+}
+
+std::string SerializeEntityPair(const Record& left, const Record& right) {
+  return SerializeRecord(left) + " [SEP] " + SerializeRecord(right);
+}
+
+std::string SerializeCell(const std::string& attr, const std::string& value) {
+  return "[COL] " + attr + " [VAL] " + value;
+}
+
+std::string SerializeRowContext(const Record& row, size_t cell_index) {
+  ROTOM_CHECK_LT(cell_index, row.fields.size());
+  const auto& [attr, value] = row.fields[cell_index];
+  return SerializeRecord(row) + " [SEP] " + SerializeCell(attr, value);
+}
+
+}  // namespace text
+}  // namespace rotom

@@ -1,0 +1,38 @@
+#ifndef ROTOM_TEXT_RECORDS_H_
+#define ROTOM_TEXT_RECORDS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rotom {
+namespace text {
+
+/// A structured data entry: ordered (attribute, value) pairs. Used by both
+/// the entity-matching and error-detection tasks.
+struct Record {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Value of an attribute, or empty string if absent.
+  std::string Get(const std::string& attr) const;
+};
+
+/// Serializes one record as "[COL] a1 [VAL] v1 [COL] a2 [VAL] v2 ..."
+/// (paper Section 2.1).
+std::string SerializeRecord(const Record& record);
+
+/// Serializes an entity pair as "<left> [SEP] <right>" for matching.
+std::string SerializeEntityPair(const Record& left, const Record& right);
+
+/// Serializes a single cell as "[COL] attr [VAL] value" (the
+/// context-independent error-detection input the paper's experiments use).
+std::string SerializeCell(const std::string& attr, const std::string& value);
+
+/// Serializes "<whole row> [SEP] [COL] attr [VAL] value" — the
+/// context-dependent variant from Section 2.1.
+std::string SerializeRowContext(const Record& row, size_t cell_index);
+
+}  // namespace text
+}  // namespace rotom
+
+#endif  // ROTOM_TEXT_RECORDS_H_

@@ -1,0 +1,152 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rotom {
+namespace text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '\'';
+}
+
+// Recognizes "[UPPERCASE]" special markers at position i; returns length or 0.
+size_t SpecialTokenLength(std::string_view input, size_t i) {
+  if (input[i] != '[') return 0;
+  size_t j = i + 1;
+  while (j < input.size() && std::isupper(static_cast<unsigned char>(input[j])))
+    ++j;
+  if (j > i + 1 && j < input.size() && input[j] == ']') return j - i + 1;
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view input) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (const size_t len = SpecialTokenLength(input, i); len > 0) {
+      tokens.emplace_back(input.substr(i, len));
+      i += len;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < input.size() && IsWordChar(input[j])) ++j;
+      tokens.push_back(ToLower(input.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    tokens.emplace_back(1, c);
+    ++i;
+  }
+  return tokens;
+}
+
+std::string Detokenize(const std::vector<std::string>& tokens) {
+  return Join(tokens, " ");
+}
+
+namespace {
+
+Encoded EncodeWithDelimiters(const Vocabulary& vocab,
+                             const std::vector<std::string>& tokens,
+                             int64_t max_len, int64_t begin_id,
+                             int64_t end_id) {
+  ROTOM_CHECK_GE(max_len, 2);
+  Encoded out;
+  out.ids.assign(max_len, SpecialTokens::kPad);
+  out.mask.assign(max_len, 0.0f);
+  out.ids[0] = begin_id;
+  out.mask[0] = 1.0f;
+  int64_t pos = 1;
+  for (const auto& token : tokens) {
+    if (pos >= max_len - 1) break;
+    out.ids[pos] = vocab.Id(token);
+    out.mask[pos] = 1.0f;
+    ++pos;
+  }
+  out.ids[pos] = end_id;
+  out.mask[pos] = 1.0f;
+  return out;
+}
+
+}  // namespace
+
+Encoded EncodeForClassifier(const Vocabulary& vocab,
+                            const std::vector<std::string>& tokens,
+                            int64_t max_len) {
+  return EncodeWithDelimiters(vocab, tokens, max_len, SpecialTokens::kCls,
+                              SpecialTokens::kSep);
+}
+
+Encoded EncodeForSeq2Seq(const Vocabulary& vocab,
+                         const std::vector<std::string>& tokens,
+                         int64_t max_len) {
+  return EncodeWithDelimiters(vocab, tokens, max_len, SpecialTokens::kBos,
+                              SpecialTokens::kEos);
+}
+
+std::vector<int64_t> ComputeOverlapFlags(const std::vector<int64_t>& ids,
+                                         int64_t batch, int64_t seq_len) {
+  ROTOM_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * seq_len);
+  std::vector<int64_t> flags(ids.size(), 0);
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t base = b * seq_len;
+    int64_t sep = -1;
+    for (int64_t t = 0; t < seq_len; ++t) {
+      if (ids[base + t] == SpecialTokens::kSep) {
+        sep = t;
+        break;
+      }
+    }
+    if (sep < 0) continue;
+    std::unordered_set<int64_t> left, right;
+    for (int64_t t = 0; t < sep; ++t) {
+      if (!Vocabulary::IsSpecial(ids[base + t])) left.insert(ids[base + t]);
+    }
+    for (int64_t t = sep + 1; t < seq_len; ++t) {
+      if (!Vocabulary::IsSpecial(ids[base + t])) right.insert(ids[base + t]);
+    }
+    if (right.empty()) continue;  // terminator-only [SEP]
+    for (int64_t t = 0; t < seq_len; ++t) {
+      const int64_t id = ids[base + t];
+      if (Vocabulary::IsSpecial(id)) continue;
+      const bool shared = t < sep ? right.count(id) > 0 : left.count(id) > 0;
+      if (shared) flags[base + t] = 1;
+    }
+  }
+  return flags;
+}
+
+EncodedBatch EncodeBatchForClassifier(const Vocabulary& vocab,
+                                      const std::vector<std::string>& texts,
+                                      int64_t max_len) {
+  EncodedBatch batch;
+  batch.batch = static_cast<int64_t>(texts.size());
+  batch.max_len = max_len;
+  batch.ids.reserve(batch.batch * max_len);
+  batch.mask = Tensor({batch.batch, max_len});
+  for (int64_t i = 0; i < batch.batch; ++i) {
+    Encoded enc = EncodeForClassifier(vocab, Tokenize(texts[i]), max_len);
+    batch.ids.insert(batch.ids.end(), enc.ids.begin(), enc.ids.end());
+    for (int64_t t = 0; t < max_len; ++t)
+      batch.mask.at({i, t}) = enc.mask[t];
+  }
+  return batch;
+}
+
+}  // namespace text
+}  // namespace rotom

@@ -1,0 +1,65 @@
+#ifndef ROTOM_TEXT_TOKENIZER_H_
+#define ROTOM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/vocab.h"
+
+namespace rotom {
+namespace text {
+
+/// Word-level tokenizer: ASCII-lowercases, splits on whitespace, keeps
+/// bracketed special tokens ([COL], [SEP], ...) whole, and splits other
+/// punctuation into single-character tokens. This replaces the subword
+/// tokenizers of the pre-trained LMs the paper uses (see DESIGN.md).
+std::vector<std::string> Tokenize(std::string_view input);
+
+/// Joins tokens back into a display string (inverse of Tokenize up to
+/// whitespace).
+std::string Detokenize(const std::vector<std::string>& tokens);
+
+/// A classifier-ready encoded sequence: [CLS] tokens... [SEP] padded/truncated
+/// to a fixed length, plus the validity mask.
+struct Encoded {
+  std::vector<int64_t> ids;   // length max_len
+  std::vector<float> mask;    // 1 for real tokens, 0 for padding
+};
+
+/// Encodes tokens for the sequence classifier.
+Encoded EncodeForClassifier(const Vocabulary& vocab,
+                            const std::vector<std::string>& tokens,
+                            int64_t max_len);
+
+/// Encodes tokens for seq2seq: [BOS] tokens... [EOS], padded/truncated.
+Encoded EncodeForSeq2Seq(const Vocabulary& vocab,
+                         const std::vector<std::string>& tokens,
+                         int64_t max_len);
+
+/// A batch ready for TransformerEncoder::Forward: flattened ids plus the
+/// [batch, max_len] mask tensor.
+struct EncodedBatch {
+  std::vector<int64_t> ids;  // batch * max_len
+  Tensor mask;               // [batch, max_len]
+  int64_t batch = 0;
+  int64_t max_len = 0;
+};
+
+/// Encodes a batch of texts with EncodeForClassifier.
+EncodedBatch EncodeBatchForClassifier(const Vocabulary& vocab,
+                                      const std::vector<std::string>& texts,
+                                      int64_t max_len);
+
+/// Per-token overlap flags for [SEP]-separated pair inputs: flag = 1 when a
+/// non-special token also occurs on the other side of the first [SEP].
+/// Rows without a second segment (plain text; the trailing [SEP] is only a
+/// terminator) get all-zero flags. Length matches `ids`.
+std::vector<int64_t> ComputeOverlapFlags(const std::vector<int64_t>& ids,
+                                         int64_t batch, int64_t seq_len);
+
+}  // namespace text
+}  // namespace rotom
+
+#endif  // ROTOM_TEXT_TOKENIZER_H_

@@ -1,0 +1,71 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rotom {
+namespace text {
+
+namespace {
+
+const char* const kSpecialStrings[SpecialTokens::kCount] = {
+    "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]",
+    "[COL]", "[VAL]", "[BOS]", "[EOS]"};
+
+}  // namespace
+
+Vocabulary::Vocabulary() {
+  for (int64_t i = 0; i < SpecialTokens::kCount; ++i) {
+    id_to_token_.emplace_back(kSpecialStrings[i]);
+    token_to_id_[kSpecialStrings[i]] = i;
+  }
+}
+
+Vocabulary Vocabulary::BuildFromCorpus(
+    const std::vector<std::vector<std::string>>& token_lists, int64_t max_size,
+    int64_t min_count) {
+  std::unordered_map<std::string, int64_t> counts;
+  for (const auto& tokens : token_lists)
+    for (const auto& token : tokens) ++counts[token];
+
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  // Order by frequency desc, then lexicographically for determinism.
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  Vocabulary vocab;
+  for (const auto& [token, count] : sorted) {
+    if (vocab.size() >= max_size) break;
+    if (count < min_count) break;
+    if (vocab.Contains(token)) continue;  // specials may appear in corpus
+    vocab.AddToken(token);
+  }
+  return vocab;
+}
+
+int64_t Vocabulary::Id(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? SpecialTokens::kUnk : it->second;
+}
+
+const std::string& Vocabulary::Token(int64_t id) const {
+  ROTOM_CHECK_GE(id, 0);
+  ROTOM_CHECK_LT(id, size());
+  return id_to_token_[id];
+}
+
+int64_t Vocabulary::AddToken(const std::string& token) {
+  auto it = token_to_id_.find(token);
+  if (it != token_to_id_.end()) return it->second;
+  const int64_t id = size();
+  token_to_id_[token] = id;
+  id_to_token_.push_back(token);
+  return id;
+}
+
+}  // namespace text
+}  // namespace rotom

@@ -1,0 +1,66 @@
+#ifndef ROTOM_TEXT_VOCAB_H_
+#define ROTOM_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rotom {
+namespace text {
+
+/// Special tokens shared by every model in the library. Ids are fixed so
+/// checkpoints and serialized sequences are stable.
+struct SpecialTokens {
+  static constexpr int64_t kPad = 0;
+  static constexpr int64_t kUnk = 1;
+  static constexpr int64_t kCls = 2;
+  static constexpr int64_t kSep = 3;
+  static constexpr int64_t kMask = 4;
+  static constexpr int64_t kCol = 5;
+  static constexpr int64_t kVal = 6;
+  static constexpr int64_t kBos = 7;
+  static constexpr int64_t kEos = 8;
+  static constexpr int64_t kCount = 9;
+};
+
+/// Token <-> id mapping with the fixed special tokens in the first slots.
+/// Unknown tokens map to [UNK].
+class Vocabulary {
+ public:
+  /// Constructs a vocabulary containing only the special tokens.
+  Vocabulary();
+
+  /// Builds a vocabulary over a tokenized corpus, keeping the most frequent
+  /// tokens (up to max_size total, including specials) that occur at least
+  /// min_count times.
+  static Vocabulary BuildFromCorpus(
+      const std::vector<std::vector<std::string>>& token_lists,
+      int64_t max_size = 8192, int64_t min_count = 1);
+
+  /// Id of a token, or kUnk if absent.
+  int64_t Id(const std::string& token) const;
+
+  /// Token string for an id (CHECKed in range).
+  const std::string& Token(int64_t id) const;
+
+  bool Contains(const std::string& token) const {
+    return token_to_id_.count(token) > 0;
+  }
+
+  /// Adds a token if absent; returns its id either way.
+  int64_t AddToken(const std::string& token);
+
+  int64_t size() const { return static_cast<int64_t>(id_to_token_.size()); }
+
+  /// True for ids below SpecialTokens::kCount.
+  static bool IsSpecial(int64_t id) { return id < SpecialTokens::kCount; }
+
+ private:
+  std::unordered_map<std::string, int64_t> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+}  // namespace text
+}  // namespace rotom
+
+#endif  // ROTOM_TEXT_VOCAB_H_

@@ -1,0 +1,38 @@
+#ifndef ROTOM_UTIL_CHECK_H_
+#define ROTOM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// CHECK-style assertions for programmer errors. The library does not use
+// exceptions (Google style); invariant violations abort with a message that
+// names the failing condition and source location. These stay enabled in
+// release builds: the cost is negligible next to tensor math and silent
+// corruption of training state is far worse than an abort.
+
+#define ROTOM_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "ROTOM_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define ROTOM_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "ROTOM_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define ROTOM_CHECK_EQ(a, b) ROTOM_CHECK((a) == (b))
+#define ROTOM_CHECK_NE(a, b) ROTOM_CHECK((a) != (b))
+#define ROTOM_CHECK_LT(a, b) ROTOM_CHECK((a) < (b))
+#define ROTOM_CHECK_LE(a, b) ROTOM_CHECK((a) <= (b))
+#define ROTOM_CHECK_GT(a, b) ROTOM_CHECK((a) > (b))
+#define ROTOM_CHECK_GE(a, b) ROTOM_CHECK((a) >= (b))
+
+#endif  // ROTOM_UTIL_CHECK_H_

@@ -1,0 +1,120 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rotom {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+StatusOr<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(field);
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(record);
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch.
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) return Status::Error("unterminated quoted field");
+  if (!field.empty() || !record.empty()) end_record();
+  if (records.empty()) return Status::Error("empty CSV input");
+
+  CsvTable table;
+  table.header = records[0];
+  const size_t width = table.header.size();
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::Error("CSV row " + std::to_string(r) + " has " +
+                           std::to_string(records[r].size()) +
+                           " fields, expected " + std::to_string(width));
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::ostringstream out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << QuoteField(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out.str();
+}
+
+StatusOr<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open " + path + " for writing");
+  out << WriteCsv(table);
+  if (!out) return Status::Error("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace rotom

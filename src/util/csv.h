@@ -1,0 +1,32 @@
+#ifndef ROTOM_UTIL_CSV_H_
+#define ROTOM_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rotom {
+
+/// A parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-ish CSV text (quoted fields, embedded commas/newlines,
+/// doubled quotes). The first record is taken as the header.
+StatusOr<CsvTable> ParseCsv(const std::string& text);
+
+/// Serializes a table back to CSV, quoting fields that need it.
+std::string WriteCsv(const CsvTable& table);
+
+/// Reads and parses a CSV file from disk.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Writes a table to disk as CSV.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace rotom
+
+#endif  // ROTOM_UTIL_CSV_H_

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rotom {
+
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("ROTOM_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = ParseEnvLevel();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(GetLogLevel())) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace rotom

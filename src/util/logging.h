@@ -1,0 +1,49 @@
+#ifndef ROTOM_UTIL_LOGGING_H_
+#define ROTOM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rotom {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level actually emitted. Defaults to
+/// kInfo; override via the ROTOM_LOG_LEVEL environment variable
+/// (debug|info|warning|error) or SetLogLevel.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum emitted level.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace rotom
+
+#define ROTOM_LOG(level)                                              \
+  ::rotom::internal_logging::LogMessage(::rotom::LogLevel::k##level,  \
+                                        __FILE__, __LINE__)
+
+#endif  // ROTOM_UTIL_LOGGING_H_

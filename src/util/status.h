@@ -1,0 +1,72 @@
+#ifndef ROTOM_UTIL_STATUS_H_
+#define ROTOM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rotom {
+
+/// Lightweight error-or-ok result for recoverable failures (file I/O,
+/// malformed input). Programmer errors use ROTOM_CHECK instead; the library
+/// does not throw exceptions.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status carrying a message.
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Holds either a value or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value, mirroring absl::StatusOr ergonomics.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    ROTOM_CHECK_MSG(!status_.ok(), "StatusOr built from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value; the caller must have verified ok().
+  const T& value() const& {
+    ROTOM_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    ROTOM_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    ROTOM_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace rotom
+
+#endif  // ROTOM_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef ROTOM_UTIL_STRING_UTIL_H_
+#define ROTOM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rotom {
+
+/// Splits on a single delimiter character; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins the pieces with the separator between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Levenshtein edit distance; used by data-cleaning baselines and tests.
+int EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace rotom
+
+#endif  // ROTOM_UTIL_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+#ifndef ROTOM_UTIL_TIMER_H_
+#define ROTOM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rotom {
+
+/// Monotonic wall-clock timer used for the training-time experiments
+/// (paper Figure 4).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double Millis() const { return Seconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rotom
+
+#endif  // ROTOM_UTIL_TIMER_H_

@@ -1,0 +1,326 @@
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "augment/mixda.h"
+#include "augment/ops.h"
+#include "tensor/ops.h"
+#include "augment/synonyms.h"
+#include "text/tokenizer.h"
+
+namespace rotom {
+namespace {
+
+using augment::AugmentContext;
+using augment::DaOp;
+
+std::vector<std::string> Toks(const std::string& s) {
+  return text::Tokenize(s);
+}
+
+int CountToken(const std::vector<std::string>& tokens, const std::string& t) {
+  return static_cast<int>(std::count(tokens.begin(), tokens.end(), t));
+}
+
+TEST(SynonymLexiconTest, DefaultHasGroups) {
+  const auto& lex = augment::SynonymLexicon::Default();
+  EXPECT_GT(lex.size(), 50);
+  EXPECT_TRUE(lex.HasSynonyms("great"));
+  const auto& syns = lex.Synonyms("great");
+  EXPECT_NE(std::find(syns.begin(), syns.end(), "excellent"), syns.end());
+  // A token is not its own synonym.
+  EXPECT_EQ(std::find(syns.begin(), syns.end(), "great"), syns.end());
+}
+
+TEST(SynonymLexiconTest, UnknownTokenEmpty) {
+  const auto& lex = augment::SynonymLexicon::Default();
+  EXPECT_FALSE(lex.HasSynonyms("xyzzy"));
+  EXPECT_TRUE(lex.Synonyms("xyzzy").empty());
+}
+
+TEST(SynonymLexiconTest, InterrogativesIncluded) {
+  // Example 1.1's hazard: "where" <-> "what" replacement changes intent.
+  const auto& lex = augment::SynonymLexicon::Default();
+  const auto& syns = lex.Synonyms("where");
+  EXPECT_NE(std::find(syns.begin(), syns.end(), "what"), syns.end());
+}
+
+TEST(SynonymLexiconTest, CustomGroups) {
+  augment::SynonymLexicon lex;
+  lex.AddGroup({"foo", "bar", "baz"});
+  EXPECT_EQ(lex.Synonyms("foo").size(), 2u);
+  EXPECT_EQ(lex.Synonyms("bar").size(), 2u);
+}
+
+TEST(DaOpsTest, NamesAndEnumeration) {
+  EXPECT_EQ(augment::AllDaOps().size(), 9u);
+  EXPECT_STREQ(augment::DaOpName(DaOp::kTokenDel), "token_del");
+  EXPECT_STREQ(augment::DaOpName(DaOp::kEntitySwap), "entity_swap");
+}
+
+TEST(DaOpsTest, OpsForTaskRespectApplicability) {
+  auto textcls = augment::OpsForTask(false, false);
+  EXPECT_EQ(textcls.size(), 6u);  // token+span ops only
+  auto edt = augment::OpsForTask(false, true);
+  EXPECT_EQ(edt.size(), 8u);  // + col ops
+  auto em = augment::OpsForTask(true, true);
+  EXPECT_EQ(em.size(), 9u);  // + entity_swap
+}
+
+TEST(DaOpsTest, TokenDelRemovesExactlyOne) {
+  Rng rng(1);
+  auto tokens = Toks("where is the orange bowl ?");
+  auto out = augment::ApplyDaOp(DaOp::kTokenDel, tokens, {}, rng);
+  EXPECT_EQ(out.size(), tokens.size() - 1);
+}
+
+TEST(DaOpsTest, TokenDelNeverRemovesStructuralTokens) {
+  Rng rng(2);
+  auto tokens = Toks("[COL] name [VAL] google [SEP] [COL] name [VAL] alphabet");
+  for (int i = 0; i < 50; ++i) {
+    auto out = augment::ApplyDaOp(DaOp::kTokenDel, tokens, {}, rng);
+    EXPECT_EQ(CountToken(out, "[COL]"), 2);
+    EXPECT_EQ(CountToken(out, "[VAL]"), 2);
+    EXPECT_EQ(CountToken(out, "[SEP]"), 1);
+  }
+}
+
+TEST(DaOpsTest, TokenReplUsesSynonyms) {
+  Rng rng(3);
+  AugmentContext ctx;
+  ctx.synonyms = &augment::SynonymLexicon::Default();
+  auto tokens = Toks("the movie was great");
+  bool changed = false;
+  for (int i = 0; i < 30 && !changed; ++i) {
+    auto out = augment::ApplyDaOp(DaOp::kTokenRepl, tokens, ctx, rng);
+    ASSERT_EQ(out.size(), tokens.size());
+    changed = out != tokens;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(DaOpsTest, TokenReplWithoutLexiconIsNoop) {
+  Rng rng(4);
+  auto tokens = Toks("alpha beta gamma");
+  auto out = augment::ApplyDaOp(DaOp::kTokenRepl, tokens, {}, rng);
+  EXPECT_EQ(out, tokens);
+}
+
+TEST(DaOpsTest, TokenSwapPreservesMultiset) {
+  Rng rng(5);
+  auto tokens = Toks("a b c d e");
+  auto out = augment::ApplyDaOp(DaOp::kTokenSwap, tokens, {}, rng);
+  ASSERT_EQ(out.size(), tokens.size());
+  auto sorted_in = tokens, sorted_out = out;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+}
+
+TEST(DaOpsTest, TokenInsertAddsExactlyOne) {
+  Rng rng(6);
+  AugmentContext ctx;
+  ctx.synonyms = &augment::SynonymLexicon::Default();
+  auto tokens = Toks("this is a great movie");
+  auto out = augment::ApplyDaOp(DaOp::kTokenInsert, tokens, ctx, rng);
+  EXPECT_EQ(out.size(), tokens.size() + 1);
+}
+
+TEST(DaOpsTest, SpanDelRemovesContiguousRun) {
+  Rng rng(7);
+  auto tokens = Toks("one two three four five six seven eight");
+  auto out = augment::ApplyDaOp(DaOp::kSpanDel, tokens, {}, rng);
+  EXPECT_LT(out.size(), tokens.size());
+  EXPECT_GE(out.size(), tokens.size() - 4);
+}
+
+TEST(DaOpsTest, SpanDelKeepsStructuralTokens) {
+  Rng rng(8);
+  auto tokens = Toks("[COL] title [VAL] effective timestamping in databases");
+  for (int i = 0; i < 30; ++i) {
+    auto out = augment::ApplyDaOp(DaOp::kSpanDel, tokens, {}, rng);
+    EXPECT_EQ(CountToken(out, "[COL]"), 1);
+    EXPECT_EQ(CountToken(out, "[VAL]"), 1);
+  }
+}
+
+TEST(DaOpsTest, SpanShufflePreservesMultiset) {
+  Rng rng(9);
+  auto tokens = Toks("one two three four five");
+  auto out = augment::ApplyDaOp(DaOp::kSpanShuffle, tokens, {}, rng);
+  ASSERT_EQ(out.size(), tokens.size());
+  auto a = tokens, b = out;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DaOpsTest, ColShufflePreservesColumnContents) {
+  Rng rng(10);
+  auto tokens =
+      Toks("[COL] title [VAL] effective timestamping [COL] year [VAL] 1999");
+  bool changed = false;
+  for (int i = 0; i < 20; ++i) {
+    auto out = augment::ApplyDaOp(DaOp::kColShuffle, tokens, {}, rng);
+    ASSERT_EQ(out.size(), tokens.size());
+    auto a = tokens, b = out;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    changed = changed || out != tokens;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(DaOpsTest, ColDelDropsOneColumn) {
+  Rng rng(11);
+  auto tokens =
+      Toks("[COL] title [VAL] databases [COL] year [VAL] 1999 [COL] venue [VAL] sigmod");
+  auto out = augment::ApplyDaOp(DaOp::kColDel, tokens, {}, rng);
+  EXPECT_EQ(CountToken(out, "[COL]"), 2);
+}
+
+TEST(DaOpsTest, ColDelKeepsAtLeastOneColumn) {
+  Rng rng(12);
+  auto tokens = Toks("[COL] title [VAL] databases");
+  auto out = augment::ApplyDaOp(DaOp::kColDel, tokens, {}, rng);
+  EXPECT_EQ(out, tokens);
+}
+
+TEST(DaOpsTest, ColOpsRespectEntityBoundary) {
+  Rng rng(13);
+  auto tokens = Toks(
+      "[COL] name [VAL] google [COL] phone [VAL] 123 [SEP] "
+      "[COL] name [VAL] alphabet [COL] phone [VAL] 456");
+  for (int i = 0; i < 40; ++i) {
+    auto out = augment::ApplyDaOp(DaOp::kColShuffle, tokens, {}, rng);
+    // The [SEP] position may shift only if columns of unequal length move,
+    // but values must never cross it: google stays left, alphabet right.
+    const size_t sep = augment::FindEntitySep(out);
+    ASSERT_LT(sep, out.size());
+    const auto left = std::vector<std::string>(out.begin(), out.begin() + sep);
+    const auto right = std::vector<std::string>(out.begin() + sep, out.end());
+    EXPECT_EQ(CountToken(left, "google"), 1);
+    EXPECT_EQ(CountToken(right, "alphabet"), 1);
+  }
+}
+
+TEST(DaOpsTest, EntitySwapSwapsSides) {
+  Rng rng(14);
+  auto tokens = Toks("[COL] name [VAL] google [SEP] [COL] name [VAL] alphabet");
+  auto out = augment::ApplyDaOp(DaOp::kEntitySwap, tokens, {}, rng);
+  ASSERT_EQ(out.size(), tokens.size());
+  const size_t sep = augment::FindEntitySep(out);
+  const auto left = std::vector<std::string>(out.begin(), out.begin() + sep);
+  EXPECT_EQ(CountToken(left, "alphabet"), 1);
+  EXPECT_EQ(CountToken(left, "google"), 0);
+}
+
+TEST(DaOpsTest, EntitySwapIsInvolution) {
+  Rng rng(15);
+  auto tokens = Toks("[COL] a [VAL] x [SEP] [COL] b [VAL] y");
+  auto once = augment::ApplyDaOp(DaOp::kEntitySwap, tokens, {}, rng);
+  auto twice = augment::ApplyDaOp(DaOp::kEntitySwap, once, {}, rng);
+  EXPECT_EQ(twice, tokens);
+}
+
+TEST(DaOpsTest, EntitySwapNoopWithoutSep) {
+  Rng rng(16);
+  auto tokens = Toks("[COL] a [VAL] x");
+  EXPECT_EQ(augment::ApplyDaOp(DaOp::kEntitySwap, tokens, {}, rng), tokens);
+}
+
+TEST(DaOpsTest, EmptyInputIsNoop) {
+  Rng rng(17);
+  std::vector<std::string> empty;
+  for (DaOp op : augment::AllDaOps())
+    EXPECT_TRUE(augment::ApplyDaOp(op, empty, {}, rng).empty());
+}
+
+TEST(DaOpsTest, IdfBiasPrefersFrequentTokens) {
+  // "the" appears everywhere (low IDF -> high corruption weight) and should
+  // be deleted far more often than the rare distinguishing token.
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 50; ++i) docs.push_back({"the", "movie", "was"});
+  docs.push_back({"zanzibar"});
+  text::IdfTable idf = text::IdfTable::Build(docs);
+  AugmentContext ctx;
+  ctx.idf = &idf;
+
+  Rng rng(18);
+  auto tokens = Toks("the movie was zanzibar");
+  int zanzibar_deleted = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    auto out = augment::ApplyDaOp(DaOp::kTokenDel, tokens, ctx, rng);
+    zanzibar_deleted += CountToken(out, "zanzibar") == 0;
+  }
+  EXPECT_LT(zanzibar_deleted, trials / 8);
+}
+
+TEST(DaOpsTest, AugmentTextRoundTrip) {
+  Rng rng(19);
+  const std::string out =
+      augment::AugmentText("Where is the Orange Bowl ?", DaOp::kTokenDel, {},
+                           rng);
+  EXPECT_FALSE(out.empty());
+  EXPECT_LT(out.size(), std::string("where is the orange bowl ?").size() + 1);
+}
+
+TEST(FindColumnsTest, SpansAreCorrect) {
+  auto tokens = Toks("[COL] title [VAL] a b [COL] year [VAL] 1999");
+  auto cols = augment::FindColumns(tokens, 0, tokens.size());
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0].begin, 0u);
+  EXPECT_EQ(cols[0].end, 5u);
+  EXPECT_EQ(cols[1].begin, 5u);
+  EXPECT_EQ(cols[1].end, tokens.size());
+}
+
+TEST(MixDaTest, GammaMeanMatchesShape) {
+  Rng rng(20);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += augment::SampleGamma(2.5, rng);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(MixDaTest, BetaInUnitInterval) {
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const double b = augment::SampleBeta(0.8, rng);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(b, 1.0);
+  }
+}
+
+TEST(MixDaTest, LambdaFoldedAboveHalf) {
+  Rng rng(22);
+  for (int i = 0; i < 200; ++i) {
+    const double l = augment::MixDaLambda(0.8, rng);
+    EXPECT_GE(l, 0.5);
+    EXPECT_LE(l, 1.0);
+  }
+}
+
+TEST(MixDaTest, InterpolationIsConvex) {
+  Variable a(Tensor::FromVector({2, 2}, {0, 0, 2, 2}), false);
+  Variable b(Tensor::FromVector({2, 2}, {4, 4, 4, 4}), false);
+  Variable mix = augment::InterpolateRepresentations(a, b, {0.75, 0.5});
+  EXPECT_NEAR(mix.value().at({0, 0}), 1.0f, 1e-5f);   // .75*0 + .25*4
+  EXPECT_NEAR(mix.value().at({1, 0}), 3.0f, 1e-5f);   // .5*2 + .5*4
+}
+
+TEST(MixDaTest, GradientsFlowThroughInterpolation) {
+  Variable a(Tensor::Ones({1, 3}), true);
+  Variable b(Tensor::Ones({1, 3}), true);
+  Variable mix = augment::InterpolateRepresentations(a, b, {0.6});
+  ops::Sum(mix).Backward();
+  EXPECT_NEAR(a.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(b.grad()[0], 0.4f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace rotom

@@ -1,0 +1,363 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+
+namespace rotom {
+namespace {
+
+using testing_support::ExpectGradientsClose;
+
+Variable Leaf(std::vector<int64_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  return Variable(Tensor::Randn(std::move(shape), rng, 0.5f),
+                  /*requires_grad=*/true);
+}
+
+TEST(AutogradBasicsTest, LeafProperties) {
+  Variable v(Tensor::Ones({2}), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(AutogradBasicsTest, BackwardRequiresScalar) {
+  Variable v(Tensor::Ones({2}), true);
+  EXPECT_DEATH(v.Backward(), "scalar");
+}
+
+TEST(AutogradBasicsTest, SimpleChainGradient) {
+  Variable x(Tensor::Scalar(3.0f), true);
+  Variable y = ops::Scale(x, 2.0f);      // y = 2x
+  Variable z = ops::Mul(y, y);           // z = 4x^2
+  Variable loss = ops::Sum(z);
+  loss.Backward();
+  EXPECT_NEAR(x.grad()[0], 8.0f * 3.0f, 1e-4f);  // dz/dx = 8x
+}
+
+TEST(AutogradBasicsTest, GradAccumulatesAcrossUses) {
+  Variable x(Tensor::Scalar(2.0f), true);
+  Variable y = ops::Add(x, x);  // y = 2x
+  Variable loss = ops::Sum(y);
+  loss.Backward();
+  EXPECT_NEAR(x.grad()[0], 2.0f, 1e-5f);
+}
+
+TEST(AutogradBasicsTest, DetachStopsGradient) {
+  Variable x(Tensor::Scalar(2.0f), true);
+  Variable d = x.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  Variable y = ops::Mul(ops::Scale(x, 1.0f), d);
+  Variable loss = ops::Sum(y);
+  loss.Backward();
+  // y = x * const(2) -> dy/dx = 2, and no grad accumulates via d.
+  EXPECT_NEAR(x.grad()[0], 2.0f, 1e-5f);
+}
+
+TEST(AutogradBasicsTest, ZeroGradClears) {
+  Variable x(Tensor::Scalar(1.0f), true);
+  Variable loss = ops::Sum(ops::Scale(x, 3.0f));
+  loss.Backward();
+  EXPECT_NEAR(x.grad()[0], 3.0f, 1e-6f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AutogradBasicsTest, NoGradThroughConstantParents) {
+  Variable x(Tensor::Scalar(1.0f), false);
+  Variable y = ops::Scale(x, 2.0f);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(GradCheckTest, AddSameShape) {
+  Variable a = Leaf({2, 3}, 1);
+  Variable b = Leaf({2, 3}, 2);
+  ExpectGradientsClose({a, b}, [&] { return ops::Sum(ops::Mul(ops::Add(a, b), ops::Add(a, b))); });
+}
+
+TEST(GradCheckTest, AddBroadcastBias) {
+  Variable a = Leaf({2, 2, 3}, 3);
+  Variable bias = Leaf({3}, 4);
+  ExpectGradientsClose({a, bias}, [&] {
+    Variable y = ops::Add(a, bias);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, Sub) {
+  Variable a = Leaf({4}, 5);
+  Variable b = Leaf({4}, 6);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::Sub(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MulAndScaleAndAddScalar) {
+  Variable a = Leaf({3, 2}, 7);
+  Variable b = Leaf({3, 2}, 8);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::AddScalar(ops::Scale(ops::Mul(a, b), 1.5f), 0.3f);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMul2D) {
+  Variable a = Leaf({3, 4}, 9);
+  Variable b = Leaf({4, 2}, 10);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMul(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMulBatched3D) {
+  Variable a = Leaf({2, 3, 4}, 11);
+  Variable b = Leaf({2, 4, 2}, 12);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMul(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMulSharedRight) {
+  Variable a = Leaf({2, 3, 4}, 13);
+  Variable b = Leaf({4, 2}, 14);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMul(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMul4DBatched) {
+  Variable a = Leaf({2, 2, 3, 2}, 15);
+  Variable b = Leaf({2, 2, 2, 3}, 16);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMul(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, TransposeLastTwo) {
+  Variable a = Leaf({2, 3, 4}, 17);
+  ExpectGradientsClose({a}, [&] {
+    Variable y = ops::Transpose(a, 1, 2);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, Reshape) {
+  Variable a = Leaf({2, 6}, 18);
+  ExpectGradientsClose({a}, [&] {
+    Variable y = ops::Reshape(a, {3, 4});
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, Softmax) {
+  Variable a = Leaf({3, 4}, 19);
+  Rng rng(20);
+  Variable coef(Tensor::RandUniform({3, 4}, rng, 0.0f, 1.0f), false);
+  ExpectGradientsClose({a}, [&] {
+    return ops::Sum(ops::Mul(ops::Softmax(a), coef));
+  });
+}
+
+TEST(GradCheckTest, LogSoftmax) {
+  Variable a = Leaf({2, 5}, 21);
+  Rng rng(22);
+  Variable coef(Tensor::RandUniform({2, 5}, rng, 0.0f, 1.0f), false);
+  ExpectGradientsClose({a}, [&] {
+    return ops::Sum(ops::Mul(ops::LogSoftmax(a), coef));
+  });
+}
+
+TEST(GradCheckTest, MeanOp) {
+  Variable a = Leaf({7}, 23);
+  ExpectGradientsClose({a}, [&] { return ops::Mean(ops::Mul(a, a)); });
+}
+
+TEST(GradCheckTest, DotOp) {
+  Variable a = Leaf({5}, 24);
+  Variable b = Leaf({5}, 25);
+  ExpectGradientsClose({a, b}, [&] { return ops::Dot(a, b); });
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  // Shift values away from 0 so finite differences are valid.
+  Rng rng(26);
+  Tensor t = Tensor::Randn({10}, rng, 1.0f);
+  for (int64_t i = 0; i < t.size(); ++i)
+    if (std::fabs(t[i]) < 0.05f) t[i] = 0.2f;
+  Variable a(t, true);
+  ExpectGradientsClose({a}, [&] { return ops::Sum(ops::Mul(ops::Relu(a), ops::Relu(a))); });
+}
+
+TEST(GradCheckTest, Gelu) {
+  Variable a = Leaf({8}, 27);
+  ExpectGradientsClose({a}, [&] { return ops::Sum(ops::Gelu(a)); });
+}
+
+TEST(GradCheckTest, TanhOp) {
+  Variable a = Leaf({6}, 28);
+  ExpectGradientsClose({a}, [&] { return ops::Sum(ops::Tanh(a)); });
+}
+
+TEST(GradCheckTest, SigmoidOp) {
+  Variable a = Leaf({6}, 29);
+  ExpectGradientsClose({a}, [&] { return ops::Sum(ops::Sigmoid(a)); });
+}
+
+TEST(GradCheckTest, EmbeddingGather) {
+  Variable table = Leaf({5, 3}, 30);
+  std::vector<int64_t> ids{0, 2, 2, 4};
+  ExpectGradientsClose({table}, [&] {
+    Variable y = ops::Embedding(table, ids);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, LayerNormOp) {
+  Variable x = Leaf({3, 4}, 31);
+  Variable gamma(Tensor::Full({4}, 1.2f), true);
+  Variable beta(Tensor::Full({4}, 0.1f), true);
+  Rng rng(32);
+  Variable coef(Tensor::RandUniform({3, 4}, rng, -1.0f, 1.0f), false);
+  ExpectGradientsClose({x, gamma, beta}, [&] {
+    return ops::Sum(ops::Mul(ops::LayerNorm(x, gamma, beta), coef));
+  }, 1e-2f, 4e-2f);
+}
+
+TEST(GradCheckTest, ConcatLastDim) {
+  Variable a = Leaf({2, 3}, 33);
+  Variable b = Leaf({2, 2}, 34);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::ConcatLastDim({a, b});
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, SelectIndexMiddleDim) {
+  Variable a = Leaf({2, 3, 4}, 35);
+  ExpectGradientsClose({a}, [&] {
+    Variable y = ops::SelectIndex(a, 1, 0);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, AddSequenceMask) {
+  Variable scores = Leaf({2, 2, 3, 4}, 36);
+  Rng rng(37);
+  Tensor bias = Tensor::RandUniform({2, 4}, rng, -1.0f, 0.0f);
+  ExpectGradientsClose({scores}, [&] {
+    Variable y = ops::AddSequenceMask(scores, bias);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, CrossEntropyPerExample) {
+  Variable logits = Leaf({4, 3}, 38);
+  std::vector<int64_t> labels{0, 1, 2, 1};
+  ExpectGradientsClose({logits}, [&] {
+    return ops::Sum(ops::CrossEntropyPerExample(logits, labels));
+  });
+}
+
+TEST(GradCheckTest, CrossEntropyMean) {
+  Variable logits = Leaf({3, 4}, 39);
+  std::vector<int64_t> labels{3, 0, 2};
+  ExpectGradientsClose({logits}, [&] {
+    return ops::CrossEntropyMean(logits, labels);
+  });
+}
+
+TEST(GradCheckTest, SoftCrossEntropy) {
+  Variable logits = Leaf({3, 3}, 40);
+  Tensor q = Tensor::FromVector(
+      {3, 3}, {0.7f, 0.2f, 0.1f, 0.0f, 1.0f, 0.0f, 0.3f, 0.3f, 0.4f});
+  ExpectGradientsClose({logits}, [&] {
+    return ops::Sum(ops::SoftCrossEntropyPerExample(logits, q));
+  });
+}
+
+TEST(GradCheckTest, NormalizeMeanOne) {
+  Rng rng(41);
+  Variable w(Tensor::RandUniform({5}, rng, 0.2f, 1.0f), true);
+  Rng rng2(42);
+  Variable coef(Tensor::RandUniform({5}, rng2, -1.0f, 1.0f), false);
+  ExpectGradientsClose({w}, [&] {
+    return ops::Sum(ops::Mul(ops::NormalizeMeanOne(w), coef));
+  });
+}
+
+TEST(GradCheckTest, WeightedPerExampleLossComposition) {
+  // The exact composition used by the meta-trainer: per-example CE dotted
+  // with normalized weights.
+  Variable logits = Leaf({4, 2}, 43);
+  Rng rng(44);
+  Variable w(Tensor::RandUniform({4}, rng, 0.3f, 0.9f), true);
+  std::vector<int64_t> labels{0, 1, 1, 0};
+  ExpectGradientsClose({logits, w}, [&] {
+    Variable ce = ops::CrossEntropyPerExample(logits, labels);
+    Variable wn = ops::NormalizeMeanOne(w);
+    return ops::Scale(ops::Dot(ce, wn), 1.0f / 4.0f);
+  });
+}
+
+TEST(DropoutTest, IdentityWhenEval) {
+  Rng rng(45);
+  Variable a = Leaf({100}, 46);
+  Variable y = ops::Dropout(a, 0.5f, rng, /*training=*/false);
+  EXPECT_TRUE(y.value().Equals(a.value()));
+}
+
+TEST(DropoutTest, ZeroProbIsIdentity) {
+  Rng rng(47);
+  Variable a = Leaf({10}, 48);
+  Variable y = ops::Dropout(a, 0.0f, rng, true);
+  EXPECT_TRUE(y.value().Equals(a.value()));
+}
+
+TEST(DropoutTest, PreservesExpectation) {
+  Rng rng(49);
+  Variable a(Tensor::Ones({20000}), false);
+  Variable y = ops::Dropout(a, 0.3f, rng, true);
+  EXPECT_NEAR(y.value().Mean(), 1.0f, 0.02f);
+}
+
+TEST(DropoutTest, GradientMatchesMask) {
+  Rng rng(50);
+  Variable a(Tensor::Ones({1000}), true);
+  Variable y = ops::Dropout(a, 0.4f, rng, true);
+  ops::Sum(y).Backward();
+  // Gradient equals the mask: zero where dropped, 1/keep where kept.
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_FLOAT_EQ(a.grad()[i], y.value()[i]);
+  }
+}
+
+TEST(AutogradStressTest, DeepChainDoesNotOverflowStack) {
+  Variable x(Tensor::Scalar(1.0f), true);
+  Variable y = x;
+  for (int i = 0; i < 5000; ++i) y = ops::Scale(y, 1.0001f);
+  Variable loss = ops::Sum(y);
+  loss.Backward();
+  EXPECT_GT(x.grad()[0], 1.0f);
+}
+
+TEST(AutogradStressTest, DiamondGraphAccumulates) {
+  Variable x(Tensor::Scalar(2.0f), true);
+  Variable a = ops::Scale(x, 3.0f);
+  Variable b = ops::Mul(x, x);
+  Variable loss = ops::Sum(ops::Add(a, b));  // 3x + x^2
+  loss.Backward();
+  EXPECT_NEAR(x.grad()[0], 3.0f + 2.0f * 2.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace rotom

@@ -1,0 +1,147 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/deepmatcher.h"
+#include "baselines/nlp_da.h"
+#include "baselines/raha_like.h"
+#include "data/edt_gen.h"
+#include "data/em_gen.h"
+#include "data/textcls_gen.h"
+
+namespace rotom {
+namespace {
+
+TEST(BrunnerSerializeTest, StripsMarkersKeepsSep) {
+  const std::string pair =
+      "[COL] name [VAL] google llc [SEP] [COL] name [VAL] alphabet inc";
+  const std::string out = baselines::BrunnerSerialize(pair);
+  EXPECT_EQ(out, "name google llc [SEP] name alphabet inc");
+}
+
+TEST(BrunnerVariantTest, TransformsAllSplits) {
+  data::EmOptions options;
+  options.budget = 20;
+  options.test_size = 10;
+  options.unlabeled_size = 10;
+  auto ds = data::MakeEmDataset("dblp_acm", options);
+  auto variant = baselines::BrunnerVariant(ds);
+  EXPECT_EQ(variant.name, "dblp_acm_brunner");
+  EXPECT_TRUE(variant.is_pair_task);
+  for (const auto& e : variant.train) {
+    EXPECT_EQ(e.text.find("[COL]"), std::string::npos);
+    EXPECT_NE(e.text.find("[SEP]"), std::string::npos);
+  }
+  EXPECT_EQ(variant.train.size(), ds.train.size());
+}
+
+TEST(DeepMatcherTest, ForwardShapesAndPredict) {
+  Rng rng(1);
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (const char* w : {"google", "llc", "alphabet", "inc", "name"})
+    vocab->AddToken(w);
+  baselines::DeepMatcherNet::Config config;
+  config.embed_dim = 8;
+  config.hidden_dim = 8;
+  baselines::DeepMatcherNet net(config, vocab, rng);
+  std::vector<std::string> pairs = {
+      "[COL] name [VAL] google llc [SEP] [COL] name [VAL] google llc",
+      "[COL] name [VAL] google llc [SEP] [COL] name [VAL] alphabet inc"};
+  Variable logits = net.ForwardLogits(pairs);
+  EXPECT_EQ(logits.value().shape(), (std::vector<int64_t>{2, 2}));
+  auto preds = net.Predict(pairs);
+  EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST(DeepMatcherTest, LearnsEasyEmDataset) {
+  data::EmOptions options;
+  options.budget = 200;
+  options.test_size = 100;
+  options.unlabeled_size = 100;
+  options.seed = 2;
+  auto ds = data::MakeEmDataset("dblp_acm", options);
+  const double f1 = baselines::TrainAndEvalDeepMatcher(ds, /*seed=*/1);
+  // Should beat the trivial all-positive baseline's F1 (~40 at 25% pos).
+  EXPECT_GT(f1, 45.0);
+}
+
+TEST(RahaLikeTest, FeatureVectorShape) {
+  baselines::RahaLikeDetector detector;
+  auto f = detector.Features("[COL] zip [VAL] 12345");
+  EXPECT_EQ(f.size(),
+            static_cast<size_t>(baselines::RahaLikeDetector::kNumFeatures));
+}
+
+TEST(RahaLikeTest, MissingValueFeatureFires) {
+  baselines::RahaLikeDetector detector;
+  EXPECT_EQ(detector.Features("[COL] ibu [VAL] n/a")[4], 1.0);
+  EXPECT_EQ(detector.Features("[COL] ibu [VAL] 60")[4], 0.0);
+}
+
+class RahaLikeDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RahaLikeDatasetTest, BeatsChanceOnEdt) {
+  data::EdtOptions options;
+  options.budget = 120;
+  options.seed = 3;
+  auto ds = data::MakeEdtDataset(GetParam(), options);
+  baselines::RahaLikeDetector detector;
+  detector.Fit(ds, /*seed=*/1);
+  const double f1 = detector.EvaluateF1(ds);
+  // The natural error rate is ~20%; random guessing yields F1 ~ 0.2-0.3.
+  EXPECT_GT(f1, 30.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEdt, RahaLikeDatasetTest,
+                         ::testing::ValuesIn(data::EdtDatasetNames()));
+
+TEST(NlpBaselineTest, NamesAreStable) {
+  EXPECT_STREQ(baselines::NlpBaselineName(baselines::NlpBaseline::kHuLearnedDa),
+               "+Learned DA");
+  EXPECT_STREQ(
+      baselines::NlpBaselineName(baselines::NlpBaseline::kKumarCondGen),
+      "+CG w. BART-style");
+}
+
+TEST(NlpBaselineTest, AllVariantsRunOnTinyTask) {
+  data::TextClsOptions ds_options;
+  ds_options.train_size = 24;
+  ds_options.test_size = 40;
+  ds_options.unlabeled_size = 60;
+  ds_options.seed = 4;
+  auto ds = data::MakeTextClsDataset("sst2", ds_options);
+
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& e : ds.train) docs.push_back(text::Tokenize(e.text));
+  for (const auto& t : ds.unlabeled) docs.push_back(text::Tokenize(t));
+  auto vocab = std::make_shared<text::Vocabulary>(
+      text::Vocabulary::BuildFromCorpus(docs));
+
+  models::ClassifierConfig config;
+  config.num_classes = 2;
+  config.max_len = 16;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+
+  baselines::NlpBaselineOptions options;
+  options.epochs = 2;
+  options.batch_size = 8;
+  options.seed = 5;
+  for (auto kind :
+       {baselines::NlpBaseline::kHuLearnedDa,
+        baselines::NlpBaseline::kHuWeighting,
+        baselines::NlpBaseline::kKumarCondGen,
+        baselines::NlpBaseline::kKumarMlmResample}) {
+    const double acc = baselines::TrainAndEvalNlpBaseline(
+        kind, ds, config, vocab, nullptr, options);
+    EXPECT_GE(acc, 0.0) << baselines::NlpBaselineName(kind);
+    EXPECT_LE(acc, 100.0) << baselines::NlpBaselineName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace rotom

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "data/edt_gen.h"
+#include "data/textcls_gen.h"
+#include "eval/experiment.h"
+#include "util/timer.h"
+
+namespace rotom {
+namespace {
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(eval::Accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(eval::Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, BinaryPrfBasics) {
+  // preds: TP, FP, FN, TN
+  auto prf = eval::BinaryPrf({1, 1, 0, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.5);
+}
+
+TEST(MetricsTest, BinaryPrfDegenerate) {
+  auto prf = eval::BinaryPrf({0, 0}, {1, 1});
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+  auto perfect = eval::BinaryPrf({1, 0}, {1, 0});
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+}
+
+TEST(ExperimentTest, MethodNames) {
+  EXPECT_STREQ(eval::MethodName(eval::Method::kBaseline), "Baseline");
+  EXPECT_STREQ(eval::MethodName(eval::Method::kRotomSsl), "Rotom+SSL");
+  EXPECT_EQ(eval::AllMethods().size(), 5u);
+}
+
+TEST(ExperimentTest, BuildTaskVocabularyCoversTrain) {
+  data::TextClsOptions options;
+  options.train_size = 20;
+  options.unlabeled_size = 40;
+  auto ds = data::MakeTextClsDataset("sst2", options);
+  auto vocab = eval::BuildTaskVocabulary(ds);
+  // Every training token must be in vocabulary (built from train+unlabeled).
+  for (const auto& e : ds.train) {
+    for (const auto& token : text::Tokenize(e.text)) {
+      EXPECT_TRUE(vocab->Contains(token)) << token;
+    }
+  }
+}
+
+eval::ExperimentOptions TinyExperimentOptions() {
+  eval::ExperimentOptions options;
+  options.classifier.max_len = 20;
+  options.classifier.dim = 16;
+  options.classifier.num_heads = 2;
+  options.classifier.num_layers = 1;
+  options.classifier.ffn_dim = 32;
+  options.seq2seq.max_src_len = 20;
+  options.seq2seq.max_tgt_len = 20;
+  options.seq2seq.dim = 16;
+  options.seq2seq.num_heads = 2;
+  options.seq2seq.num_layers = 1;
+  options.seq2seq.ffn_dim = 32;
+  options.pretrain.epochs = 1;
+  options.pretrain.max_corpus = 64;
+  options.invda.epochs = 1;
+  options.invda.max_corpus = 48;
+  options.invda.augments_per_example = 2;
+  options.invda.sampling.max_len = 16;
+  options.epochs = 3;
+  options.batch_size = 8;
+  return options;
+}
+
+TEST(ExperimentTest, AllMethodsRunOnTinyTextCls) {
+  data::TextClsOptions ds_options;
+  ds_options.train_size = 24;
+  ds_options.test_size = 40;
+  ds_options.unlabeled_size = 60;
+  ds_options.seed = 1;
+  auto ds = data::MakeTextClsDataset("sst2", ds_options);
+
+  eval::TaskContext context(ds, TinyExperimentOptions());
+  EXPECT_EQ(context.metric(), eval::MetricKind::kAccuracy);
+  for (auto method : eval::AllMethods()) {
+    WallTimer timer;
+    auto result = context.Run(method, /*seed=*/1);
+    EXPECT_GE(result.test_metric, 0.0) << eval::MethodName(method);
+    EXPECT_LE(result.test_metric, 100.0) << eval::MethodName(method);
+    EXPECT_GT(result.train_seconds, 0.0) << eval::MethodName(method);
+    std::fprintf(stderr, "[timing] %-10s %.2fs (train %.2fs) metric %.1f\n",
+                 eval::MethodName(method), timer.Seconds(),
+                 result.train_seconds, result.test_metric);
+  }
+}
+
+TEST(ExperimentTest, EdtTaskUsesF1) {
+  data::EdtOptions ds_options;
+  ds_options.budget = 40;
+  ds_options.table_rows = 80;
+  ds_options.seed = 2;
+  auto ds = data::MakeEdtDataset("beers", ds_options);
+  eval::TaskContext context(ds, TinyExperimentOptions());
+  EXPECT_EQ(context.metric(), eval::MetricKind::kF1);
+  auto result = context.Run(eval::Method::kBaseline, 1);
+  EXPECT_GE(result.test_metric, 0.0);
+}
+
+TEST(ExperimentTest, RunsAreSeedDependent) {
+  data::TextClsOptions ds_options;
+  ds_options.train_size = 16;
+  ds_options.test_size = 30;
+  ds_options.unlabeled_size = 30;
+  auto ds = data::MakeTextClsDataset("trec", ds_options);
+  eval::TaskContext context(ds, TinyExperimentOptions());
+  auto a = context.Run(eval::Method::kBaseline, 1);
+  auto b = context.Run(eval::Method::kBaseline, 1);
+  // Same seed, same cached pretrained start -> identical result.
+  EXPECT_DOUBLE_EQ(a.test_metric, b.test_metric);
+}
+
+}  // namespace
+}  // namespace rotom

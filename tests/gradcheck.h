@@ -1,0 +1,60 @@
+#ifndef ROTOM_TESTS_GRADCHECK_H_
+#define ROTOM_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/variable.h"
+
+namespace rotom {
+namespace testing_support {
+
+/// Rebuilds a scalar loss from the current values of a set of leaf
+/// variables. Must be deterministic given the leaf values.
+using LossFn = std::function<Variable()>;
+
+/// Checks analytic gradients against central finite differences for every
+/// element of every leaf. The loss function is re-evaluated with perturbed
+/// leaf values, so the graph must be rebuilt on each call.
+inline void ExpectGradientsClose(const std::vector<Variable>& leaves,
+                                 const LossFn& loss_fn, float eps = 1e-3f,
+                                 float tol = 2e-2f) {
+  for (const auto& leaf : leaves) {
+    ASSERT_TRUE(leaf.requires_grad());
+    leaf.ZeroGrad();
+  }
+  Variable loss = loss_fn();
+  ASSERT_EQ(loss.size(), 1);
+  loss.Backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    ASSERT_TRUE(leaf.has_grad()) << "no gradient reached a leaf";
+    analytic.push_back(leaf.grad().Clone());
+  }
+
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    Tensor& v = const_cast<Variable&>(leaves[l]).value();
+    for (int64_t i = 0; i < v.size(); ++i) {
+      const float saved = v[i];
+      v[i] = saved + eps;
+      const float up = loss_fn().value()[0];
+      v[i] = saved - eps;
+      const float down = loss_fn().value()[0];
+      v[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float a = analytic[l][i];
+      EXPECT_NEAR(a, numeric, tol * (1.0f + std::fabs(a) + std::fabs(numeric)))
+          << "leaf " << l << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing_support
+}  // namespace rotom
+
+#endif  // ROTOM_TESTS_GRADCHECK_H_

@@ -1,0 +1,156 @@
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "invda/invda.h"
+#include "util/string_util.h"
+
+namespace rotom {
+namespace {
+
+std::vector<std::string> TinyCorpus() {
+  return {
+      "where is the orange bowl",     "where is the super bowl held",
+      "who won the orange bowl",      "where is the stadium located",
+      "what city hosts the bowl",     "where is the arena",
+      "where is the orange stadium",  "who plays in the orange bowl",
+  };
+}
+
+std::shared_ptr<text::Vocabulary> CorpusVocab() {
+  std::vector<std::vector<std::string>> docs;
+  for (const auto& s : TinyCorpus()) docs.push_back(text::Tokenize(s));
+  return std::make_shared<text::Vocabulary>(
+      text::Vocabulary::BuildFromCorpus(docs));
+}
+
+models::Seq2SeqConfig TinyConfig() {
+  models::Seq2SeqConfig config;
+  config.max_src_len = 12;
+  config.max_tgt_len = 12;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(BuildCorruptionPairsTest, TargetsAreOriginals) {
+  Rng rng(1);
+  auto corpus = TinyCorpus();
+  auto pairs = invda::BuildCorruptionPairs(corpus, 2, {}, false, false, rng);
+  ASSERT_EQ(pairs.size(), corpus.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].second, corpus[i]);
+  }
+}
+
+TEST(BuildCorruptionPairsTest, InputsAreUsuallyCorrupted) {
+  Rng rng(2);
+  auto corpus = TinyCorpus();
+  auto pairs = invda::BuildCorruptionPairs(corpus, 3, {}, false, false, rng);
+  int changed = 0;
+  for (const auto& [input, target] : pairs) changed += input != target;
+  EXPECT_GT(changed, static_cast<int>(corpus.size()) / 2);
+}
+
+TEST(BuildCorruptionPairsTest, MoreOpsMoreCorruption) {
+  auto corpus = TinyCorpus();
+  double dist1 = 0, dist4 = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng r1(trial), r4(trial + 100);
+    for (const auto& [in, tgt] :
+         invda::BuildCorruptionPairs(corpus, 1, {}, false, false, r1))
+      dist1 += EditDistance(in, tgt);
+    for (const auto& [in, tgt] :
+         invda::BuildCorruptionPairs(corpus, 4, {}, false, false, r4))
+      dist4 += EditDistance(in, tgt);
+  }
+  EXPECT_GT(dist4, dist1);
+}
+
+TEST(BuildCorruptionPairsTest, RecordTaskKeepsStructure) {
+  Rng rng(3);
+  std::vector<std::string> corpus = {
+      "[COL] title [VAL] effective timestamping in databases [COL] year [VAL] 1999"};
+  auto pairs = invda::BuildCorruptionPairs(corpus, 2, {}, false, true, rng);
+  // Structural tokens survive corruption.
+  EXPECT_NE(pairs[0].first.find("[VAL]"), std::string::npos);
+}
+
+TEST(InvDaTest, TrainThenAugmentProducesVocabTokens) {
+  auto vocab = CorpusVocab();
+  invda::InvDa generator(TinyConfig(), vocab, {}, false, false, /*seed=*/7);
+  invda::InvDaOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.sampling.max_len = 8;
+  generator.Train(TinyCorpus(), options);
+  EXPECT_TRUE(generator.trained());
+
+  auto augs = generator.Augment("where is the orange bowl", 3);
+  ASSERT_EQ(augs.size(), 3u);
+  for (const auto& aug : augs) {
+    for (const auto& token : text::Tokenize(aug))
+      EXPECT_TRUE(vocab->Contains(token)) << token;
+  }
+}
+
+TEST(InvDaTest, AugmentBeforeTrainDies) {
+  auto vocab = CorpusVocab();
+  invda::InvDa generator(TinyConfig(), vocab, {}, false, false, 7);
+  EXPECT_DEATH(generator.Augment("where is the orange bowl", 1), "Train");
+}
+
+TEST(InvDaTest, CachePrecomputeAndSample) {
+  auto vocab = CorpusVocab();
+  invda::InvDa generator(TinyConfig(), vocab, {}, false, false, 11);
+  invda::InvDaOptions options;
+  options.epochs = 1;
+  options.batch_size = 4;
+  options.augments_per_example = 3;
+  options.sampling.max_len = 8;
+  generator.Train(TinyCorpus(), options);
+
+  std::vector<std::string> inputs = {"where is the orange bowl",
+                                     "who won the orange bowl"};
+  generator.PrecomputeCache(inputs, options);
+  for (const auto& input : inputs) {
+    EXPECT_FALSE(generator.CachedAugmentations(input).empty());
+  }
+  Rng rng(5);
+  const std::string sampled = generator.Sample(inputs[0], rng);
+  const auto& cached = generator.CachedAugmentations(inputs[0]);
+  EXPECT_NE(std::find(cached.begin(), cached.end(), sampled), cached.end());
+}
+
+TEST(InvDaTest, SampleWithoutCacheFallsBackToGeneration) {
+  auto vocab = CorpusVocab();
+  invda::InvDa generator(TinyConfig(), vocab, {}, false, false, 13);
+  invda::InvDaOptions options;
+  options.epochs = 1;
+  options.batch_size = 4;
+  options.sampling.max_len = 6;
+  generator.Train(TinyCorpus(), options);
+  Rng rng(6);
+  const std::string out = generator.Sample("where is the arena", rng);
+  EXPECT_FALSE(generator.CachedAugmentations("where is the arena").empty());
+  (void)out;
+}
+
+TEST(InvDaTest, EmptyUnlabeledPoolStillUsable) {
+  auto vocab = CorpusVocab();
+  invda::InvDa generator(TinyConfig(), vocab, {}, false, false, 17);
+  invda::InvDaOptions options;
+  options.sampling.max_len = 4;
+  generator.Train({}, options);
+  EXPECT_TRUE(generator.trained());
+  auto augs = generator.Augment("where is the arena", 1);
+  EXPECT_EQ(augs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rotom

@@ -1,0 +1,224 @@
+#include <memory>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "models/classifier.h"
+#include "models/pretrain.h"
+#include "models/seq2seq.h"
+#include "nn/optim.h"
+
+namespace rotom {
+namespace {
+
+using models::ClassifierConfig;
+using models::Seq2SeqConfig;
+using models::TransformerClassifier;
+
+std::shared_ptr<text::Vocabulary> TinyVocab() {
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (const char* w :
+       {"the", "movie", "was", "great", "terrible", "a", "b", "c", "d",
+        "quick", "brown", "fox", "jumps", "over", "lazy", "dog"})
+    vocab->AddToken(w);
+  return vocab;
+}
+
+ClassifierConfig TinyClassifierConfig() {
+  ClassifierConfig config;
+  config.num_classes = 2;
+  config.max_len = 12;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(ClassifierTest, LogitShape) {
+  Rng rng(1);
+  auto vocab = TinyVocab();
+  TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
+  model.SetTraining(false);
+  Variable logits =
+      model.ForwardLogits({"the movie was great", "the movie was terrible"},
+                          rng);
+  EXPECT_EQ(logits.value().shape(), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(ClassifierTest, PredictProbsSumToOne) {
+  Rng rng(2);
+  auto vocab = TinyVocab();
+  TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
+  model.SetTraining(false);
+  Tensor probs = model.PredictProbs({"the movie was great"}, rng);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0f, 1e-5f);
+}
+
+TEST(ClassifierTest, PredictReturnsArgmax) {
+  Rng rng(3);
+  auto vocab = TinyVocab();
+  TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
+  model.SetTraining(false);
+  Tensor probs = model.PredictProbs({"a b c"}, rng);
+  auto preds = model.Predict({"a b c"}, rng);
+  EXPECT_EQ(preds[0], probs[0] > probs[1] ? 0 : 1);
+}
+
+TEST(ClassifierTest, FineTuningLearnsTinyTask) {
+  Rng rng(4);
+  auto vocab = TinyVocab();
+  auto config = TinyClassifierConfig();
+  TransformerClassifier model(config, vocab, rng);
+  nn::Adam optimizer(model.Parameters(), 2e-3f);
+
+  std::vector<std::string> texts = {
+      "the movie was great",     "the movie was terrible",
+      "great great movie",       "terrible terrible movie",
+      "a great movie",           "a terrible movie"};
+  std::vector<int64_t> labels = {1, 0, 1, 0, 1, 0};
+
+  model.SetTraining(true);
+  for (int step = 0; step < 60; ++step) {
+    optimizer.ZeroGrad();
+    Variable logits = model.ForwardLogits(texts, rng);
+    ops::CrossEntropyMean(logits, labels).Backward();
+    optimizer.Step();
+  }
+  model.SetTraining(false);
+  auto preds = model.Predict(texts, rng);
+  int correct = 0;
+  for (size_t i = 0; i < texts.size(); ++i) correct += preds[i] == labels[i];
+  EXPECT_GE(correct, 5);
+}
+
+TEST(ClassifierTest, StateDictRoundTripsThroughCheckpoints) {
+  Rng rng(5);
+  auto vocab = TinyVocab();
+  auto config = TinyClassifierConfig();
+  TransformerClassifier a(config, vocab, rng);
+  TransformerClassifier b(config, vocab, rng);
+  b.LoadStateDict(a.StateDict());
+  Rng r1(9), r2(9);
+  a.SetTraining(false);
+  b.SetTraining(false);
+  Variable la = a.ForwardLogits({"the movie was great"}, r1);
+  Variable lb = b.ForwardLogits({"the movie was great"}, r2);
+  EXPECT_TRUE(la.value().AllClose(lb.value()));
+}
+
+TEST(PretrainTest, MlmLossDecreases) {
+  Rng rng(6);
+  auto vocab = TinyVocab();
+  auto config = TinyClassifierConfig();
+  TransformerClassifier model(config, vocab, rng);
+
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 24; ++i) {
+    corpus.push_back("the quick brown fox jumps over the lazy dog");
+    corpus.push_back("the movie was great");
+  }
+  models::PretrainOptions first;
+  first.epochs = 1;
+  first.max_steps = 2;
+  const float early = models::PretrainMaskedLm(model, corpus, rng, first);
+
+  models::PretrainOptions more;
+  more.epochs = 8;
+  const float late = models::PretrainMaskedLm(model, corpus, rng, more);
+  EXPECT_LT(late, early);
+}
+
+TEST(PretrainTest, EmptyCorpusIsNoop) {
+  Rng rng(7);
+  auto vocab = TinyVocab();
+  TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
+  EXPECT_EQ(models::PretrainMaskedLm(model, {}, rng, {}), 0.0f);
+}
+
+TEST(PretrainTest, ChangesEncoderParameters) {
+  Rng rng(8);
+  auto vocab = TinyVocab();
+  TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
+  const Tensor before = model.Parameters()[0].value().Clone();
+  std::vector<std::string> corpus(16, "the quick brown fox jumps");
+  models::PretrainOptions options;
+  options.epochs = 1;
+  models::PretrainMaskedLm(model, corpus, rng, options);
+  EXPECT_FALSE(before.Equals(model.Parameters()[0].value()));
+}
+
+Seq2SeqConfig TinySeq2SeqConfig() {
+  Seq2SeqConfig config;
+  config.max_src_len = 12;
+  config.max_tgt_len = 12;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(Seq2SeqTest, LossIsFiniteAndPositive) {
+  Rng rng(9);
+  auto vocab = TinyVocab();
+  models::Seq2SeqModel model(TinySeq2SeqConfig(), vocab, rng);
+  Variable loss =
+      model.Loss({{"the movie was", "the movie was great"}}, rng);
+  EXPECT_GT(loss.value()[0], 0.0f);
+  EXPECT_LT(loss.value()[0], 20.0f);
+}
+
+TEST(Seq2SeqTest, GenerationProducesKnownTokens) {
+  Rng rng(10);
+  auto vocab = TinyVocab();
+  models::Seq2SeqModel model(TinySeq2SeqConfig(), vocab, rng);
+  model.SetTraining(false);
+  models::SamplingOptions sampling;
+  sampling.max_len = 6;
+  Rng gen_rng(1);
+  const std::string out = model.Generate("the movie", sampling, gen_rng);
+  for (const auto& token : text::Tokenize(out)) {
+    EXPECT_TRUE(vocab->Contains(token)) << token;
+  }
+}
+
+TEST(Seq2SeqTest, GenerateBatchShape) {
+  Rng rng(11);
+  auto vocab = TinyVocab();
+  models::Seq2SeqModel model(TinySeq2SeqConfig(), vocab, rng);
+  model.SetTraining(false);
+  models::SamplingOptions sampling;
+  sampling.max_len = 4;
+  Rng gen_rng(2);
+  auto outs = model.GenerateBatch({"a b", "c d", "the fox"}, sampling, gen_rng);
+  EXPECT_EQ(outs.size(), 3u);
+}
+
+TEST(Seq2SeqTest, LearnsIdentityOnTinyCorpus) {
+  // After training on copy pairs, generation should reproduce input tokens
+  // far more often than chance.
+  Rng rng(12);
+  auto vocab = TinyVocab();
+  models::Seq2SeqModel model(TinySeq2SeqConfig(), vocab, rng);
+  nn::Adam optimizer(model.Parameters(), 3e-3f);
+  std::vector<std::pair<std::string, std::string>> pairs = {
+      {"a b", "a b"}, {"c d", "c d"}, {"the fox", "the fox"},
+      {"lazy dog", "lazy dog"}};
+  model.SetTraining(true);
+  for (int step = 0; step < 120; ++step) {
+    optimizer.ZeroGrad();
+    Variable loss = model.Loss(pairs, rng);
+    loss.Backward();
+    optimizer.Step();
+  }
+  model.SetTraining(false);
+  Variable final_loss = model.Loss(pairs, rng);
+  EXPECT_LT(final_loss.value()[0], 0.7f);
+}
+
+}  // namespace
+}  // namespace rotom

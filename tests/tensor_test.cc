@@ -1,0 +1,203 @@
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace rotom {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.dim(), 2);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+  Tensor o = Tensor::Ones({2, 2});
+  EXPECT_EQ(o.Sum(), 4.0f);
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_DEATH(Tensor::FromVector({2, 2}, {1, 2, 3}), "CHECK");
+}
+
+TEST(TensorTest, NegativeDimIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(-1), 4);
+  EXPECT_EQ(t.size(-3), 2);
+  EXPECT_EQ(t.size(1), 3);
+}
+
+TEST(TensorTest, AtRowMajorLayout) {
+  Tensor t = Tensor::FromVector({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  t.at({1, 2}) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+}
+
+TEST(TensorTest, CopySharesBuffer) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 7.0f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = a.Clone();
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesDataAndInfersDim) {
+  Tensor a = Tensor::FromVector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor b = a.Reshape({3, -1});
+  EXPECT_EQ(b.shape(), (std::vector<int64_t>{3, 2}));
+  b[0] = 42.0f;
+  EXPECT_EQ(a[0], 42.0f);
+  EXPECT_DEATH(a.Reshape({4, 2}), "CHECK");
+}
+
+TEST(TensorTest, ArithmeticHelpers) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.AddScaled(b, -1.0f);
+  EXPECT_EQ(a[1], 2.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a[0], 2.0f);
+  a.CopyFrom(b);
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a = Tensor::FromVector({4}, {1, -2, 3, -4});
+  EXPECT_EQ(a.Sum(), -2.0f);
+  EXPECT_EQ(a.Mean(), -0.5f);
+  EXPECT_EQ(a.AbsMax(), 4.0f);
+  EXPECT_NEAR(a.Norm(), std::sqrt(30.0f), 1e-5f);
+}
+
+TEST(TensorTest, AllCloseRespectsTolerance) {
+  Tensor a = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Tensor b = Tensor::FromVector({2}, {1.0f + 5e-6f, 2.0f});
+  EXPECT_TRUE(a.AllClose(b));
+  EXPECT_FALSE(a.AllClose(b, 1e-7f));
+  Tensor c = Tensor::FromVector({1}, {1.0f});
+  EXPECT_FALSE(a.AllClose(c));
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.1f);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) var += t[i] * t[i];
+  EXPECT_NEAR(var / t.size(), 4.0, 0.3);
+}
+
+TEST(TensorTest, RandUniformRange) {
+  Rng rng(4);
+  Tensor t = Tensor::RandUniform({1000}, rng, -0.5f, 0.5f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LT(t[i], 0.5f);
+  }
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "Tensor[2,3]");
+}
+
+TEST(TransposeCopyTest, Transpose2D) {
+  Tensor a = Tensor::FromVector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor t = ops::TransposeCopy(a, 0, 1);
+  EXPECT_EQ(t.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(t.at({0, 1}), 3.0f);
+  EXPECT_EQ(t.at({2, 0}), 2.0f);
+}
+
+TEST(TransposeCopyTest, TransposeMiddleDims4D) {
+  // [B=2,T=3,H=2,D=2] -> swap dims 1,2 -> [2,2,3,2]
+  std::vector<float> vals(24);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<float>(i);
+  Tensor a = Tensor::FromVector({2, 3, 2, 2}, vals);
+  Tensor t = ops::TransposeCopy(a, 1, 2);
+  EXPECT_EQ(t.shape(), (std::vector<int64_t>{2, 2, 3, 2}));
+  for (int64_t b = 0; b < 2; ++b)
+    for (int64_t i = 0; i < 3; ++i)
+      for (int64_t h = 0; h < 2; ++h)
+        for (int64_t d = 0; d < 2; ++d)
+          EXPECT_EQ(t.at({b, h, i, d}), a.at({b, i, h, d}));
+}
+
+TEST(TransposeCopyTest, DoubleTransposeIsIdentity) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor t = ops::TransposeCopy(ops::TransposeCopy(a, 0, 2), 0, 2);
+  EXPECT_TRUE(t.AllClose(a));
+}
+
+TEST(SoftmaxRowsTest, RowsSumToOne) {
+  Tensor logits = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = ops::SoftmaxRows(logits);
+  for (int64_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) sum += p.at({r, j});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p.at({0, 2}), p.at({0, 0}));
+}
+
+TEST(SoftmaxRowsTest, StableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1, 2}, {1000.0f, 1000.0f});
+  Tensor p = ops::SoftmaxRows(logits);
+  EXPECT_NEAR(p[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(p[1], 0.5f, 1e-5f);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(7);
+  NamedTensors tensors;
+  tensors.emplace_back("embed.weight", Tensor::Randn({5, 4}, rng));
+  tensors.emplace_back("head.bias", Tensor::Randn({3}, rng));
+  const std::string path = ::testing::TempDir() + "/rotom_ckpt_test.bin";
+  ASSERT_TRUE(SaveTensors(path, tensors).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].first, "embed.weight");
+  EXPECT_TRUE(loaded.value()[0].second.Equals(tensors[0].second));
+  EXPECT_EQ(loaded.value()[1].first, "head.bias");
+  EXPECT_TRUE(loaded.value()[1].second.Equals(tensors[1].second));
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  auto loaded = LoadTensors("/nonexistent/rotom.bin");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializeTest, LoadRejectsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/rotom_bad_magic.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTROTOM garbage";
+  }
+  auto loaded = LoadTensors(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace rotom

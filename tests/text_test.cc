@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "text/idf.h"
+#include "text/records.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace rotom {
+namespace {
+
+using text::Encoded;
+using text::Record;
+using text::SpecialTokens;
+using text::Vocabulary;
+
+TEST(VocabularyTest, SpecialsHaveFixedIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("[PAD]"), SpecialTokens::kPad);
+  EXPECT_EQ(v.Id("[UNK]"), SpecialTokens::kUnk);
+  EXPECT_EQ(v.Id("[CLS]"), SpecialTokens::kCls);
+  EXPECT_EQ(v.Id("[SEP]"), SpecialTokens::kSep);
+  EXPECT_EQ(v.Id("[MASK]"), SpecialTokens::kMask);
+  EXPECT_EQ(v.Id("[COL]"), SpecialTokens::kCol);
+  EXPECT_EQ(v.Id("[VAL]"), SpecialTokens::kVal);
+  EXPECT_EQ(v.size(), SpecialTokens::kCount);
+}
+
+TEST(VocabularyTest, UnknownMapsToUnk) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("zebra"), SpecialTokens::kUnk);
+}
+
+TEST(VocabularyTest, AddTokenIdempotent) {
+  Vocabulary v;
+  const int64_t id1 = v.AddToken("hello");
+  const int64_t id2 = v.AddToken("hello");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(v.Token(id1), "hello");
+}
+
+TEST(VocabularyTest, BuildFromCorpusOrdersByFrequency) {
+  std::vector<std::vector<std::string>> docs = {
+      {"apple", "banana", "apple"}, {"apple", "cherry"}};
+  Vocabulary v = Vocabulary::BuildFromCorpus(docs);
+  // apple (3) comes before banana/cherry (1 each, tie broken alphabetically)
+  EXPECT_EQ(v.Id("apple"), SpecialTokens::kCount);
+  EXPECT_EQ(v.Id("banana"), SpecialTokens::kCount + 1);
+  EXPECT_EQ(v.Id("cherry"), SpecialTokens::kCount + 2);
+}
+
+TEST(VocabularyTest, MaxSizeRespected) {
+  std::vector<std::vector<std::string>> docs = {{"a", "b", "c", "d", "e"}};
+  Vocabulary v = Vocabulary::BuildFromCorpus(docs, SpecialTokens::kCount + 2);
+  EXPECT_EQ(v.size(), SpecialTokens::kCount + 2);
+}
+
+TEST(VocabularyTest, MinCountFiltersRareTokens) {
+  std::vector<std::vector<std::string>> docs = {
+      {"common", "common", "rare"}};
+  Vocabulary v = Vocabulary::BuildFromCorpus(docs, 8192, 2);
+  EXPECT_TRUE(v.Contains("common"));
+  EXPECT_FALSE(v.Contains("rare"));
+}
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = text::Tokenize("Hello World");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, KeepsSpecialTokensWhole) {
+  auto tokens = text::Tokenize("[COL] Name [VAL] Google LLC [SEP] x");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"[COL]", "name", "[VAL]",
+                                              "google", "llc", "[SEP]", "x"}));
+}
+
+TEST(TokenizerTest, SplitsPunctuation) {
+  auto tokens = text::Tokenize("great, really great!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"great", ",", "really", "great",
+                                              "!"}));
+}
+
+TEST(TokenizerTest, KeepsNumbersAndHyphenSplit) {
+  auto tokens = text::Tokenize("ab-123 $59.99");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ab", "-", "123", "$", "59", ".",
+                                              "99"}));
+}
+
+TEST(TokenizerTest, BracketsWithoutUppercaseAreNotSpecial) {
+  auto tokens = text::Tokenize("[abc]");
+  EXPECT_EQ(tokens[0], "[");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(text::Tokenize("").empty());
+  EXPECT_TRUE(text::Tokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, DetokenizeJoins) {
+  EXPECT_EQ(text::Detokenize({"a", "b", "c"}), "a b c");
+}
+
+TEST(EncodeTest, ClassifierFormat) {
+  Vocabulary v;
+  v.AddToken("hello");
+  v.AddToken("world");
+  Encoded e = text::EncodeForClassifier(v, {"hello", "world"}, 6);
+  EXPECT_EQ(e.ids[0], SpecialTokens::kCls);
+  EXPECT_EQ(e.ids[1], v.Id("hello"));
+  EXPECT_EQ(e.ids[2], v.Id("world"));
+  EXPECT_EQ(e.ids[3], SpecialTokens::kSep);
+  EXPECT_EQ(e.ids[4], SpecialTokens::kPad);
+  EXPECT_EQ(e.mask, (std::vector<float>{1, 1, 1, 1, 0, 0}));
+}
+
+TEST(EncodeTest, TruncatesLongInput) {
+  Vocabulary v;
+  std::vector<std::string> tokens(20, "tok");
+  v.AddToken("tok");
+  Encoded e = text::EncodeForClassifier(v, tokens, 8);
+  EXPECT_EQ(e.ids[0], SpecialTokens::kCls);
+  EXPECT_EQ(e.ids[7], SpecialTokens::kSep);
+  for (float m : e.mask) EXPECT_EQ(m, 1.0f);
+}
+
+TEST(EncodeTest, Seq2SeqUsesBosEos) {
+  Vocabulary v;
+  v.AddToken("x");
+  Encoded e = text::EncodeForSeq2Seq(v, {"x"}, 4);
+  EXPECT_EQ(e.ids[0], SpecialTokens::kBos);
+  EXPECT_EQ(e.ids[1], v.Id("x"));
+  EXPECT_EQ(e.ids[2], SpecialTokens::kEos);
+}
+
+TEST(EncodeTest, BatchShapes) {
+  Vocabulary v;
+  v.AddToken("a");
+  auto batch = text::EncodeBatchForClassifier(v, {"a", "a a"}, 5);
+  EXPECT_EQ(batch.batch, 2);
+  EXPECT_EQ(batch.max_len, 5);
+  EXPECT_EQ(batch.ids.size(), 10u);
+  EXPECT_EQ(batch.mask.shape(), (std::vector<int64_t>{2, 5}));
+  EXPECT_EQ(batch.mask.at({0, 2}), 1.0f);  // [CLS] a [SEP]
+  EXPECT_EQ(batch.mask.at({0, 3}), 0.0f);
+}
+
+TEST(IdfTest, FrequentTokensHaveLowIdf) {
+  std::vector<std::vector<std::string>> docs = {
+      {"the", "cat"}, {"the", "dog"}, {"the", "fox"}, {"the", "cat"}};
+  text::IdfTable idf = text::IdfTable::Build(docs);
+  EXPECT_LT(idf.Idf("the"), idf.Idf("fox"));
+  EXPECT_LT(idf.Idf("cat"), idf.Idf("fox"));
+}
+
+TEST(IdfTest, UnseenTokensAreImportant) {
+  text::IdfTable idf = text::IdfTable::Build({{"a", "b"}, {"a"}});
+  EXPECT_GE(idf.Idf("never_seen"), idf.Idf("b"));
+}
+
+TEST(IdfTest, CorruptionWeightInverts) {
+  std::vector<std::vector<std::string>> docs = {
+      {"the", "cat"}, {"the", "dog"}, {"the", "fox"}};
+  text::IdfTable idf = text::IdfTable::Build(docs);
+  // Unimportant "the" should be *more* likely to be corrupted.
+  EXPECT_GT(idf.CorruptionWeight("the"), idf.CorruptionWeight("fox"));
+}
+
+TEST(IdfTest, SpecialTokensNeverCorrupted) {
+  text::IdfTable idf = text::IdfTable::Build({{"a"}});
+  EXPECT_EQ(idf.CorruptionWeight("[COL]"), 0.0);
+  EXPECT_EQ(idf.CorruptionWeight("[SEP]"), 0.0);
+}
+
+TEST(RecordsTest, SerializeRecordFormat) {
+  Record r;
+  r.fields = {{"Name", "Google LLC"}, {"phone", "(866) 246-6453"}};
+  EXPECT_EQ(text::SerializeRecord(r),
+            "[COL] Name [VAL] Google LLC [COL] phone [VAL] (866) 246-6453");
+}
+
+TEST(RecordsTest, SerializeEntityPairUsesSep) {
+  Record a, b;
+  a.fields = {{"Name", "Google LLC"}};
+  b.fields = {{"Name", "Alphabet inc"}};
+  EXPECT_EQ(text::SerializeEntityPair(a, b),
+            "[COL] Name [VAL] Google LLC [SEP] [COL] Name [VAL] Alphabet inc");
+}
+
+TEST(RecordsTest, SerializeCellFormat) {
+  EXPECT_EQ(text::SerializeCell("phone", "6502530000"),
+            "[COL] phone [VAL] 6502530000");
+}
+
+TEST(RecordsTest, SerializeRowContextAppendsCell) {
+  Record r;
+  r.fields = {{"Name", "Apple Inc."}, {"phone", "(408) 606-5775"}};
+  const std::string s = text::SerializeRowContext(r, 1);
+  EXPECT_NE(s.find("[SEP] [COL] phone [VAL] (408) 606-5775"),
+            std::string::npos);
+  EXPECT_NE(s.find("[COL] Name [VAL] Apple Inc."), std::string::npos);
+}
+
+TEST(RecordsTest, GetReturnsValueOrEmpty) {
+  Record r;
+  r.fields = {{"a", "1"}};
+  EXPECT_EQ(r.Get("a"), "1");
+  EXPECT_EQ(r.Get("b"), "");
+}
+
+}  // namespace
+}  // namespace rotom

@@ -1,0 +1,177 @@
+// Behavioral contracts of the trainers: checkpoint restoration, weight
+// dynamics, and the interaction of the meta models with the loss.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/finetune.h"
+#include "core/rotom_trainer.h"
+#include "core/weighting.h"
+#include "nn/optim.h"
+
+namespace rotom {
+namespace {
+
+std::shared_ptr<text::Vocabulary> SmallVocab() {
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (const char* w : {"up", "down", "left", "right", "very", "really"})
+    vocab->AddToken(w);
+  return vocab;
+}
+
+models::ClassifierConfig SmallConfig() {
+  models::ClassifierConfig config;
+  config.num_classes = 2;
+  config.max_len = 8;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+data::TaskDataset UpDownTask() {
+  data::TaskDataset ds;
+  ds.name = "updown";
+  ds.num_classes = 2;
+  for (int i = 0; i < 8; ++i) {
+    ds.train.push_back({i % 2 ? "very up really up" : "very down really down",
+                        i % 2});
+  }
+  ds.valid = ds.train;
+  ds.test = {{"really up", 1}, {"really down", 0}};
+  for (const auto& e : ds.train) ds.unlabeled.push_back(e.text);
+  return ds;
+}
+
+TEST(FinetuneBehaviorTest, RestoredModelMatchesReportedBestMetric) {
+  Rng rng(1);
+  auto vocab = SmallVocab();
+  models::TransformerClassifier model(SmallConfig(), vocab, rng);
+  core::FinetuneOptions options;
+  options.epochs = 5;
+  options.batch_size = 4;
+  options.seed = 2;
+  core::FinetuneTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  auto ds = UpDownTask();
+  auto result = trainer.Train(ds);
+  // The restored checkpoint must reproduce the best reported valid metric.
+  const double now = eval::EvaluateModel(model, ds.valid,
+                                         eval::MetricKind::kAccuracy);
+  EXPECT_DOUBLE_EQ(now, result.best_valid_metric);
+}
+
+TEST(FinetuneBehaviorTest, ModelLeftInEvalMode) {
+  Rng rng(3);
+  auto vocab = SmallVocab();
+  models::TransformerClassifier model(SmallConfig(), vocab, rng);
+  core::FinetuneOptions options;
+  options.epochs = 1;
+  core::FinetuneTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  auto ds = UpDownTask();
+  trainer.Train(ds);
+  EXPECT_FALSE(model.training());
+}
+
+TEST(RotomBehaviorTest, ModelLeftInEvalModeAndCheckpointed) {
+  Rng rng(4);
+  auto vocab = SmallVocab();
+  models::TransformerClassifier model(SmallConfig(), vocab, rng);
+  core::RotomOptions options;
+  options.epochs = 3;
+  options.batch_size = 4;
+  options.seed = 5;
+  core::RotomTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  auto ds = UpDownTask();
+  auto result = trainer.Train(ds, [](const std::string& s, Rng&) {
+    return std::vector<std::string>{s};
+  });
+  EXPECT_FALSE(model.training());
+  const double now = eval::EvaluateModel(model, ds.valid,
+                                         eval::MetricKind::kAccuracy);
+  EXPECT_DOUBLE_EQ(now, result.best_valid_metric);
+}
+
+TEST(RotomBehaviorTest, MetaUpdateEveryReducesNothingButCost) {
+  // With meta updates every 2nd batch the trainer still runs to completion
+  // and produces a usable model.
+  Rng rng(6);
+  auto vocab = SmallVocab();
+  models::TransformerClassifier model(SmallConfig(), vocab, rng);
+  core::RotomOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.meta_update_every = 2;
+  options.seed = 7;
+  core::RotomTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  auto ds = UpDownTask();
+  auto result = trainer.Train(ds, [](const std::string& s, Rng&) {
+    return std::vector<std::string>{s};
+  });
+  EXPECT_EQ(result.epochs_run, 2);
+  EXPECT_GE(result.best_valid_metric, 50.0);
+}
+
+TEST(RotomBehaviorTest, SslBatchRatioRuns) {
+  Rng rng(8);
+  auto vocab = SmallVocab();
+  models::TransformerClassifier model(SmallConfig(), vocab, rng);
+  core::RotomOptions options;
+  options.epochs = 3;
+  options.batch_size = 4;
+  options.use_ssl = true;
+  options.ssl_batch_ratio = 0.5;
+  options.ssl_warmup_epochs = 1;
+  options.seed = 9;
+  core::RotomTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  auto ds = UpDownTask();
+  auto result = trainer.Train(ds, [](const std::string& s, Rng&) {
+    return std::vector<std::string>{s};
+  });
+  EXPECT_EQ(result.epochs_run, 3);
+}
+
+TEST(WeightingBehaviorTest, L2TermRaisesWeights) {
+  Rng rng(10);
+  auto vocab = SmallVocab();
+  core::WeightingModel weighting(SmallConfig(), vocab, rng);
+  weighting.SetTraining(false);
+  Rng fwd(0);
+  Tensor zero_l2({2});
+  Tensor big_l2 = Tensor::FromVector({2}, {1.0f, 1.0f});
+  const std::vector<std::string> texts = {"very up", "very down"};
+  Rng f1(0), f2(0);
+  Tensor w0 = weighting.Weights(texts, zero_l2, f1).value();
+  Tensor w1 = weighting.Weights(texts, big_l2, f2).value();
+  // Eq. 2: the L2 term is additive, so weights rise by exactly its value.
+  EXPECT_NEAR(w1[0] - w0[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(w1[1] - w0[1], 1.0f, 1e-5f);
+}
+
+TEST(RotomBehaviorTest, ZeroAugmentsWithFilterOriginalsArbitratesData) {
+  // The label-cleaning configuration: stream == train set, filter active on
+  // originals. Keep fraction should be meaningfully below 1 once the filter
+  // learns (or at least the run must complete and track the fraction).
+  Rng rng(11);
+  auto vocab = SmallVocab();
+  models::TransformerClassifier model(SmallConfig(), vocab, rng);
+  core::RotomOptions options;
+  options.epochs = 3;
+  options.batch_size = 4;
+  options.augments_per_example = 0;
+  options.filter_originals = true;
+  options.seed = 12;
+  core::RotomTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  auto ds = UpDownTask();
+  trainer.Train(ds, [](const std::string&, Rng&) {
+    return std::vector<std::string>{};
+  });
+  EXPECT_GT(trainer.last_keep_fraction(), 0.0);
+  EXPECT_LE(trainer.last_keep_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace rotom

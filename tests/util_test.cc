@@ -1,0 +1,273 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace rotom {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next64() == b.Next64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.Next64());
+  a.Seed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next64(), first[i]);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, WeightedIndexPrefersHeavyWeight) {
+  Rng rng(19);
+  std::vector<double> w{0.05, 0.9, 0.05};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_GT(counts[1], counts[0] * 4);
+  EXPECT_GT(counts[1], counts[2] * 4);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(23);
+  std::vector<double> w{0.0, 0.0, 0.0, 0.0};
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.WeightedIndex(w));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(20, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<int64_t> s(sample.begin(), sample.end());
+  EXPECT_EQ(s.size(), 10u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(31);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(37);
+  Rng child = a.Fork();
+  // Child stream should not equal continuing parent's stream.
+  EXPECT_NE(child.Next64(), a.Next64());
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  foo\t bar\nbaz  "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLower("AbC123xYz"), "abc123xyz");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("[COL] name", "[COL]"));
+  EXPECT_FALSE(StartsWith("x", "xy"));
+  EXPECT_TRUE(EndsWith("model.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("a", "ab"));
+}
+
+TEST(StringUtilTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("abc", "abd"), 1);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("", "xyz"), 3);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::Error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::Error("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().message(), "nope");
+}
+
+TEST(CsvTest, ParseSimple) {
+  auto table = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.value().rows.size(), 2u);
+  EXPECT_EQ(table.value().rows[1][1], "4");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto table = ParseCsv("name,desc\n\"x,y\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().rows[0][0], "x,y");
+  EXPECT_EQ(table.value().rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, ParseEmbeddedNewline) {
+  auto table = ParseCsv("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto table = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  CsvTable t;
+  t.header = {"name", "value"};
+  t.rows = {{"plain", "1"}, {"with,comma", "2"}, {"with\"quote", "3"}};
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().header, t.header);
+  EXPECT_EQ(parsed.value().rows, t.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable t;
+  t.header = {"x"};
+  t.rows = {{"1"}, {"2"}};
+  const std::string path = ::testing::TempDir() + "/rotom_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rows, t.rows);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(timer.Seconds(), 0.0);
+  EXPECT_GE(timer.Millis(), timer.Seconds() * 999.0);
+}
+
+}  // namespace
+}  // namespace rotom
