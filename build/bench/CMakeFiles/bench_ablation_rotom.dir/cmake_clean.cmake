@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rotom.dir/bench_ablation_rotom.cc.o"
+  "CMakeFiles/bench_ablation_rotom.dir/bench_ablation_rotom.cc.o.d"
+  "bench_ablation_rotom"
+  "bench_ablation_rotom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rotom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

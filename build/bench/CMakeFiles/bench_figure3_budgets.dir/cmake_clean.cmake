@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure3_budgets.dir/bench_figure3_budgets.cc.o"
+  "CMakeFiles/bench_figure3_budgets.dir/bench_figure3_budgets.cc.o.d"
+  "bench_figure3_budgets"
+  "bench_figure3_budgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_budgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

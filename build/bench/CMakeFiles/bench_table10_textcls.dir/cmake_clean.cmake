@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_textcls.dir/bench_table10_textcls.cc.o"
+  "CMakeFiles/bench_table10_textcls.dir/bench_table10_textcls.cc.o.d"
+  "bench_table10_textcls"
+  "bench_table10_textcls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_textcls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

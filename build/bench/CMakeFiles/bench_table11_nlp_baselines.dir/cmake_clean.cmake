@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_nlp_baselines.dir/bench_table11_nlp_baselines.cc.o"
+  "CMakeFiles/bench_table11_nlp_baselines.dir/bench_table11_nlp_baselines.cc.o.d"
+  "bench_table11_nlp_baselines"
+  "bench_table11_nlp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_nlp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_em.dir/bench_table8_em.cc.o"
+  "CMakeFiles/bench_table8_em.dir/bench_table8_em.cc.o.d"
+  "bench_table8_em"
+  "bench_table8_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_edt.dir/bench_table9_edt.cc.o"
+  "CMakeFiles/bench_table9_edt.dir/bench_table9_edt.cc.o.d"
+  "bench_table9_edt"
+  "bench_table9_edt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_edt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

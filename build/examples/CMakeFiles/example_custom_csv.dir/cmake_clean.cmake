@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_csv.dir/custom_csv.cc.o"
+  "CMakeFiles/example_custom_csv.dir/custom_csv.cc.o.d"
+  "example_custom_csv"
+  "example_custom_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_data_cleaning.dir/data_cleaning.cc.o"
+  "CMakeFiles/example_data_cleaning.dir/data_cleaning.cc.o.d"
+  "example_data_cleaning"
+  "example_data_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_data_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

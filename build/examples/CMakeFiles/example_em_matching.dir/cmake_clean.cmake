@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_em_matching.dir/em_matching.cc.o"
+  "CMakeFiles/example_em_matching.dir/em_matching.cc.o.d"
+  "example_em_matching"
+  "example_em_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_em_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

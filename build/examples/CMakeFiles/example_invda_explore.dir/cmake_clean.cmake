@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_invda_explore.dir/invda_explore.cc.o"
+  "CMakeFiles/example_invda_explore.dir/invda_explore.cc.o.d"
+  "example_invda_explore"
+  "example_invda_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_invda_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

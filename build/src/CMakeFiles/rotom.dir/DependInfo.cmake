@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/mixda.cc" "src/CMakeFiles/rotom.dir/augment/mixda.cc.o" "gcc" "src/CMakeFiles/rotom.dir/augment/mixda.cc.o.d"
+  "/root/repo/src/augment/ops.cc" "src/CMakeFiles/rotom.dir/augment/ops.cc.o" "gcc" "src/CMakeFiles/rotom.dir/augment/ops.cc.o.d"
+  "/root/repo/src/augment/synonyms.cc" "src/CMakeFiles/rotom.dir/augment/synonyms.cc.o" "gcc" "src/CMakeFiles/rotom.dir/augment/synonyms.cc.o.d"
+  "/root/repo/src/baselines/deepmatcher.cc" "src/CMakeFiles/rotom.dir/baselines/deepmatcher.cc.o" "gcc" "src/CMakeFiles/rotom.dir/baselines/deepmatcher.cc.o.d"
+  "/root/repo/src/baselines/nlp_da.cc" "src/CMakeFiles/rotom.dir/baselines/nlp_da.cc.o" "gcc" "src/CMakeFiles/rotom.dir/baselines/nlp_da.cc.o.d"
+  "/root/repo/src/baselines/raha_like.cc" "src/CMakeFiles/rotom.dir/baselines/raha_like.cc.o" "gcc" "src/CMakeFiles/rotom.dir/baselines/raha_like.cc.o.d"
+  "/root/repo/src/core/filtering.cc" "src/CMakeFiles/rotom.dir/core/filtering.cc.o" "gcc" "src/CMakeFiles/rotom.dir/core/filtering.cc.o.d"
+  "/root/repo/src/core/finetune.cc" "src/CMakeFiles/rotom.dir/core/finetune.cc.o" "gcc" "src/CMakeFiles/rotom.dir/core/finetune.cc.o.d"
+  "/root/repo/src/core/label_cleaning.cc" "src/CMakeFiles/rotom.dir/core/label_cleaning.cc.o" "gcc" "src/CMakeFiles/rotom.dir/core/label_cleaning.cc.o.d"
+  "/root/repo/src/core/rotom_trainer.cc" "src/CMakeFiles/rotom.dir/core/rotom_trainer.cc.o" "gcc" "src/CMakeFiles/rotom.dir/core/rotom_trainer.cc.o.d"
+  "/root/repo/src/core/ssl.cc" "src/CMakeFiles/rotom.dir/core/ssl.cc.o" "gcc" "src/CMakeFiles/rotom.dir/core/ssl.cc.o.d"
+  "/root/repo/src/core/weighting.cc" "src/CMakeFiles/rotom.dir/core/weighting.cc.o" "gcc" "src/CMakeFiles/rotom.dir/core/weighting.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/rotom.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/rotom.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/edt_gen.cc" "src/CMakeFiles/rotom.dir/data/edt_gen.cc.o" "gcc" "src/CMakeFiles/rotom.dir/data/edt_gen.cc.o.d"
+  "/root/repo/src/data/em_gen.cc" "src/CMakeFiles/rotom.dir/data/em_gen.cc.o" "gcc" "src/CMakeFiles/rotom.dir/data/em_gen.cc.o.d"
+  "/root/repo/src/data/lexicons.cc" "src/CMakeFiles/rotom.dir/data/lexicons.cc.o" "gcc" "src/CMakeFiles/rotom.dir/data/lexicons.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/CMakeFiles/rotom.dir/data/loader.cc.o" "gcc" "src/CMakeFiles/rotom.dir/data/loader.cc.o.d"
+  "/root/repo/src/data/textcls_gen.cc" "src/CMakeFiles/rotom.dir/data/textcls_gen.cc.o" "gcc" "src/CMakeFiles/rotom.dir/data/textcls_gen.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/rotom.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/rotom.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/rotom.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/rotom.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/invda/invda.cc" "src/CMakeFiles/rotom.dir/invda/invda.cc.o" "gcc" "src/CMakeFiles/rotom.dir/invda/invda.cc.o.d"
+  "/root/repo/src/models/classifier.cc" "src/CMakeFiles/rotom.dir/models/classifier.cc.o" "gcc" "src/CMakeFiles/rotom.dir/models/classifier.cc.o.d"
+  "/root/repo/src/models/pretrain.cc" "src/CMakeFiles/rotom.dir/models/pretrain.cc.o" "gcc" "src/CMakeFiles/rotom.dir/models/pretrain.cc.o.d"
+  "/root/repo/src/models/seq2seq.cc" "src/CMakeFiles/rotom.dir/models/seq2seq.cc.o" "gcc" "src/CMakeFiles/rotom.dir/models/seq2seq.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/rotom.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/rotom.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/rotom.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/rotom.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/rotom.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/rotom.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/CMakeFiles/rotom.dir/nn/optim.cc.o" "gcc" "src/CMakeFiles/rotom.dir/nn/optim.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/rotom.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/rotom.dir/nn/transformer.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/rotom.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/rotom.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/serialize.cc" "src/CMakeFiles/rotom.dir/tensor/serialize.cc.o" "gcc" "src/CMakeFiles/rotom.dir/tensor/serialize.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/rotom.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/rotom.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/variable.cc" "src/CMakeFiles/rotom.dir/tensor/variable.cc.o" "gcc" "src/CMakeFiles/rotom.dir/tensor/variable.cc.o.d"
+  "/root/repo/src/text/idf.cc" "src/CMakeFiles/rotom.dir/text/idf.cc.o" "gcc" "src/CMakeFiles/rotom.dir/text/idf.cc.o.d"
+  "/root/repo/src/text/records.cc" "src/CMakeFiles/rotom.dir/text/records.cc.o" "gcc" "src/CMakeFiles/rotom.dir/text/records.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/rotom.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/rotom.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/CMakeFiles/rotom.dir/text/vocab.cc.o" "gcc" "src/CMakeFiles/rotom.dir/text/vocab.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/rotom.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/rotom.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/rotom.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/rotom.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/rotom.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/rotom.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/rotom.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/rotom.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invda_test.dir/invda_test.cc.o"
+  "CMakeFiles/invda_test.dir/invda_test.cc.o.d"
+  "invda_test"
+  "invda_test.pdb"
+  "invda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

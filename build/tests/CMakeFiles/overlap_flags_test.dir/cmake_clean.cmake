@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_flags_test.dir/overlap_flags_test.cc.o"
+  "CMakeFiles/overlap_flags_test.dir/overlap_flags_test.cc.o.d"
+  "overlap_flags_test"
+  "overlap_flags_test.pdb"
+  "overlap_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_behavior_test.dir/trainer_behavior_test.cc.o"
+  "CMakeFiles/trainer_behavior_test.dir/trainer_behavior_test.cc.o.d"
+  "trainer_behavior_test"
+  "trainer_behavior_test.pdb"
+  "trainer_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
