@@ -8,11 +8,93 @@
 #include "models/classifier.h"
 #include "models/seq2seq.h"
 #include "nn/optim.h"
+#include "tensor/kernels.h"
 #include "text/tokenizer.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace rotom;  // NOLINT
+
+// Kernel-layer GEMM throughput at a fixed pool size. range(0) is the square
+// matrix extent, range(1) the thread count — the ratio between the
+// /threads:1 and /threads:4 rows is the parallel speedup (GFLOP/s is the
+// "flops" counter). Numerics are thread-count invariant, so the rows compute
+// bit-identical results.
+void BM_KernelGemmAB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  SetComputeThreads(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    kernels::GemmAB(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+  SetComputeThreads(0);
+}
+BENCHMARK(BM_KernelGemmAB)
+    ->ArgsProduct({{128, 256, 384}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
+
+// The attention-score kernel (Q . K^T) on transformer-shaped operands.
+void BM_KernelGemmABT(benchmark::State& state) {
+  SetComputeThreads(static_cast<int>(state.range(0)));
+  constexpr int64_t kBatch = 32, kT = 48, kDh = 16;
+  Rng rng(2);
+  Tensor q = Tensor::Randn({kBatch, kT, kDh}, rng);
+  Tensor k = Tensor::Randn({kBatch, kT, kDh}, rng);
+  Tensor scores({kBatch, kT, kT});
+  for (auto _ : state) {
+    kernels::BatchedGemmABT(q.data(), k.data(), scores.data(), kBatch, kT, kDh,
+                            kT, kT * kDh);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * kBatch * kT * kT * kDh,
+      benchmark::Counter::kIsRate);
+  SetComputeThreads(0);
+}
+BENCHMARK(BM_KernelGemmABT)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
+
+// Weight-gradient kernel: batched A^T*B accumulated into one shared output.
+void BM_KernelGemmATBShared(benchmark::State& state) {
+  SetComputeThreads(static_cast<int>(state.range(0)));
+  constexpr int64_t kBatch = 16, kM = 64, kK = 128, kN = 128;
+  Rng rng(3);
+  Tensor a = Tensor::Randn({kBatch, kM, kK}, rng);
+  Tensor b = Tensor::Randn({kBatch, kM, kN}, rng);
+  Tensor c({kK, kN});
+  for (auto _ : state) {
+    kernels::BatchedGemmATB(a.data(), b.data(), c.data(), kBatch, kM, kK, kN,
+                            /*c_stride=*/0);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * kBatch * kM * kK * kN,
+      benchmark::Counter::kIsRate);
+  SetComputeThreads(0);
+}
+BENCHMARK(BM_KernelGemmATBShared)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
+
+void BM_KernelSoftmaxRows(benchmark::State& state) {
+  SetComputeThreads(static_cast<int>(state.range(0)));
+  constexpr int64_t kRows = 4096, kCols = 128;
+  Rng rng(4);
+  Tensor x = Tensor::Randn({kRows, kCols}, rng);
+  Tensor y({kRows, kCols});
+  for (auto _ : state) {
+    kernels::SoftmaxRows(x.data(), y.data(), kRows, kCols);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * kCols);
+  SetComputeThreads(0);
+}
+BENCHMARK(BM_KernelSoftmaxRows)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -29,9 +111,9 @@ BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
 void BM_BatchedAttentionShapedMatMul(benchmark::State& state) {
   Rng rng(2);
   Variable q(Tensor::Randn({16, 2, 48, 16}, rng), false);
-  Variable k(Tensor::Randn({16, 2, 16, 48}, rng), false);
+  Variable k(Tensor::Randn({16, 2, 48, 16}, rng), false);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ops::MatMul(q, k).value().data());
+    benchmark::DoNotOptimize(ops::MatMulBT(q, k).value().data());
   }
 }
 BENCHMARK(BM_BatchedAttentionShapedMatMul);

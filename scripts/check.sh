@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Sanitizer sweep: builds and runs the test suite under ASan+UBSan, then
+# builds the concurrency-sensitive tests (thread pool, kernels, autograd)
+# under TSan and runs them at several pool sizes. Each configuration gets its
+# own build tree so the trees stay incremental across runs.
+#
+# Usage:
+#   scripts/check.sh            # both sanitizers
+#   scripts/check.sh address    # ASan/UBSan only
+#   scripts/check.sh thread     # TSan only
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+generator=()
+if command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+
+if [[ "$mode" == "all" || "$mode" == "address" ]]; then
+  echo "== ASan/UBSan: full test suite =="
+  cmake -B build-asan -S . "${generator[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DROTOM_SANITIZE=address
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j
+fi
+
+if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
+  echo "== TSan: thread pool + parallel kernel tests =="
+  cmake -B build-tsan -S . "${generator[@]}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DROTOM_SANITIZE=thread
+  cmake --build build-tsan -j \
+    --target thread_pool_test kernels_test autograd_test
+  # Force a multi-threaded pool even on single-CPU hosts so TSan actually
+  # sees concurrent kernel execution.
+  for threads in 2 4; do
+    echo "-- ROTOM_NUM_THREADS=$threads"
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/thread_pool_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/kernels_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/autograd_test
+  done
+fi
+
+echo "check.sh: all requested sanitizer configurations passed"

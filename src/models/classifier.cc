@@ -1,5 +1,7 @@
 #include "models/classifier.h"
 
+#include "tensor/kernels.h"
+
 namespace rotom {
 namespace models {
 
@@ -60,14 +62,8 @@ std::vector<int64_t> TransformerClassifier::Predict(
   const Tensor probs = PredictProbs(texts, rng);
   const int64_t c = probs.size(-1);
   std::vector<int64_t> preds(texts.size());
-  for (size_t i = 0; i < texts.size(); ++i) {
-    int64_t best = 0;
-    for (int64_t j = 1; j < c; ++j)
-      if (probs[static_cast<int64_t>(i) * c + j] >
-          probs[static_cast<int64_t>(i) * c + best])
-        best = j;
-    preds[i] = best;
-  }
+  for (size_t i = 0; i < texts.size(); ++i)
+    preds[i] = kernels::RowArgmax(probs.data() + static_cast<int64_t>(i) * c, c);
   return preds;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "tensor/kernels.h"
 
 namespace rotom {
 namespace models {
@@ -74,8 +77,7 @@ Variable Seq2SeqModel::Loss(
   Variable per_token = ops::CrossEntropyPerExample(flat, labels);
   Variable weights(
       Tensor::FromVector({b * tgt_len}, std::move(label_weights)), false);
-  float total_weight = 0.0f;
-  for (int64_t i = 0; i < weights.size(); ++i) total_weight += weights.value()[i];
+  const float total_weight = weights.value().Sum();
   ROTOM_CHECK_GT(total_weight, 0.0f);
   return ops::Scale(ops::Dot(per_token, weights), 1.0f / total_weight);
 }
@@ -125,10 +127,10 @@ std::vector<std::string> Seq2SeqModel::GenerateBatch(
         generated[i].push_back(text::SpecialTokens::kPad);
         continue;
       }
+      const float* row =
+          logits.value().data() + (i * cur_len + cur_len - 1) * vocab_size;
       std::vector<std::pair<float, int64_t>> scored(vocab_size);
-      for (int64_t v = 0; v < vocab_size; ++v) {
-        scored[v] = {logits.value().at({i, cur_len - 1, v}), v};
-      }
+      for (int64_t v = 0; v < vocab_size; ++v) scored[v] = {row[v], v};
       // Never generate padding/mask/CLS.
       scored[text::SpecialTokens::kPad].first = -1e30f;
       scored[text::SpecialTokens::kMask].first = -1e30f;
@@ -233,11 +235,10 @@ std::string Seq2SeqModel::GenerateBeam(const std::string& source,
                              ? beams[i].tokens[t]
                              : text::SpecialTokens::kPad);
       for (int64_t t = 0; t < cur_len; ++t) dec_mask.at({i, t}) = 1.0f;
-      for (int64_t t = 0; t < memory_row.size(1); ++t)
-        for (int64_t d = 0; d < memory_row.size(2); ++d)
-          mem.at({i, t, d}) = memory_row.at({0, t, d});
-      for (int64_t t = 0; t < src_len; ++t)
-        masks.at({i, t}) = src_mask.at({0, t});
+      std::memcpy(mem.data() + i * memory_row.size(),
+                  memory_row.data(), sizeof(float) * memory_row.size());
+      std::memcpy(masks.data() + i * src_len, src_mask.data(),
+                  sizeof(float) * src_len);
     }
     Variable logits = decoder_.Forward(dec_in, nb, cur_len, dec_mask,
                                        Variable(mem, false), masks, dummy);
@@ -249,22 +250,16 @@ std::string Seq2SeqModel::GenerateBeam(const std::string& source,
         continue;
       }
       // Stable log-softmax over the vocabulary.
-      double mx = -1e30;
-      for (int64_t v = 0; v < vocab_size; ++v)
-        mx = std::max(mx, static_cast<double>(
-                              logits.value().at({i, cur_len - 1, v})));
-      double denom = 0.0;
-      for (int64_t v = 0; v < vocab_size; ++v)
-        denom += std::exp(logits.value().at({i, cur_len - 1, v}) - mx);
-      const double lse = mx + std::log(denom);
+      const float* row =
+          logits.value().data() + (i * cur_len + cur_len - 1) * vocab_size;
+      const double lse = kernels::RowLogSumExp(row, vocab_size);
       std::vector<std::pair<double, int64_t>> scored;
       scored.reserve(vocab_size);
       for (int64_t v = 0; v < vocab_size; ++v) {
         if (v == text::SpecialTokens::kPad || v == text::SpecialTokens::kBos ||
             v == text::SpecialTokens::kMask || v == text::SpecialTokens::kCls)
           continue;
-        scored.emplace_back(
-            logits.value().at({i, cur_len - 1, v}) - lse, v);
+        scored.emplace_back(static_cast<double>(row[v]) - lse, v);
       }
       std::partial_sort(
           scored.begin(),

@@ -2,14 +2,16 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace rotom {
 namespace nn {
 
 Tensor MaskToAttentionBias(const Tensor& mask) {
   ROTOM_CHECK_EQ(mask.dim(), 2);
   Tensor bias(mask.shape());
-  for (int64_t i = 0; i < mask.size(); ++i)
-    bias[i] = mask[i] > 0.5f ? 0.0f : -1e9f;
+  kernels::Map(mask.data(), bias.data(), mask.size(),
+               [](float m) { return m > 0.5f ? 0.0f : -1e9f; });
   return bias;
 }
 
@@ -50,8 +52,9 @@ Variable MultiHeadAttention::Forward(const Variable& query_in,
   Variable k = split_heads(k_proj_.Forward(kv_in), ts);
   Variable v = split_heads(v_proj_.Forward(kv_in), ts);
 
-  // scores [B,H,Tq,Ts]
-  Variable scores = ops::Scale(ops::MatMul(q, ops::Transpose(k, 2, 3)),
+  // scores [B,H,Tq,Ts]: Q . K^T via the transposed-RHS kernel, which reads K
+  // in its natural layout instead of materializing a transposed copy.
+  Variable scores = ops::Scale(ops::MatMulBT(q, k),
                                1.0f / std::sqrt(static_cast<float>(head_dim_)));
   scores = ops::AddSequenceMask(scores, key_bias);
   if (causal) scores = ops::AddCausalMask(scores);

@@ -5,12 +5,13 @@ namespace nn {
 
 namespace {
 
-std::vector<int64_t> PositionIds(int64_t batch, int64_t seq_len,
-                                 int64_t max_seq_len) {
+// Position ids for ONE sequence: [0, seq_len). The resulting [T,d] position
+// embedding is broadcast over the batch by ops::Add, so the gather (and its
+// scatter-add gradient) runs once per position instead of once per token.
+std::vector<int64_t> PositionIds(int64_t seq_len, int64_t max_seq_len) {
   ROTOM_CHECK_LE(seq_len, max_seq_len);
-  std::vector<int64_t> pos(batch * seq_len);
-  for (int64_t b = 0; b < batch; ++b)
-    for (int64_t t = 0; t < seq_len; ++t) pos[b * seq_len + t] = t;
+  std::vector<int64_t> pos(seq_len);
+  for (int64_t t = 0; t < seq_len; ++t) pos[t] = t;
   return pos;
 }
 
@@ -66,15 +67,16 @@ Variable TransformerEncoder::Forward(const std::vector<int64_t>& ids,
   ROTOM_CHECK_EQ(mask.size(0), batch);
   ROTOM_CHECK_EQ(mask.size(1), seq_len);
 
-  Variable tok = token_emb_.Forward(ids);
+  Variable x = ops::Reshape(token_emb_.Forward(ids),
+                            {batch, seq_len, config_.dim});
   Variable pos =
-      pos_emb_.Forward(PositionIds(batch, seq_len, config_.max_seq_len));
-  Variable sum = ops::Add(tok, pos);
+      pos_emb_.Forward(PositionIds(seq_len, config_.max_seq_len));  // [T,d]
+  x = ops::Add(x, pos);  // broadcast over the batch
   if (flags != nullptr) {
     ROTOM_CHECK_EQ(flags->size(), ids.size());
-    sum = ops::Add(sum, flag_emb_.Forward(*flags));
+    x = ops::Add(x, ops::Reshape(flag_emb_.Forward(*flags),
+                                 {batch, seq_len, config_.dim}));
   }
-  Variable x = ops::Reshape(sum, {batch, seq_len, config_.dim});
   x = emb_norm_.Forward(x);
   x = ops::Dropout(x, config_.dropout, rng, training());
 
@@ -153,10 +155,11 @@ Variable TransformerDecoder::Forward(const std::vector<int64_t>& ids,
                                      const Tensor& memory_mask,
                                      Rng& rng) const {
   ROTOM_CHECK_EQ(static_cast<int64_t>(ids.size()), batch * seq_len);
-  Variable tok = token_emb_.Forward(ids);
+  Variable x = ops::Reshape(token_emb_.Forward(ids),
+                            {batch, seq_len, config_.dim});
   Variable pos =
-      pos_emb_.Forward(PositionIds(batch, seq_len, config_.max_seq_len));
-  Variable x = ops::Reshape(ops::Add(tok, pos), {batch, seq_len, config_.dim});
+      pos_emb_.Forward(PositionIds(seq_len, config_.max_seq_len));  // [T,d]
+  x = ops::Add(x, pos);  // broadcast over the batch
   x = emb_norm_.Forward(x);
   x = ops::Dropout(x, config_.dropout, rng, training());
 

@@ -1,0 +1,383 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+
+namespace rotom {
+namespace kernels {
+
+namespace {
+
+// Serial GEMM cores. Each computes a contiguous range of *output rows* of a
+// single problem, so the parallel entry points can hand disjoint row ranges
+// to pool threads. Tiling reorders the loop nest for cache reuse but never
+// changes the per-element accumulation order (k ascending for AB/ABT, the
+// A/B row index ascending for ATB), which is what keeps results
+// bit-identical regardless of how rows are partitioned.
+
+// Panel of the shared/loop dimension kept hot in L1 across a row block.
+constexpr int64_t kTileK = 64;
+// B rows kept hot across the full A sweep in the ABT core.
+constexpr int64_t kTileJ = 32;
+// Output rows per block in the ATB core (C block stays in L1).
+constexpr int64_t kTileL = 8;
+
+// C rows [i0,i1) += A rows [i0,i1) * B, with A [*,k], B [k,n], C [*,n].
+void GemmABRowRange(const float* a, const float* b, float* c, int64_t i0,
+                    int64_t i1, int64_t k, int64_t n) {
+  for (int64_t l0 = 0; l0 < k; l0 += kTileK) {
+    const int64_t l1 = std::min(k, l0 + kTileK);
+    int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float* c0 = c + (i + 0) * n;
+      float* c1 = c + (i + 1) * n;
+      float* c2 = c + (i + 2) * n;
+      float* c3 = c + (i + 3) * n;
+      for (int64_t l = l0; l < l1; ++l) {
+        const float av0 = a0[l], av1 = a1[l], av2 = a2[l], av3 = a3[l];
+        const float* br = b + l * n;
+        for (int64_t j = 0; j < n; ++j) {
+          const float bv = br[j];
+          c0[j] += av0 * bv;
+          c1[j] += av1 * bv;
+          c2[j] += av2 * bv;
+          c3[j] += av3 * bv;
+        }
+      }
+    }
+    for (; i < i1; ++i) {
+      const float* ar = a + i * k;
+      float* cr = c + i * n;
+      for (int64_t l = l0; l < l1; ++l) {
+        const float av = ar[l];
+        const float* br = b + l * n;
+        for (int64_t j = 0; j < n; ++j) cr[j] += av * br[j];
+      }
+    }
+  }
+}
+
+// C rows [i0,i1) += A rows [i0,i1) * B^T, with A [*,k], B [n,k], C [*,n].
+void GemmABTRowRange(const float* a, const float* b, float* c, int64_t i0,
+                     int64_t i1, int64_t k, int64_t n) {
+  for (int64_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const int64_t j1 = std::min(n, j0 + kTileJ);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* ar = a + i * k;
+      float* cr = c + i * n;
+      int64_t j = j0;
+      for (; j + 4 <= j1; j += 4) {
+        const float* b0 = b + (j + 0) * k;
+        const float* b1 = b + (j + 1) * k;
+        const float* b2 = b + (j + 2) * k;
+        const float* b3 = b + (j + 3) * k;
+        float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+        for (int64_t l = 0; l < k; ++l) {
+          const float av = ar[l];
+          acc0 += av * b0[l];
+          acc1 += av * b1[l];
+          acc2 += av * b2[l];
+          acc3 += av * b3[l];
+        }
+        cr[j + 0] += acc0;
+        cr[j + 1] += acc1;
+        cr[j + 2] += acc2;
+        cr[j + 3] += acc3;
+      }
+      for (; j < j1; ++j) {
+        const float* br = b + j * k;
+        float acc = 0.0f;
+        for (int64_t l = 0; l < k; ++l) acc += ar[l] * br[l];
+        cr[j] += acc;
+      }
+    }
+  }
+}
+
+// C rows [l0,l1) of the [k,n] output += (A^T B) rows, with A [m,k], B [m,n].
+// The A column l for a fixed row i is a contiguous slice a[i*k + l0 .. l1).
+void GemmATBRowRange(const float* a, const float* b, float* c, int64_t l0,
+                     int64_t l1, int64_t m, int64_t k, int64_t n) {
+  for (int64_t lb = l0; lb < l1; lb += kTileL) {
+    const int64_t le = std::min(l1, lb + kTileL);
+    for (int64_t i = 0; i < m; ++i) {
+      const float* ar = a + i * k;
+      const float* br = b + i * n;
+      for (int64_t l = lb; l < le; ++l) {
+        const float av = ar[l];
+        if (av == 0.0f) continue;  // gradients are often sparse (relu, drop)
+        float* cr = c + l * n;
+        for (int64_t j = 0; j < n; ++j) cr[j] += av * br[j];
+      }
+    }
+  }
+}
+
+// Maps a range of flattened (batch, row) indices onto per-slice row ranges.
+template <typename SliceFn>
+void ForBatchedRowRange(int64_t r0, int64_t r1, int64_t rows_per_batch,
+                        SliceFn fn) {
+  int64_t s = r0 / rows_per_batch;
+  int64_t i = r0 - s * rows_per_batch;
+  int64_t remaining = r1 - r0;
+  while (remaining > 0) {
+    const int64_t i_end = std::min(rows_per_batch, i + remaining);
+    fn(s, i, i_end);
+    remaining -= i_end - i;
+    i = 0;
+    ++s;
+  }
+}
+
+}  // namespace
+
+void GemmAB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  BatchedGemmAB(a, b, c, 1, m, k, n, 0);
+}
+
+void GemmABT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  BatchedGemmABT(a, b, c, 1, m, k, n, 0);
+}
+
+void GemmATB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  BatchedGemmATB(a, b, c, 1, m, k, n, 0);
+}
+
+void BatchedGemmAB(const float* a, const float* b, float* c, int64_t batch,
+                   int64_t m, int64_t k, int64_t n, int64_t b_stride) {
+  ComputePool().ParallelFor(
+      batch * m, RowGrain(2 * k * n), [&](int64_t r0, int64_t r1) {
+        ForBatchedRowRange(r0, r1, m, [&](int64_t s, int64_t i0, int64_t i1) {
+          GemmABRowRange(a + s * m * k, b + s * b_stride, c + s * m * n, i0,
+                         i1, k, n);
+        });
+      });
+}
+
+void BatchedGemmABT(const float* a, const float* b, float* c, int64_t batch,
+                    int64_t m, int64_t k, int64_t n, int64_t b_stride) {
+  ComputePool().ParallelFor(
+      batch * m, RowGrain(2 * k * n), [&](int64_t r0, int64_t r1) {
+        ForBatchedRowRange(r0, r1, m, [&](int64_t s, int64_t i0, int64_t i1) {
+          GemmABTRowRange(a + s * m * k, b + s * b_stride, c + s * m * n, i0,
+                          i1, k, n);
+        });
+      });
+}
+
+void BatchedGemmATB(const float* a, const float* b, float* c, int64_t batch,
+                    int64_t m, int64_t k, int64_t n, int64_t c_stride) {
+  if (c_stride == 0 && batch > 1) {
+    // Shared output: every batch accumulates into the same [k,n] buffer, so
+    // the batch loop must stay inside each row range (fixed ascending
+    // order), and only output rows are parallelized.
+    ComputePool().ParallelFor(
+        k, RowGrain(2 * batch * m * n), [&](int64_t l0, int64_t l1) {
+          for (int64_t s = 0; s < batch; ++s) {
+            GemmATBRowRange(a + s * m * k, b + s * m * n, c, l0, l1, m, k, n);
+          }
+        });
+    return;
+  }
+  ComputePool().ParallelFor(
+      batch * k, RowGrain(2 * m * n), [&](int64_t r0, int64_t r1) {
+        ForBatchedRowRange(r0, r1, k, [&](int64_t s, int64_t l0, int64_t l1) {
+          GemmATBRowRange(a + s * m * k, b + s * m * n, c + s * c_stride, l0,
+                          l1, m, k, n);
+        });
+      });
+}
+
+void Axpy(const float* x, float* y, int64_t n, float alpha) {
+  ComputePool().ParallelFor(n, kElementwiseGrain,
+                            [&](int64_t begin, int64_t end) {
+                              for (int64_t i = begin; i < end; ++i)
+                                y[i] += alpha * x[i];
+                            });
+}
+
+void SoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols) {
+  ParallelRows(rows, 4 * cols, [&](int64_t r) {
+    const float* row = in + r * cols;
+    float* orow = out + r * cols;
+    float mx = row[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    for (int64_t j = 0; j < cols; ++j) orow[j] /= sum;
+  });
+}
+
+void SoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                         int64_t rows, int64_t cols) {
+  ParallelRows(rows, 4 * cols, [&](int64_t r) {
+    const float* yr = y + r * cols;
+    const float* gr = gy + r * cols;
+    float* gxr = gx + r * cols;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) dot += gr[j] * yr[j];
+    for (int64_t j = 0; j < cols; ++j) gxr[j] += yr[j] * (gr[j] - dot);
+  });
+}
+
+void LogSoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols) {
+  ParallelRows(rows, 4 * cols, [&](int64_t r) {
+    const float* row = in + r * cols;
+    float* orow = out + r * cols;
+    float mx = row[0];
+    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int64_t j = 0; j < cols; ++j) orow[j] = row[j] - lse;
+  });
+}
+
+void LogSoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                            int64_t rows, int64_t cols) {
+  ParallelRows(rows, 4 * cols, [&](int64_t r) {
+    const float* yr = y + r * cols;
+    const float* gr = gy + r * cols;
+    float* gxr = gx + r * cols;
+    float gsum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) gsum += gr[j];
+    for (int64_t j = 0; j < cols; ++j)
+      gxr[j] += gr[j] - std::exp(yr[j]) * gsum;
+  });
+}
+
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float eps, float* y, float* xhat, float* inv_std,
+                   int64_t rows, int64_t cols) {
+  ParallelRows(rows, 6 * cols, [&](int64_t r) {
+    const float* row = x + r * cols;
+    double mu = 0.0;
+    for (int64_t j = 0; j < cols; ++j) mu += row[j];
+    mu /= cols;
+    double var = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      const double diff = row[j] - mu;
+      var += diff * diff;
+    }
+    var /= cols;
+    const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    inv_std[r] = istd;
+    float* xhr = xhat + r * cols;
+    float* yr = y + r * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      xhr[j] = (row[j] - static_cast<float>(mu)) * istd;
+      yr[j] = gamma[j] * xhr[j] + beta[j];
+    }
+  });
+}
+
+void LayerNormInputGradRows(const float* gy, const float* gamma,
+                            const float* xhat, const float* inv_std, float* gx,
+                            int64_t rows, int64_t cols) {
+  ParallelRows(rows, 8 * cols, [&](int64_t r) {
+    const float* gr = gy + r * cols;
+    const float* xhr = xhat + r * cols;
+    // dxhat = dy * gamma;
+    // dx = (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat)) * inv_std
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (int64_t j = 0; j < cols; ++j) {
+      const double dxh = static_cast<double>(gr[j]) * gamma[j];
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * xhr[j];
+    }
+    const float mean_dxhat = static_cast<float>(sum_dxhat / cols);
+    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / cols);
+    float* gxr = gx + r * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      const float dxh = gr[j] * gamma[j];
+      gxr[j] += (dxh - mean_dxhat - xhr[j] * mean_dxhat_xhat) * inv_std[r];
+    }
+  });
+}
+
+void LayerNormParamGradRows(const float* gy, const float* xhat, float* ggamma,
+                            float* gbeta, int64_t rows, int64_t cols) {
+  if (ggamma == nullptr && gbeta == nullptr) return;
+  // Columns are independent; the per-column sum runs rows in ascending
+  // order inside one chunk, so the reduction order is thread-count
+  // invariant. Blocks stay >= 8 columns wide for row-major locality.
+  const int64_t grain = std::max<int64_t>(8, RowGrain(2 * rows));
+  ComputePool().ParallelFor(cols, grain, [&](int64_t j0, int64_t j1) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = gy + r * cols;
+      const float* xhr = xhat + r * cols;
+      if (ggamma != nullptr)
+        for (int64_t j = j0; j < j1; ++j) ggamma[j] += gr[j] * xhr[j];
+      if (gbeta != nullptr)
+        for (int64_t j = j0; j < j1; ++j) gbeta[j] += gr[j];
+    }
+  });
+}
+
+void AccumulateRows(const float* x, float* acc, int64_t rows, int64_t cols) {
+  const int64_t grain = std::max<int64_t>(8, RowGrain(rows));
+  ComputePool().ParallelFor(cols, grain, [&](int64_t j0, int64_t j1) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* xr = x + r * cols;
+      for (int64_t j = j0; j < j1; ++j) acc[j] += xr[j];
+    }
+  });
+}
+
+void BroadcastAddRows(float* y, const float* bias, int64_t rows,
+                      int64_t cols) {
+  ParallelRows(rows, cols, [&](int64_t r) {
+    float* yr = y + r * cols;
+    for (int64_t j = 0; j < cols; ++j) yr[j] += bias[j];
+  });
+}
+
+void GatherRows(const float* table, const int64_t* ids, float* out, int64_t n,
+                int64_t cols) {
+  ParallelRows(n, cols, [&](int64_t i) {
+    const float* src = table + ids[i] * cols;
+    float* dst = out + i * cols;
+    for (int64_t j = 0; j < cols; ++j) dst[j] = src[j];
+  });
+}
+
+void ScatterAddRows(const float* x, const int64_t* ids, float* acc, int64_t n,
+                    int64_t cols) {
+  for (int64_t i = 0; i < n; ++i) {
+    float* dst = acc + ids[i] * cols;
+    const float* src = x + i * cols;
+    for (int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+  }
+}
+
+float RowMax(const float* x, int64_t n) {
+  float mx = x[0];
+  for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+  return mx;
+}
+
+int64_t RowArgmax(const float* x, int64_t n) {
+  int64_t best = 0;
+  for (int64_t j = 1; j < n; ++j)
+    if (x[j] > x[best]) best = j;
+  return best;
+}
+
+float RowLogSumExp(const float* x, int64_t n) {
+  const float mx = RowMax(x, n);
+  double sum = 0.0;
+  for (int64_t j = 0; j < n; ++j) sum += std::exp(x[j] - mx);
+  return mx + static_cast<float>(std::log(sum));
+}
+
+}  // namespace kernels
+}  // namespace rotom

@@ -1,0 +1,197 @@
+#ifndef ROTOM_TENSOR_KERNELS_H_
+#define ROTOM_TENSOR_KERNELS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace rotom {
+namespace kernels {
+
+// Raw compute kernels over contiguous float buffers. This layer knows
+// nothing about Tensors or autograd: the op layer (tensor/ops.cc) owns
+// shapes and graph construction and calls down into these primitives.
+//
+// Every kernel has a serial core plus a parallel path that partitions
+// *independent* output rows/slices across the global compute pool
+// (util/thread_pool.h). No floating-point reduction is ever split across
+// threads: a reduction row is always produced start-to-finish by one chunk,
+// in a fixed order. Results are therefore bit-identical at any thread
+// count ("thread-count-invariant numerics").
+
+// ---------------------------------------------------------------------------
+// Grain-size policy. ParallelFor grains are chosen so a chunk amortizes the
+// pool's wake/claim overhead: roughly kGrainWork scalar operations per
+// chunk. Callers pass the per-row cost; RowGrain converts it to rows.
+// ---------------------------------------------------------------------------
+
+inline constexpr int64_t kGrainWork = 1 << 15;       // ~32k flops per chunk
+inline constexpr int64_t kElementwiseGrain = 1 << 13;  // elements per chunk
+
+/// Rows per chunk for a row-parallel kernel whose per-row cost is
+/// `work_per_row` scalar operations.
+inline int64_t RowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1, kGrainWork / std::max<int64_t>(1, work_per_row));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM. All variants *accumulate* into C (C += ...), matching how the
+// autograd layer both computes forwards (into zeroed buffers) and
+// accumulates gradients. Serial cores are cache-tiled; parallel entry
+// points split output rows (and the batch dimension) across the pool.
+// ---------------------------------------------------------------------------
+
+/// C[m,n] += A[m,k] * B[k,n].
+void GemmAB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[m,n] += A[m,k] * B^T where B is [n,k].
+void GemmABT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n);
+
+/// C[k,n] += A^T * B where A is [m,k], B is [m,n].
+void GemmATB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n);
+
+/// `batch` independent C[s] += A[s] * B[s] problems with contiguous slices
+/// A[s] = a + s*m*k, C[s] = c + s*m*n and B[s] = b + s*b_stride. Pass
+/// b_stride == 0 to share one [k,n] B across the batch (e.g. a linear layer
+/// weight). Parallelism covers batch * m output rows.
+void BatchedGemmAB(const float* a, const float* b, float* c, int64_t batch,
+                   int64_t m, int64_t k, int64_t n, int64_t b_stride);
+
+/// Batched C[s][m,n] += A[s][m,k] * B[s]^T with B[s] = b + s*b_stride of
+/// shape [n,k]; b_stride == 0 shares B. The attention-score kernel
+/// (Q . K^T) without materializing K^T.
+void BatchedGemmABT(const float* a, const float* b, float* c, int64_t batch,
+                    int64_t m, int64_t k, int64_t n, int64_t b_stride);
+
+/// Batched C[s][k,n] += A[s][m,k]^T * B[s][m,n] with C[s] = c + s*c_stride.
+/// Pass c_stride == 0 to accumulate every batch into ONE shared [k,n]
+/// output (the gradient of a shared right operand): batches are then summed
+/// in fixed ascending order per output row, never split across threads.
+void BatchedGemmATB(const float* a, const float* b, float* c, int64_t batch,
+                    int64_t m, int64_t k, int64_t n, int64_t c_stride);
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels (header templates so lambdas inline into the loop).
+// ---------------------------------------------------------------------------
+
+/// y[i] = fn(x[i]).
+template <typename F>
+void Map(const float* x, float* y, int64_t n, F fn) {
+  ComputePool().ParallelFor(n, kElementwiseGrain,
+                            [&](int64_t begin, int64_t end) {
+                              for (int64_t i = begin; i < end; ++i)
+                                y[i] = fn(x[i]);
+                            });
+}
+
+/// x[i] = fn(x[i]) in place.
+template <typename F>
+void Apply(float* x, int64_t n, F fn) {
+  Map(x, x, n, fn);
+}
+
+/// out[i] = fn(x[i], y[i]).
+template <typename F>
+void ZipMap(const float* x, const float* y, float* out, int64_t n, F fn) {
+  ComputePool().ParallelFor(n, kElementwiseGrain,
+                            [&](int64_t begin, int64_t end) {
+                              for (int64_t i = begin; i < end; ++i)
+                                out[i] = fn(x[i], y[i]);
+                            });
+}
+
+/// acc[i] += fn(x[i], y[i]) — the shape of most backward lambdas.
+template <typename F>
+void ZipAccumulate(const float* x, const float* y, float* acc, int64_t n,
+                   F fn) {
+  ComputePool().ParallelFor(n, kElementwiseGrain,
+                            [&](int64_t begin, int64_t end) {
+                              for (int64_t i = begin; i < end; ++i)
+                                acc[i] += fn(x[i], y[i]);
+                            });
+}
+
+/// y[i] += alpha * x[i].
+void Axpy(const float* x, float* y, int64_t n, float alpha);
+
+/// Runs fn(row) for every row in [0, rows), parallel when profitable.
+/// `work_per_row` sizes the grain. Rows must be independent.
+template <typename F>
+void ParallelRows(int64_t rows, int64_t work_per_row, F fn) {
+  ComputePool().ParallelFor(rows, RowGrain(work_per_row),
+                            [&](int64_t begin, int64_t end) {
+                              for (int64_t r = begin; r < end; ++r) fn(r);
+                            });
+}
+
+// ---------------------------------------------------------------------------
+// Row kernels: softmax / log-softmax / layernorm over the trailing
+// dimension of a [rows, cols] buffer, plus reductions used by broadcasting
+// ops. Backward kernels accumulate (+=) into the gradient buffer.
+// ---------------------------------------------------------------------------
+
+/// out[r,:] = softmax(in[r,:]).
+void SoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols);
+
+/// gx[r,j] += y[r,j] * (gy[r,j] - dot(gy[r,:], y[r,:])).
+void SoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                         int64_t rows, int64_t cols);
+
+/// out[r,:] = log softmax(in[r,:]).
+void LogSoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols);
+
+/// gx[r,j] += gy[r,j] - exp(y[r,j]) * sum(gy[r,:]).
+void LogSoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                            int64_t rows, int64_t cols);
+
+/// Per-row layer normalization with gain/bias:
+///   xhat[r,:] = (x[r,:] - mean) * inv_std[r];  y[r,:] = gamma*xhat + beta.
+/// Also writes xhat and inv_std (both needed by the backward kernels).
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float eps, float* y, float* xhat, float* inv_std,
+                   int64_t rows, int64_t cols);
+
+/// Input gradient: gx[r,:] += (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+/// * inv_std[r] with dxhat = gy * gamma. Row-parallel.
+void LayerNormInputGradRows(const float* gy, const float* gamma,
+                            const float* xhat, const float* inv_std, float* gx,
+                            int64_t rows, int64_t cols);
+
+/// Parameter gradients: ggamma[j] += sum_r gy[r,j]*xhat[r,j] and
+/// gbeta[j] += sum_r gy[r,j]. Either output may be null. The cross-row sum
+/// for a column is always computed by one chunk in ascending row order.
+void LayerNormParamGradRows(const float* gy, const float* xhat, float* ggamma,
+                            float* gbeta, int64_t rows, int64_t cols);
+
+/// acc[j] += sum_r x[r,j] — the gradient of a row-broadcast (bias) add.
+/// Columns are partitioned across threads; each column sums rows in order.
+void AccumulateRows(const float* x, float* acc, int64_t rows, int64_t cols);
+
+/// y[r,j] += bias[j] for every row (forward of a broadcast bias add).
+void BroadcastAddRows(float* y, const float* bias, int64_t rows, int64_t cols);
+
+/// out[i,:] = table[ids[i],:] (row gather; ids validated by the caller).
+void GatherRows(const float* table, const int64_t* ids, float* out, int64_t n,
+                int64_t cols);
+
+/// acc[ids[i],:] += x[i,:]. Serial: duplicate ids make rows non-independent.
+void ScatterAddRows(const float* x, const int64_t* ids, float* acc, int64_t n,
+                    int64_t cols);
+
+/// Max element of one row.
+float RowMax(const float* x, int64_t n);
+
+/// Index of the max element of one row (first on ties).
+int64_t RowArgmax(const float* x, int64_t n);
+
+/// log(sum_j exp(x[j])) computed stably against RowMax.
+float RowLogSumExp(const float* x, int64_t n);
+
+}  // namespace kernels
+}  // namespace rotom
+
+#endif  // ROTOM_TENSOR_KERNELS_H_

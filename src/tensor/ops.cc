@@ -3,60 +3,23 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernels.h"
+
 namespace rotom {
 namespace ops {
 
 using internal_autograd::MakeNode;
 using internal_autograd::VariableImpl;
 
+// The autograd op layer: each op validates shapes, builds one graph node,
+// and delegates every dense loop — GEMMs, row softmax/layernorm, elementwise
+// maps — to the raw kernel layer in tensor/kernels.h, which owns tiling and
+// threading. Nothing in this file iterates over matrix elements itself;
+// only cheap per-row bookkeeping (labels, sampling) stays here.
+
 namespace {
 
 using ImplPtr = std::shared_ptr<VariableImpl>;
-
-// C[m,n] += A[m,k] * B[k,n]
-void GemmAB(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* c_row = c + i * n;
-    const float* a_row = a + i * k;
-    for (int64_t l = 0; l < k; ++l) {
-      const float av = a_row[l];
-      if (av == 0.0f) continue;
-      const float* b_row = b + l * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
-}
-
-// C[m,n] += A[m,k] * B^T where B is [n,k]
-void GemmABT(const float* a, const float* b, float* c, int64_t m, int64_t k,
-             int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float acc = 0.0f;
-      for (int64_t l = 0; l < k; ++l) acc += a_row[l] * b_row[l];
-      c_row[j] += acc;
-    }
-  }
-}
-
-// C[k,n] += A^T * B where A is [m,k], B is [m,n]
-void GemmATB(const float* a, const float* b, float* c, int64_t m, int64_t k,
-             int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    const float* b_row = b + i * n;
-    for (int64_t l = 0; l < k; ++l) {
-      const float av = a_row[l];
-      if (av == 0.0f) continue;
-      float* c_row = c + l * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
-}
 
 bool SameShape(const Variable& a, const Variable& b) {
   return a.value().shape() == b.value().shape();
@@ -72,26 +35,49 @@ bool IsSuffixShape(const std::vector<int64_t>& shape,
   return true;
 }
 
+// Common shape plumbing for MatMul / MatMulBT. `b_rows`/`b_cols` are the
+// extents of b's last two dims as used by the product.
+struct MatMulShapes {
+  int64_t batch = 1;
+  int64_t m = 0, k = 0, n = 0;
+  bool shared_b = false;  // b is 2-D and reused across the batch
+};
+
+MatMulShapes ResolveMatMulShapes(const std::vector<int64_t>& as,
+                                 const std::vector<int64_t>& bs,
+                                 bool b_transposed) {
+  ROTOM_CHECK_GE(as.size(), 2u);
+  ROTOM_CHECK_GE(bs.size(), 2u);
+  MatMulShapes s;
+  s.m = as[as.size() - 2];
+  s.k = as[as.size() - 1];
+  const int64_t b_inner = b_transposed ? bs[bs.size() - 1] : bs[bs.size() - 2];
+  s.n = b_transposed ? bs[bs.size() - 2] : bs[bs.size() - 1];
+  ROTOM_CHECK_MSG(s.k == b_inner, "MatMul: inner dims differ");
+  for (size_t d = 0; d + 2 < as.size(); ++d) s.batch *= as[d];
+  s.shared_b = bs.size() == 2 && as.size() > 2;
+  if (!s.shared_b) {
+    ROTOM_CHECK_MSG(as.size() == bs.size(), "MatMul: incompatible ranks");
+    for (size_t d = 0; d + 2 < as.size(); ++d) ROTOM_CHECK_EQ(as[d], bs[d]);
+  }
+  return s;
+}
+
+std::vector<int64_t> MatMulOutShape(const std::vector<int64_t>& as, int64_t m,
+                                    int64_t n) {
+  std::vector<int64_t> out_shape(as.begin(), as.end() - 2);
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  return out_shape;
+}
+
 }  // namespace
 
 Tensor SoftmaxRows(const Tensor& logits) {
   const int64_t c = logits.size(-1);
   const int64_t rows = logits.size() / c;
   Tensor out(logits.shape());
-  const float* in = logits.data();
-  float* o = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = in + r * c;
-    float* orow = o + r * c;
-    float mx = row[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      sum += orow[j];
-    }
-    for (int64_t j = 0; j < c; ++j) orow[j] /= sum;
-  }
+  kernels::SoftmaxRows(logits.data(), out.data(), rows, c);
   return out;
 }
 
@@ -121,17 +107,17 @@ Tensor TransposeCopy(const Tensor& in, int64_t d0, int64_t d1) {
   Tensor out(out_shape);
   const float* src = in.data();
   float* dst = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < di; ++i) {
-      for (int64_t m = 0; m < mid; ++m) {
-        for (int64_t j = 0; j < dj; ++j) {
-          const float* s = src + (((o * di + i) * mid + m) * dj + j) * inner;
-          float* t = dst + (((o * dj + j) * mid + m) * di + i) * inner;
-          std::memcpy(t, s, sizeof(float) * inner);
-        }
-      }
+  // One "row" per (outer, i, mid) triple; each copies dj*inner elements.
+  kernels::ParallelRows(outer * di * mid, dj * inner, [&](int64_t r) {
+    const int64_t m = r % mid;
+    const int64_t i = (r / mid) % di;
+    const int64_t o = r / (mid * di);
+    for (int64_t j = 0; j < dj; ++j) {
+      const float* s = src + (((o * di + i) * mid + m) * dj + j) * inner;
+      float* t = dst + (((o * dj + j) * mid + m) * di + i) * inner;
+      std::memcpy(t, s, sizeof(float) * inner);
     }
-  }
+  });
   return out;
 }
 
@@ -142,20 +128,13 @@ Variable Add(const Variable& a, const Variable& b) {
   Tensor out = a.value().Clone();
   const int64_t nb = b.value().size();
   const int64_t reps = out.size() / nb;
-  {
-    float* o = out.data();
-    const float* bd = b.value().data();
-    for (int64_t r = 0; r < reps; ++r)
-      for (int64_t i = 0; i < nb; ++i) o[r * nb + i] += bd[i];
-  }
+  kernels::BroadcastAddRows(out.data(), b.value().data(), reps, nb);
   ImplPtr pa = a.impl(), pb = b.impl();
   return MakeNode(std::move(out), {pa, pb}, [pa, pb, nb, reps](VariableImpl& n) {
-    const float* g = n.grad.data();
     if (pa->requires_grad) pa->MutableGrad().AddInPlace(n.grad);
     if (pb->requires_grad) {
-      float* gb = pb->MutableGrad().data();
-      for (int64_t r = 0; r < reps; ++r)
-        for (int64_t i = 0; i < nb; ++i) gb[i] += g[r * nb + i];
+      kernels::AccumulateRows(n.grad.data(), pb->MutableGrad().data(), reps,
+                              nb);
     }
   });
 }
@@ -175,26 +154,22 @@ Variable Mul(const Variable& a, const Variable& b) {
   ROTOM_CHECK(SameShape(a, b));
   Tensor out(a.value().shape());
   const int64_t num = out.size();
-  {
-    float* o = out.data();
-    const float* x = a.value().data();
-    const float* y = b.value().data();
-    for (int64_t i = 0; i < num; ++i) o[i] = x[i] * y[i];
-  }
+  kernels::ZipMap(a.value().data(), b.value().data(), out.data(), num,
+                  [](float x, float y) { return x * y; });
   ImplPtr pa = a.impl(), pb = b.impl();
   Tensor av = a.value(), bv = b.value();
   return MakeNode(std::move(out), {pa, pb},
                   [pa, pb, av, bv, num](VariableImpl& n) {
                     const float* g = n.grad.data();
                     if (pa->requires_grad) {
-                      float* ga = pa->MutableGrad().data();
-                      const float* y = bv.data();
-                      for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * y[i];
+                      kernels::ZipAccumulate(
+                          g, bv.data(), pa->MutableGrad().data(), num,
+                          [](float gi, float y) { return gi * y; });
                     }
                     if (pb->requires_grad) {
-                      float* gb = pb->MutableGrad().data();
-                      const float* x = av.data();
-                      for (int64_t i = 0; i < num; ++i) gb[i] += g[i] * x[i];
+                      kernels::ZipAccumulate(
+                          g, av.data(), pb->MutableGrad().data(), num,
+                          [](float gi, float x) { return gi * x; });
                     }
                   });
 }
@@ -209,9 +184,9 @@ Variable Scale(const Variable& a, float c) {
 }
 
 Variable AddScalar(const Variable& a, float c) {
-  Tensor out = a.value().Clone();
-  float* o = out.data();
-  for (int64_t i = 0; i < out.size(); ++i) o[i] += c;
+  Tensor out(a.value().shape());
+  kernels::Map(a.value().data(), out.data(), out.size(),
+               [c](float x) { return x + c; });
   ImplPtr pa = a.impl();
   return MakeNode(std::move(out), {pa}, [pa](VariableImpl& n) {
     if (pa->requires_grad) pa->MutableGrad().AddInPlace(n.grad);
@@ -221,58 +196,59 @@ Variable AddScalar(const Variable& a, float c) {
 Variable MatMul(const Variable& a, const Variable& b) {
   const auto& as = a.value().shape();
   const auto& bs = b.value().shape();
-  ROTOM_CHECK_GE(as.size(), 2u);
-  ROTOM_CHECK_GE(bs.size(), 2u);
-  const int64_t m = as[as.size() - 2];
-  const int64_t k = as[as.size() - 1];
-  const int64_t k2 = bs[bs.size() - 2];
-  const int64_t n = bs[bs.size() - 1];
-  ROTOM_CHECK_MSG(k == k2, "MatMul: inner dims differ");
+  const MatMulShapes s = ResolveMatMulShapes(as, bs, /*b_transposed=*/false);
+  const int64_t m = s.m, k = s.k, n = s.n, batch = s.batch;
+  const bool shared_b = s.shared_b;
+  const int64_t b_stride = shared_b ? 0 : k * n;
 
-  int64_t batch = 1;
-  for (size_t d = 0; d + 2 < as.size(); ++d) batch *= as[d];
-  const bool shared_b = bs.size() == 2 && as.size() > 2;
-  if (!shared_b && as.size() != bs.size()) {
-    ROTOM_CHECK_MSG(false, "MatMul: incompatible ranks");
-  }
-  if (!shared_b) {
-    for (size_t d = 0; d + 2 < as.size(); ++d) ROTOM_CHECK_EQ(as[d], bs[d]);
-  }
-
-  std::vector<int64_t> out_shape(as.begin(), as.end() - 2);
-  out_shape.push_back(m);
-  out_shape.push_back(n);
-  Tensor out(out_shape);
-  {
-    const float* ad = a.value().data();
-    const float* bd = b.value().data();
-    float* od = out.data();
-    for (int64_t s = 0; s < batch; ++s) {
-      GemmAB(ad + s * m * k, shared_b ? bd : bd + s * k * n, od + s * m * n, m,
-             k, n);
-    }
-  }
+  Tensor out(MatMulOutShape(as, m, n));
+  kernels::BatchedGemmAB(a.value().data(), b.value().data(), out.data(), batch,
+                         m, k, n, b_stride);
   ImplPtr pa = a.impl(), pb = b.impl();
   Tensor av = a.value(), bv = b.value();
   return MakeNode(
       std::move(out), {pa, pb},
-      [pa, pb, av, bv, m, k, n, batch, shared_b](VariableImpl& node) {
+      [pa, pb, av, bv, m, k, n, batch, b_stride](VariableImpl& node) {
         const float* g = node.grad.data();
         if (pa->requires_grad) {
-          float* ga = pa->MutableGrad().data();
-          const float* bd = bv.data();
-          for (int64_t s = 0; s < batch; ++s) {
-            GemmABT(g + s * m * n, shared_b ? bd : bd + s * k * n,
-                    ga + s * m * k, m, n, k);
-          }
+          // dA[s] += dC[s] * B[s]^T, with B[s] of shape [k,n].
+          kernels::BatchedGemmABT(g, bv.data(), pa->MutableGrad().data(),
+                                  batch, m, n, k, b_stride);
         }
         if (pb->requires_grad) {
-          float* gb = pb->MutableGrad().data();
-          const float* ad = av.data();
-          for (int64_t s = 0; s < batch; ++s) {
-            GemmATB(ad + s * m * k, g + s * m * n,
-                    shared_b ? gb : gb + s * k * n, m, k, n);
-          }
+          // dB[s] += A[s]^T * dC[s]; stride 0 accumulates a shared B.
+          kernels::BatchedGemmATB(av.data(), g, pb->MutableGrad().data(),
+                                  batch, m, k, n, b_stride);
+        }
+      });
+}
+
+Variable MatMulBT(const Variable& a, const Variable& b) {
+  const auto& as = a.value().shape();
+  const auto& bs = b.value().shape();
+  const MatMulShapes s = ResolveMatMulShapes(as, bs, /*b_transposed=*/true);
+  const int64_t m = s.m, k = s.k, n = s.n, batch = s.batch;
+  const int64_t b_stride = s.shared_b ? 0 : n * k;
+
+  Tensor out(MatMulOutShape(as, m, n));
+  kernels::BatchedGemmABT(a.value().data(), b.value().data(), out.data(),
+                          batch, m, k, n, b_stride);
+  ImplPtr pa = a.impl(), pb = b.impl();
+  Tensor av = a.value(), bv = b.value();
+  return MakeNode(
+      std::move(out), {pa, pb},
+      [pa, pb, av, bv, m, k, n, batch, b_stride](VariableImpl& node) {
+        const float* g = node.grad.data();
+        if (pa->requires_grad) {
+          // dA[s] += dC[s] * B[s], dC [m,n] x B [n,k] -> [m,k].
+          kernels::BatchedGemmAB(g, bv.data(), pa->MutableGrad().data(),
+                                 batch, m, n, k, b_stride);
+        }
+        if (pb->requires_grad) {
+          // dB[s] += dC[s]^T * A[s], [n,m] x [m,k] -> [n,k]; stride 0
+          // accumulates a shared B.
+          kernels::BatchedGemmATB(g, av.data(), pb->MutableGrad().data(),
+                                  batch, m, n, k, b_stride);
         }
       });
 }
@@ -304,17 +280,8 @@ Variable Softmax(const Variable& a) {
   const int64_t rows = out.size() / c;
   return MakeNode(std::move(out), {pa}, [pa, y, c, rows](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* yd = y.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* gr = g + r * c;
-      const float* yr = yd + r * c;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < c; ++j) dot += gr[j] * yr[j];
-      float* gar = ga + r * c;
-      for (int64_t j = 0; j < c; ++j) gar[j] += yr[j] * (gr[j] - dot);
-    }
+    kernels::SoftmaxBackwardRows(y.data(), n.grad.data(),
+                                 pa->MutableGrad().data(), rows, c);
   });
 }
 
@@ -322,36 +289,13 @@ Variable LogSoftmax(const Variable& a) {
   const int64_t c = a.value().size(-1);
   const int64_t rows = a.value().size() / c;
   Tensor out(a.value().shape());
-  {
-    const float* in = a.value().data();
-    float* o = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* row = in + r * c;
-      float mx = row[0];
-      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-      float sum = 0.0f;
-      for (int64_t j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
-      const float lse = mx + std::log(sum);
-      float* orow = o + r * c;
-      for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - lse;
-    }
-  }
+  kernels::LogSoftmaxRows(a.value().data(), out.data(), rows, c);
   ImplPtr pa = a.impl();
   Tensor y = out;
   return MakeNode(std::move(out), {pa}, [pa, y, c, rows](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* yd = y.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* gr = g + r * c;
-      const float* yr = yd + r * c;
-      float gsum = 0.0f;
-      for (int64_t j = 0; j < c; ++j) gsum += gr[j];
-      float* gar = ga + r * c;
-      for (int64_t j = 0; j < c; ++j)
-        gar[j] += gr[j] - std::exp(yr[j]) * gsum;
-    }
+    kernels::LogSoftmaxBackwardRows(y.data(), n.grad.data(),
+                                    pa->MutableGrad().data(), rows, c);
   });
 }
 
@@ -361,8 +305,8 @@ Variable Sum(const Variable& a) {
   return MakeNode(std::move(out), {pa}, [pa](VariableImpl& n) {
     if (!pa->requires_grad) return;
     const float g = n.grad[0];
-    float* ga = pa->MutableGrad().data();
-    for (int64_t i = 0; i < pa->value.size(); ++i) ga[i] += g;
+    kernels::Apply(pa->MutableGrad().data(), pa->value.size(),
+                   [g](float v) { return v + g; });
   });
 }
 
@@ -373,8 +317,8 @@ Variable Mean(const Variable& a) {
   return MakeNode(std::move(out), {pa}, [pa, num](VariableImpl& n) {
     if (!pa->requires_grad) return;
     const float g = n.grad[0] / static_cast<float>(num);
-    float* ga = pa->MutableGrad().data();
-    for (int64_t i = 0; i < num; ++i) ga[i] += g;
+    kernels::Apply(pa->MutableGrad().data(), num,
+                   [g](float v) { return v + g; });
   });
 }
 
@@ -382,6 +326,8 @@ Variable Dot(const Variable& a, const Variable& b) {
   ROTOM_CHECK_EQ(a.value().dim(), 1);
   ROTOM_CHECK(SameShape(a, b));
   const int64_t num = a.value().size();
+  // Serial double-precision reduction: the order is part of the numeric
+  // contract (thread-count invariant).
   double acc = 0.0;
   {
     const float* x = a.value().data();
@@ -399,41 +345,35 @@ Variable Dot(const Variable& a, const Variable& b) {
 }
 
 Variable Relu(const Variable& a) {
-  Tensor out = a.value().Clone();
-  float* o = out.data();
-  const int64_t num = out.size();
-  for (int64_t i = 0; i < num; ++i) o[i] = o[i] > 0.0f ? o[i] : 0.0f;
+  const int64_t num = a.value().size();
+  Tensor out(a.value().shape());
+  kernels::Map(a.value().data(), out.data(), num,
+               [](float x) { return x > 0.0f ? x : 0.0f; });
   ImplPtr pa = a.impl();
   Tensor av = a.value();
   return MakeNode(std::move(out), {pa}, [pa, av, num](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* x = av.data();
-    for (int64_t i = 0; i < num; ++i)
-      if (x[i] > 0.0f) ga[i] += g[i];
+    kernels::ZipAccumulate(n.grad.data(), av.data(),
+                           pa->MutableGrad().data(), num,
+                           [](float g, float x) { return x > 0.0f ? g : 0.0f; });
   });
 }
 
 Variable Abs(const Variable& a) {
   const int64_t num = a.value().size();
   Tensor out(a.value().shape());
-  {
-    const float* x = a.value().data();
-    float* o = out.data();
-    for (int64_t i = 0; i < num; ++i) o[i] = std::fabs(x[i]);
-  }
+  kernels::Map(a.value().data(), out.data(), num,
+               [](float x) { return std::fabs(x); });
   ImplPtr pa = a.impl();
   Tensor av = a.value();
   return MakeNode(std::move(out), {pa}, [pa, av, num](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* x = av.data();
-    for (int64_t i = 0; i < num; ++i) {
-      if (x[i] > 0.0f) ga[i] += g[i];
-      else if (x[i] < 0.0f) ga[i] -= g[i];
-    }
+    kernels::ZipAccumulate(n.grad.data(), av.data(),
+                           pa->MutableGrad().data(), num, [](float g, float x) {
+                             if (x > 0.0f) return g;
+                             if (x < 0.0f) return -g;
+                             return 0.0f;
+                           });
   });
 }
 
@@ -442,66 +382,52 @@ Variable Gelu(const Variable& a) {
   constexpr float kCubic = 0.044715f;
   const int64_t num = a.value().size();
   Tensor out(a.value().shape());
-  {
-    const float* x = a.value().data();
-    float* o = out.data();
-    for (int64_t i = 0; i < num; ++i) {
-      const float u = kSqrt2OverPi * (x[i] + kCubic * x[i] * x[i] * x[i]);
-      o[i] = 0.5f * x[i] * (1.0f + std::tanh(u));
-    }
-  }
+  kernels::Map(a.value().data(), out.data(), num, [](float x) {
+    const float u = kSqrt2OverPi * (x + kCubic * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(u));
+  });
   ImplPtr pa = a.impl();
   Tensor av = a.value();
   return MakeNode(std::move(out), {pa}, [pa, av, num](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* x = av.data();
-    for (int64_t i = 0; i < num; ++i) {
-      const float xi = x[i];
-      const float u = kSqrt2OverPi * (xi + kCubic * xi * xi * xi);
-      const float t = std::tanh(u);
-      const float du = kSqrt2OverPi * (1.0f + 3.0f * kCubic * xi * xi);
-      ga[i] += g[i] * (0.5f * (1.0f + t) + 0.5f * xi * (1.0f - t * t) * du);
-    }
+    kernels::ZipAccumulate(
+        n.grad.data(), av.data(), pa->MutableGrad().data(), num,
+        [](float g, float x) {
+          const float u = kSqrt2OverPi * (x + kCubic * x * x * x);
+          const float t = std::tanh(u);
+          const float du = kSqrt2OverPi * (1.0f + 3.0f * kCubic * x * x);
+          return g * (0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du);
+        });
   });
 }
 
 Variable Tanh(const Variable& a) {
   const int64_t num = a.value().size();
   Tensor out(a.value().shape());
-  {
-    const float* x = a.value().data();
-    float* o = out.data();
-    for (int64_t i = 0; i < num; ++i) o[i] = std::tanh(x[i]);
-  }
+  kernels::Map(a.value().data(), out.data(), num,
+               [](float x) { return std::tanh(x); });
   ImplPtr pa = a.impl();
   Tensor y = out;
   return MakeNode(std::move(out), {pa}, [pa, y, num](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* yd = y.data();
-    for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * (1.0f - yd[i] * yd[i]);
+    kernels::ZipAccumulate(n.grad.data(), y.data(), pa->MutableGrad().data(),
+                           num,
+                           [](float g, float yv) { return g * (1.0f - yv * yv); });
   });
 }
 
 Variable Sigmoid(const Variable& a) {
   const int64_t num = a.value().size();
   Tensor out(a.value().shape());
-  {
-    const float* x = a.value().data();
-    float* o = out.data();
-    for (int64_t i = 0; i < num; ++i) o[i] = 1.0f / (1.0f + std::exp(-x[i]));
-  }
+  kernels::Map(a.value().data(), out.data(), num,
+               [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
   ImplPtr pa = a.impl();
   Tensor y = out;
   return MakeNode(std::move(out), {pa}, [pa, y, num](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* yd = y.data();
-    for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * yd[i] * (1.0f - yd[i]);
+    kernels::ZipAccumulate(
+        n.grad.data(), y.data(), pa->MutableGrad().data(), num,
+        [](float g, float yv) { return g * yv * (1.0f - yv); });
   });
 }
 
@@ -514,21 +440,20 @@ Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
   Tensor mask(a.value().shape());
   Tensor out(a.value().shape());
   {
-    const float* x = a.value().data();
+    // Mask generation is serial: the Rng is a sequential stream and the
+    // draw order is part of run-to-run reproducibility.
     float* md = mask.data();
-    float* o = out.data();
-    for (int64_t i = 0; i < num; ++i) {
+    for (int64_t i = 0; i < num; ++i)
       md[i] = rng.Bernoulli(keep) ? scale : 0.0f;
-      o[i] = x[i] * md[i];
-    }
   }
+  kernels::ZipMap(a.value().data(), mask.data(), out.data(), num,
+                  [](float x, float m) { return x * m; });
   ImplPtr pa = a.impl();
   return MakeNode(std::move(out), {pa}, [pa, mask, num](VariableImpl& n) {
     if (!pa->requires_grad) return;
-    float* ga = pa->MutableGrad().data();
-    const float* g = n.grad.data();
-    const float* md = mask.data();
-    for (int64_t i = 0; i < num; ++i) ga[i] += g[i] * md[i];
+    kernels::ZipAccumulate(n.grad.data(), mask.data(),
+                           pa->MutableGrad().data(), num,
+                           [](float g, float m) { return g * m; });
   });
 }
 
@@ -537,26 +462,18 @@ Variable Embedding(const Variable& table, const std::vector<int64_t>& ids) {
   const int64_t v = table.value().size(0);
   const int64_t d = table.value().size(1);
   const int64_t n = static_cast<int64_t>(ids.size());
-  Tensor out({n, d});
-  {
-    const float* t = table.value().data();
-    float* o = out.data();
-    for (int64_t i = 0; i < n; ++i) {
-      ROTOM_CHECK_GE(ids[i], 0);
-      ROTOM_CHECK_LT(ids[i], v);
-      std::memcpy(o + i * d, t + ids[i] * d, sizeof(float) * d);
-    }
+  for (int64_t i = 0; i < n; ++i) {
+    ROTOM_CHECK_GE(ids[i], 0);
+    ROTOM_CHECK_LT(ids[i], v);
   }
+  Tensor out({n, d});
+  kernels::GatherRows(table.value().data(), ids.data(), out.data(), n, d);
   ImplPtr pt = table.impl();
   return MakeNode(std::move(out), {pt}, [pt, ids, d, n](VariableImpl& node) {
     if (!pt->requires_grad) return;
-    float* gt = pt->MutableGrad().data();
-    const float* g = node.grad.data();
-    for (int64_t i = 0; i < n; ++i) {
-      float* row = gt + ids[i] * d;
-      const float* gr = g + i * d;
-      for (int64_t j = 0; j < d; ++j) row[j] += gr[j];
-    }
+    // Scatter-add is serial: duplicate ids write the same row.
+    kernels::ScatterAddRows(node.grad.data(), ids.data(),
+                            pt->MutableGrad().data(), n, d);
   });
 }
 
@@ -570,78 +487,25 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   Tensor out(x.value().shape());
   Tensor xhat(x.value().shape());
   Tensor inv_std({rows});
-  {
-    const float* in = x.value().data();
-    const float* gm = gamma.value().data();
-    const float* bt = beta.value().data();
-    float* o = out.data();
-    float* xh = xhat.data();
-    float* is = inv_std.data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* row = in + r * d;
-      double mu = 0.0;
-      for (int64_t j = 0; j < d; ++j) mu += row[j];
-      mu /= d;
-      double var = 0.0;
-      for (int64_t j = 0; j < d; ++j) {
-        const double diff = row[j] - mu;
-        var += diff * diff;
-      }
-      var /= d;
-      const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-      is[r] = istd;
-      float* xhr = xh + r * d;
-      float* orow = o + r * d;
-      for (int64_t j = 0; j < d; ++j) {
-        xhr[j] = (row[j] - static_cast<float>(mu)) * istd;
-        orow[j] = gm[j] * xhr[j] + bt[j];
-      }
-    }
-  }
+  kernels::LayerNormRows(x.value().data(), gamma.value().data(),
+                         beta.value().data(), eps, out.data(), xhat.data(),
+                         inv_std.data(), rows, d);
   ImplPtr px = x.impl(), pg = gamma.impl(), pb = beta.impl();
   Tensor gv = gamma.value();
   return MakeNode(
       std::move(out), {px, pg, pb},
       [px, pg, pb, gv, xhat, inv_std, d, rows](VariableImpl& n) {
         const float* g = n.grad.data();
-        const float* xh = xhat.data();
         if (pg->requires_grad || pb->requires_grad) {
-          float* ggm = pg->requires_grad ? pg->MutableGrad().data() : nullptr;
-          float* gbt = pb->requires_grad ? pb->MutableGrad().data() : nullptr;
-          for (int64_t r = 0; r < rows; ++r) {
-            const float* gr = g + r * d;
-            const float* xhr = xh + r * d;
-            for (int64_t j = 0; j < d; ++j) {
-              if (ggm != nullptr) ggm[j] += gr[j] * xhr[j];
-              if (gbt != nullptr) gbt[j] += gr[j];
-            }
-          }
+          kernels::LayerNormParamGradRows(
+              g, xhat.data(),
+              pg->requires_grad ? pg->MutableGrad().data() : nullptr,
+              pb->requires_grad ? pb->MutableGrad().data() : nullptr, rows, d);
         }
         if (px->requires_grad) {
-          float* gx = px->MutableGrad().data();
-          const float* gm = gv.data();
-          const float* is = inv_std.data();
-          for (int64_t r = 0; r < rows; ++r) {
-            const float* gr = g + r * d;
-            const float* xhr = xh + r * d;
-            // dxhat = dy * gamma; dx = (dxhat - mean(dxhat)
-            //        - xhat * mean(dxhat*xhat)) * inv_std
-            double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
-            for (int64_t j = 0; j < d; ++j) {
-              const double dxh = static_cast<double>(gr[j]) * gm[j];
-              sum_dxhat += dxh;
-              sum_dxhat_xhat += dxh * xhr[j];
-            }
-            const float mean_dxhat = static_cast<float>(sum_dxhat / d);
-            const float mean_dxhat_xhat =
-                static_cast<float>(sum_dxhat_xhat / d);
-            float* gxr = gx + r * d;
-            for (int64_t j = 0; j < d; ++j) {
-              const float dxh = gr[j] * gm[j];
-              gxr[j] +=
-                  (dxh - mean_dxhat - xhr[j] * mean_dxhat_xhat) * is[r];
-            }
-          }
+          kernels::LayerNormInputGradRows(g, gv.data(), xhat.data(),
+                                          inv_std.data(),
+                                          px->MutableGrad().data(), rows, d);
         }
       });
 }
@@ -666,15 +530,14 @@ Variable ConcatLastDim(const std::vector<Variable>& parts) {
   Tensor out(out_shape);
   {
     float* o = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
+    kernels::ParallelRows(rows, total_last, [&](int64_t r) {
       int64_t off = 0;
       for (size_t p = 0; p < parts.size(); ++p) {
         const float* src = parts[p].value().data() + r * widths[p];
-        std::memcpy(o + r * total_last + off, src,
-                    sizeof(float) * widths[p]);
+        std::memcpy(o + r * total_last + off, src, sizeof(float) * widths[p]);
         off += widths[p];
       }
-    }
+    });
   }
   std::vector<ImplPtr> impls;
   for (const auto& p : parts) impls.push_back(p.impl());
@@ -686,11 +549,11 @@ Variable ConcatLastDim(const std::vector<Variable>& parts) {
                       const int64_t w = widths[p];
                       if (impls[p]->requires_grad) {
                         float* gp = impls[p]->MutableGrad().data();
-                        for (int64_t r = 0; r < rows; ++r) {
+                        kernels::ParallelRows(rows, w, [&](int64_t r) {
                           const float* gr = g + r * total_last + off;
                           float* gpr = gp + r * w;
                           for (int64_t j = 0; j < w; ++j) gpr[j] += gr[j];
-                        }
+                        });
                       }
                       off += w;
                     }
@@ -719,10 +582,10 @@ Variable SelectIndex(const Variable& x, int64_t dim, int64_t index) {
   {
     const float* in = x.value().data();
     float* o = out.data();
-    for (int64_t a = 0; a < outer; ++a) {
+    kernels::ParallelRows(outer, inner, [&](int64_t a) {
       std::memcpy(o + a * inner, in + (a * extent + index) * inner,
                   sizeof(float) * inner);
-    }
+    });
   }
   ImplPtr px = x.impl();
   return MakeNode(std::move(out), {px},
@@ -730,11 +593,11 @@ Variable SelectIndex(const Variable& x, int64_t dim, int64_t index) {
                     if (!px->requires_grad) return;
                     float* gx = px->MutableGrad().data();
                     const float* g = n.grad.data();
-                    for (int64_t a = 0; a < outer; ++a) {
+                    kernels::ParallelRows(outer, inner, [&](int64_t a) {
                       float* dst = gx + (a * extent + index) * inner;
                       const float* src = g + a * inner;
                       for (int64_t j = 0; j < inner; ++j) dst[j] += src[j];
-                    }
+                    });
                   });
 }
 
@@ -750,13 +613,11 @@ Variable AddSequenceMask(const Variable& scores, const Tensor& bias) {
   {
     float* o = out.data();
     const float* bd = bias.data();
-    for (int64_t i = 0; i < b; ++i) {
-      const float* brow = bd + i * s;
-      for (int64_t m = 0; m < mid; ++m) {
-        float* row = o + (i * mid + m) * s;
-        for (int64_t j = 0; j < s; ++j) row[j] += brow[j];
-      }
-    }
+    kernels::ParallelRows(b * mid, s, [&](int64_t r) {
+      const float* brow = bd + (r / mid) * s;
+      float* row = o + r * s;
+      for (int64_t j = 0; j < s; ++j) row[j] += brow[j];
+    });
   }
   ImplPtr ps = scores.impl();
   return MakeNode(std::move(out), {ps}, [ps](VariableImpl& n) {
@@ -771,12 +632,11 @@ Variable AddCausalMask(const Variable& scores) {
   const int64_t mats = scores.value().size() / (t * s);
   Tensor out = scores.value().Clone();
   float* o = out.data();
-  for (int64_t m = 0; m < mats; ++m) {
-    float* mat = o + m * t * s;
-    for (int64_t i = 0; i < t; ++i) {
-      for (int64_t j = i + 1; j < s; ++j) mat[i * s + j] += -1e9f;
-    }
-  }
+  kernels::ParallelRows(mats * t, s, [&](int64_t r) {
+    const int64_t i = r % t;
+    float* row = o + r * s;
+    for (int64_t j = i + 1; j < s; ++j) row[j] += -1e9f;
+  });
   ImplPtr ps = scores.impl();
   return MakeNode(std::move(out), {ps}, [ps](VariableImpl& n) {
     if (ps->requires_grad) ps->MutableGrad().AddInPlace(n.grad);
@@ -789,18 +649,21 @@ Variable CrossEntropyPerExample(const Variable& logits,
   const int64_t b = logits.value().size(0);
   const int64_t c = logits.value().size(1);
   ROTOM_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+  for (int64_t i = 0; i < b; ++i) {
+    ROTOM_CHECK_GE(labels[i], 0);
+    ROTOM_CHECK_LT(labels[i], c);
+  }
 
   Tensor probs = SoftmaxRows(logits.value());
   Tensor out({b});
   {
     const float* p = probs.data();
     float* o = out.data();
-    for (int64_t i = 0; i < b; ++i) {
-      ROTOM_CHECK_GE(labels[i], 0);
-      ROTOM_CHECK_LT(labels[i], c);
-      const float pi = std::max(p[i * c + labels[i]], 1e-12f);
+    const int64_t* lab = labels.data();
+    kernels::ParallelRows(b, c, [&](int64_t i) {
+      const float pi = std::max(p[i * c + lab[i]], 1e-12f);
       o[i] = -std::log(pi);
-    }
+    });
   }
   ImplPtr pl = logits.impl();
   return MakeNode(std::move(out), {pl},
@@ -809,13 +672,14 @@ Variable CrossEntropyPerExample(const Variable& logits,
                     float* gl = pl->MutableGrad().data();
                     const float* g = n.grad.data();
                     const float* p = probs.data();
-                    for (int64_t i = 0; i < b; ++i) {
+                    const int64_t* lab = labels.data();
+                    kernels::ParallelRows(b, 2 * c, [&](int64_t i) {
                       const float gi = g[i];
                       float* row = gl + i * c;
                       const float* prow = p + i * c;
                       for (int64_t j = 0; j < c; ++j) row[j] += gi * prow[j];
-                      row[labels[i]] -= gi;
-                    }
+                      row[lab[i]] -= gi;
+                    });
                   });
 }
 
@@ -837,14 +701,14 @@ Variable SoftCrossEntropyPerExample(const Variable& logits,
     const float* p = probs.data();
     const float* q = target_probs.data();
     float* o = out.data();
-    for (int64_t i = 0; i < b; ++i) {
+    kernels::ParallelRows(b, 3 * c, [&](int64_t i) {
       double loss = 0.0;
       for (int64_t j = 0; j < c; ++j) {
         const float pij = std::max(p[i * c + j], 1e-12f);
         loss -= static_cast<double>(q[i * c + j]) * std::log(pij);
       }
       o[i] = static_cast<float>(loss);
-    }
+    });
   }
   ImplPtr pl = logits.impl();
   return MakeNode(std::move(out), {pl},
@@ -854,18 +718,19 @@ Variable SoftCrossEntropyPerExample(const Variable& logits,
                     const float* g = n.grad.data();
                     const float* p = probs.data();
                     const float* q = target_probs.data();
-                    for (int64_t i = 0; i < b; ++i) {
+                    kernels::ParallelRows(b, 2 * c, [&](int64_t i) {
                       const float gi = g[i];
                       float* row = gl + i * c;
                       for (int64_t j = 0; j < c; ++j)
                         row[j] += gi * (p[i * c + j] - q[i * c + j]);
-                    }
+                    });
                   });
 }
 
 Variable NormalizeMeanOne(const Variable& w) {
   ROTOM_CHECK_EQ(w.value().dim(), 1);
   const int64_t n = w.value().size();
+  // Small 1-D vectors (batch weights): serial fixed-order reductions.
   double total = 0.0;
   for (int64_t i = 0; i < n; ++i) total += w.value()[i];
   const float s = static_cast<float>(total) + 1e-8f;

@@ -35,6 +35,13 @@ Variable AddScalar(const Variable& a, float c);
 /// batch.
 Variable MatMul(const Variable& a, const Variable& b);
 
+/// Matrix product with the right operand transposed on its last two dims:
+/// [*,m,k] x [*,n,k] -> [*,m,n]. Equivalent to
+/// MatMul(a, Transpose(b, -2, -1)) without materializing the transposed
+/// copy; this is the attention-score shape (Q . K^T). Also accepts a shared
+/// right operand [n,k] against a batched left operand.
+Variable MatMulBT(const Variable& a, const Variable& b);
+
 /// Swaps dimensions d0 and d1 (copying).
 Variable Transpose(const Variable& a, int64_t d0, int64_t d1);
 

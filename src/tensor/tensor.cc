@@ -4,6 +4,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/kernels.h"
+
 namespace rotom {
 
 int64_t NumElements(const std::vector<int64_t>& shape) {
@@ -125,20 +127,16 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   ROTOM_CHECK(shape_ == other.shape_);
-  float* a = data();
-  const float* b = other.data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] += b[i];
+  kernels::Axpy(other.data(), data(), numel_, 1.0f);
 }
 
 void Tensor::AddScaled(const Tensor& other, float alpha) {
   ROTOM_CHECK(shape_ == other.shape_);
-  float* a = data();
-  const float* b = other.data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] += alpha * b[i];
+  kernels::Axpy(other.data(), data(), numel_, alpha);
 }
 
 void Tensor::Scale(float alpha) {
-  for (auto& x : *data_) x *= alpha;
+  kernels::Apply(data(), numel_, [alpha](float x) { return x * alpha; });
 }
 
 void Tensor::CopyFrom(const Tensor& other) {

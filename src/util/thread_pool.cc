@@ -1,0 +1,220 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace rotom {
+
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+/// RAII marker so nested ParallelFor calls from kernel bodies degrade to
+/// inline execution instead of deadlocking on the pool.
+class ScopedParallelRegion {
+ public:
+  ScopedParallelRegion() : previous_(tls_in_parallel_region) {
+    tls_in_parallel_region = true;
+  }
+  ~ScopedParallelRegion() { tls_in_parallel_region = previous_; }
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int64_t ThreadPool::RunChunks(uint64_t generation,
+                              const std::function<void(int64_t, int64_t)>* body,
+                              int64_t total, int64_t chunk,
+                              int64_t num_chunks) {
+  ScopedParallelRegion region;
+  int64_t completed = 0;
+  uint64_t cur = claim_.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((cur >> kChunkBits) != generation) break;
+    const int64_t claimed = static_cast<int64_t>(
+        cur & ((uint64_t{1} << kChunkBits) - 1));
+    if (claimed >= num_chunks) break;
+    if (!claim_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_relaxed)) {
+      continue;  // cur was reloaded by the failed CAS
+    }
+    const int64_t begin = claimed * chunk;
+    const int64_t end = std::min(total, begin + chunk);
+    (*body)(begin, end);
+    ++completed;
+    cur = claim_.load(std::memory_order_relaxed);
+  }
+  return completed;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int64_t, int64_t)>* body;
+    uint64_t generation;
+    int64_t total, chunk, num_chunks;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      generation = generation_;
+      body = body_;
+      total = total_;
+      chunk = chunk_;
+      num_chunks = num_chunks_;
+    }
+    const int64_t completed =
+        RunChunks(generation, body, total, chunk, num_chunks);
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_chunks_ += completed;
+      if (done_chunks_ == num_chunks) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t total, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (total <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  if (num_threads_ == 1 || total <= grain || InParallelRegion()) {
+    ScopedParallelRegion region;
+    body(0, total);
+    return;
+  }
+
+  // Static chunking: a few chunks per thread for load balance. Boundaries
+  // depend only on total/grain/num_threads, so the element->chunk assignment
+  // is reproducible run to run; which thread runs a chunk is not, and must
+  // not matter.
+  const int64_t target_chunks = static_cast<int64_t>(num_threads_) * 4;
+  const int64_t chunk =
+      std::max(grain, (total + target_chunks - 1) / target_chunks);
+  const int64_t num_chunks = (total + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    ScopedParallelRegion region;
+    body(0, total);
+    return;
+  }
+  ROTOM_CHECK_LT(num_chunks, int64_t{1} << kChunkBits);
+
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = ++generation_;
+    body_ = &body;
+    total_ = total;
+    chunk_ = chunk;
+    num_chunks_ = num_chunks;
+    done_chunks_ = 0;
+    claim_.store(generation << kChunkBits, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+
+  const int64_t completed =
+      RunChunks(generation, &body, total, chunk, num_chunks);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_chunks_ += completed;
+  done_cv_.wait(lock, [&] { return done_chunks_ == num_chunks_; });
+  body_ = nullptr;
+}
+
+namespace {
+
+struct GlobalPool {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+};
+
+GlobalPool& GlobalPoolState() {
+  static GlobalPool* state = new GlobalPool();  // intentionally leaked
+  return *state;
+}
+
+int ResolveAutoThreads(const char** source) {
+  const char* env = std::getenv("ROTOM_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      *source = "ROTOM_NUM_THREADS";
+      return parsed;
+    }
+    // "0" explicitly requests automatic sizing; anything else is a mistake.
+    if (std::string_view(env) != "0") {
+      ROTOM_LOG(Warning) << "ignoring invalid ROTOM_NUM_THREADS=\"" << env
+                         << "\" (want a non-negative integer)";
+    }
+  }
+  *source = "hardware_concurrency";
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void LogPoolSizeOnce(int threads, const char* source) {
+  static bool logged = false;
+  if (logged) return;
+  logged = true;
+  ROTOM_LOG(Info) << "compute pool: " << threads << " thread"
+                  << (threads == 1 ? "" : "s") << " (" << source << ")";
+}
+
+}  // namespace
+
+ThreadPool& ComputePool() {
+  GlobalPool& state = GlobalPoolState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.pool == nullptr) {
+    const char* source = nullptr;
+    const int threads = ResolveAutoThreads(&source);
+    LogPoolSizeOnce(threads, source);
+    state.pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *state.pool;
+}
+
+int ComputeThreads() { return ComputePool().num_threads(); }
+
+void SetComputeThreads(int num_threads) {
+  ROTOM_CHECK_GE(num_threads, 0);
+  GlobalPool& state = GlobalPoolState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const char* source = "SetComputeThreads";
+  int threads = num_threads;
+  if (threads == 0) threads = ResolveAutoThreads(&source);
+  LogPoolSizeOnce(threads, source);
+  if (state.pool != nullptr && state.pool->num_threads() == threads) return;
+  state.pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace rotom

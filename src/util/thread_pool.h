@@ -1,0 +1,99 @@
+#ifndef ROTOM_UTIL_THREAD_POOL_H_
+#define ROTOM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rotom {
+
+/// A persistent pool of worker threads that executes ParallelFor loops.
+///
+/// The pool exists so the tensor kernel layer (tensor/kernels.h) can
+/// parallelize the batch/row dimension of dense math without paying a
+/// thread-spawn per op. Workers are started once and sleep on a condition
+/// variable between loops.
+///
+/// Determinism contract: ParallelFor partitions the index space into
+/// contiguous chunks whose boundaries depend only on the loop bounds and
+/// pool configuration — never on timing. Each index is executed by exactly
+/// one chunk, so a kernel whose per-index computation is itself
+/// deterministic produces bit-identical results at any thread count.
+class ThreadPool {
+ public:
+  /// Starts `num_threads - 1` workers; the thread calling ParallelFor is the
+  /// remaining executor. `num_threads <= 1` means every loop runs inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Logical parallelism (workers + the calling thread).
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(begin, end) over a static partition of [0, total) into
+  /// contiguous chunks of at least `grain` indices and blocks until every
+  /// chunk has finished. The calling thread participates. Calls from inside
+  /// a pool worker (nested parallelism) run the whole range inline.
+  void ParallelFor(int64_t total, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// True on a thread currently executing pool work (used to serialize
+  /// nested ParallelFor calls).
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs chunks of job `generation`; returns how many it ran.
+  /// The claim word is tagged with the generation, so a worker holding a
+  /// stale job can never claim (and re-run) chunks of a newer job.
+  int64_t RunChunks(uint64_t generation,
+                    const std::function<void(int64_t, int64_t)>* body,
+                    int64_t total, int64_t chunk, int64_t num_chunks);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;  // workers wait for a new job
+  std::condition_variable done_cv_;  // the caller waits for completion
+  uint64_t generation_ = 0;          // bumped per job (guarded by mu_)
+  bool shutdown_ = false;
+
+  // Current job (guarded by mu_ except the atomic claim word).
+  const std::function<void(int64_t, int64_t)>* body_ = nullptr;
+  int64_t total_ = 0;
+  int64_t chunk_ = 0;
+  int64_t num_chunks_ = 0;
+  int64_t done_chunks_ = 0;
+  // (generation << kChunkBits) | chunks_claimed. num_chunks is bounded by a
+  // small multiple of num_threads, so kChunkBits is ample.
+  std::atomic<uint64_t> claim_{0};
+  static constexpr int kChunkBits = 20;
+
+  std::mutex dispatch_mu_;  // serializes whole ParallelFor invocations
+};
+
+/// The process-wide compute pool used by tensor/kernels. Created lazily on
+/// first use; sized from the ROTOM_NUM_THREADS environment variable when set
+/// to a positive integer, otherwise from std::thread::hardware_concurrency().
+/// The resolved size is logged once at startup.
+ThreadPool& ComputePool();
+
+/// Current size of the compute pool (creating it if necessary).
+int ComputeThreads();
+
+/// Rebuilds the compute pool with `num_threads` workers; 0 restores the
+/// automatic sizing (env var / hardware concurrency). Must not be called
+/// while another thread is inside a kernel. Intended for benchmarks and the
+/// thread-count-invariance tests.
+void SetComputeThreads(int num_threads);
+
+}  // namespace rotom
+
+#endif  // ROTOM_UTIL_THREAD_POOL_H_

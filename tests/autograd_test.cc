@@ -6,6 +6,7 @@
 #include "gradcheck.h"
 #include "tensor/ops.h"
 #include "tensor/variable.h"
+#include "util/thread_pool.h"
 
 namespace rotom {
 namespace {
@@ -141,6 +142,50 @@ TEST(GradCheckTest, MatMul4DBatched) {
     Variable y = ops::MatMul(a, b);
     return ops::Sum(ops::Mul(y, y));
   });
+}
+
+TEST(GradCheckTest, MatMulSharedRight4D) {
+  Variable a = Leaf({2, 2, 3, 4}, 35);
+  Variable b = Leaf({4, 2}, 36);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMul(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMulBT2D) {
+  Variable a = Leaf({3, 4}, 37);
+  Variable b = Leaf({2, 4}, 38);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMulBT(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMulBTBatched4D) {
+  Variable a = Leaf({2, 2, 3, 4}, 39);
+  Variable b = Leaf({2, 2, 5, 4}, 40);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMulBT(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMulBTSharedRight) {
+  Variable a = Leaf({2, 3, 4}, 41);
+  Variable b = Leaf({5, 4}, 42);
+  ExpectGradientsClose({a, b}, [&] {
+    Variable y = ops::MatMulBT(a, b);
+    return ops::Sum(ops::Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMulBTMatchesExplicitTranspose) {
+  Variable a = Leaf({2, 3, 4}, 43);
+  Variable b = Leaf({2, 5, 4}, 44);
+  Variable direct = ops::MatMulBT(a, b);
+  Variable via_transpose = ops::MatMul(a, ops::Transpose(b, 1, 2));
+  EXPECT_TRUE(direct.value().AllClose(via_transpose.value(), 1e-5f));
 }
 
 TEST(GradCheckTest, TransposeLastTwo) {
@@ -357,6 +402,46 @@ TEST(AutogradStressTest, DiamondGraphAccumulates) {
   Variable loss = ops::Sum(ops::Add(a, b));  // 3x + x^2
   loss.Backward();
   EXPECT_NEAR(x.grad()[0], 3.0f + 2.0f * 2.0f, 1e-4f);
+}
+
+// The kernel layer promises thread-count-invariant numerics: no FP reduction
+// is ever split across threads, so forward AND backward must be bit-identical
+// (Tensor::Equals, not AllClose) at any pool size. Runs a small
+// attention-flavored graph through every parallel kernel family: GEMM in all
+// three transpose roles, softmax, layernorm, gelu, broadcast bias.
+TEST(ThreadInvarianceTest, ForwardBackwardBitIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    SetComputeThreads(threads);
+    Rng rng(123);
+    Variable x(Tensor::Randn({3, 9, 16}, rng, 0.5f), true);
+    Variable wq(Tensor::Randn({16, 16}, rng, 0.3f), true);
+    Variable wk(Tensor::Randn({16, 16}, rng, 0.3f), true);
+    Variable bias(Tensor::Randn({16}, rng, 0.3f), true);
+    Variable gamma(Tensor::Ones({16}), true);
+    Variable beta(Tensor::Zeros({16}), true);
+
+    Variable q = ops::MatMul(x, wq);                    // shared-RHS GEMM
+    Variable k = ops::Add(ops::MatMul(x, wk), bias);    // + broadcast bias
+    Variable attn = ops::Softmax(ops::Scale(ops::MatMulBT(q, k), 0.25f));
+    Variable ctx = ops::MatMul(attn, ops::Gelu(k));
+    Variable y = ops::LayerNorm(ctx, gamma, beta);
+    Variable loss = ops::Mean(ops::Mul(y, y));
+    loss.Backward();
+
+    std::vector<Tensor> result;
+    result.push_back(y.value().Clone());
+    for (const Variable* v : {&x, &wq, &wk, &bias, &gamma, &beta})
+      result.push_back(v->grad().Clone());
+    return result;
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  SetComputeThreads(0);  // restore the env/hardware default for other tests
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i)
+    EXPECT_TRUE(serial[i].Equals(parallel[i]))
+        << "tensor " << i << " differs between 1 and 4 threads";
 }
 
 }  // namespace

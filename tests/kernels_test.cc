@@ -1,0 +1,252 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace rotom {
+namespace {
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+// Naive triple-loop references the tiled kernels are checked against.
+void RefGemmAB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t l = 0; l < k; ++l)
+      for (int64_t j = 0; j < n; ++j) c[i * n + j] += a[i * k + l] * b[l * n + j];
+}
+
+void RefGemmABT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      for (int64_t l = 0; l < k; ++l) c[i * n + j] += a[i * k + l] * b[j * k + l];
+}
+
+void RefGemmATB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t l = 0; l < k; ++l)
+      for (int64_t j = 0; j < n; ++j) c[l * n + j] += a[i * k + l] * b[i * n + j];
+}
+
+void ExpectAllNear(const std::vector<float>& got, const std::vector<float>& want,
+                   float tol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], tol * (1.0f + std::fabs(want[i]))) << "at " << i;
+}
+
+class KernelsTest : public ::testing::Test {
+ protected:
+  // Odd extents exercise the ragged edges of every tile loop.
+  static constexpr int64_t kM = 37, kK = 71, kN = 29;
+
+  void TearDown() override { SetComputeThreads(0); }
+};
+
+TEST_F(KernelsTest, GemmABMatchesReference) {
+  const auto a = RandVec(kM * kK, 1), b = RandVec(kK * kN, 2);
+  std::vector<float> c(kM * kN, 0.5f), ref = c;  // nonzero: accumulate semantics
+  kernels::GemmAB(a.data(), b.data(), c.data(), kM, kK, kN);
+  RefGemmAB(a.data(), b.data(), ref.data(), kM, kK, kN);
+  ExpectAllNear(c, ref, 1e-4f);
+}
+
+TEST_F(KernelsTest, GemmABTMatchesReference) {
+  const auto a = RandVec(kM * kK, 3), b = RandVec(kN * kK, 4);
+  std::vector<float> c(kM * kN, -0.25f), ref = c;
+  kernels::GemmABT(a.data(), b.data(), c.data(), kM, kK, kN);
+  RefGemmABT(a.data(), b.data(), ref.data(), kM, kK, kN);
+  ExpectAllNear(c, ref, 1e-4f);
+}
+
+TEST_F(KernelsTest, GemmATBMatchesReference) {
+  const auto a = RandVec(kM * kK, 5), b = RandVec(kM * kN, 6);
+  std::vector<float> c(kK * kN, 1.0f), ref = c;
+  kernels::GemmATB(a.data(), b.data(), c.data(), kM, kK, kN);
+  RefGemmATB(a.data(), b.data(), ref.data(), kM, kK, kN);
+  ExpectAllNear(c, ref, 1e-4f);
+}
+
+TEST_F(KernelsTest, BatchedGemmABSharedB) {
+  constexpr int64_t kBatch = 5;
+  const auto a = RandVec(kBatch * kM * kK, 7), b = RandVec(kK * kN, 8);
+  std::vector<float> c(kBatch * kM * kN, 0.0f), ref = c;
+  kernels::BatchedGemmAB(a.data(), b.data(), c.data(), kBatch, kM, kK, kN,
+                         /*b_stride=*/0);
+  for (int64_t s = 0; s < kBatch; ++s)
+    RefGemmAB(a.data() + s * kM * kK, b.data(), ref.data() + s * kM * kN, kM,
+              kK, kN);
+  ExpectAllNear(c, ref, 1e-4f);
+}
+
+TEST_F(KernelsTest, BatchedGemmABTPerSliceB) {
+  constexpr int64_t kBatch = 3;
+  const auto a = RandVec(kBatch * kM * kK, 9), b = RandVec(kBatch * kN * kK, 10);
+  std::vector<float> c(kBatch * kM * kN, 0.0f), ref = c;
+  kernels::BatchedGemmABT(a.data(), b.data(), c.data(), kBatch, kM, kK, kN,
+                          /*b_stride=*/kN * kK);
+  for (int64_t s = 0; s < kBatch; ++s)
+    RefGemmABT(a.data() + s * kM * kK, b.data() + s * kN * kK,
+               ref.data() + s * kM * kN, kM, kK, kN);
+  ExpectAllNear(c, ref, 1e-4f);
+}
+
+TEST_F(KernelsTest, BatchedGemmATBSharedOutputSumsBatches) {
+  constexpr int64_t kBatch = 4;
+  const auto a = RandVec(kBatch * kM * kK, 11), b = RandVec(kBatch * kM * kN, 12);
+  std::vector<float> c(kK * kN, 0.0f), ref = c;
+  kernels::BatchedGemmATB(a.data(), b.data(), c.data(), kBatch, kM, kK, kN,
+                          /*c_stride=*/0);
+  for (int64_t s = 0; s < kBatch; ++s)
+    RefGemmATB(a.data() + s * kM * kK, b.data() + s * kM * kN, ref.data(), kM,
+               kK, kN);
+  ExpectAllNear(c, ref, 1e-3f);
+}
+
+TEST_F(KernelsTest, GemmBitIdenticalAcrossThreadCounts) {
+  constexpr int64_t kBatch = 3;
+  const auto a = RandVec(kBatch * kM * kK, 13), b = RandVec(kK * kN, 14);
+  auto run = [&](int threads) {
+    SetComputeThreads(threads);
+    std::vector<float> c(kBatch * kM * kN, 0.0f);
+    kernels::BatchedGemmAB(a.data(), b.data(), c.data(), kBatch, kM, kK, kN, 0);
+    return c;
+  };
+  const auto serial = run(1);
+  const auto quad = run(4);
+  for (size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], quad[i]) << "element " << i;
+}
+
+TEST_F(KernelsTest, SoftmaxRowsNormalizes) {
+  constexpr int64_t kRows = 11, kCols = 23;
+  const auto x = RandVec(kRows * kCols, 15);
+  std::vector<float> y(kRows * kCols);
+  kernels::SoftmaxRows(x.data(), y.data(), kRows, kCols);
+  for (int64_t r = 0; r < kRows; ++r) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < kCols; ++j) {
+      EXPECT_GT(y[r * kCols + j], 0.0f);
+      sum += y[r * kCols + j];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST_F(KernelsTest, LogSoftmaxRowsMatchesSoftmax) {
+  constexpr int64_t kRows = 7, kCols = 13;
+  const auto x = RandVec(kRows * kCols, 16);
+  std::vector<float> p(kRows * kCols), lp(kRows * kCols);
+  kernels::SoftmaxRows(x.data(), p.data(), kRows, kCols);
+  kernels::LogSoftmaxRows(x.data(), lp.data(), kRows, kCols);
+  for (size_t i = 0; i < p.size(); ++i)
+    EXPECT_NEAR(std::exp(lp[i]), p[i], 1e-5f);
+}
+
+TEST_F(KernelsTest, LayerNormRowsNormalizesAndScales) {
+  constexpr int64_t kRows = 9, kCols = 32;
+  const auto x = RandVec(kRows * kCols, 17);
+  const auto gamma = RandVec(kCols, 18);
+  const auto beta = RandVec(kCols, 19);
+  std::vector<float> y(kRows * kCols), xhat(kRows * kCols), inv_std(kRows);
+  kernels::LayerNormRows(x.data(), gamma.data(), beta.data(), 1e-5f, y.data(),
+                         xhat.data(), inv_std.data(), kRows, kCols);
+  for (int64_t r = 0; r < kRows; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < kCols; ++j) mean += xhat[r * kCols + j];
+    mean /= kCols;
+    for (int64_t j = 0; j < kCols; ++j) {
+      const double d = xhat[r * kCols + j] - mean;
+      var += d * d;
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var / kCols, 1.0, 1e-3);
+    for (int64_t j = 0; j < kCols; ++j)
+      EXPECT_NEAR(y[r * kCols + j],
+                  gamma[j] * xhat[r * kCols + j] + beta[j], 1e-5f);
+  }
+}
+
+TEST_F(KernelsTest, AccumulateRowsSumsColumns) {
+  constexpr int64_t kRows = 503, kCols = 17;  // enough rows to go parallel
+  const auto x = RandVec(kRows * kCols, 20);
+  std::vector<float> acc(kCols, 1.0f);
+  kernels::AccumulateRows(x.data(), acc.data(), kRows, kCols);
+  for (int64_t j = 0; j < kCols; ++j) {
+    float want = 1.0f;
+    for (int64_t r = 0; r < kRows; ++r) want += x[r * kCols + j];
+    EXPECT_NEAR(acc[j], want, 1e-3f * kRows / 100);
+  }
+}
+
+TEST_F(KernelsTest, BroadcastAddRows) {
+  constexpr int64_t kRows = 6, kCols = 5;
+  std::vector<float> y(kRows * kCols, 2.0f);
+  const auto bias = RandVec(kCols, 21);
+  kernels::BroadcastAddRows(y.data(), bias.data(), kRows, kCols);
+  for (int64_t r = 0; r < kRows; ++r)
+    for (int64_t j = 0; j < kCols; ++j)
+      EXPECT_NEAR(y[r * kCols + j], 2.0f + bias[j], 1e-6f);
+}
+
+TEST_F(KernelsTest, GatherThenScatterAddRoundTrips) {
+  constexpr int64_t kVocab = 10, kCols = 4;
+  const auto table = RandVec(kVocab * kCols, 22);
+  const std::vector<int64_t> ids = {3, 7, 3, 0};  // duplicate id 3
+  std::vector<float> out(ids.size() * kCols);
+  kernels::GatherRows(table.data(), ids.data(), out.data(),
+                      static_cast<int64_t>(ids.size()), kCols);
+  for (size_t i = 0; i < ids.size(); ++i)
+    for (int64_t j = 0; j < kCols; ++j)
+      EXPECT_EQ(out[i * kCols + j], table[ids[i] * kCols + j]);
+
+  std::vector<float> acc(kVocab * kCols, 0.0f);
+  kernels::ScatterAddRows(out.data(), ids.data(), acc.data(),
+                          static_cast<int64_t>(ids.size()), kCols);
+  for (int64_t j = 0; j < kCols; ++j) {
+    EXPECT_NEAR(acc[3 * kCols + j], 2.0f * table[3 * kCols + j], 1e-5f);
+    EXPECT_NEAR(acc[7 * kCols + j], table[7 * kCols + j], 1e-5f);
+    EXPECT_EQ(acc[1 * kCols + j], 0.0f);  // untouched row
+  }
+}
+
+TEST_F(KernelsTest, RowReductions) {
+  const std::vector<float> x = {0.5f, -2.0f, 3.25f, 3.25f, 1.0f};
+  EXPECT_EQ(kernels::RowMax(x.data(), 5), 3.25f);
+  EXPECT_EQ(kernels::RowArgmax(x.data(), 5), 2);  // first of the tied maxima
+  double want = 0.0;
+  for (float v : x) want += std::exp(static_cast<double>(v) - 3.25);
+  EXPECT_NEAR(kernels::RowLogSumExp(x.data(), 5), 3.25 + std::log(want), 1e-5);
+}
+
+TEST_F(KernelsTest, MapApplyZipAxpy) {
+  const auto x = RandVec(1000, 23), y = RandVec(1000, 24);
+  std::vector<float> out(1000);
+  kernels::Map(x.data(), out.data(), 1000, [](float v) { return 2.0f * v; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2.0f * x[i]);
+
+  kernels::ZipMap(x.data(), y.data(), out.data(), 1000,
+                  [](float a, float b) { return a * b; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], x[i] * y[i]);
+
+  std::vector<float> acc = y;
+  kernels::Axpy(x.data(), acc.data(), 1000, 0.5f);
+  for (size_t i = 0; i < acc.size(); ++i)
+    EXPECT_NEAR(acc[i], y[i] + 0.5f * x[i], 1e-6f);
+}
+
+}  // namespace
+}  // namespace rotom
