@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -86,10 +87,12 @@ inline eval::ExperimentOptions EdtExperimentOptions() {
   return o;
 }
 
-/// Mean test metric and train time over ROTOM_SEEDS runs.
+/// Mean test metric and train throughput over ROTOM_SEEDS runs.
 struct CellStats {
   double metric = 0.0;
   double train_seconds = 0.0;
+  double train_steps = 0.0;
+  double steps_per_sec = 0.0;  // aggregate: total steps / total seconds
 };
 
 inline CellStats RunMean(eval::TaskContext& context, eval::Method method) {
@@ -99,10 +102,110 @@ inline CellStats RunMean(eval::TaskContext& context, eval::Method method) {
     const auto result = context.Run(method, static_cast<uint64_t>(s));
     stats.metric += result.test_metric;
     stats.train_seconds += result.train_seconds;
+    stats.train_steps += static_cast<double>(result.train_steps);
   }
+  stats.steps_per_sec =
+      stats.train_seconds > 0.0 ? stats.train_steps / stats.train_seconds : 0.0;
   stats.metric /= static_cast<double>(seeds);
   stats.train_seconds /= static_cast<double>(seeds);
+  stats.train_steps /= static_cast<double>(seeds);
   return stats;
+}
+
+// ---- Machine-readable output (BENCH_*.json) ----
+
+/// Append-only writer for the bench result files: a JSON array of flat
+/// objects, one per measured cell. Field order within a record follows the
+/// Field() call order; values may be strings, numbers, or booleans. The
+/// schema shared by the bench binaries is
+///   {"op": ..., "threads": N, "pipeline": bool,
+///    "wall_seconds": S, "steps_per_sec": R}
+/// so downstream tooling can diff runs without parsing the console tables.
+class JsonWriter {
+ public:
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + Escaped(value) + "\"");
+  }
+  JsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonWriter& Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return Raw(key, buf);
+  }
+  JsonWriter& Field(const std::string& key, int64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonWriter& Field(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  /// Closes the record under construction; the next Field() starts a new one.
+  void EndRecord() {
+    if (current_.empty()) return;
+    records_.push_back("  {" + current_ + "}");
+    current_.clear();
+  }
+
+  /// Writes the accumulated array (closing any open record). Returns false
+  /// on I/O failure.
+  bool WriteFile(const std::string& path) {
+    EndRecord();
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    out.flush();
+    return static_cast<bool>(out);
+  }
+
+  size_t size() const { return records_.size() + (current_.empty() ? 0 : 1); }
+
+ private:
+  JsonWriter& Raw(const std::string& key, const std::string& rendered) {
+    if (!current_.empty()) current_ += ", ";
+    current_ += "\"" + Escaped(key) + "\": " + rendered;
+    return *this;
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string current_;
+  std::vector<std::string> records_;
+};
+
+/// Output path for a bench JSON file: `ROTOM_BENCH_DIR` when set (bench.sh
+/// points it at the repo root), else the current directory.
+inline std::string BenchJsonPath(const std::string& filename) {
+  const char* dir = std::getenv("ROTOM_BENCH_DIR");
+  if (dir == nullptr || dir[0] == '\0') return filename;
+  std::string out(dir);
+  if (out.back() != '/') out += '/';
+  return out + filename;
 }
 
 // ---- Fixed-width table printing ----

@@ -1,14 +1,19 @@
 // Google-benchmark microbenches for the substrates: tensor math, tokenizer,
-// DA operators, encoder forward/backward, and seq2seq decoding. These bound
-// the cost of the experiment benches and catch performance regressions.
+// encoding cache, DA operators, encoder forward/backward, and seq2seq
+// decoding. These bound the cost of the experiment benches and catch
+// performance regressions. Besides the console table, every run is captured
+// into BENCH_micro.json (schema: bench_common.h JsonWriter).
 
 #include <benchmark/benchmark.h>
 
 #include "augment/ops.h"
+#include "bench_common.h"
 #include "models/classifier.h"
 #include "models/seq2seq.h"
 #include "nn/optim.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
+#include "text/encoding_cache.h"
 #include "text/tokenizer.h"
 #include "util/thread_pool.h"
 
@@ -118,6 +123,43 @@ void BM_BatchedAttentionShapedMatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedAttentionShapedMatMul);
 
+// Row encoding through the training data path's memo. cached:0 is the
+// bypass (every call tokenizes + computes overlap flags), cached:1 serves
+// repeats from the sharded LRU — the ratio is the per-hit saving the
+// pipelined trainers see on re-encoded epochs.
+void BM_EncodingCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  text::Vocabulary vocab;
+  for (int i = 0; i < 100; ++i) vocab.AddToken("tok" + std::to_string(i));
+  text::EncodingCache cache(&vocab, /*max_len=*/48,
+                            /*capacity_rows=*/cached ? 1024 : 0);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 64; ++i) {
+    std::string t = "[COL] title [VAL]";
+    for (int j = 0; j < 12; ++j)
+      t += " tok" + std::to_string((i * 7 + j * 13) % 100);
+    texts.push_back(std::move(t));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Encode(texts[i++ % texts.size()]).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodingCache)->Arg(0)->Arg(1)->ArgName("cached");
+
+// Tensor construction cost with the size-class freelist behind it: after the
+// first iteration every allocation is a recycled buffer plus a zero-fill.
+void BM_TensorAlloc(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    Tensor t({n, n});
+    benchmark::DoNotOptimize(t.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TensorAlloc)->Arg(32)->Arg(128)->ArgName("n");
+
 void BM_Tokenize(benchmark::State& state) {
   const std::string input =
       "[COL] title [VAL] efficient query processing in relational databases "
@@ -206,6 +248,56 @@ void BM_Seq2SeqDecodeBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_Seq2SeqDecodeBatch);
 
+// Mirrors every finished run into the shared bench JSON schema while still
+// printing the normal console table. "threads" is the pool size encoded in
+// the benchmark name when present (the kernel benches sweep it), else the
+// process-wide pool size.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const double seconds =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      writer_.Field("op", name)
+          .Field("threads", ThreadsFromName(name))
+          .Field("pipeline", false)
+          .Field("wall_seconds", seconds)
+          .Field("steps_per_sec", seconds > 0.0 ? 1.0 / seconds : 0.0);
+      writer_.EndRecord();
+    }
+  }
+
+  bench::JsonWriter& writer() { return writer_; }
+
+ private:
+  static int64_t ThreadsFromName(const std::string& name) {
+    const size_t pos = name.find("threads:");
+    if (pos == std::string::npos) return ComputeThreads();
+    return std::atoll(name.c_str() + pos + sizeof("threads:") - 1);
+  }
+
+  bench::JsonWriter writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const std::string path = rotom::bench::BenchJsonPath("BENCH_micro.json");
+  if (!reporter.writer().WriteFile(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records to %s\n", reporter.writer().size(),
+              path.c_str());
+  return 0;
+}

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer sweep: builds and runs the test suite under ASan+UBSan, then
-# builds the concurrency-sensitive tests (thread pool, kernels, autograd)
-# under TSan and runs them at several pool sizes. Each configuration gets its
-# own build tree so the trees stay incremental across runs.
+# builds the concurrency-sensitive tests (thread pool, kernels, autograd,
+# encoding cache, training pipeline) under TSan and runs them at several
+# pool sizes, and finishes with the perf-smoke bench label. Each
+# configuration gets its own build tree so the trees stay incremental across
+# runs.
 #
 # Usage:
-#   scripts/check.sh            # both sanitizers
+#   scripts/check.sh            # all configurations
 #   scripts/check.sh address    # ASan/UBSan only
 #   scripts/check.sh thread     # TSan only
+#   scripts/check.sh perf       # perf-smoke benches only
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,15 +35,29 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
   cmake -B build-tsan -S . "${generator[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DROTOM_SANITIZE=thread
   cmake --build build-tsan -j \
-    --target thread_pool_test kernels_test autograd_test
+    --target thread_pool_test kernels_test autograd_test \
+             encoding_cache_test pipeline_determinism_test
   # Force a multi-threaded pool even on single-CPU hosts so TSan actually
-  # sees concurrent kernel execution.
+  # sees concurrent kernel execution, cache hammering, and prefetch threads.
   for threads in 2 4; do
     echo "-- ROTOM_NUM_THREADS=$threads"
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/thread_pool_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/kernels_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/autograd_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/encoding_cache_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/pipeline_determinism_test
   done
 fi
 
-echo "check.sh: all requested sanitizer configurations passed"
+if [[ "$mode" == "all" || "$mode" == "perf" ]]; then
+  echo "== perf-smoke: fast bench sanity runs =="
+  # The main tree may predate this script; keep whatever generator it used.
+  perf_generator=("${generator[@]}")
+  if [[ -f build/CMakeCache.txt ]]; then perf_generator=(); fi
+  cmake -B build -S . "${perf_generator[@]}"
+  cmake --build build -j \
+    --target bench_micro_substrate bench_figure4_training_time
+  ctest --test-dir build -L perf-smoke --output-on-failure
+fi
+
+echo "check.sh: all requested configurations passed"

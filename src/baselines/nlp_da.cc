@@ -361,6 +361,7 @@ double RunKumarMlmResample(const data::TaskDataset& dataset,
           targets.push_back(batch.ids[i]);
           batch.ids[i] = text::SpecialTokens::kMask;
         }
+        batch.flags.clear();  // ids were masked after encoding
         if (positions.empty()) continue;
         opt.ZeroGrad();
         Variable hidden = mlm.EncodeHidden(batch, rng);
@@ -385,6 +386,7 @@ double RunKumarMlmResample(const data::TaskDataset& dataset,
         batch.ids[i] = text::SpecialTokens::kMask;
       }
     }
+    batch.flags.clear();  // ids were masked after encoding
     if (positions.empty()) return input;
     NoGradGuard guard;
     Rng fwd(0);

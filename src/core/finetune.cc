@@ -1,14 +1,31 @@
 #include "core/finetune.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "augment/mixda.h"
 #include "nn/optim.h"
 #include "util/logging.h"
+#include "util/prefetcher.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rotom {
 namespace core {
+
+namespace {
+
+// One prefetched training batch: labels plus the encoded views the active
+// AugMode consumes (originals for kNone/kMixDa, augmented for
+// kReplace/kMixDa). Built entirely from strings + the encoding cache, so it
+// can be materialized on the prefetch thread while the previous step trains.
+struct FinetuneBatch {
+  std::vector<int64_t> labels;
+  text::EncodedBatch originals;
+  text::EncodedBatch augmented;
+};
+
+}  // namespace
 
 FinetuneTrainer::FinetuneTrainer(models::TransformerClassifier* model,
                                  eval::MetricKind metric,
@@ -28,6 +45,11 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
   Rng rng(options_.seed);
   nn::Adam optimizer(model_->Parameters(), options_.lr);
 
+  const auto cache = MakeEncodingCache(options_.pipeline, &model_->vocab(),
+                                       model_->config().max_len);
+  const bool need_originals = options_.aug_mode != AugMode::kReplace;
+  const bool need_augmented = options_.aug_mode != AugMode::kNone;
+
   TrainResult result;
   NamedTensors best_state = model_->StateDict();
   double best_metric = -1.0;
@@ -36,32 +58,60 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
   for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
     model_->SetTraining(true);
     rng.Shuffle(train);
-    for (size_t begin = 0; begin < train.size();
-         begin += static_cast<size_t>(options_.batch_size)) {
-      const size_t end = std::min(
-          begin + static_cast<size_t>(options_.batch_size), train.size());
-      std::vector<std::string> originals, augmented;
-      std::vector<int64_t> labels;
-      for (size_t i = begin; i < end; ++i) {
-        originals.push_back(train[i].text);
-        labels.push_back(train[i].label);
-        if (options_.aug_mode != AugMode::kNone) {
-          augmented.push_back(augmenter(train[i].text, rng));
+    const int64_t n = static_cast<int64_t>(train.size());
+
+    // Materialize the epoch's augmentations up front on the compute pool.
+    // Each example owns an Rng stream split from one epoch seed, so the
+    // result is the same at any thread count — and identical to what a
+    // serial loop over the same streams would produce.
+    std::vector<std::string> augmented(need_augmented ? train.size() : 0);
+    if (need_augmented) {
+      const uint64_t epoch_seed = rng.Next64();
+      ComputePool().ParallelFor(n, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          Rng ex_rng(SplitSeed(epoch_seed, static_cast<uint64_t>(i)));
+          augmented[i] = augmenter(train[i].text, ex_rng);
         }
+      });
+    }
+
+    const size_t batch_size = static_cast<size_t>(options_.batch_size);
+    const size_t num_batches = (train.size() + batch_size - 1) / batch_size;
+    auto produce = [&](size_t bi) -> FinetuneBatch {
+      const size_t begin = bi * batch_size;
+      const size_t end = std::min(begin + batch_size, train.size());
+      FinetuneBatch batch;
+      std::vector<std::string> orig_texts, aug_texts;
+      for (size_t i = begin; i < end; ++i) {
+        batch.labels.push_back(train[i].label);
+        if (need_originals) orig_texts.push_back(train[i].text);
+        if (need_augmented) aug_texts.push_back(augmented[i]);
       }
+      if (need_originals)
+        batch.originals = text::AssembleEncodedBatch(*cache, orig_texts);
+      if (need_augmented)
+        batch.augmented = text::AssembleEncodedBatch(*cache, aug_texts);
+      return batch;
+    };
+    Prefetcher<FinetuneBatch> prefetcher(produce, num_batches,
+                                         options_.pipeline.prefetch,
+                                         options_.pipeline.prefetch_depth);
+
+    while (auto next = prefetcher.Next()) {
+      FinetuneBatch batch = std::move(*next);
       optimizer.ZeroGrad();
       Variable logits;
       switch (options_.aug_mode) {
         case AugMode::kNone:
-          logits = model_->ForwardLogits(originals, rng);
+          logits = model_->ForwardLogitsEncoded(batch.originals, rng);
           break;
         case AugMode::kReplace:
-          logits = model_->ForwardLogits(augmented, rng);
+          logits = model_->ForwardLogitsEncoded(batch.augmented, rng);
           break;
         case AugMode::kMixDa: {
-          Variable cls_orig = model_->EncodeCls(originals, rng);
-          Variable cls_aug = model_->EncodeCls(augmented, rng);
-          std::vector<double> lambdas(originals.size());
+          Variable cls_orig = model_->EncodeClsEncoded(batch.originals, rng);
+          Variable cls_aug = model_->EncodeClsEncoded(batch.augmented, rng);
+          std::vector<double> lambdas(batch.labels.size());
           for (auto& l : lambdas)
             l = augment::MixDaLambda(options_.mixda_alpha, rng);
           Variable mixed = augment::InterpolateRepresentations(
@@ -70,13 +120,16 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
           break;
         }
       }
-      ops::CrossEntropyMean(logits, labels).Backward();
+      Variable loss = ops::CrossEntropyMean(logits, batch.labels);
+      loss.Backward();
       nn::ClipGradNorm(optimizer.params(), 5.0f);
       optimizer.Step();
+      result.loss_history.push_back(loss.value()[0]);
+      ++result.steps;
     }
 
     const double valid_metric =
-        eval::EvaluateModel(*model_, ds.valid, metric_);
+        eval::EvaluateModel(*model_, ds.valid, metric_, cache.get());
     if (valid_metric > best_metric) {
       best_metric = valid_metric;
       best_state = model_->StateDict();

@@ -3,7 +3,9 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "core/pipeline.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
 #include "models/classifier.h"
@@ -13,15 +15,21 @@ namespace core {
 
 /// Outcome of a training run: the best validation score (percentage), the
 /// score of the restored-best model on the validation set, wall time, and
-/// number of epochs executed.
+/// number of epochs/steps executed. `loss_history` records the training
+/// loss of every optimizer step — the determinism tests compare these
+/// trajectories bit-for-bit across pipeline configurations.
 struct TrainResult {
   double best_valid_metric = 0.0;
   double seconds = 0.0;
   int64_t epochs_run = 0;
+  int64_t steps = 0;
+  std::vector<float> loss_history;
 };
 
 /// Produces one augmented variant of a text (simple DA op, InvDA sample,
-/// ...). May return the input unchanged.
+/// ...). May return the input unchanged. Augmenters run on compute-pool
+/// workers (each call gets its own Rng stream), so they must be safe to
+/// call concurrently: no mutation of shared state without synchronization.
 using TextAugmenter = std::function<std::string(const std::string&, Rng&)>;
 
 /// How augmented examples enter plain fine-tuning:
@@ -39,6 +47,7 @@ struct FinetuneOptions {
   AugMode aug_mode = AugMode::kNone;
   double mixda_alpha = 0.8;
   uint64_t seed = 1;
+  PipelineOptions pipeline;
 };
 
 /// Standard fine-tuning with per-epoch checkpoint selection on the

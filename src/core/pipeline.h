@@ -1,0 +1,47 @@
+#ifndef ROTOM_CORE_PIPELINE_H_
+#define ROTOM_CORE_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "text/encoding_cache.h"
+#include "text/vocab.h"
+
+namespace rotom {
+namespace core {
+
+/// Configuration of the training data pipeline shared by RotomTrainer,
+/// FinetuneTrainer, and the pretraining loops. The pipeline is a pure
+/// performance layer: every setting combination produces bit-identical
+/// training trajectories (augmentation uses per-example RNG streams split
+/// from the epoch seed, encoding consumes no randomness, and the cache only
+/// memoizes pure functions), so these knobs trade memory and threads for
+/// wall-clock only.
+struct PipelineOptions {
+  /// Memoize text encodings (ids + mask + overlap flags) across batches and
+  /// epochs. 0 rows disables the cache.
+  size_t cache_rows = 1 << 16;
+
+  /// Materialize the next batch (augmentation + encoding) on a background
+  /// thread while the current step trains. Off = produce inline, same code.
+  bool prefetch = true;
+
+  /// Queue depth of the prefetcher; 2 = double buffering.
+  size_t prefetch_depth = 2;
+
+  bool cache_enabled() const { return cache_rows > 0; }
+};
+
+/// Builds the (possibly bypassing) cache for a model's vocabulary/max_len.
+inline std::shared_ptr<text::EncodingCache> MakeEncodingCache(
+    const PipelineOptions& options, const text::Vocabulary* vocab,
+    int64_t max_len) {
+  return std::make_shared<text::EncodingCache>(vocab, max_len,
+                                               options.cache_rows);
+}
+
+}  // namespace core
+}  // namespace rotom
+
+#endif  // ROTOM_CORE_PIPELINE_H_

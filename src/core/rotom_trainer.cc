@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 #include "core/ssl.h"
 #include "nn/optim.h"
 #include "util/logging.h"
+#include "util/prefetcher.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace rotom {
@@ -19,6 +23,18 @@ struct Candidate {
   std::string augmented;
   int64_t label;
   bool is_original;  // untouched training examples bypass the filter
+};
+
+// One prefetched training batch: the raw tuples plus the joint encoding of
+// [originals; augmented] (2B rows) that feeds the fused meta-feature pass.
+// Everything here is a pure function of the candidate stream and the
+// encoding cache, so it is materialized on the prefetch thread while the
+// previous step trains.
+struct StreamBatch {
+  std::vector<std::string> aug_texts;
+  std::vector<int64_t> labels;
+  std::vector<bool> is_original;
+  text::EncodedBatch joint;  // rows [0,B) originals, rows [B,2B) augmented
 };
 
 std::vector<Tensor> CloneValues(const std::vector<Variable>& params) {
@@ -67,6 +83,17 @@ float GlobalNorm(const std::vector<Tensor>& tensors) {
   return static_cast<float>(std::sqrt(acc));
 }
 
+// Copies rows [row_begin, row_begin + rows) of `src` [N, C] into a fresh
+// [rows, C] tensor (splits the fused 2B-row probability pass back into the
+// per-view tensors the feature computation expects).
+Tensor SliceRows(const Tensor& src, int64_t row_begin, int64_t rows) {
+  const int64_t c = src.size(-1);
+  Tensor out({rows, c});
+  std::memcpy(out.data(), src.data() + row_begin * c,
+              sizeof(float) * static_cast<size_t>(rows * c));
+  return out;
+}
+
 }  // namespace
 
 RotomTrainer::RotomTrainer(models::TransformerClassifier* model,
@@ -103,6 +130,12 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
   const std::vector<Variable> model_params = model_->Parameters();
   const int64_t num_classes = model_->config().num_classes;
 
+  // One cache for the whole run: originals and validation texts are encoded
+  // exactly once, augmented candidates are encoded once by the prefetcher
+  // and hit again when the kept subset re-enters the training loss.
+  const auto cache = MakeEncodingCache(options_.pipeline, &model_->vocab(),
+                                       model_->config().max_len);
+
   std::vector<std::string> unlabeled = ds.unlabeled;
   if (static_cast<int64_t>(unlabeled.size()) > options_.max_unlabeled) {
     rng.Shuffle(unlabeled);
@@ -121,49 +154,83 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
   bool baseline_ready = false;
 
   for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    // Fresh candidate stream per epoch.
+    // Fresh candidate stream per epoch, generated in parallel: example i
+    // augments under its own Rng stream split from one epoch seed, so the
+    // stream is identical at any thread count (and to the serial path).
+    const uint64_t epoch_seed = rng.Next64();
+    const int64_t n_train = static_cast<int64_t>(ds.train.size());
+    std::vector<std::vector<std::string>> augs_per_example(ds.train.size());
+    ComputePool().ParallelFor(n_train, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        Rng ex_rng(SplitSeed(epoch_seed, static_cast<uint64_t>(i)));
+        auto augs = candidates(ds.train[i].text, ex_rng);
+        if (static_cast<int64_t>(augs.size()) > options_.augments_per_example)
+          augs.resize(options_.augments_per_example);
+        augs_per_example[i] = std::move(augs);
+      }
+    });
     std::vector<Candidate> stream;
-    for (const auto& example : ds.train) {
+    for (int64_t i = 0; i < n_train; ++i) {
+      const auto& example = ds.train[i];
       if (options_.include_original) {
         stream.push_back({example.text, example.text, example.label, true});
       }
-      auto augs = candidates(example.text, rng);
-      if (static_cast<int64_t>(augs.size()) > options_.augments_per_example)
-        augs.resize(options_.augments_per_example);
-      for (auto& aug : augs) {
+      for (auto& aug : augs_per_example[i]) {
         stream.push_back(
             {example.text, std::move(aug), example.label, false});
       }
     }
     rng.Shuffle(stream);
 
+    // Double-buffered batch materialization: while step t trains, the
+    // prefetch thread gathers and encodes batch t+1 (encoding consumes no
+    // randomness, so this moves work off the critical path without
+    // touching the training trajectory).
+    const size_t batch_size = static_cast<size_t>(options_.batch_size);
+    const size_t num_batches = (stream.size() + batch_size - 1) / batch_size;
+    auto produce = [&](size_t bi) -> StreamBatch {
+      const size_t begin = bi * batch_size;
+      const size_t end = std::min(begin + batch_size, stream.size());
+      StreamBatch batch;
+      std::vector<std::string> joint_texts;
+      joint_texts.reserve(2 * (end - begin));
+      for (size_t i = begin; i < end; ++i) joint_texts.push_back(stream[i].original);
+      for (size_t i = begin; i < end; ++i) {
+        batch.aug_texts.push_back(stream[i].augmented);
+        batch.labels.push_back(stream[i].label);
+        batch.is_original.push_back(stream[i].is_original);
+        joint_texts.push_back(stream[i].augmented);
+      }
+      batch.joint = text::AssembleEncodedBatch(*cache, joint_texts);
+      return batch;
+    };
+    Prefetcher<StreamBatch> prefetcher(produce, num_batches,
+                                       options_.pipeline.prefetch,
+                                       options_.pipeline.prefetch_depth);
+
     int64_t kept_count = 0, total_count = 0;
     int64_t step_index = 0;
     model_->SetTraining(true);
 
-    for (size_t begin = 0; begin < stream.size();
-         begin += static_cast<size_t>(options_.batch_size)) {
-      const size_t end = std::min(
-          begin + static_cast<size_t>(options_.batch_size), stream.size());
-      const int64_t b = static_cast<int64_t>(end - begin);
-      std::vector<std::string> orig_texts, aug_texts;
-      std::vector<int64_t> labels;
-      std::vector<bool> is_original;
-      for (size_t i = begin; i < end; ++i) {
-        orig_texts.push_back(stream[i].original);
-        aug_texts.push_back(stream[i].augmented);
-        labels.push_back(stream[i].label);
-        is_original.push_back(stream[i].is_original);
-      }
+    while (auto next = prefetcher.Next()) {
+      StreamBatch batch = std::move(*next);
+      const int64_t b = static_cast<int64_t>(batch.labels.size());
+      const std::vector<int64_t>& labels = batch.labels;
+      const std::vector<bool>& is_original = batch.is_original;
 
-      // ---- Inference passes for the meta features (no graph; the
-      // deterministic eval-mode predictions of the CURRENT model). ----
+      // ---- Fused inference pass for the meta features (no graph; the
+      // deterministic eval-mode predictions of the CURRENT model). The
+      // original and augmented views ride in one 2B-row forward — rows are
+      // independent in eval mode, so the halves match the two separate
+      // passes bit-for-bit at half the dispatch cost. ----
       model_->SetTraining(false);
       Tensor probs_orig, probs_aug;
       {
         NoGradGuard guard;
-        probs_orig = model_->PredictProbs(orig_texts, rng);
-        probs_aug = model_->PredictProbs(aug_texts, rng);
+        const Tensor probs_joint =
+            model_->PredictProbsEncoded(batch.joint, rng);
+        probs_orig = SliceRows(probs_joint, 0, b);
+        probs_aug = SliceRows(probs_joint, b, b);
       }
       const Tensor features =
           FilteringModel::ComputeFeatures(probs_orig, probs_aug, labels);
@@ -196,7 +263,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       std::vector<int64_t> kept_rows;
       for (int64_t i = 0; i < b; ++i) {
         if (!decisions[i]) continue;
-        kept_texts.push_back(aug_texts[i]);
+        kept_texts.push_back(batch.aug_texts[i]);
         kept_labels.push_back(labels[i]);
         kept_rows.push_back(i);
       }
@@ -218,7 +285,8 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
         Tensor probs_u;
         {
           NoGradGuard guard;
-          probs_u = model_->PredictProbs(pool, rng);
+          probs_u = model_->PredictProbsEncoded(
+              text::AssembleEncodedBatch(*cache, pool), rng);
         }
         const Tensor sharp_v1 =
             SharpenV1(probs_u, options_.sharpen_temperature);
@@ -264,6 +332,12 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
 
       std::vector<std::string> all_texts = kept_texts;
       all_texts.insert(all_texts.end(), ssl_texts.begin(), ssl_texts.end());
+      // Encode the meta batch once; the training loss (built up to three
+      // times for the finite-difference passes) and the weighting model all
+      // read this same EncodedBatch. Kept texts were just encoded by the
+      // prefetcher, so these are cache hits.
+      const text::EncodedBatch all_batch =
+          text::AssembleEncodedBatch(*cache, all_texts);
 
       // L2 term of Eq. 2 (constant w.r.t. all gradients). Labeled rows
       // reuse the probs_aug inference pass; only SSL rows need a fresh one.
@@ -281,7 +355,8 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
         }
         if (n_ssl > 0) {
           NoGradGuard guard;
-          const Tensor probs_ssl = model_->PredictProbs(ssl_texts, rng);
+          const Tensor probs_ssl = model_->PredictProbsEncoded(
+              text::AssembleEncodedBatch(*cache, ssl_texts), rng);
           for (int64_t i = 0; i < n_ssl; ++i) {
             const int64_t row = static_cast<int64_t>(kept_rows.size()) + i;
             double acc = 0.0;
@@ -298,7 +373,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       // Builds the weighted training loss with the CURRENT model parameters;
       // reused by the finite-difference passes.
       auto build_train_loss = [&]() -> Variable {
-        Variable logits = model_->ForwardLogits(all_texts, rng);
+        Variable logits = model_->ForwardLogitsEncoded(all_batch, rng);
         Variable ce;
         if (n_ssl == 0) {
           ce = ops::CrossEntropyPerExample(logits, kept_labels);
@@ -316,7 +391,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
         }
         Variable weights;
         if (options_.use_weighting) {
-          Variable w_raw = weighting_->Weights(all_texts, l2, rng);
+          Variable w_raw = weighting_->WeightsEncoded(all_batch, l2, rng);
           weights = ops::NormalizeMeanOne(w_raw);
         } else {
           weights = Variable(Tensor::Ones({n_all}), false);
@@ -336,6 +411,8 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       const std::vector<Tensor> g_train = CloneGrads(model_params);
       opt_model.Step();
       const std::vector<Tensor> w_post = CloneValues(model_params);
+      result.loss_history.push_back(loss_train.value()[0]);
+      ++result.steps;
 
       // ---- Phase 2: update M_F and M_W (lines 8-11). ----
       const bool meta_step =
@@ -346,7 +423,8 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
         // Virtual step M' = M - eta * grad (line 8).
         SetValuesOffset(model_params, w_pre, g_train, -options_.lr);
 
-        // Validation batch (cycled).
+        // Validation batch (cycled); the cache makes these re-encodes free
+        // after the first cycle through the validation set.
         std::vector<std::string> val_texts;
         std::vector<int64_t> val_labels;
         for (int64_t i = 0; i < options_.batch_size; ++i) {
@@ -357,9 +435,10 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
         }
         model_->SetTraining(false);  // deterministic validation pass
         opt_model.ZeroGrad();
-        Variable loss_val =
-            ops::CrossEntropyMean(model_->ForwardLogits(val_texts, rng),
-                                  val_labels);
+        Variable loss_val = ops::CrossEntropyMean(
+            model_->ForwardLogitsEncoded(
+                text::AssembleEncodedBatch(*cache, val_texts), rng),
+            val_labels);
         loss_val.Backward();
         const float val_value = loss_val.value()[0];
         const std::vector<Tensor> v_grad = CloneGrads(model_params);
@@ -432,7 +511,8 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
             ? static_cast<double>(kept_count) / static_cast<double>(total_count)
             : 1.0;
 
-    const double valid_metric = eval::EvaluateModel(*model_, ds.valid, metric_);
+    const double valid_metric =
+        eval::EvaluateModel(*model_, ds.valid, metric_, cache.get());
     if (valid_metric > best_metric) {
       best_metric = valid_metric;
       best_state = model_->StateDict();

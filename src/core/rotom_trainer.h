@@ -62,11 +62,18 @@ struct RotomOptions {
   int64_t meta_update_every = 1;
 
   uint64_t seed = 1;
+
+  /// Data-path configuration (encoding cache + background prefetch). Pure
+  /// performance knobs: every combination yields bit-identical training.
+  PipelineOptions pipeline;
 };
 
 /// Produces augmented candidate texts for one original text (simple DA ops,
 /// InvDA samples, or a mix — the trainer is agnostic; paper Section 4 trains
-/// on the union of all operators' outputs).
+/// on the union of all operators' outputs). Candidate generation runs on
+/// compute-pool workers (each call gets its own Rng stream split from the
+/// epoch seed), so generators must be safe to call concurrently: read-only
+/// access to captured state, or synchronized mutation.
 using CandidateGenerator =
     std::function<std::vector<std::string>(const std::string&, Rng&)>;
 

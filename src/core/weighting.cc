@@ -19,14 +19,27 @@ WeightingModel::WeightingModel(const models::ClassifierConfig& config,
 Variable WeightingModel::Weights(
     const std::vector<std::string>& augmented_texts, const Tensor& l2_term,
     Rng& rng) const {
-  const int64_t b = static_cast<int64_t>(augmented_texts.size());
+  return WeightsEncoded(
+      text::EncodeBatchForClassifier(*vocab_, augmented_texts, max_len_),
+      l2_term, rng);
+}
+
+Variable WeightingModel::WeightsEncoded(const text::EncodedBatch& batch,
+                                        const Tensor& l2_term,
+                                        Rng& rng) const {
+  const int64_t b = batch.batch;
   ROTOM_CHECK_EQ(l2_term.size(), b);
-  const auto batch =
-      text::EncodeBatchForClassifier(*vocab_, augmented_texts, max_len_);
-  const auto flags =
-      text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
-  Variable cls = lm_.EncodeCls(batch.ids, batch.batch, batch.max_len,
-                               batch.mask, rng, &flags);
+  ROTOM_CHECK_EQ(batch.max_len, max_len_);
+  Variable cls;
+  if (batch.flags.empty()) {
+    const auto flags =
+        text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
+    cls = lm_.EncodeCls(batch.ids, batch.batch, batch.max_len, batch.mask,
+                        rng, &flags);
+  } else {
+    cls = lm_.EncodeCls(batch.ids, batch.batch, batch.max_len, batch.mask,
+                        rng, &batch.flags);
+  }
   Variable scores = ops::Sigmoid(ops::Reshape(out_.Forward(cls), {b}));
   // The L2 term is additive and constant (no gradient flows through it when
   // updating the target model; paper Section 4.1).

@@ -27,6 +27,12 @@ class WeightingModel : public nn::Module {
   Variable Weights(const std::vector<std::string>& augmented_texts,
                    const Tensor& l2_term, Rng& rng) const;
 
+  /// Weights for an already-encoded batch. LM_W shares the target model's
+  /// vocabulary and max_len, so the trainer encodes each meta batch once and
+  /// feeds the same text::EncodedBatch to both models.
+  Variable WeightsEncoded(const text::EncodedBatch& batch,
+                          const Tensor& l2_term, Rng& rng) const;
+
   /// Computes the L2 distance term from the target model's probabilities
   /// [B, C] and one-hot labels.
   static Tensor L2Term(const Tensor& probs, const std::vector<int64_t>& labels);

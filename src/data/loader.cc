@@ -19,6 +19,24 @@ StatusOr<int64_t> FindColumn(const CsvTable& table, const std::string& name) {
   return Status::Error("column '" + name + "' not found");
 }
 
+// Every loader below indexes row[col] for header-derived columns, which is
+// out of bounds on a ragged row. ParseCsv validates width against the header
+// for well-formed input, but tables assembled programmatically (or by future
+// parser changes) are not covered — fail with the offending row instead of
+// reading past the end. Row numbers are 1-based data rows (the header is
+// row 0).
+Status CheckRectangular(const CsvTable& table, const std::string& what) {
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    if (table.rows[r].size() != table.header.size()) {
+      return Status::Error(what + ": ragged CSV row " + std::to_string(r + 1) +
+                           ": expected " + std::to_string(table.header.size()) +
+                           " fields, got " +
+                           std::to_string(table.rows[r].size()));
+    }
+  }
+  return Status::Ok();
+}
+
 text::Record RowToRecord(const CsvTable& table,
                          const std::vector<std::string>& row,
                          int64_t skip_column) {
@@ -41,6 +59,7 @@ StatusOr<std::vector<Example>> LoadTextClsCsv(
   if (!text_col.ok()) return text_col.status();
   auto label_col = FindColumn(table.value(), label_column);
   if (!label_col.ok()) return label_col.status();
+  if (auto s = CheckRectangular(table.value(), path); !s.ok()) return s;
 
   std::map<std::string, int64_t> label_ids;
   std::vector<Example> out;
@@ -63,10 +82,11 @@ StatusOr<std::vector<Example>> LoadEmPairsCsv(const EmCsvSpec& spec) {
   auto pairs = ReadCsvFile(spec.pairs_path);
   if (!pairs.ok()) return pairs.status();
 
-  auto index_table = [&](const CsvTable& table)
+  auto index_table = [&](const CsvTable& table, const std::string& path)
       -> StatusOr<std::unordered_map<std::string, std::string>> {
     auto id_col = FindColumn(table, spec.id_column);
     if (!id_col.ok()) return id_col.status();
+    if (auto s = CheckRectangular(table, path); !s.ok()) return s;
     std::unordered_map<std::string, std::string> by_id;
     for (const auto& row : table.rows) {
       by_id[row[id_col.value()]] =
@@ -74,9 +94,9 @@ StatusOr<std::vector<Example>> LoadEmPairsCsv(const EmCsvSpec& spec) {
     }
     return by_id;
   };
-  auto left_by_id = index_table(left.value());
+  auto left_by_id = index_table(left.value(), spec.left_table_path);
   if (!left_by_id.ok()) return left_by_id.status();
-  auto right_by_id = index_table(right.value());
+  auto right_by_id = index_table(right.value(), spec.right_table_path);
   if (!right_by_id.ok()) return right_by_id.status();
 
   auto lcol = FindColumn(pairs.value(), spec.pair_left_column);
@@ -85,6 +105,8 @@ StatusOr<std::vector<Example>> LoadEmPairsCsv(const EmCsvSpec& spec) {
   if (!rcol.ok()) return rcol.status();
   auto ycol = FindColumn(pairs.value(), spec.pair_label_column);
   if (!ycol.ok()) return ycol.status();
+  if (auto s = CheckRectangular(pairs.value(), spec.pairs_path); !s.ok())
+    return s;
 
   std::vector<Example> out;
   out.reserve(pairs.value().rows.size());
@@ -111,12 +133,14 @@ StatusOr<std::vector<Example>> LoadEdtTableCsv(const std::string& dirty_path,
                                                bool context_dependent) {
   auto dirty = ReadCsvFile(dirty_path);
   if (!dirty.ok()) return dirty.status();
+  if (auto s = CheckRectangular(dirty.value(), dirty_path); !s.ok()) return s;
   CsvTable clean;
   const bool has_clean = !clean_path.empty();
   if (has_clean) {
     auto parsed = ReadCsvFile(clean_path);
     if (!parsed.ok()) return parsed.status();
     clean = std::move(parsed.value());
+    if (auto s = CheckRectangular(clean, clean_path); !s.ok()) return s;
     if (clean.header != dirty.value().header ||
         clean.rows.size() != dirty.value().rows.size()) {
       return Status::Error("clean table shape differs from dirty table");

@@ -218,6 +218,7 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
   ExperimentResult result;
   auto model = FreshModel(seed);
 
+  core::TrainResult train;
   switch (method) {
     case Method::kBaseline: {
       core::FinetuneOptions options;
@@ -225,10 +226,9 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
       options.batch_size = options_.batch_size;
       options.lr = options_.lr;
       options.seed = seed;
+      options.pipeline = options_.pipeline;
       core::FinetuneTrainer trainer(model.get(), metric_, options);
-      auto train = trainer.Train(ds);
-      result.valid_metric = train.best_valid_metric;
-      result.train_seconds = train.seconds;
+      train = trainer.Train(ds);
       break;
     }
     case Method::kMixDa: {
@@ -238,13 +238,11 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
       options.lr = options_.lr;
       options.seed = seed;
       options.aug_mode = core::AugMode::kMixDa;
+      options.pipeline = options_.pipeline;
       core::FinetuneTrainer trainer(model.get(), metric_, options);
-      auto train = trainer.Train(ds, [this](const std::string& s,
-                                                  Rng& r) {
+      train = trainer.Train(ds, [this](const std::string& s, Rng& r) {
         return MixDaAugment(s, r);
       });
-      result.valid_metric = train.best_valid_metric;
-      result.train_seconds = train.seconds;
       break;
     }
     case Method::kInvDa: {
@@ -257,12 +255,11 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
       options.lr = options_.lr;
       options.seed = seed;
       options.aug_mode = core::AugMode::kMixDa;
+      options.pipeline = options_.pipeline;
       core::FinetuneTrainer trainer(model.get(), metric_, options);
-      auto train = trainer.Train(
+      train = trainer.Train(
           ds,
           [this](const std::string& s, Rng& r) { return InvDaSample(s, r); });
-      result.valid_metric = train.best_valid_metric;
-      result.train_seconds = train.seconds;
       break;
     }
     case Method::kRotom:
@@ -278,13 +275,14 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
       options.ssl_batch_ratio = options_.ssl_batch_ratio;
       options.seed = seed;
       options.use_ssl = method == Method::kRotomSsl;
+      options.pipeline = options_.pipeline;
       core::RotomTrainer trainer(model.get(), metric_, options);
       // Candidate pool: one simple-op augmentation + one InvDA sample
       // (Section 6.1: Rotom combines InvDA with MixDA's operators). For
       // texts outside the precomputed InvDA cache (e.g. SSL's unlabeled
       // sequences) only the cheap simple op is used — live seq2seq decoding
       // inside the training loop would dominate wall time.
-      auto train = trainer.Train(
+      train = trainer.Train(
           ds, [this](const std::string& s, Rng& r) {
             std::vector<std::string> out;
             out.push_back(RandomSimpleAugment(s, r));
@@ -293,11 +291,15 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
             }
             return out;
           });
-      result.valid_metric = train.best_valid_metric;
-      result.train_seconds = train.seconds;
       break;
     }
   }
+  result.valid_metric = train.best_valid_metric;
+  result.train_seconds = train.seconds;
+  result.train_steps = train.steps;
+  result.steps_per_sec =
+      train.seconds > 0.0 ? static_cast<double>(train.steps) / train.seconds
+                          : 0.0;
 
   result.test_metric = EvaluateModel(*model, ds.test, metric_);
   return result;

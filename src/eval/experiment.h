@@ -39,6 +39,11 @@ struct ExperimentOptions {
   int64_t meta_update_every = 1;
   double ssl_batch_ratio = 1.0;
 
+  /// Data-path configuration forwarded to every trainer (encoding cache +
+  /// background prefetch). Defaults keep the pipeline on; benches switch it
+  /// off to measure the serial path.
+  core::PipelineOptions pipeline;
+
   /// The fixed single operator MixDA applies per task family (the paper
   /// tunes one generally-good operator per task type; Section 6.1).
   augment::DaOp mixda_op_textcls = augment::DaOp::kTokenRepl;
@@ -51,6 +56,8 @@ struct ExperimentResult {
   double test_metric = 0.0;   // % accuracy (TextCLS) or F1 (EM/EDT)
   double valid_metric = 0.0;
   double train_seconds = 0.0; // fine-tuning wall time (paper Figure 4)
+  int64_t train_steps = 0;    // optimizer steps taken by the trainer
+  double steps_per_sec = 0.0; // train_steps / train_seconds (Figure 4 bench)
 };
 
 /// Per-dataset context caching the expensive shared pieces across methods:
@@ -73,6 +80,13 @@ class TaskContext {
   const data::TaskDataset& dataset() const { return dataset_; }
   MetricKind metric() const { return metric_; }
   const ExperimentOptions& options() const { return options_; }
+
+  /// Swaps the data-path configuration for subsequent runs. Training results
+  /// are bit-identical across pipeline settings (DESIGN.md §8), so benches
+  /// measure pipeline-on vs -off on one shared pre-trained context.
+  void set_pipeline(const core::PipelineOptions& pipeline) {
+    options_.pipeline = pipeline;
+  }
   std::shared_ptr<const text::Vocabulary> vocab_ptr() const { return vocab_; }
 
   /// The MLM(+same-origin) pre-trained weights (computed on first use);

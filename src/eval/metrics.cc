@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace rotom {
@@ -39,6 +40,14 @@ Prf BinaryPrf(const std::vector<int64_t>& predictions,
 double EvaluateModel(models::TransformerClassifier& model,
                      const std::vector<data::Example>& examples,
                      MetricKind metric, int64_t batch_size) {
+  return EvaluateModel(model, examples, metric, /*cache=*/nullptr,
+                       batch_size);
+}
+
+double EvaluateModel(models::TransformerClassifier& model,
+                     const std::vector<data::Example>& examples,
+                     MetricKind metric, text::EncodingCache* cache,
+                     int64_t batch_size) {
   if (examples.empty()) return 0.0;
   const bool was_training = model.training();
   model.SetTraining(false);
@@ -56,7 +65,19 @@ double EvaluateModel(models::TransformerClassifier& model,
       texts.push_back(examples[i].text);
       labels.push_back(examples[i].label);
     }
-    auto batch_preds = model.Predict(texts, rng);
+    std::vector<int64_t> batch_preds;
+    if (cache != nullptr) {
+      const Tensor probs = model.PredictProbsEncoded(
+          text::AssembleEncodedBatch(*cache, texts), rng);
+      const int64_t c = probs.size(-1);
+      batch_preds.resize(texts.size());
+      for (size_t i = 0; i < texts.size(); ++i) {
+        batch_preds[i] = kernels::RowArgmax(
+            probs.data() + static_cast<int64_t>(i) * c, c);
+      }
+    } else {
+      batch_preds = model.Predict(texts, rng);
+    }
     predictions.insert(predictions.end(), batch_preds.begin(),
                        batch_preds.end());
   }

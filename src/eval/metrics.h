@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "models/classifier.h"
+#include "text/encoding_cache.h"
 
 namespace rotom {
 namespace eval {
@@ -33,6 +34,14 @@ Prf BinaryPrf(const std::vector<int64_t>& predictions,
 double EvaluateModel(models::TransformerClassifier& model,
                      const std::vector<data::Example>& examples,
                      MetricKind metric, int64_t batch_size = 32);
+
+/// Cache-aware variant: encodings come from `cache` (nullptr falls back to
+/// the uncached path), so a validation set scored once per epoch is encoded
+/// once per run. Predictions are bit-identical to the uncached overload.
+double EvaluateModel(models::TransformerClassifier& model,
+                     const std::vector<data::Example>& examples,
+                     MetricKind metric, text::EncodingCache* cache,
+                     int64_t batch_size = 32);
 
 }  // namespace eval
 }  // namespace rotom

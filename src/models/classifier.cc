@@ -34,27 +34,51 @@ Variable TransformerClassifier::ForwardLogits(
   return head_.Forward(EncodeCls(texts, rng));
 }
 
+Variable TransformerClassifier::ForwardLogitsEncoded(
+    const text::EncodedBatch& batch, Rng& rng) const {
+  return head_.Forward(EncodeClsEncoded(batch, rng));
+}
+
 Variable TransformerClassifier::EncodeCls(const std::vector<std::string>& texts,
                                           Rng& rng) const {
-  const auto batch =
-      text::EncodeBatchForClassifier(*vocab_, texts, config_.max_len);
-  const auto flags =
-      text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
+  return EncodeClsEncoded(
+      text::EncodeBatchForClassifier(*vocab_, texts, config_.max_len), rng);
+}
+
+Variable TransformerClassifier::EncodeClsEncoded(const text::EncodedBatch& batch,
+                                                 Rng& rng) const {
+  // Encode-time flags ride along in the batch; recompute only when a caller
+  // mutated `ids` after encoding (e.g. MLM masking) and cleared them.
+  if (batch.flags.empty()) {
+    const auto flags =
+        text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
+    return encoder_.EncodeCls(batch.ids, batch.batch, batch.max_len,
+                              batch.mask, rng, &flags);
+  }
   return encoder_.EncodeCls(batch.ids, batch.batch, batch.max_len, batch.mask,
-                            rng, &flags);
+                            rng, &batch.flags);
 }
 
 Variable TransformerClassifier::EncodeHidden(const text::EncodedBatch& batch,
                                              Rng& rng) const {
-  const auto flags =
-      text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
+  if (batch.flags.empty()) {
+    const auto flags =
+        text::ComputeOverlapFlags(batch.ids, batch.batch, batch.max_len);
+    return encoder_.Forward(batch.ids, batch.batch, batch.max_len, batch.mask,
+                            rng, &flags);
+  }
   return encoder_.Forward(batch.ids, batch.batch, batch.max_len, batch.mask,
-                          rng, &flags);
+                          rng, &batch.flags);
 }
 
 Tensor TransformerClassifier::PredictProbs(const std::vector<std::string>& texts,
                                            Rng& rng) const {
   return ops::SoftmaxRows(ForwardLogits(texts, rng).value());
+}
+
+Tensor TransformerClassifier::PredictProbsEncoded(const text::EncodedBatch& batch,
+                                                  Rng& rng) const {
+  return ops::SoftmaxRows(ForwardLogitsEncoded(batch, rng).value());
 }
 
 std::vector<int64_t> TransformerClassifier::Predict(

@@ -38,9 +38,17 @@ class TransformerClassifier : public nn::Module {
   Variable ForwardLogits(const std::vector<std::string>& texts,
                          Rng& rng) const;
 
+  /// Logits [B, num_classes] for an already-encoded batch (the pipelined
+  /// path: encoding happened on a prefetch thread or came from the cache).
+  Variable ForwardLogitsEncoded(const text::EncodedBatch& batch,
+                                Rng& rng) const;
+
   /// [CLS] representations [B, dim] (used for MixDA interpolation and as
   /// the weighting model's LM encoder).
   Variable EncodeCls(const std::vector<std::string>& texts, Rng& rng) const;
+
+  /// [CLS] representations [B, dim] for an already-encoded batch.
+  Variable EncodeClsEncoded(const text::EncodedBatch& batch, Rng& rng) const;
 
   /// Full hidden states [B, T, dim] for an encoded batch (used by masked-LM
   /// pre-training).
@@ -52,6 +60,9 @@ class TransformerClassifier : public nn::Module {
   /// Class probabilities [B, num_classes] with no graph (eval mode must be
   /// set by the caller via SetTraining(false) for deterministic output).
   Tensor PredictProbs(const std::vector<std::string>& texts, Rng& rng) const;
+
+  /// PredictProbs for an already-encoded batch.
+  Tensor PredictProbsEncoded(const text::EncodedBatch& batch, Rng& rng) const;
 
   /// Argmax predictions for a batch of texts.
   std::vector<int64_t> Predict(const std::vector<std::string>& texts,

@@ -1,10 +1,12 @@
 #include "models/pretrain.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "augment/ops.h"
 #include "nn/optim.h"
 #include "util/logging.h"
+#include "util/prefetcher.h"
 
 namespace rotom {
 namespace models {
@@ -33,19 +35,32 @@ float PretrainMaskedLm(TransformerClassifier& model,
   for (auto& p : mlm_head.Parameters()) params.push_back(p);
   nn::Adam optimizer(params, options.lr);
 
+  // Encoding consumes no randomness, so prefetching encoded batches leaves
+  // the masking rng sequence — and therefore the loss trajectory — exactly
+  // as the serial loop produces it.
+  const auto cache = core::MakeEncodingCache(options.pipeline, &vocab,
+                                             max_len);
+
   model.SetTraining(true);
   int64_t steps = 0;
   float last_loss = 0.0f;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(texts);
-    for (size_t begin = 0; begin < texts.size();
-         begin += options.batch_size) {
+    const size_t batch_size = static_cast<size_t>(options.batch_size);
+    const size_t num_batches = (texts.size() + batch_size - 1) / batch_size;
+    auto produce = [&](size_t bi) -> text::EncodedBatch {
+      const size_t begin = bi * batch_size;
+      const size_t end = std::min(begin + batch_size, texts.size());
+      return text::AssembleEncodedBatch(
+          *cache, std::vector<std::string>(texts.begin() + begin,
+                                           texts.begin() + end));
+    };
+    Prefetcher<text::EncodedBatch> prefetcher(produce, num_batches,
+                                              options.pipeline.prefetch,
+                                              options.pipeline.prefetch_depth);
+    while (auto next = prefetcher.Next()) {
       if (options.max_steps >= 0 && steps >= options.max_steps) break;
-      const size_t end =
-          std::min(begin + options.batch_size, texts.size());
-      std::vector<std::string> batch_texts(texts.begin() + begin,
-                                           texts.begin() + end);
-      auto batch = text::EncodeBatchForClassifier(vocab, batch_texts, max_len);
+      text::EncodedBatch batch = std::move(*next);
 
       // Select maskable positions and corrupt inputs in place.
       std::vector<int64_t> positions;  // flat indices into [B*T]
@@ -64,6 +79,9 @@ float PretrainMaskedLm(TransformerClassifier& model,
                          rng.UniformInt(vocab_size - text::SpecialTokens::kCount);
         }  // else keep
       }
+      // Ids changed under the encode-time flags; drop them so EncodeHidden
+      // recomputes overlap on the corrupted sequence.
+      batch.flags.clear();
       if (positions.empty()) continue;
 
       optimizer.ZeroGrad();
@@ -138,31 +156,54 @@ float PretrainSameOrigin(TransformerClassifier& model,
   model.SetTraining(true);
 
   const int64_t n = static_cast<int64_t>(records.size());
-  float last_loss = 0.0f;
-  for (int64_t step = 0; step < options.steps; ++step) {
-    std::vector<std::string> texts;
+  const auto cache = core::MakeEncodingCache(options.pipeline, &model.vocab(),
+                                             model.config().max_len);
+
+  // Pair construction for step s runs under its own Rng stream split from
+  // one base seed, so batches can be built (and encoded) on the prefetch
+  // thread ahead of the optimizer without changing what any step sees.
+  const uint64_t pair_seed = rng.Next64();
+  struct PairBatch {
     std::vector<int64_t> labels;
+    text::EncodedBatch batch;
+  };
+  auto produce = [&](size_t step) -> PairBatch {
+    Rng pair_rng(SplitSeed(pair_seed, static_cast<uint64_t>(step)));
+    PairBatch out;
+    std::vector<std::string> texts;
     for (int64_t b = 0; b < options.batch_size; ++b) {
-      const std::string& left = records[rng.UniformInt(n)];
+      const std::string& left = records[pair_rng.UniformInt(n)];
       std::string right;
       int64_t label;
-      const double roll = rng.Uniform();
+      const double roll = pair_rng.Uniform();
       if (roll < 0.5) {
-        right = SameOriginPositiveView(left, rng);
+        right = SameOriginPositiveView(left, pair_rng);
         label = 1;
       } else if (roll < 0.75) {
-        right = records[rng.UniformInt(n)];  // random different record
+        right = records[pair_rng.UniformInt(n)];  // random different record
         label = 0;
       } else {
-        right = SameOriginNearMiss(left, records[rng.UniformInt(n)], rng);
+        right = SameOriginNearMiss(left, records[pair_rng.UniformInt(n)],
+                                   pair_rng);
         label = 0;
       }
       texts.push_back(left + " [SEP] " + right);
-      labels.push_back(label);
+      out.labels.push_back(label);
     }
+    out.batch = text::AssembleEncodedBatch(*cache, texts);
+    return out;
+  };
+  Prefetcher<PairBatch> prefetcher(produce,
+                                   static_cast<size_t>(options.steps),
+                                   options.pipeline.prefetch,
+                                   options.pipeline.prefetch_depth);
+
+  float last_loss = 0.0f;
+  while (auto next = prefetcher.Next()) {
+    PairBatch pairs = std::move(*next);
     optimizer.ZeroGrad();
-    Variable loss =
-        ops::CrossEntropyMean(model.ForwardLogits(texts, rng), labels);
+    Variable loss = ops::CrossEntropyMean(
+        model.ForwardLogitsEncoded(pairs.batch, rng), pairs.labels);
     loss.Backward();
     nn::ClipGradNorm(optimizer.params(), 5.0f);
     optimizer.Step();

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.h"
 #include "models/classifier.h"
 
 namespace rotom {
@@ -20,6 +21,7 @@ struct PretrainOptions {
   float mask_prob = 0.15f;   // fraction of content tokens selected
   int64_t max_steps = -1;    // cap on optimizer steps; -1 = unlimited
   int64_t max_corpus = 512;  // subsample large corpora for speed
+  core::PipelineOptions pipeline;  // batch encoding runs on the prefetcher
 };
 
 /// Runs masked-token pre-training of the classifier's encoder in place.
@@ -44,6 +46,7 @@ struct SameOriginOptions {
   int64_t steps = 300;
   int64_t batch_size = 16;
   float lr = 1e-3f;
+  core::PipelineOptions pipeline;  // pair construction runs on the prefetcher
 };
 float PretrainSameOrigin(TransformerClassifier& model,
                          const std::vector<std::string>& records, Rng& rng,

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
 
 namespace rotom {
@@ -20,7 +21,7 @@ int64_t NumElements(const std::vector<int64_t>& shape) {
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)),
       numel_(NumElements(shape_)),
-      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+      data_(BufferPool::Instance().Acquire(numel_)) {}
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
   Tensor t(std::move(shape));
@@ -117,7 +118,8 @@ Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.numel_ = numel_;
-  t.data_ = std::make_shared<std::vector<float>>(*data_);
+  t.data_ = BufferPool::Instance().Acquire(numel_);
+  std::memcpy(t.data_->data(), data_->data(), sizeof(float) * numel_);
   return t;
 }
 

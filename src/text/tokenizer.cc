@@ -1,6 +1,7 @@
 #include "text/tokenizer.h"
 
 #include <cctype>
+#include <cstring>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -131,6 +132,16 @@ std::vector<int64_t> ComputeOverlapFlags(const std::vector<int64_t>& ids,
   return flags;
 }
 
+EncodedRow EncodeRowForClassifier(const Vocabulary& vocab,
+                                  const std::string& text, int64_t max_len) {
+  Encoded enc = EncodeForClassifier(vocab, Tokenize(text), max_len);
+  EncodedRow row;
+  row.flags = ComputeOverlapFlags(enc.ids, /*batch=*/1, max_len);
+  row.ids = std::move(enc.ids);
+  row.mask = std::move(enc.mask);
+  return row;
+}
+
 EncodedBatch EncodeBatchForClassifier(const Vocabulary& vocab,
                                       const std::vector<std::string>& texts,
                                       int64_t max_len) {
@@ -139,12 +150,14 @@ EncodedBatch EncodeBatchForClassifier(const Vocabulary& vocab,
   batch.max_len = max_len;
   batch.ids.reserve(batch.batch * max_len);
   batch.mask = Tensor({batch.batch, max_len});
+  float* mask = batch.mask.data();
   for (int64_t i = 0; i < batch.batch; ++i) {
     Encoded enc = EncodeForClassifier(vocab, Tokenize(texts[i]), max_len);
     batch.ids.insert(batch.ids.end(), enc.ids.begin(), enc.ids.end());
-    for (int64_t t = 0; t < max_len; ++t)
-      batch.mask.at({i, t}) = enc.mask[t];
+    std::memcpy(mask + i * max_len, enc.mask.data(),
+                sizeof(float) * static_cast<size_t>(max_len));
   }
+  batch.flags = ComputeOverlapFlags(batch.ids, batch.batch, max_len);
   return batch;
 }
 

@@ -38,16 +38,31 @@ Encoded EncodeForSeq2Seq(const Vocabulary& vocab,
                          const std::vector<std::string>& tokens,
                          int64_t max_len);
 
-/// A batch ready for TransformerEncoder::Forward: flattened ids plus the
-/// [batch, max_len] mask tensor.
+/// A batch ready for TransformerEncoder::Forward: flattened ids, the
+/// [batch, max_len] mask tensor, and the per-token overlap flags (computed
+/// once at encode time; callers that mutate `ids` afterwards — e.g. MLM
+/// masking — must clear `flags` so consumers recompute them).
 struct EncodedBatch {
-  std::vector<int64_t> ids;  // batch * max_len
-  Tensor mask;               // [batch, max_len]
+  std::vector<int64_t> ids;    // batch * max_len
+  Tensor mask;                 // [batch, max_len]
+  std::vector<int64_t> flags;  // batch * max_len (empty = not computed)
   int64_t batch = 0;
   int64_t max_len = 0;
 };
 
-/// Encodes a batch of texts with EncodeForClassifier.
+/// One classifier-ready row: ids/mask as EncodeForClassifier plus the
+/// precomputed overlap flags. The cacheable unit of text::EncodingCache.
+struct EncodedRow {
+  std::vector<int64_t> ids;    // max_len
+  std::vector<float> mask;     // max_len
+  std::vector<int64_t> flags;  // max_len
+};
+
+/// Tokenizes and encodes one text, including its overlap flags.
+EncodedRow EncodeRowForClassifier(const Vocabulary& vocab,
+                                  const std::string& text, int64_t max_len);
+
+/// Encodes a batch of texts with EncodeForClassifier; fills `flags`.
 EncodedBatch EncodeBatchForClassifier(const Vocabulary& vocab,
                                       const std::vector<std::string>& texts,
                                       int64_t max_len);

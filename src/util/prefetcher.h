@@ -1,0 +1,120 @@
+#ifndef ROTOM_UTIL_PREFETCHER_H_
+#define ROTOM_UTIL_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace rotom {
+
+/// Bounded single-producer/single-consumer pipeline that materializes work
+/// items ahead of the consumer: while the trainer runs step t on the main
+/// thread (and fans kernel work out over the compute pool), the producer
+/// thread builds batch t+1 in the background (SOTASTREAM-style decoupling of
+/// data generation from the training step).
+///
+/// Items are delivered strictly in production order, and producers must be
+/// deterministic functions of their own state (per-example RNG streams split
+/// from the epoch seed — never a shared sequential Rng), so the consumer
+/// sees the exact item sequence the serial path would compute. `depth` = 2
+/// gives classic double buffering.
+///
+/// With `enabled = false` the producer runs inline inside Next() on the
+/// caller's thread — same code, no thread — which is both the fallback for
+/// single-threaded configs and the reference path the determinism test
+/// compares against. Because items are identical either way, the prefetcher
+/// also falls back to inline production when the compute pool is configured
+/// with a single thread (the serial configuration: a producer thread could
+/// only timeslice against the consumer — pure context-switch overhead, no
+/// overlap). Asking for more threads than the hardware has
+/// (ROTOM_NUM_THREADS=4 on a 1-core host) keeps the producer thread: that
+/// is how the sanitizer sweep and the determinism tests exercise it.
+template <typename T>
+class Prefetcher {
+ public:
+  /// `producer(i)` must return the i-th item (i counts from 0) and is called
+  /// exactly `total` times. When `enabled`, calls happen on a background
+  /// thread; the producer must not touch consumer-side state.
+  Prefetcher(std::function<T(size_t)> producer, size_t total, bool enabled,
+             size_t depth = 2)
+      : producer_(std::move(producer)),
+        total_(total),
+        enabled_(enabled && total > 0 && ComputeThreads() > 1),
+        depth_(depth < 1 ? 1 : depth) {
+    if (enabled_) worker_ = std::thread([this] { Run(); });
+  }
+
+  ~Prefetcher() {
+    if (enabled_) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        cancelled_ = true;
+      }
+      space_cv_.notify_all();
+      worker_.join();
+    }
+  }
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Returns the next item in order, or nullopt once all `total` items have
+  /// been consumed. Blocks until the background thread has produced it (or
+  /// produces inline when disabled).
+  std::optional<T> Next() {
+    if (consumed_ >= total_) return std::nullopt;
+    if (!enabled_) return producer_(consumed_++);
+    std::unique_lock<std::mutex> lock(mu_);
+    item_cv_.wait(lock, [this] { return !queue_.empty(); });
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    ++consumed_;
+    lock.unlock();
+    space_cv_.notify_one();
+    return item;
+  }
+
+ private:
+  void Run() {
+    for (size_t i = 0; i < total_; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        space_cv_.wait(lock,
+                       [this] { return cancelled_ || queue_.size() < depth_; });
+        if (cancelled_) return;
+      }
+      // Produce outside the lock so the consumer can drain concurrently.
+      T item = producer_(i);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cancelled_) return;
+        queue_.push_back(std::move(item));
+      }
+      item_cv_.notify_one();
+    }
+  }
+
+  std::function<T(size_t)> producer_;
+  const size_t total_;
+  const bool enabled_;
+  const size_t depth_;
+  size_t consumed_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable item_cv_;
+  std::condition_variable space_cv_;
+  std::deque<T> queue_;
+  bool cancelled_ = false;
+  std::thread worker_;
+};
+
+}  // namespace rotom
+
+#endif  // ROTOM_UTIL_PREFETCHER_H_

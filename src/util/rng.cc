@@ -81,6 +81,15 @@ int64_t Rng::WeightedIndex(const std::vector<double>& weights) {
   return static_cast<int64_t>(weights.size()) - 1;
 }
 
+uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  // Feed both words through the splitmix64 sequence so that neighboring
+  // streams (0, 1, 2, ...) of the same seed land far apart in state space.
+  uint64_t state = seed ^ Rotl(stream, 32) ^ 0x6a09e667f3bcc909ULL;
+  (void)SplitMix64(state);
+  state ^= stream;
+  return SplitMix64(state);
+}
+
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   ROTOM_CHECK_GE(k, 0);
   ROTOM_CHECK_LE(k, n);

@@ -73,6 +73,13 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Statelessly derives an independent seed for stream `stream` of a parent
+/// `seed` (splitmix64-style avalanche of both words). Two distinct (seed,
+/// stream) pairs yield uncorrelated Rng streams, so work items can each get
+/// their own generator without threading a sequential Rng through them —
+/// the basis of the data pipeline's thread-count-invariant augmentation.
+uint64_t SplitSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace rotom
 
 #endif  // ROTOM_UTIL_RNG_H_

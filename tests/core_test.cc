@@ -1,3 +1,4 @@
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -233,12 +234,14 @@ TEST(FinetuneTrainerTest, ReplaceModeUsesAugmenter) {
   options.aug_mode = core::AugMode::kReplace;
   core::FinetuneTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
   auto ds = TinyTask();
-  int augmenter_calls = 0;
+  // Augmenters run on compute-pool workers (finetune.h), so the counter
+  // must be atomic.
+  std::atomic<int> augmenter_calls{0};
   auto result = trainer.Train(ds, [&](const std::string& s, Rng& r) {
     ++augmenter_calls;
     return DuplicateAugmenter(s, r)[0];
   });
-  EXPECT_GT(augmenter_calls, 0);
+  EXPECT_GT(augmenter_calls.load(), 0);
   EXPECT_GT(result.best_valid_metric, 50.0);
 }
 

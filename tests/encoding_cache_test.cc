@@ -1,0 +1,175 @@
+// Tests for the training data path's encode-once memo (text::EncodingCache):
+// correctness against the uncached encoders, LRU capacity accounting,
+// hit/miss/eviction counters, bypass mode, and thread-safety under a
+// concurrent hammer (run under TSan by scripts/check.sh).
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/encoding_cache.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace rotom {
+namespace {
+
+std::shared_ptr<text::Vocabulary> TestVocab() {
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (const char* w : {"the", "quick", "brown", "fox", "jumps", "over",
+                        "lazy", "dog", "title", "year"})
+    vocab->AddToken(w);
+  return vocab;
+}
+
+std::string TextFor(int i) {
+  return "the quick fox " + std::to_string(i) + " jumps over dog " +
+         std::to_string(i % 3);
+}
+
+TEST(EncodingCacheTest, MatchesUncachedEncoder) {
+  auto vocab = TestVocab();
+  constexpr int64_t kMaxLen = 12;
+  text::EncodingCache cache(vocab.get(), kMaxLen, /*capacity_rows=*/64);
+  const std::string text = "the quick brown fox [SEP] the lazy dog";
+  const auto row = cache.Encode(text);
+  const text::EncodedRow direct =
+      text::EncodeRowForClassifier(*vocab, text, kMaxLen);
+  EXPECT_EQ(row->ids, direct.ids);
+  EXPECT_EQ(row->mask, direct.mask);
+  EXPECT_EQ(row->flags, direct.flags);
+  // A second encode must serve the identical row object.
+  EXPECT_EQ(cache.Encode(text).get(), row.get());
+}
+
+TEST(EncodingCacheTest, HitAndMissCounters) {
+  auto vocab = TestVocab();
+  text::EncodingCache cache(vocab.get(), /*max_len=*/10, /*capacity_rows=*/64);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) cache.Encode(TextFor(i));
+  }
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 8u);
+  EXPECT_EQ(stats.hits, 16u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.Size(), 8u);
+}
+
+TEST(EncodingCacheTest, CapacityBoundsSizeAndEvicts) {
+  auto vocab = TestVocab();
+  constexpr size_t kCapacity = 16;
+  text::EncodingCache cache(vocab.get(), /*max_len=*/10, kCapacity);
+  for (int i = 0; i < 200; ++i) cache.Encode(TextFor(i));
+  EXPECT_LE(cache.Size(), kCapacity);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.misses, 200u);
+  EXPECT_GE(stats.evictions, 200u - kCapacity);
+  // Eviction never breaks correctness: a re-encoded evicted row matches.
+  const auto row = cache.Encode(TextFor(0));
+  const auto direct =
+      text::EncodeRowForClassifier(*vocab, TextFor(0), 10);
+  EXPECT_EQ(row->ids, direct.ids);
+}
+
+TEST(EncodingCacheTest, LruKeepsRecentlyUsedRows) {
+  auto vocab = TestVocab();
+  // Single-digit per-shard capacity: capacity 8 over 8 shards = 1 row each,
+  // so within a shard the older of two keys must be the one evicted.
+  text::EncodingCache cache(vocab.get(), /*max_len=*/10, /*capacity_rows=*/8);
+  const auto first = cache.Encode("the quick fox");
+  // Touch it again, then insert enough distinct keys to force evictions.
+  cache.Encode("the quick fox");
+  for (int i = 0; i < 64; ++i) cache.Encode(TextFor(i));
+  // Whatever was evicted, re-encoding still matches the direct encoder and
+  // old row pointers stay valid (shared_ptr-backed rows).
+  EXPECT_EQ(first->ids, text::EncodeRowForClassifier(*vocab, "the quick fox",
+                                                     10).ids);
+}
+
+TEST(EncodingCacheTest, ZeroCapacityBypassesStorage) {
+  auto vocab = TestVocab();
+  text::EncodingCache cache(vocab.get(), /*max_len=*/10, /*capacity_rows=*/0);
+  const std::string text = "the lazy dog";
+  const auto a = cache.Encode(text);
+  const auto b = cache.Encode(text);
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_NE(a.get(), b.get());  // nothing memoized
+  EXPECT_EQ(a->ids, b->ids);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(EncodingCacheTest, ClearDropsRowsKeepsCounters) {
+  auto vocab = TestVocab();
+  text::EncodingCache cache(vocab.get(), /*max_len=*/10, /*capacity_rows=*/64);
+  for (int i = 0; i < 8; ++i) cache.Encode(TextFor(i));
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_EQ(cache.GetStats().misses, 8u);
+  cache.Encode(TextFor(0));
+  EXPECT_EQ(cache.GetStats().misses, 9u);
+}
+
+TEST(EncodingCacheTest, AssembleMatchesBatchEncoder) {
+  auto vocab = TestVocab();
+  constexpr int64_t kMaxLen = 14;
+  text::EncodingCache cache(vocab.get(), kMaxLen, /*capacity_rows=*/64);
+  std::vector<std::string> texts = {
+      "the quick brown fox",
+      "the quick brown fox [SEP] the quick dog",
+      "title year [SEP] title the year",
+      "the quick brown fox",  // repeat: served from cache
+  };
+  // Warm the cache so assembly mixes hits and misses.
+  cache.Encode(texts[0]);
+  const text::EncodedBatch assembled = AssembleEncodedBatch(cache, texts);
+  const text::EncodedBatch direct =
+      text::EncodeBatchForClassifier(*vocab, texts, kMaxLen);
+  EXPECT_EQ(assembled.batch, direct.batch);
+  EXPECT_EQ(assembled.max_len, direct.max_len);
+  EXPECT_EQ(assembled.ids, direct.ids);
+  EXPECT_EQ(assembled.flags, direct.flags);
+  ASSERT_EQ(assembled.mask.shape(), direct.mask.shape());
+  for (int64_t i = 0; i < direct.mask.size(); ++i)
+    EXPECT_EQ(assembled.mask.data()[i], direct.mask.data()[i]);
+}
+
+TEST(EncodingCacheTest, ConcurrentHammerStaysConsistent) {
+  auto vocab = TestVocab();
+  constexpr int64_t kMaxLen = 10;
+  // Small capacity on purpose: threads race insertions against evictions.
+  text::EncodingCache cache(vocab.get(), kMaxLen, /*capacity_rows=*/32);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  constexpr int kKeys = 64;
+  std::vector<text::EncodedRow> expected;
+  for (int k = 0; k < kKeys; ++k)
+    expected.push_back(text::EncodeRowForClassifier(*vocab, TextFor(k),
+                                                    kMaxLen));
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int k = (i * (t + 1) + t * 17) % kKeys;
+        const auto row = cache.Encode(TextFor(k));
+        if (row->ids != expected[k].ids || row->flags != expected[k].flags)
+          ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(cache.Size(), 32u);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace rotom

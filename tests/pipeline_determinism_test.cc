@@ -1,0 +1,243 @@
+// Trainer-level determinism of the pipelined data path: the encoding cache,
+// the background prefetcher, and the compute-pool size are pure performance
+// knobs, so every configuration must produce bit-identical loss trajectories
+// (core/pipeline.h contract; DESIGN.md §8). These tests train the real
+// trainers on a tiny task under each configuration and compare
+// TrainResult::loss_history float-for-float. scripts/check.sh additionally
+// runs this binary under TSan at several pool sizes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/finetune.h"
+#include "core/rotom_trainer.h"
+#include "models/pretrain.h"
+#include "util/thread_pool.h"
+
+namespace rotom {
+namespace {
+
+std::shared_ptr<text::Vocabulary> TaskVocab() {
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (const char* w :
+       {"the", "movie", "was", "great", "terrible", "really", "a", "not",
+        "good", "bad", "boring", "fantastic", "product", "awful", "fine"})
+    vocab->AddToken(w);
+  return vocab;
+}
+
+models::ClassifierConfig TinyConfig() {
+  models::ClassifierConfig config;
+  config.num_classes = 2;
+  config.max_len = 10;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.1f;  // keep dropout on: it must not disturb determinism
+  return config;
+}
+
+data::TaskDataset TinyTask() {
+  data::TaskDataset ds;
+  ds.name = "tiny";
+  ds.num_classes = 2;
+  const char* pos[] = {"the movie was great", "really great movie",
+                       "a fantastic movie",   "the product was good",
+                       "good good movie",     "really fine product"};
+  const char* neg[] = {"the movie was terrible", "really bad movie",
+                       "a boring movie",         "the product was awful",
+                       "bad bad movie",          "really awful product"};
+  for (const char* t : pos) ds.train.push_back({t, 1});
+  for (const char* t : neg) ds.train.push_back({t, 0});
+  ds.valid = ds.train;
+  ds.test = {{"the movie was fantastic", 1}, {"a terrible movie", 0}};
+  for (const auto& e : ds.train) ds.unlabeled.push_back(e.text);
+  ds.unlabeled.push_back("really great product");
+  ds.unlabeled.push_back("a bad boring movie");
+  return ds;
+}
+
+// Deterministic, thread-safe augmenter: duplicates an rng-chosen token.
+std::string DuplicateToken(const std::string& input, Rng& rng) {
+  auto tokens = text::Tokenize(input);
+  if (tokens.empty()) return input;
+  const size_t i = rng.UniformInt(static_cast<int64_t>(tokens.size()));
+  tokens.insert(tokens.begin() + i, tokens[i]);
+  return text::Detokenize(tokens);
+}
+
+struct PipelineConfig {
+  const char* label;
+  core::PipelineOptions options;
+  int threads;
+};
+
+// The serial reference (no cache, inline production, 1 pool thread) plus
+// every knob flipped individually and all together.
+std::vector<PipelineConfig> AllConfigs() {
+  core::PipelineOptions off;
+  off.cache_rows = 0;
+  off.prefetch = false;
+  core::PipelineOptions cache_only = off;
+  cache_only.cache_rows = 1 << 12;
+  core::PipelineOptions prefetch_only = off;
+  prefetch_only.prefetch = true;
+  core::PipelineOptions full;  // defaults: cache + prefetch
+  return {{"serial/1t", off, 1},
+          {"cache/1t", cache_only, 1},
+          {"prefetch/1t", prefetch_only, 1},
+          {"full/1t", full, 1},
+          {"full/4t", full, 4}};
+}
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { SetComputeThreads(n); }
+  ~ThreadGuard() { SetComputeThreads(0); }
+};
+
+core::TrainResult RunFinetune(const PipelineConfig& config,
+                              core::AugMode mode) {
+  ThreadGuard guard(config.threads);
+  Rng rng(7);
+  auto vocab = TaskVocab();
+  models::TransformerClassifier model(TinyConfig(), vocab, rng);
+  core::FinetuneOptions options;
+  options.epochs = 3;
+  options.batch_size = 4;
+  options.aug_mode = mode;
+  options.seed = 5;
+  options.pipeline = config.options;
+  core::FinetuneTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  return trainer.Train(TinyTask(), DuplicateToken);
+}
+
+core::TrainResult RunRotom(const PipelineConfig& config, bool use_ssl) {
+  ThreadGuard guard(config.threads);
+  Rng rng(11);
+  auto vocab = TaskVocab();
+  models::TransformerClassifier model(TinyConfig(), vocab, rng);
+  core::RotomOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.augments_per_example = 2;
+  options.use_ssl = use_ssl;
+  options.ssl_warmup_epochs = 0;
+  options.seed = 5;
+  options.pipeline = config.options;
+  core::RotomTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  return trainer.Train(TinyTask(), [](const std::string& s, Rng& r) {
+    return std::vector<std::string>{DuplicateToken(s, r),
+                                    DuplicateToken(s, r)};
+  });
+}
+
+void ExpectIdentical(const core::TrainResult& reference,
+                     const core::TrainResult& candidate, const char* label) {
+  EXPECT_EQ(reference.steps, candidate.steps) << label;
+  ASSERT_EQ(reference.loss_history.size(), candidate.loss_history.size())
+      << label;
+  for (size_t i = 0; i < reference.loss_history.size(); ++i) {
+    // Bit-identical, not approximately equal: the data path must not touch
+    // numerics at all.
+    ASSERT_EQ(reference.loss_history[i], candidate.loss_history[i])
+        << label << " diverged at step " << i;
+  }
+  EXPECT_EQ(reference.best_valid_metric, candidate.best_valid_metric) << label;
+}
+
+TEST(PipelineDeterminismTest, FinetuneReplaceModeIsConfigInvariant) {
+  const auto configs = AllConfigs();
+  const auto reference = RunFinetune(configs[0], core::AugMode::kReplace);
+  EXPECT_GT(reference.steps, 0);
+  ASSERT_FALSE(reference.loss_history.empty());
+  for (size_t c = 1; c < configs.size(); ++c) {
+    ExpectIdentical(reference,
+                    RunFinetune(configs[c], core::AugMode::kReplace),
+                    configs[c].label);
+  }
+}
+
+TEST(PipelineDeterminismTest, FinetuneMixDaModeIsConfigInvariant) {
+  const auto configs = AllConfigs();
+  const auto reference = RunFinetune(configs[0], core::AugMode::kMixDa);
+  ASSERT_FALSE(reference.loss_history.empty());
+  for (size_t c = 1; c < configs.size(); ++c) {
+    ExpectIdentical(reference,
+                    RunFinetune(configs[c], core::AugMode::kMixDa),
+                    configs[c].label);
+  }
+}
+
+TEST(PipelineDeterminismTest, RotomTrainerIsConfigInvariant) {
+  const auto configs = AllConfigs();
+  const auto reference = RunRotom(configs[0], /*use_ssl=*/false);
+  EXPECT_GT(reference.steps, 0);
+  ASSERT_FALSE(reference.loss_history.empty());
+  for (size_t c = 1; c < configs.size(); ++c) {
+    ExpectIdentical(reference, RunRotom(configs[c], /*use_ssl=*/false),
+                    configs[c].label);
+  }
+}
+
+TEST(PipelineDeterminismTest, RotomSslIsConfigInvariant) {
+  const auto configs = AllConfigs();
+  const auto reference = RunRotom(configs[0], /*use_ssl=*/true);
+  ASSERT_FALSE(reference.loss_history.empty());
+  // SSL adds the unlabeled-pool scoring path (cache-assembled batches);
+  // spot-check the serial reference against the full pipeline at 1 and 4
+  // threads to bound runtime.
+  ExpectIdentical(reference, RunRotom(configs[3], /*use_ssl=*/true),
+                  configs[3].label);
+  ExpectIdentical(reference, RunRotom(configs[4], /*use_ssl=*/true),
+                  configs[4].label);
+}
+
+TEST(PipelineDeterminismTest, MaskedLmPretrainIsConfigInvariant) {
+  auto ds = TinyTask();
+  auto run = [&](const PipelineConfig& config) {
+    ThreadGuard guard(config.threads);
+    Rng rng(13);
+    auto vocab = TaskVocab();
+    models::TransformerClassifier model(TinyConfig(), vocab, rng);
+    models::PretrainOptions options;
+    options.epochs = 2;
+    options.batch_size = 4;
+    options.pipeline = config.options;
+    Rng train_rng(21);
+    return PretrainMaskedLm(model, ds.unlabeled, train_rng, options);
+  };
+  const auto configs = AllConfigs();
+  const float reference = run(configs[0]);
+  for (size_t c = 1; c < configs.size(); ++c) {
+    EXPECT_EQ(reference, run(configs[c])) << configs[c].label;
+  }
+}
+
+TEST(PipelineDeterminismTest, SameOriginPretrainIsConfigInvariant) {
+  auto ds = TinyTask();
+  auto run = [&](const PipelineConfig& config) {
+    ThreadGuard guard(config.threads);
+    Rng rng(17);
+    auto vocab = TaskVocab();
+    models::TransformerClassifier model(TinyConfig(), vocab, rng);
+    models::SameOriginOptions options;
+    options.steps = 6;
+    options.batch_size = 4;
+    options.pipeline = config.options;
+    Rng train_rng(23);
+    return PretrainSameOrigin(model, ds.unlabeled, train_rng, options);
+  };
+  const auto configs = AllConfigs();
+  const float reference = run(configs[0]);
+  for (size_t c = 1; c < configs.size(); ++c) {
+    EXPECT_EQ(reference, run(configs[c])) << configs[c].label;
+  }
+}
+
+}  // namespace
+}  // namespace rotom
