@@ -13,9 +13,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/experiment.h"
+#include "obs/metrics.h"
 
 namespace rotom {
 namespace bench {
@@ -114,13 +116,20 @@ inline CellStats RunMean(eval::TaskContext& context, eval::Method method) {
 
 // ---- Machine-readable output (BENCH_*.json) ----
 
-/// Append-only writer for the bench result files: a JSON array of flat
-/// objects, one per measured cell. Field order within a record follows the
-/// Field() call order; values may be strings, numbers, or booleans. The
-/// schema shared by the bench binaries is
+/// Append-only writer for the bench result files. Since schema v2 the file
+/// is an object, not a bare array:
+///   {"schema": "rotom-bench-v2",
+///    "records": [{...}, ...],
+///    "metrics": {...}}
+/// `records` holds one flat object per measured cell; field order within a
+/// record follows the Field() call order and values may be strings, numbers,
+/// or booleans. The record schema shared by the bench binaries is
 ///   {"op": ..., "threads": N, "pipeline": bool,
 ///    "wall_seconds": S, "steps_per_sec": R}
-/// so downstream tooling can diff runs without parsing the console tables.
+/// `metrics` is the obs registry snapshot taken by CaptureMetrics() (see
+/// OBSERVABILITY.md for the per-metric catalog); it is `null` when the
+/// binary never called CaptureMetrics() or metrics are disabled. Downstream
+/// tooling can diff runs without parsing the console tables.
 class JsonWriter {
  public:
   JsonWriter& Field(const std::string& key, const std::string& value) {
@@ -148,17 +157,47 @@ class JsonWriter {
     current_.clear();
   }
 
-  /// Writes the accumulated array (closing any open record). Returns false
-  /// on I/O failure.
+  /// Records the current obs metrics snapshot as the file's `metrics`
+  /// section. Derived ratios that a raw counter dump cannot express (cache
+  /// hit rate, buffer-pool reuse rate) are appended as extra keys. Call once
+  /// after the measured work, right before WriteFile().
+  void CaptureMetrics() {
+    if (!obs::Enabled()) return;  // leave the section null, as documented
+    const obs::SnapshotData snapshot = obs::Snapshot();
+    std::vector<std::pair<std::string, double>> extras;
+    auto value_of = [&](const std::string& name) -> double {
+      for (const auto& m : snapshot.metrics) {
+        if (m.name == name)
+          return m.kind == obs::MetricKind::kGauge
+                     ? static_cast<double>(m.gauge)
+                     : static_cast<double>(m.count);
+      }
+      return 0.0;
+    };
+    const double hits = value_of("encoding_cache.hits");
+    const double misses = value_of("encoding_cache.misses");
+    if (hits + misses > 0.0)
+      extras.emplace_back("encoding_cache.hit_rate", hits / (hits + misses));
+    const double reused = value_of("buffer_pool.reused");
+    const double allocated = value_of("buffer_pool.allocated");
+    if (reused + allocated > 0.0)
+      extras.emplace_back("buffer_pool.reuse_rate",
+                          reused / (reused + allocated));
+    metrics_json_ = obs::SnapshotJson(snapshot, extras);
+  }
+
+  /// Writes the accumulated v2 document (closing any open record). Returns
+  /// false on I/O failure.
   bool WriteFile(const std::string& path) {
     EndRecord();
     std::ofstream out(path);
     if (!out) return false;
-    out << "[\n";
+    out << "{\n\"schema\": \"rotom-bench-v2\",\n\"records\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
     }
-    out << "]\n";
+    out << "],\n\"metrics\": "
+        << (metrics_json_.empty() ? "null" : metrics_json_) << "\n}\n";
     out.flush();
     return static_cast<bool>(out);
   }
@@ -196,6 +235,7 @@ class JsonWriter {
 
   std::string current_;
   std::vector<std::string> records_;
+  std::string metrics_json_;
 };
 
 /// Output path for a bench JSON file: `ROTOM_BENCH_DIR` when set (bench.sh

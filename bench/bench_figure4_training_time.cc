@@ -135,6 +135,7 @@ int main() {
   }
 
   const std::string path = BenchJsonPath("BENCH_figure4.json");
+  json.CaptureMetrics();
   if (!json.WriteFile(path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return 1;

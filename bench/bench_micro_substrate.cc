@@ -293,6 +293,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   const std::string path = rotom::bench::BenchJsonPath("BENCH_micro.json");
+  reporter.writer().CaptureMetrics();
   if (!reporter.writer().WriteFile(path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return 1;

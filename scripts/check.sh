@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer sweep: builds and runs the test suite under ASan+UBSan, then
 # builds the concurrency-sensitive tests (thread pool, kernels, autograd,
-# encoding cache, training pipeline) under TSan and runs them at several
-# pool sizes, and finishes with the perf-smoke bench label. Each
-# configuration gets its own build tree so the trees stay incremental across
-# runs.
+# encoding cache, metrics/tracing, training pipeline) under TSan and runs
+# them at several pool sizes, checks the observability docs gate, and
+# finishes with the perf-smoke bench label. Each configuration gets its own
+# build tree so the trees stay incremental across runs.
 #
 # Usage:
 #   scripts/check.sh            # all configurations
 #   scripts/check.sh address    # ASan/UBSan only
 #   scripts/check.sh thread     # TSan only
+#   scripts/check.sh docs       # observability docs gate only
 #   scripts/check.sh perf       # perf-smoke benches only
 
 set -euo pipefail
@@ -36,17 +37,24 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DROTOM_SANITIZE=thread
   cmake --build build-tsan -j \
     --target thread_pool_test kernels_test autograd_test \
-             encoding_cache_test pipeline_determinism_test
+             encoding_cache_test obs_test pipeline_determinism_test
   # Force a multi-threaded pool even on single-CPU hosts so TSan actually
-  # sees concurrent kernel execution, cache hammering, and prefetch threads.
+  # sees concurrent kernel execution, cache hammering, sharded metric
+  # writes, and prefetch threads.
   for threads in 2 4; do
     echo "-- ROTOM_NUM_THREADS=$threads"
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/thread_pool_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/kernels_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/autograd_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/encoding_cache_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/obs_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/pipeline_determinism_test
   done
+fi
+
+if [[ "$mode" == "all" || "$mode" == "docs" ]]; then
+  echo "== docs: observability catalog gate =="
+  scripts/check_obs_docs.sh
 fi
 
 if [[ "$mode" == "all" || "$mode" == "perf" ]]; then

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Docs gate for the observability layer: every metric and span name emitted
+# from src/ or bench/, and every public symbol declared in the src/obs
+# headers, must appear in OBSERVABILITY.md. Fails (exit 1) listing what is
+# missing. Names are extractable because call sites pass string literals to
+# GetCounter/GetGauge/GetHistogram and ROTOM_TRACE_SPAN — keep it that way.
+#
+# Usage: scripts/check_obs_docs.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc="OBSERVABILITY.md"
+if [[ ! -f "$doc" ]]; then
+  echo "check_obs_docs: $doc is missing" >&2
+  exit 1
+fi
+
+missing=0
+
+require() {
+  # require <name> <what>
+  if ! grep -qF "$1" "$doc"; then
+    echo "check_obs_docs: $2 '$1' is not documented in $doc" >&2
+    missing=1
+  fi
+}
+
+# ---- Emitted metric names: Get{Counter,Gauge,Histogram}("...") ----
+# Comment lines are dropped so doc-comment examples are not treated as
+# emitting sites.
+while IFS= read -r name; do
+  require "$name" "metric"
+done < <(grep -rh 'Get\(Counter\|Gauge\|Histogram\)("' src bench \
+           | grep -vE '^[[:space:]]*(//|\*)' \
+           | grep -oE 'Get(Counter|Gauge|Histogram)\("[^"]+"\)' \
+           | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+
+# ---- Span names: ROTOM_TRACE_SPAN("...") documented as span.<name>.us ----
+while IFS= read -r name; do
+  require "span.${name}.us" "span"
+done < <(grep -rh 'ROTOM_TRACE_SPAN("' src bench \
+           | grep -vE '^[[:space:]]*(//|\*)' \
+           | grep -oE 'ROTOM_TRACE_SPAN\("[^"]+"\)' \
+           | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+
+# ---- Public API of the obs headers: classes and free functions ----
+while IFS= read -r symbol; do
+  require "$symbol" "src/obs public symbol"
+done < <(grep -hE '^(class|struct) [A-Z][A-Za-z0-9]*' src/obs/*.h \
+           | sed -E 's/^(class|struct) ([A-Za-z0-9]+).*/\2/' | sort -u)
+
+while IFS= read -r symbol; do
+  require "$symbol" "src/obs public function"
+done < <(grep -hoE '^[A-Za-z_:<>&* ]+ [A-Z][A-Za-z0-9]*\(' src/obs/*.h \
+           | grep -vE '^(class|struct|//| )' \
+           | sed -E 's/.* ([A-Z][A-Za-z0-9]*)\($/\1/' | sort -u)
+
+# ---- Documented env vars must include the obs switches ----
+for var in ROTOM_METRICS ROTOM_TRACE ROTOM_NUM_THREADS; do
+  require "$var" "environment variable"
+done
+
+if [[ "$missing" -ne 0 ]]; then
+  echo "check_obs_docs: FAILED — update $doc (see OBSERVABILITY.md's catalog sections)" >&2
+  exit 1
+fi
+echo "check_obs_docs: all emitted names and obs symbols are documented"

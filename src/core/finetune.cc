@@ -5,6 +5,7 @@
 
 #include "augment/mixda.h"
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/prefetcher.h"
 #include "util/thread_pool.h"
@@ -41,6 +42,7 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
     ROTOM_CHECK_MSG(augmenter != nullptr,
                     "augmented modes need a TextAugmenter");
   }
+  ROTOM_TRACE_SPAN("finetune.train");
   WallTimer timer;
   Rng rng(options_.seed);
   nn::Adam optimizer(model_->Parameters(), options_.lr);
@@ -66,6 +68,7 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
     // serial loop over the same streams would produce.
     std::vector<std::string> augmented(need_augmented ? train.size() : 0);
     if (need_augmented) {
+      ROTOM_TRACE_SPAN("finetune.augment");
       const uint64_t epoch_seed = rng.Next64();
       ComputePool().ParallelFor(n, 1, [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
@@ -78,6 +81,8 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
     const size_t batch_size = static_cast<size_t>(options_.batch_size);
     const size_t num_batches = (train.size() + batch_size - 1) / batch_size;
     auto produce = [&](size_t bi) -> FinetuneBatch {
+      // Runs on the prefetch thread when prefetch is on.
+      ROTOM_TRACE_SPAN("finetune.encode");
       const size_t begin = bi * batch_size;
       const size_t end = std::min(begin + batch_size, train.size());
       FinetuneBatch batch;
@@ -100,30 +105,38 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
     while (auto next = prefetcher.Next()) {
       FinetuneBatch batch = std::move(*next);
       optimizer.ZeroGrad();
-      Variable logits;
-      switch (options_.aug_mode) {
-        case AugMode::kNone:
-          logits = model_->ForwardLogitsEncoded(batch.originals, rng);
-          break;
-        case AugMode::kReplace:
-          logits = model_->ForwardLogitsEncoded(batch.augmented, rng);
-          break;
-        case AugMode::kMixDa: {
-          Variable cls_orig = model_->EncodeClsEncoded(batch.originals, rng);
-          Variable cls_aug = model_->EncodeClsEncoded(batch.augmented, rng);
-          std::vector<double> lambdas(batch.labels.size());
-          for (auto& l : lambdas)
-            l = augment::MixDaLambda(options_.mixda_alpha, rng);
-          Variable mixed = augment::InterpolateRepresentations(
-              cls_orig, cls_aug, lambdas);
-          logits = model_->HeadLogits(mixed);
-          break;
+      Variable loss;
+      {
+        ROTOM_TRACE_SPAN("finetune.forward");
+        Variable logits;
+        switch (options_.aug_mode) {
+          case AugMode::kNone:
+            logits = model_->ForwardLogitsEncoded(batch.originals, rng);
+            break;
+          case AugMode::kReplace:
+            logits = model_->ForwardLogitsEncoded(batch.augmented, rng);
+            break;
+          case AugMode::kMixDa: {
+            Variable cls_orig =
+                model_->EncodeClsEncoded(batch.originals, rng);
+            Variable cls_aug = model_->EncodeClsEncoded(batch.augmented, rng);
+            std::vector<double> lambdas(batch.labels.size());
+            for (auto& l : lambdas)
+              l = augment::MixDaLambda(options_.mixda_alpha, rng);
+            Variable mixed = augment::InterpolateRepresentations(
+                cls_orig, cls_aug, lambdas);
+            logits = model_->HeadLogits(mixed);
+            break;
+          }
         }
+        loss = ops::CrossEntropyMean(logits, batch.labels);
       }
-      Variable loss = ops::CrossEntropyMean(logits, batch.labels);
-      loss.Backward();
-      nn::ClipGradNorm(optimizer.params(), 5.0f);
-      optimizer.Step();
+      {
+        ROTOM_TRACE_SPAN("finetune.backward");
+        loss.Backward();
+        nn::ClipGradNorm(optimizer.params(), 5.0f);
+        optimizer.Step();
+      }
       result.loss_history.push_back(loss.value()[0]);
       ++result.steps;
     }

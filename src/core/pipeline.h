@@ -17,7 +17,19 @@ namespace core {
 /// training trajectories (augmentation uses per-example RNG streams split
 /// from the epoch seed, encoding consumes no randomness, and the cache only
 /// memoizes pure functions), so these knobs trade memory and threads for
-/// wall-clock only.
+/// wall-clock only. pipeline_determinism_test enforces this — including with
+/// the obs metrics/tracing layer recording, which is held to the same
+/// contract (see obs/metrics.h).
+///
+/// Thread-safety: PipelineOptions is plain data; copy it freely. The
+/// components it configures (EncodingCache, Prefetcher) document their own
+/// concurrency rules.
+///
+/// Observability: whether each knob pays off is visible in the obs registry
+/// — cache effectiveness via `encoding_cache.hits`/`.misses`, prefetch
+/// health via `prefetcher.consumer_blocked` (steps that waited on data) and
+/// `prefetcher.producer_blocked` (queue full); per-phase wall time via the
+/// `span.*.us` histograms. See OBSERVABILITY.md for how to read them.
 struct PipelineOptions {
   /// Memoize text encodings (ids + mask + overlap flags) across batches and
   /// epochs. 0 rows disables the cache.

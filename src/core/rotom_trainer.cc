@@ -7,6 +7,7 @@
 
 #include "core/ssl.h"
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/prefetcher.h"
 #include "util/thread_pool.h"
@@ -107,6 +108,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
   ROTOM_CHECK(!ds.train.empty());
   ROTOM_CHECK(!ds.valid.empty());
   ROTOM_CHECK(candidates != nullptr);
+  ROTOM_TRACE_SPAN("rotom.train");
   WallTimer timer;
   Rng rng(options_.seed);
 
@@ -160,15 +162,19 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
     const uint64_t epoch_seed = rng.Next64();
     const int64_t n_train = static_cast<int64_t>(ds.train.size());
     std::vector<std::vector<std::string>> augs_per_example(ds.train.size());
-    ComputePool().ParallelFor(n_train, 1, [&](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        Rng ex_rng(SplitSeed(epoch_seed, static_cast<uint64_t>(i)));
-        auto augs = candidates(ds.train[i].text, ex_rng);
-        if (static_cast<int64_t>(augs.size()) > options_.augments_per_example)
-          augs.resize(options_.augments_per_example);
-        augs_per_example[i] = std::move(augs);
-      }
-    });
+    {
+      ROTOM_TRACE_SPAN("rotom.augment");
+      ComputePool().ParallelFor(n_train, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          Rng ex_rng(SplitSeed(epoch_seed, static_cast<uint64_t>(i)));
+          auto augs = candidates(ds.train[i].text, ex_rng);
+          if (static_cast<int64_t>(augs.size()) >
+              options_.augments_per_example)
+            augs.resize(options_.augments_per_example);
+          augs_per_example[i] = std::move(augs);
+        }
+      });
+    }
     std::vector<Candidate> stream;
     for (int64_t i = 0; i < n_train; ++i) {
       const auto& example = ds.train[i];
@@ -189,6 +195,9 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
     const size_t batch_size = static_cast<size_t>(options_.batch_size);
     const size_t num_batches = (stream.size() + batch_size - 1) / batch_size;
     auto produce = [&](size_t bi) -> StreamBatch {
+      // Runs on the prefetch thread when prefetch is on; the trace view
+      // shows it overlapping the training phases of the previous step.
+      ROTOM_TRACE_SPAN("rotom.encode");
       const size_t begin = bi * batch_size;
       const size_t end = std::min(begin + batch_size, stream.size());
       StreamBatch batch;
@@ -224,38 +233,42 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       // independent in eval mode, so the halves match the two separate
       // passes bit-for-bit at half the dispatch cost. ----
       model_->SetTraining(false);
-      Tensor probs_orig, probs_aug;
-      {
-        NoGradGuard guard;
-        const Tensor probs_joint =
-            model_->PredictProbsEncoded(batch.joint, rng);
-        probs_orig = SliceRows(probs_joint, 0, b);
-        probs_aug = SliceRows(probs_joint, b, b);
-      }
-      const Tensor features =
-          FilteringModel::ComputeFeatures(probs_orig, probs_aug, labels);
-
+      Tensor probs_aug, features;
       std::vector<bool> decisions(b, true);
-      if (options_.use_filtering) {
-        Tensor keep_probs;
+      {
+        ROTOM_TRACE_SPAN("rotom.meta_forward");
+        Tensor probs_orig;
         {
           NoGradGuard guard;
-          keep_probs = filtering_->Forward(features).value();
+          const Tensor probs_joint =
+              model_->PredictProbsEncoded(batch.joint, rng);
+          probs_orig = SliceRows(probs_joint, 0, b);
+          probs_aug = SliceRows(probs_joint, b, b);
         }
-        decisions = FilteringModel::SampleDecisions(keep_probs, rng);
-        // Original (unaugmented) training examples are trusted: the filter
-        // only arbitrates augmented candidates (paper Section 4.1 defines
-        // M_F over augmented examples). The label-cleaning extension
-        // (Section 8) opts originals back in via filter_originals.
-        if (!options_.filter_originals) {
-          for (int64_t i = 0; i < b; ++i) {
-            if (is_original[i]) decisions[i] = true;
+        features =
+            FilteringModel::ComputeFeatures(probs_orig, probs_aug, labels);
+
+        if (options_.use_filtering) {
+          Tensor keep_probs;
+          {
+            NoGradGuard guard;
+            keep_probs = filtering_->Forward(features).value();
           }
-        }
-        if (std::none_of(decisions.begin(), decisions.end(),
-                         [](bool d) { return d; })) {
-          // Avoid an empty batch (the paper refills over-filtered batches).
-          decisions.assign(b, true);
+          decisions = FilteringModel::SampleDecisions(keep_probs, rng);
+          // Original (unaugmented) training examples are trusted: the filter
+          // only arbitrates augmented candidates (paper Section 4.1 defines
+          // M_F over augmented examples). The label-cleaning extension
+          // (Section 8) opts originals back in via filter_originals.
+          if (!options_.filter_originals) {
+            for (int64_t i = 0; i < b; ++i) {
+              if (is_original[i]) decisions[i] = true;
+            }
+          }
+          if (std::none_of(decisions.begin(), decisions.end(),
+                           [](bool d) { return d; })) {
+            // Avoid an empty batch (paper refills over-filtered batches).
+            decisions.assign(b, true);
+          }
         }
       }
       std::vector<std::string> kept_texts;
@@ -274,6 +287,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       std::vector<std::string> ssl_texts;
       Tensor ssl_targets;
       if (ssl_active && epoch >= options_.ssl_warmup_epochs) {
+        ROTOM_TRACE_SPAN("rotom.ssl");
         std::vector<std::string> pool;
         const int64_t ssl_pool_size = std::max<int64_t>(
             2, static_cast<int64_t>(options_.ssl_batch_ratio *
@@ -373,6 +387,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       // Builds the weighted training loss with the CURRENT model parameters;
       // reused by the finite-difference passes.
       auto build_train_loss = [&]() -> Variable {
+        ROTOM_TRACE_SPAN("rotom.forward");
         Variable logits = model_->ForwardLogitsEncoded(all_batch, rng);
         Variable ce;
         if (n_ssl == 0) {
@@ -405,7 +420,10 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       filtering_->ZeroGrad();
       weighting_->ZeroGrad();
       Variable loss_train = build_train_loss();
-      loss_train.Backward();
+      {
+        ROTOM_TRACE_SPAN("rotom.backward");
+        loss_train.Backward();
+      }
       nn::ClipGradNorm(model_params, 5.0f);
       const std::vector<Tensor> w_pre = CloneValues(model_params);
       const std::vector<Tensor> g_train = CloneGrads(model_params);
@@ -420,6 +438,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
           (step_index % std::max<int64_t>(1, options_.meta_update_every) == 0);
       ++step_index;
       if (meta_step) {
+        ROTOM_TRACE_SPAN("rotom.weighting");
         // Virtual step M' = M - eta * grad (line 8).
         SetValuesOffset(model_params, w_pre, g_train, -options_.lr);
 

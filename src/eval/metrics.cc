@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 #include "util/check.h"
 
@@ -49,6 +50,7 @@ double EvaluateModel(models::TransformerClassifier& model,
                      MetricKind metric, text::EncodingCache* cache,
                      int64_t batch_size) {
   if (examples.empty()) return 0.0;
+  ROTOM_TRACE_SPAN("eval.model");
   const bool was_training = model.training();
   model.SetTraining(false);
   Rng rng(0);  // eval forward ignores randomness (no dropout)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 #include "util/logging.h"
 
@@ -41,6 +42,7 @@ InvDa::InvDa(const models::Seq2SeqConfig& config,
 
 float InvDa::Train(const std::vector<std::string>& unlabeled,
                    const InvDaOptions& options) {
+  ROTOM_TRACE_SPAN("invda.train");
   sampling_ = options.sampling;
   std::vector<std::string> corpus = unlabeled;
   if (static_cast<int64_t>(corpus.size()) > options.max_corpus) {

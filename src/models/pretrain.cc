@@ -5,6 +5,7 @@
 
 #include "augment/ops.h"
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/prefetcher.h"
 
@@ -15,6 +16,7 @@ float PretrainMaskedLm(TransformerClassifier& model,
                        const std::vector<std::string>& corpus, Rng& rng,
                        const PretrainOptions& options) {
   if (corpus.empty()) return 0.0f;
+  ROTOM_TRACE_SPAN("pretrain.mlm");
   const text::Vocabulary& vocab = model.vocab();
   const int64_t vocab_size = vocab.size();
   const int64_t max_len = model.config().max_len;
@@ -151,6 +153,7 @@ float PretrainSameOrigin(TransformerClassifier& model,
                          const std::vector<std::string>& records, Rng& rng,
                          const SameOriginOptions& options) {
   if (records.size() < 4) return 0.0f;
+  ROTOM_TRACE_SPAN("pretrain.same_origin");
   ROTOM_CHECK_EQ(model.config().num_classes, 2);
   nn::Adam optimizer(model.Parameters(), options.lr);
   model.SetTraining(true);

@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace rotom {
+namespace obs {
+
+namespace {
+
+bool ParseEnvEnabled() {
+  const char* env = std::getenv("ROTOM_METRICS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{ParseEnvEnabled()};
+  return enabled;
+}
+
+// One registered instrument. Exactly one of the pointers is set; the entry
+// (and the instrument it owns) lives forever, so references handed out by
+// the Get* functions never dangle.
+struct Entry {
+  MetricKind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct RegistryState {
+  std::mutex mu;
+  // std::map: Snapshot() comes out name-sorted for free, and lookups happen
+  // once per call site (cached in a function-local static).
+  std::map<std::string, Entry, std::less<>> entries;
+};
+
+RegistryState& Registry() {
+  static RegistryState* state = new RegistryState();  // leaked: see header
+  return *state;
+}
+
+Entry& GetEntry(std::string_view name, MetricKind kind) {
+  RegistryState& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.entries.find(name);
+  if (it == registry.entries.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = registry.entries.emplace(std::string(name), std::move(entry)).first;
+  }
+  ROTOM_CHECK_MSG(it->second.kind == kind,
+                  "metric re-registered as a different kind");
+  return it->second;
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Counter& GetCounter(std::string_view name) {
+  return *GetEntry(name, MetricKind::kCounter).counter;
+}
+
+Gauge& GetGauge(std::string_view name) {
+  return *GetEntry(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  return *GetEntry(name, MetricKind::kHistogram).histogram;
+}
+
+SnapshotData Snapshot() {
+  SnapshotData out;
+  if (!Enabled()) return out;
+  RegistryState& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  out.metrics.reserve(registry.entries.size());
+  for (const auto& [name, entry] : registry.entries) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        m.count = entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        m.gauge = entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram: {
+        m.count = entry.histogram->Count();
+        m.sum = entry.histogram->Sum();
+        const auto buckets = entry.histogram->BucketCounts();
+        m.buckets.assign(buckets.begin(), buckets.end());
+        break;
+      }
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+double HistogramQuantile(const MetricSnapshot& metric, double q) {
+  if (metric.kind != MetricKind::kHistogram || metric.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      q * static_cast<double>(metric.count) + 0.5);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < metric.buckets.size(); ++b) {
+    cumulative += metric.buckets[b];
+    if (cumulative >= target && cumulative > 0) {
+      return static_cast<double>(Histogram::BucketUpperBound(b));
+    }
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(metric.buckets.size() - 1));
+}
+
+std::string SnapshotJson(
+    const SnapshotData& snapshot,
+    const std::vector<std::pair<std::string, double>>& extras) {
+  std::string out = "{";
+  bool first = true;
+  auto key = [&](const std::string& name) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": ";
+  };
+  for (const auto& m : snapshot.metrics) {
+    key(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += std::to_string(m.count);
+        break;
+      case MetricKind::kGauge:
+        out += std::to_string(m.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        const double mean =
+            m.count > 0
+                ? static_cast<double>(m.sum) / static_cast<double>(m.count)
+                : 0.0;
+        out += "{\"count\": " + std::to_string(m.count) +
+               ", \"sum\": " + std::to_string(m.sum) + ", \"mean\": ";
+        AppendJsonNumber(&out, mean);
+        out += ", \"p50\": ";
+        AppendJsonNumber(&out, HistogramQuantile(m, 0.5));
+        out += ", \"p99\": ";
+        AppendJsonNumber(&out, HistogramQuantile(m, 0.99));
+        out += "}";
+        break;
+      }
+    }
+  }
+  for (const auto& [name, value] : extras) {
+    key(name);
+    AppendJsonNumber(&out, value);
+  }
+  out += "}";
+  return out;
+}
+
+std::string SnapshotJson() { return SnapshotJson(Snapshot()); }
+
+void ResetAllMetrics() {
+  RegistryState& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, entry] : registry.entries) {
+    (void)name;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace rotom

@@ -1,0 +1,271 @@
+#ifndef ROTOM_OBS_METRICS_H_
+#define ROTOM_OBS_METRICS_H_
+
+// Process-wide metrics registry: named Counter / Gauge / Histogram
+// instruments, cheap enough to live on the training hot paths (thread-pool
+// dispatch, cache lookups, buffer recycling). See OBSERVABILITY.md for the
+// catalog of every metric emitted in this repo and DESIGN.md §9 for the
+// sharding/aggregation design.
+//
+// Cost model. Counters and histograms are sharded: each instrument owns
+// kMetricShards cache-line-aligned slots and a writer picks a slot from a
+// thread-local id, so concurrent writers from the compute pool almost never
+// touch the same cache line. A write is one relaxed atomic fetch_add (plus
+// one for the histogram sum) behind a single relaxed load of the global
+// enabled flag. Reads (Value()/Snapshot()) sum the shards; totals are exact
+// once concurrent writers have quiesced. Nothing here takes a lock on the
+// write path, touches an Rng, or otherwise perturbs training numerics: the
+// determinism contract of core/pipeline.h holds with instrumentation on or
+// off (enforced by pipeline_determinism_test).
+//
+// Switches. Runtime: the ROTOM_METRICS environment variable ("off"/"0"/
+// "false" disables; default on) or SetEnabled(). When disabled, writes
+// return after the flag load and Snapshot() is empty. Compile time: build
+// with -DROTOM_DISABLE_METRICS=ON (defines ROTOM_METRICS_DISABLED) and every
+// write compiles to nothing.
+//
+// Thread-safety: every function and method in this header is safe to call
+// concurrently from any thread. Instrument references returned by the
+// registry are valid for the life of the process (the registry is leaked,
+// instruments are never destroyed).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rotom {
+namespace obs {
+
+/// Number of write shards per counter/histogram. A power of two >= typical
+/// pool sizes so threads map to distinct shards.
+inline constexpr size_t kMetricShards = 16;
+
+/// Whether instrumentation is recording (runtime switch). First call reads
+/// the ROTOM_METRICS environment variable; later calls are one relaxed
+/// atomic load.
+bool Enabled();
+
+/// Overrides the runtime switch (tests, benches). Affects the whole process.
+void SetEnabled(bool enabled);
+
+/// Small dense id for the calling thread (0, 1, 2, ... in first-call order).
+/// Stable for the thread's lifetime; used by the log prefix, the tracer, and
+/// shard selection.
+int ThreadId();
+
+namespace internal {
+
+/// Shard slot for the calling thread: ThreadId() folded into the shard
+/// range. Threads beyond kMetricShards share slots (fetch_add keeps the
+/// totals exact either way).
+inline size_t ThreadShard() {
+  return static_cast<size_t>(ThreadId()) % kMetricShards;
+}
+
+struct alignas(64) CounterShard {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing event count (e.g. cache hits). Write: one
+/// relaxed fetch_add on the caller's shard.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+#ifndef ROTOM_METRICS_DISABLED
+    if (!Enabled()) return;
+    shards_[internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  /// Sum over shards; exact once concurrent writers have quiesced.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_)
+      total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Zeroes every shard (tests; races with concurrent writers lose writes).
+  void Reset() {
+    for (auto& shard : shards_)
+      shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  internal::CounterShard shards_[kMetricShards];
+};
+
+/// Last-written instantaneous value (e.g. cached bytes). Unsharded: Set()
+/// is last-write-wins, so per-thread slots would have no meaning.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+#ifndef ROTOM_METRICS_DISABLED
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  void Add(int64_t delta) {
+#ifndef ROTOM_METRICS_DISABLED
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Distribution of a non-negative integer quantity (span microseconds,
+/// sizes) over fixed log2 buckets: bucket 0 counts zeros, bucket b >= 1
+/// counts values in [2^(b-1), 2^b), and the last bucket absorbs overflow.
+/// Sharded like Counter; Record() is two relaxed fetch_adds plus a bucket
+/// increment.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 48;
+
+  void Record(uint64_t value) {
+#ifndef ROTOM_METRICS_DISABLED
+    if (!Enabled()) return;
+    Shard& shard = shards_[internal::ThreadShard()];
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  /// Bucket of `value` under the log2 scheme above.
+  static size_t BucketIndex(uint64_t value) {
+    if (value == 0) return 0;
+    const size_t b = 1 + static_cast<size_t>(std::bit_width(value) - 1);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `index` (UINT64_MAX for the overflow
+  /// bucket); used to report approximate quantiles.
+  static uint64_t BucketUpperBound(size_t index) {
+    if (index == 0) return 0;
+    if (index >= kBuckets - 1) return UINT64_MAX;
+    return (uint64_t{1} << index) - 1;
+  }
+
+  uint64_t Count() const { return SumField(&Shard::count); }
+  uint64_t Sum() const { return SumField(&Shard::sum); }
+
+  /// Per-bucket totals summed over shards.
+  std::array<uint64_t, kBuckets> BucketCounts() const {
+    std::array<uint64_t, kBuckets> out{};
+    for (const auto& shard : shards_) {
+      for (size_t b = 0; b < kBuckets; ++b)
+        out[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void Reset() {
+    for (auto& shard : shards_) {
+      shard.count.store(0, std::memory_order_relaxed);
+      shard.sum.store(0, std::memory_order_relaxed);
+      for (auto& bucket : shard.buckets)
+        bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> buckets[kBuckets]{};
+  };
+
+  uint64_t SumField(std::atomic<uint64_t> Shard::* field) const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_)
+      total += (shard.*field).load(std::memory_order_relaxed);
+    return total;
+  }
+
+  Shard shards_[kMetricShards];
+};
+
+/// Instrument kinds, as reported by Snapshot().
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One scraped instrument. Counter: `count` holds the value. Gauge: `gauge`
+/// holds the value. Histogram: `count`/`sum`/`buckets` hold the aggregate.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t count = 0;
+  int64_t gauge = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;
+};
+
+/// A full scrape of the registry, sorted by metric name.
+struct SnapshotData {
+  std::vector<MetricSnapshot> metrics;
+};
+
+/// Returns the named counter, creating it on first use. Names are
+/// dot-separated lowercase paths ("encoding_cache.hits"); every name must be
+/// listed in OBSERVABILITY.md (enforced by scripts/check_obs_docs.sh).
+/// CHECK-fails if the name is already registered as a different kind.
+Counter& GetCounter(std::string_view name);
+
+/// Returns the named gauge, creating it on first use (same rules as
+/// GetCounter).
+Gauge& GetGauge(std::string_view name);
+
+/// Returns the named histogram, creating it on first use (same rules as
+/// GetCounter). By convention the unit is a name suffix (".us", ".bytes").
+Histogram& GetHistogram(std::string_view name);
+
+/// Scrapes every registered instrument. Empty when instrumentation is
+/// disabled (ROTOM_METRICS=off / SetEnabled(false)).
+SnapshotData Snapshot();
+
+/// Approximate quantile (0 <= q <= 1) of a histogram snapshot: the upper
+/// bound of the first bucket whose cumulative count reaches q * count.
+/// Returns 0 for empty histograms.
+double HistogramQuantile(const MetricSnapshot& metric, double q);
+
+/// Renders a snapshot as a JSON object: counters and gauges map to numbers,
+/// histograms to {"count", "sum", "mean", "p50", "p99"} objects. `extras`
+/// appends caller-derived numeric fields (e.g. a computed hit rate).
+std::string SnapshotJson(
+    const SnapshotData& snapshot,
+    const std::vector<std::pair<std::string, double>>& extras = {});
+
+/// Convenience: SnapshotJson(Snapshot()). "{}" when disabled.
+std::string SnapshotJson();
+
+/// Zeroes every registered instrument in place (references stay valid).
+/// Tests and benches only; racing writers may lose writes.
+void ResetAllMetrics();
+
+}  // namespace obs
+}  // namespace rotom
+
+#endif  // ROTOM_OBS_METRICS_H_

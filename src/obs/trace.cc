@@ -1,0 +1,215 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+namespace rotom {
+namespace obs {
+
+namespace {
+
+// Nanoseconds since the first call (a process-local anchor keeps trace
+// timestamps small enough for exact double microseconds).
+uint64_t MonotonicNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           anchor)
+          .count());
+}
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+// One ring per thread. The owning thread appends; dumps read under the same
+// mutex. Buffers are leaked so events survive thread exit until the dump.
+struct ThreadTraceBuffer {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<TraceEvent> events;  // ring storage, capacity-bounded
+  size_t next = 0;
+  bool wrapped = false;
+  uint64_t dropped = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::string path;                          // "" = tracing off
+  std::vector<ThreadTraceBuffer*> buffers;   // one per thread ever traced
+  std::atomic<bool> enabled{false};
+  bool atexit_registered = false;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // leaked: see header
+  return *state;
+}
+
+void DumpAtExit() {
+  const std::string path = TracePath();
+  if (path.empty()) return;
+  if (!DumpTrace(path)) {
+    std::fprintf(stderr, "obs: failed to write trace to %s\n", path.c_str());
+  }
+}
+
+// Installs the atexit dump hook and seeds the path from ROTOM_TRACE. Runs
+// once, on the first trace-state access.
+void InitFromEnvOnce() {
+  static bool initialized = [] {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    const char* env = std::getenv("ROTOM_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      state.path = env;
+      state.enabled.store(true, std::memory_order_relaxed);
+    }
+    if (!state.atexit_registered) {
+      state.atexit_registered = true;
+      std::atexit(DumpAtExit);
+    }
+    return true;
+  }();
+  (void)initialized;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local ThreadTraceBuffer* buffer = [] {
+    auto* b = new ThreadTraceBuffer();  // leaked: must outlive the thread
+    b->tid = ThreadId();
+    b->events.reserve(kTraceEventCapacity);
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void RecordEvent(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() < kTraceEventCapacity) {
+    buffer.events.push_back({name, start_ns, dur_ns});
+    return;
+  }
+  buffer.events[buffer.next] = {name, start_ns, dur_ns};
+  buffer.next = (buffer.next + 1) % kTraceEventCapacity;
+  buffer.wrapped = true;
+  ++buffer.dropped;
+}
+
+}  // namespace
+
+bool TraceEnabled() {
+  InitFromEnvOnce();
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracePath(const std::string& path) {
+  InitFromEnvOnce();
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.path = path;
+  state.enabled.store(!path.empty(), std::memory_order_relaxed);
+}
+
+std::string TracePath() {
+  InitFromEnvOnce();
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.path;
+}
+
+bool DumpTrace(const std::string& path) {
+  InitFromEnvOnce();
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n";
+  out << "  \"otherData\": {\"dropped_events\": " << TraceDroppedEvents()
+      << "},\n";
+  out << "  \"traceEvents\": [";
+  TraceState& state = State();
+  std::vector<ThreadTraceBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  bool first = true;
+  char line[256];
+  for (ThreadTraceBuffer* buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const TraceEvent& event : buffer->events) {
+      // Chrome trace_event "complete" (ph:X) events; ts/dur are
+      // microseconds relative to the first span of the process.
+      std::snprintf(line, sizeof(line),
+                    "%s\n    {\"name\": \"%s\", \"cat\": \"rotom\", "
+                    "\"ph\": \"X\", \"pid\": 0, \"tid\": %d, "
+                    "\"ts\": %.3f, \"dur\": %.3f}",
+                    first ? "" : ",", event.name, buffer->tid,
+                    static_cast<double>(event.start_ns) / 1000.0,
+                    static_cast<double>(event.dur_ns) / 1000.0);
+      out << line;
+      first = false;
+    }
+  }
+  out << "\n  ]\n}\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::vector<ThreadTraceBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  for (ThreadTraceBuffer* buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->wrapped = false;
+    buffer->dropped = 0;
+  }
+}
+
+uint64_t TraceDroppedEvents() {
+  TraceState& state = State();
+  std::vector<ThreadTraceBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    buffers = state.buffers;
+  }
+  uint64_t total = 0;
+  for (ThreadTraceBuffer* buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+TraceSpan::TraceSpan(const char* name, Histogram* hist)
+    : name_(name), hist_(hist) {
+  active_ = Enabled() || TraceEnabled();
+  if (active_) start_ns_ = MonotonicNanos();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint64_t dur_ns = MonotonicNanos() - start_ns_;
+  if (hist_ != nullptr) hist_->Record(dur_ns / 1000);
+  if (TraceEnabled()) RecordEvent(name_, start_ns_, dur_ns);
+}
+
+}  // namespace obs
+}  // namespace rotom

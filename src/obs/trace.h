@@ -1,0 +1,105 @@
+#ifndef ROTOM_OBS_TRACE_H_
+#define ROTOM_OBS_TRACE_H_
+
+// Scoped-span tracer for the training pipeline. ROTOM_TRACE_SPAN("phase")
+// times the enclosing scope and feeds two sinks:
+//
+//   1. A histogram metric named `span.<phase>.us` in the obs registry (so
+//      obs::Snapshot() carries the per-phase step breakdown; see
+//      obs/metrics.h). Recorded whenever metrics are enabled.
+//   2. A per-thread ring buffer of (name, start, duration, thread) events,
+//      dumpable as Chrome trace_event JSON that loads directly in
+//      chrome://tracing / https://ui.perfetto.dev. Recorded only while a
+//      trace path is set — via the ROTOM_TRACE=path.json environment
+//      variable (the dump is written automatically at process exit) or
+//      SetTracePath().
+//
+// Cost model: with both sinks idle a span is one relaxed atomic load per
+// scope (no clock read). With metrics on it is two steady_clock reads plus
+// one histogram Record(). Spans never touch an Rng and never synchronize
+// with other threads except the owning thread's buffer mutex (uncontended
+// outside of dumps), so instrumentation cannot perturb training numerics or
+// schedules in any way that affects results (pipeline_determinism_test
+// asserts bit-identical trajectories with tracing on).
+//
+// Thread-safety: all functions here are safe to call from any thread. Spans
+// are scoped to one thread (they are stack objects); each thread writes
+// only its own ring buffer. Dumping while spans are still being recorded is
+// safe but may miss in-flight events — dump after workloads quiesce.
+//
+// Buffering: each thread's ring holds kTraceEventCapacity events; older
+// events are overwritten once the ring wraps and the per-process overwrite
+// total is reported as `trace.dropped_events` in the dump's metadata.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rotom {
+namespace obs {
+
+/// Events kept per thread before the ring overwrites the oldest.
+inline constexpr size_t kTraceEventCapacity = size_t{1} << 14;
+
+/// True while span events are being recorded to the ring buffers. First
+/// call reads the ROTOM_TRACE environment variable.
+bool TraceEnabled();
+
+/// Sets (non-empty) or clears (empty) the trace output path, overriding
+/// ROTOM_TRACE. While a path is set, spans record events; at process exit
+/// the buffered events are written to the path automatically.
+void SetTracePath(const std::string& path);
+
+/// The currently configured dump path ("" when tracing is off).
+std::string TracePath();
+
+/// Writes every buffered span event as Chrome trace_event JSON to `path`.
+/// Returns false on I/O failure. The buffers are left intact.
+bool DumpTrace(const std::string& path);
+
+/// Drops all buffered events (tests).
+void ClearTrace();
+
+/// Number of buffered events overwritten because a ring wrapped.
+uint64_t TraceDroppedEvents();
+
+/// RAII span: records the scope's wall time. Use via ROTOM_TRACE_SPAN;
+/// `name` must outlive the dump (string literals only). `hist` receives the
+/// duration in microseconds when metrics are enabled.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, Histogram* hist);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* hist_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace rotom
+
+#define ROTOM_OBS_CONCAT_INNER(a, b) a##b
+#define ROTOM_OBS_CONCAT(a, b) ROTOM_OBS_CONCAT_INNER(a, b)
+
+#ifndef ROTOM_METRICS_DISABLED
+/// Times the rest of the enclosing scope as phase `name` (a string
+/// literal). Every span name used in the repo is cataloged in
+/// OBSERVABILITY.md as `span.<name>.us`.
+#define ROTOM_TRACE_SPAN(name)                                            \
+  static ::rotom::obs::Histogram& ROTOM_OBS_CONCAT(                       \
+      rotom_obs_span_hist_, __LINE__) =                                   \
+      ::rotom::obs::GetHistogram(std::string("span.") + (name) + ".us");  \
+  ::rotom::obs::TraceSpan ROTOM_OBS_CONCAT(rotom_obs_span_, __LINE__)(    \
+      (name), &ROTOM_OBS_CONCAT(rotom_obs_span_hist_, __LINE__))
+#else
+#define ROTOM_TRACE_SPAN(name) static_cast<void>(0)
+#endif
+
+#endif  // ROTOM_OBS_TRACE_H_

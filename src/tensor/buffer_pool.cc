@@ -3,11 +3,36 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace rotom {
 
 namespace {
+
+// Observability mirrors of Stats (see OBSERVABILITY.md). The references are
+// into the leaked obs registry, so they stay valid even when Release() runs
+// during exit teardown of static Tensors.
+obs::Counter& ReusedCounter() {
+  static obs::Counter& counter = obs::GetCounter("buffer_pool.reused");
+  return counter;
+}
+obs::Counter& AllocatedCounter() {
+  static obs::Counter& counter = obs::GetCounter("buffer_pool.allocated");
+  return counter;
+}
+obs::Counter& ReturnedCounter() {
+  static obs::Counter& counter = obs::GetCounter("buffer_pool.returned");
+  return counter;
+}
+obs::Counter& DroppedCounter() {
+  static obs::Counter& counter = obs::GetCounter("buffer_pool.dropped");
+  return counter;
+}
+obs::Gauge& CachedBytesGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("buffer_pool.cached_bytes");
+  return gauge;
+}
 
 // Index of the bin whose capacity class covers `n` elements: the smallest b
 // with 2^b >= n. Bin capacity is exactly 2^b so every buffer in a bin can
@@ -48,8 +73,11 @@ std::shared_ptr<std::vector<float>> BufferPool::Acquire(int64_t numel) {
       bins_[bin].pop_back();
       cached_bytes_ -= buffer->capacity() * sizeof(float);
       ++stats_.reused;
+      ReusedCounter().Add(1);
+      CachedBytesGauge().Set(static_cast<int64_t>(cached_bytes_));
     } else {
       ++stats_.allocated;
+      AllocatedCounter().Add(1);
     }
   }
   if (buffer == nullptr) {
@@ -73,9 +101,12 @@ void BufferPool::Release(std::vector<float>* buffer) {
       bins_[FloorBinIndex(buffer->capacity())].emplace_back(buffer);
       cached_bytes_ += bytes;
       ++stats_.returned;
+      ReturnedCounter().Add(1);
+      CachedBytesGauge().Set(static_cast<int64_t>(cached_bytes_));
       return;
     }
     ++stats_.dropped;
+    DroppedCounter().Add(1);
   }
   delete buffer;
 }
@@ -84,6 +115,7 @@ void BufferPool::Trim() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& bin : bins_) bin.clear();
   cached_bytes_ = 0;
+  CachedBytesGauge().Set(0);
 }
 
 BufferPool::Stats BufferPool::GetStats() const {

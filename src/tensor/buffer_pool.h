@@ -21,6 +21,20 @@ namespace rotom {
 /// can never be handed out again. The pool is a leaked singleton (tensors
 /// with static storage duration may outlive any destructible pool) and is
 /// byte-capped: releases beyond the cap free the buffer normally.
+///
+/// Thread-safety: all public methods are safe to call concurrently (one
+/// internal mutex; shared_ptr deleters may run Release from any thread,
+/// including during static destruction — which the leaked singleton and the
+/// leaked obs registry both survive).
+///
+/// Determinism: recycling returns zero-filled buffers indistinguishable from
+/// fresh allocations, so the pool can never change numerics, only
+/// allocation latency.
+///
+/// Observability: acquisitions/releases mirror into the obs registry as
+/// `buffer_pool.reused` / `buffer_pool.allocated` / `buffer_pool.returned` /
+/// `buffer_pool.dropped` and the gauge `buffer_pool.cached_bytes`. See
+/// OBSERVABILITY.md.
 class BufferPool {
  public:
   struct Stats {

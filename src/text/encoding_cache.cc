@@ -4,10 +4,31 @@
 #include <functional>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace rotom {
 namespace text {
+
+namespace {
+
+// Process-wide observability counters, aggregated across every cache
+// instance (per-instance exact totals stay available via GetStats()). See
+// OBSERVABILITY.md.
+obs::Counter& HitCounter() {
+  static obs::Counter& counter = obs::GetCounter("encoding_cache.hits");
+  return counter;
+}
+obs::Counter& MissCounter() {
+  static obs::Counter& counter = obs::GetCounter("encoding_cache.misses");
+  return counter;
+}
+obs::Counter& EvictionCounter() {
+  static obs::Counter& counter = obs::GetCounter("encoding_cache.evictions");
+  return counter;
+}
+
+}  // namespace
 
 EncodingCache::EncodingCache(const Vocabulary* vocab, int64_t max_len,
                              size_t capacity_rows)
@@ -29,6 +50,7 @@ std::shared_ptr<const EncodedRow> EncodingCache::Encode(
     // Bypass mode: identical code path minus memoization, so enabling the
     // cache can only change timing, never results. Every call is a miss.
     shards_[ShardIndex(text)].misses.fetch_add(1, std::memory_order_relaxed);
+    MissCounter().Add(1);
     return std::make_shared<const EncodedRow>(
         EncodeRowForClassifier(*vocab_, text, max_len_));
   }
@@ -38,6 +60,7 @@ std::shared_ptr<const EncodedRow> EncodingCache::Encode(
     auto it = shard.map.find(text);
     if (it != shard.map.end()) {
       shard.hits.fetch_add(1, std::memory_order_relaxed);
+      HitCounter().Add(1);
       // Touch: move the key to the MRU position.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.it);
       return it->second.row;
@@ -53,14 +76,17 @@ std::shared_ptr<const EncodedRow> EncodingCache::Encode(
     if (it != shard.map.end()) {
       // Lost the race; adopt the winner's row so all callers share one copy.
       shard.hits.fetch_add(1, std::memory_order_relaxed);
+      HitCounter().Add(1);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.it);
       return it->second.row;
     }
     shard.misses.fetch_add(1, std::memory_order_relaxed);
+    MissCounter().Add(1);
     while (shard.map.size() >= shard_capacity_ && !shard.lru.empty()) {
       shard.map.erase(shard.lru.back());
       shard.lru.pop_back();
       shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      EvictionCounter().Add(1);
     }
     shard.lru.push_front(text);
     shard.map.emplace(text, Shard::Entry{row, shard.lru.begin()});

@@ -34,6 +34,19 @@ namespace text {
 /// The cache is keyed by text alone, so it must not be shared between models
 /// with different vocabularies or max_len; EncodingCache is owned by the
 /// component that owns those (see core/pipeline.h).
+///
+/// Thread-safety: Encode()/GetStats()/Size()/Clear() are safe to call
+/// concurrently; each shard takes its own mutex and the pointed-to
+/// Vocabulary is only read. The vocabulary must outlive the cache.
+///
+/// Determinism: Encode() is a pure memo — hit or miss, bypass or cached, the
+/// returned row is byte-identical to a fresh encode, and no Rng is consumed
+/// (pipeline_determinism_test covers all configurations).
+///
+/// Observability: every lookup also bumps the process-wide obs counters
+/// `encoding_cache.hits` / `encoding_cache.misses` / `encoding_cache.
+/// evictions` (summed across all cache instances; the per-instance Stats
+/// below remain exact per cache). See OBSERVABILITY.md.
 class EncodingCache {
  public:
   struct Stats {

@@ -1,8 +1,12 @@
 #include "util/logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+
+#include "obs/metrics.h"
 
 namespace rotom {
 
@@ -36,6 +40,23 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Wall-clock HH:MM:SS.mmm, written into `out` (size >= 16). Centralized
+// here so every log line carries the same timestamp format instead of call
+// sites formatting their own elapsed times (phase timing belongs to
+// ROTOM_TRACE_SPAN; see obs/trace.h).
+void FormatWallClock(char* out, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  std::snprintf(out, size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return MutableLevel(); }
@@ -47,8 +68,13 @@ namespace internal_logging {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
-          << line << "] ";
+  char clock[16];
+  FormatWallClock(clock, sizeof(clock));
+  // [LEVEL HH:MM:SS.mmm Tn file:line] — Tn is the dense obs::ThreadId(),
+  // the same id the tracer uses, so log lines correlate with trace rows.
+  stream_ << "[" << LevelName(level) << " " << clock << " T"
+          << obs::ThreadId() << " " << (base ? base + 1 : file) << ":" << line
+          << "] ";
 }
 
 LogMessage::~LogMessage() {

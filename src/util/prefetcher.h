@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace rotom {
@@ -36,6 +37,19 @@ namespace rotom {
 /// overlap). Asking for more threads than the hardware has
 /// (ROTOM_NUM_THREADS=4 on a 1-core host) keeps the producer thread: that
 /// is how the sanitizer sweep and the determinism tests exercise it.
+///
+/// Thread-safety: Next() must be called from a single consumer thread; the
+/// producer callback runs on at most one background thread. The Prefetcher
+/// object itself must not be shared across consumers. Ownership: the
+/// destructor cancels and joins the producer, so captured references in
+/// `producer` must outlive the Prefetcher (stack order in the trainers).
+///
+/// Determinism: items are delivered strictly in index order and the
+/// producer draws no shared randomness, so enabling/disabling prefetch (or
+/// varying `depth`) never changes the item sequence — only timing. The
+/// observability counters below (produced/blocked/starved; see
+/// OBSERVABILITY.md) are timing diagnostics and do not feed back into
+/// production order.
 template <typename T>
 class Prefetcher {
  public:
@@ -70,8 +84,19 @@ class Prefetcher {
   /// produces inline when disabled).
   std::optional<T> Next() {
     if (consumed_ >= total_) return std::nullopt;
-    if (!enabled_) return producer_(consumed_++);
+    if (!enabled_) {
+      static obs::Counter& produced_inline =
+          obs::GetCounter("prefetcher.produced_inline");
+      produced_inline.Add(1);
+      return producer_(consumed_++);
+    }
     std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      // Starvation: the consumer outran the producer and has to stall.
+      static obs::Counter& consumer_blocked =
+          obs::GetCounter("prefetcher.consumer_blocked");
+      consumer_blocked.Add(1);
+    }
     item_cv_.wait(lock, [this] { return !queue_.empty(); });
     T item = std::move(queue_.front());
     queue_.pop_front();
@@ -86,12 +111,20 @@ class Prefetcher {
     for (size_t i = 0; i < total_; ++i) {
       {
         std::unique_lock<std::mutex> lock(mu_);
+        if (!cancelled_ && queue_.size() >= depth_) {
+          // Backpressure: the queue is full and the producer has to stall.
+          static obs::Counter& producer_blocked =
+              obs::GetCounter("prefetcher.producer_blocked");
+          producer_blocked.Add(1);
+        }
         space_cv_.wait(lock,
                        [this] { return cancelled_ || queue_.size() < depth_; });
         if (cancelled_) return;
       }
       // Produce outside the lock so the consumer can drain concurrently.
       T item = producer_(i);
+      static obs::Counter& produced = obs::GetCounter("prefetcher.produced");
+      produced.Add(1);
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (cancelled_) return;

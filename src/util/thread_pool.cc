@@ -5,12 +5,28 @@
 #include <memory>
 #include <string_view>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace rotom {
 
 namespace {
+
+// Dispatch/execution counters (see OBSERVABILITY.md). Function-local static
+// references so each call site pays one registry lookup per process.
+obs::Counter& InlineForCounter() {
+  static obs::Counter& counter = obs::GetCounter("thread_pool.inline_for");
+  return counter;
+}
+obs::Counter& ParallelForCounter() {
+  static obs::Counter& counter = obs::GetCounter("thread_pool.parallel_for");
+  return counter;
+}
+obs::Counter& ChunksCounter() {
+  static obs::Counter& counter = obs::GetCounter("thread_pool.chunks");
+  return counter;
+}
 
 thread_local bool tls_in_parallel_region = false;
 
@@ -70,6 +86,8 @@ int64_t ThreadPool::RunChunks(uint64_t generation,
     ++completed;
     cur = claim_.load(std::memory_order_relaxed);
   }
+  if (completed > 0)
+    ChunksCounter().Add(static_cast<uint64_t>(completed));
   return completed;
 }
 
@@ -108,6 +126,7 @@ void ThreadPool::ParallelFor(
   if (total <= 0) return;
   grain = std::max<int64_t>(1, grain);
   if (num_threads_ == 1 || total <= grain || InParallelRegion()) {
+    InlineForCounter().Add(1);
     ScopedParallelRegion region;
     body(0, total);
     return;
@@ -122,11 +141,13 @@ void ThreadPool::ParallelFor(
       std::max(grain, (total + target_chunks - 1) / target_chunks);
   const int64_t num_chunks = (total + chunk - 1) / chunk;
   if (num_chunks <= 1) {
+    InlineForCounter().Add(1);
     ScopedParallelRegion region;
     body(0, total);
     return;
   }
   ROTOM_CHECK_LT(num_chunks, int64_t{1} << kChunkBits);
+  ParallelForCounter().Add(1);
 
   std::lock_guard<std::mutex> dispatch(dispatch_mu_);
   uint64_t generation;

@@ -23,6 +23,22 @@ namespace rotom {
 /// pool configuration — never on timing. Each index is executed by exactly
 /// one chunk, so a kernel whose per-index computation is itself
 /// deterministic produces bit-identical results at any thread count.
+///
+/// Thread-safety: ParallelFor may be called from any thread; concurrent
+/// invocations are serialized on an internal dispatch mutex, and calls from
+/// inside pool work run inline (no deadlock, no nested fan-out). The
+/// destructor must not race with an in-flight ParallelFor.
+///
+/// Ownership: `body` is borrowed for the duration of the call only. The
+/// process-wide ComputePool() below is a lazily-created singleton whose
+/// lifetime is managed by SetComputeThreads(); user code never owns a pool
+/// worker.
+///
+/// Observability: dispatches are counted in the obs registry —
+/// `thread_pool.parallel_for` (pool dispatches), `thread_pool.inline_for`
+/// (loops run inline because the pool is size 1, the range is a single
+/// chunk, or the caller is already pool work), and `thread_pool.chunks`
+/// (chunks executed by pool threads). See OBSERVABILITY.md.
 class ThreadPool {
  public:
   /// Starts `num_threads - 1` workers; the thread calling ParallelFor is the

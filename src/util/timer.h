@@ -6,7 +6,13 @@
 namespace rotom {
 
 /// Monotonic wall-clock timer used for the training-time experiments
-/// (paper Figure 4).
+/// (paper Figure 4) — the number a bench reports as its result.
+///
+/// This is for *measured output*, not for diagnosing where time goes: ad-hoc
+/// "phase took Xs" timing and log lines should use ROTOM_TRACE_SPAN
+/// (obs/trace.h) instead, which feeds the same wall time into the span.*.us
+/// histograms and the Chrome trace dump so every phase is reported through
+/// one consistent surface.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}

@@ -1,0 +1,313 @@
+// Tests for the observability layer (src/obs): sharded counter/histogram
+// aggregation under the compute pool, the runtime disable switch, snapshot
+// rendering, and the scoped-span tracer's Chrome trace output. The TSan
+// sweep in scripts/check.sh re-runs this binary at several pool sizes to
+// check the write paths race-free.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace rotom {
+namespace {
+
+// These tests exercise the recording paths, which a ROTOM_DISABLE_METRICS
+// build compiles to nothing — skip them there (the build itself is still
+// covered: this file must compile either way).
+#ifdef ROTOM_METRICS_DISABLED
+#define SKIP_IF_METRICS_COMPILED_OUT() \
+  GTEST_SKIP() << "built with ROTOM_DISABLE_METRICS"
+#else
+#define SKIP_IF_METRICS_COMPILED_OUT() static_cast<void>(0)
+#endif
+
+// Restores the metrics switch and trace path on scope exit so global obs
+// state never leaks between tests.
+class ObsStateGuard {
+ public:
+  ObsStateGuard() : enabled_(obs::Enabled()), path_(obs::TracePath()) {}
+  ~ObsStateGuard() {
+    obs::SetEnabled(enabled_);
+    obs::SetTracePath(path_);
+    obs::ClearTrace();
+  }
+
+ private:
+  bool enabled_;
+  std::string path_;
+};
+
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) { SetComputeThreads(n); }
+  ~ThreadGuard() { SetComputeThreads(0); }
+};
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ObsMetricsTest, CounterAggregatesAcrossPoolThreads) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+
+  // Single-thread reference total.
+  obs::Counter& serial = obs::GetCounter("test.counter_serial");
+  serial.Reset();
+  constexpr int64_t kItems = 10000;
+  for (int64_t i = 0; i < kItems; ++i) serial.Add(1);
+  ASSERT_EQ(serial.Value(), static_cast<uint64_t>(kItems));
+
+  // The same adds spread over a 4-thread pool must sum to the same total
+  // even though writers land on different shards.
+  ThreadGuard threads(4);
+  obs::Counter& pooled = obs::GetCounter("test.counter_pooled");
+  pooled.Reset();
+  ComputePool().ParallelFor(kItems, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pooled.Add(1);
+  });
+  EXPECT_EQ(pooled.Value(), serial.Value());
+
+  // Add(n) increments by n.
+  pooled.Reset();
+  pooled.Add(41);
+  pooled.Add(1);
+  EXPECT_EQ(pooled.Value(), 42u);
+}
+
+TEST(ObsMetricsTest, HistogramAggregatesAcrossPoolThreads) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+
+  obs::Histogram& serial = obs::GetHistogram("test.hist_serial");
+  serial.Reset();
+  constexpr int64_t kItems = 4096;
+  for (int64_t i = 0; i < kItems; ++i)
+    serial.Record(static_cast<uint64_t>(i % 257));
+
+  ThreadGuard threads(4);
+  obs::Histogram& pooled = obs::GetHistogram("test.hist_pooled");
+  pooled.Reset();
+  ComputePool().ParallelFor(kItems, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      pooled.Record(static_cast<uint64_t>(i % 257));
+  });
+
+  EXPECT_EQ(pooled.Count(), serial.Count());
+  EXPECT_EQ(pooled.Sum(), serial.Sum());
+  EXPECT_EQ(pooled.BucketCounts(), serial.BucketCounts());
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds zeros; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1024), 11u);
+  // The last bucket absorbs overflow.
+  EXPECT_EQ(obs::Histogram::BucketIndex(UINT64_MAX),
+            obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(obs::Histogram::kBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(ObsMetricsTest, HistogramQuantileUsesBucketUpperBounds) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Histogram& hist = obs::GetHistogram("test.hist_quantile");
+  hist.Reset();
+  // 90 small values (bucket of 3 -> upper bound 3), 10 large (bucket of
+  // 1000 -> upper bound 1023).
+  for (int i = 0; i < 90; ++i) hist.Record(3);
+  for (int i = 0; i < 10; ++i) hist.Record(1000);
+
+  const auto snapshot = obs::Snapshot();
+  const obs::MetricSnapshot* metric = nullptr;
+  for (const auto& m : snapshot.metrics)
+    if (m.name == "test.hist_quantile") metric = &m;
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(metric->count, 100u);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(*metric, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(*metric, 0.99), 1023.0);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Gauge& gauge = obs::GetGauge("test.gauge");
+  gauge.Reset();
+  gauge.Set(100);
+  EXPECT_EQ(gauge.Value(), 100);
+  gauge.Add(-30);
+  EXPECT_EQ(gauge.Value(), 70);
+  gauge.Set(5);
+  EXPECT_EQ(gauge.Value(), 5);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsSameInstrumentAndSortsSnapshots) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Counter& a = obs::GetCounter("test.same_name");
+  obs::Counter& b = obs::GetCounter("test.same_name");
+  EXPECT_EQ(&a, &b);
+
+  obs::GetCounter("test.zz_last").Add(1);
+  obs::GetCounter("test.aa_first").Add(1);
+  const auto snapshot = obs::Snapshot();
+  ASSERT_GE(snapshot.metrics.size(), 2u);
+  for (size_t i = 1; i < snapshot.metrics.size(); ++i)
+    EXPECT_LT(snapshot.metrics[i - 1].name, snapshot.metrics[i].name);
+}
+
+TEST(ObsMetricsTest, DisabledDropsWritesAndEmptiesSnapshot) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::Counter& counter = obs::GetCounter("test.disabled_counter");
+  obs::Histogram& hist = obs::GetHistogram("test.disabled_hist");
+  counter.Reset();
+  hist.Reset();
+
+  obs::SetEnabled(false);
+  counter.Add(7);
+  hist.Record(7);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(hist.Count(), 0u);
+  // ROTOM_METRICS=off contract: the scrape surface reports nothing at all.
+  EXPECT_TRUE(obs::Snapshot().metrics.empty());
+  EXPECT_EQ(obs::SnapshotJson(), "{}");
+
+  obs::SetEnabled(true);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value(), 7u);
+}
+
+TEST(ObsMetricsTest, SnapshotJsonRendersKindsAndExtras) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::GetCounter("test.json_counter").Reset();
+  obs::GetCounter("test.json_counter").Add(3);
+  obs::GetGauge("test.json_gauge").Set(-4);
+  obs::Histogram& hist = obs::GetHistogram("test.json_hist");
+  hist.Reset();
+  hist.Record(10);
+  hist.Record(20);
+
+  const std::string json =
+      obs::SnapshotJson(obs::Snapshot(), {{"test.derived_rate", 0.5}});
+  EXPECT_NE(json.find("\"test.json_counter\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_gauge\": -4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json_hist\": {\"count\": 2"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"test.derived_rate\": 0.5"), std::string::npos)
+      << json;
+  // Structurally balanced (cheap well-formedness check without a parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsTraceTest, NestedSpansProduceWellFormedChromeTrace) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  obs::ClearTrace();
+  const std::string path = testing::TempDir() + "/rotom_obs_test_trace.json";
+  obs::SetTracePath(path);
+  ASSERT_TRUE(obs::TraceEnabled());
+
+  {
+    ROTOM_TRACE_SPAN("test_outer");
+    for (int i = 0; i < 3; ++i) {
+      ROTOM_TRACE_SPAN("test_inner");
+    }
+  }
+  // Spans recorded on pool threads land in those threads' ring buffers and
+  // appear in the same dump.
+  ThreadGuard threads(4);
+  ComputePool().ParallelFor(8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      ROTOM_TRACE_SPAN("test_pooled");
+    }
+  });
+
+  ASSERT_TRUE(obs::DumpTrace(path));
+  const std::string json = ReadFileToString(path);
+  ASSERT_FALSE(json.empty());
+
+  // Chrome trace_event envelope with complete ("ph": "X") events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test_pooled\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  // One inner event per loop iteration, at least (other tests may add more).
+  size_t inner = 0;
+  for (size_t pos = json.find("\"test_inner\""); pos != std::string::npos;
+       pos = json.find("\"test_inner\"", pos + 1))
+    ++inner;
+  EXPECT_GE(inner, 3u);
+
+  // Span durations feed the histogram sink under the span.<name>.us name.
+  bool found_hist = false;
+  for (const auto& m : obs::Snapshot().metrics) {
+    if (m.name == "span.test_outer.us") {
+      found_hist = true;
+      EXPECT_GE(m.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+
+  obs::SetTracePath("");
+  EXPECT_FALSE(obs::TraceEnabled());
+  std::remove(path.c_str());
+}
+
+TEST(ObsTraceTest, ClearTraceDropsBufferedEvents) {
+  SKIP_IF_METRICS_COMPILED_OUT();
+  ObsStateGuard guard;
+  obs::SetEnabled(true);
+  const std::string path = testing::TempDir() + "/rotom_obs_test_clear.json";
+  obs::SetTracePath(path);
+  {
+    ROTOM_TRACE_SPAN("test_cleared");
+  }
+  obs::ClearTrace();
+  ASSERT_TRUE(obs::DumpTrace(path));
+  const std::string json = ReadFileToString(path);
+  EXPECT_EQ(json.find("\"test_cleared\""), std::string::npos) << json;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rotom

@@ -6,6 +6,7 @@
 // TrainResult::loss_history float-for-float. scripts/check.sh additionally
 // runs this binary under TSan at several pool sizes.
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "core/finetune.h"
 #include "core/rotom_trainer.h"
 #include "models/pretrain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace rotom {
@@ -195,6 +198,33 @@ TEST(PipelineDeterminismTest, RotomSslIsConfigInvariant) {
                   configs[3].label);
   ExpectIdentical(reference, RunRotom(configs[4], /*use_ssl=*/true),
                   configs[4].label);
+}
+
+TEST(PipelineDeterminismTest, InstrumentationIsResultInvariant) {
+  // Metrics counters + trace spans must be pure observers: running the full
+  // pipelined trainer with everything recording has to reproduce the
+  // trajectory of a run with instrumentation switched off, bit for bit
+  // (obs/metrics.h and obs/trace.h determinism contract).
+  const auto configs = AllConfigs();
+  const bool was_enabled = obs::Enabled();
+  const std::string was_path = obs::TracePath();
+
+  obs::SetEnabled(false);
+  const auto reference = RunRotom(configs[4], /*use_ssl=*/true);
+  ASSERT_FALSE(reference.loss_history.empty());
+
+  obs::SetEnabled(true);
+  const std::string trace_path =
+      testing::TempDir() + "/rotom_determinism_trace.json";
+  obs::SetTracePath(trace_path);
+  const auto instrumented = RunRotom(configs[4], /*use_ssl=*/true);
+
+  obs::SetTracePath(was_path);
+  obs::SetEnabled(was_enabled);
+  obs::ClearTrace();
+  std::remove(trace_path.c_str());
+
+  ExpectIdentical(reference, instrumented, "metrics+tracing on");
 }
 
 TEST(PipelineDeterminismTest, MaskedLmPretrainIsConfigInvariant) {
