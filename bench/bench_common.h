@@ -158,9 +158,11 @@ class JsonWriter {
   }
 
   /// Records the current obs metrics snapshot as the file's `metrics`
-  /// section. Derived ratios that a raw counter dump cannot express (cache
-  /// hit rate, buffer-pool reuse rate) are appended as extra keys. Call once
-  /// after the measured work, right before WriteFile().
+  /// section (histograms render with interpolated p50/p95/p99, see
+  /// obs::HistogramPercentile). Derived ratios that a raw counter dump
+  /// cannot express (cache hit rate, buffer-pool reuse rate) are appended
+  /// as extra keys. Call once after the measured work, right before
+  /// WriteFile().
   void CaptureMetrics() {
     if (!obs::Enabled()) return;  // leave the section null, as documented
     const obs::SnapshotData snapshot = obs::Snapshot();

@@ -12,6 +12,14 @@
 #   scripts/check.sh thread     # TSan only
 #   scripts/check.sh docs       # observability docs gate only
 #   scripts/check.sh perf       # perf-smoke benches only
+#   scripts/check.sh regress    # bench regression gate vs bench/baseline/
+#
+# The regress mode is not part of "all": it needs a quiet machine to be
+# meaningful and takes several bench runs. It repeats the figure-4 smoke
+# bench ROTOM_REGRESS_RUNS times (default 3) with the same pinned
+# environment the committed baselines were produced with, then feeds the
+# best-of merge to scripts/check_bench_regress.sh (see that script and
+# EXPERIMENTS.md for the noise model and tolerances).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,8 +72,31 @@ if [[ "$mode" == "all" || "$mode" == "perf" ]]; then
   if [[ -f build/CMakeCache.txt ]]; then perf_generator=(); fi
   cmake -B build -S . "${perf_generator[@]}"
   cmake --build build -j \
-    --target bench_micro_substrate bench_figure4_training_time
+    --target bench_micro_substrate bench_figure4_training_time rotom_inspect
   ctest --test-dir build -L perf-smoke --output-on-failure
+fi
+
+if [[ "$mode" == "regress" ]]; then
+  echo "== regress: bench regression gate vs bench/baseline =="
+  regress_generator=("${generator[@]}")
+  if [[ -f build/CMakeCache.txt ]]; then regress_generator=(); fi
+  cmake -B build -S . "${regress_generator[@]}"
+  cmake --build build -j --target bench_figure4_training_time
+  runs="${ROTOM_REGRESS_RUNS:-3}"
+  regress_tmp="$(mktemp -d)"
+  trap 'rm -rf "$regress_tmp"' EXIT
+  dirs=()
+  for ((i = 1; i <= runs; i++)); do
+    echo "-- bench run $i/$runs"
+    mkdir -p "$regress_tmp/run$i"
+    # Pin the environment the committed baselines were produced with
+    # (EXPERIMENTS.md "Refreshing bench baselines").
+    ROTOM_SMOKE=1 ROTOM_SEEDS=1 ROTOM_NUM_THREADS=1 \
+      ROTOM_BENCH_DIR="$regress_tmp/run$i" \
+      ./build/bench/bench_figure4_training_time >/dev/null
+    dirs+=("$regress_tmp/run$i")
+  done
+  scripts/check_bench_regress.sh "${dirs[@]}"
 fi
 
 echo "check.sh: all requested configurations passed"

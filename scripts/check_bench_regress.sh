@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares freshly produced BENCH_*.json files
+# (rotom-bench-v2, written by the bench binaries via bench_common.h) against
+# the committed baselines in bench/baseline/ and fails on regression.
+#
+# Noise model. Smoke-budget cells run for well under a second, and shared CI
+# hosts drift in absolute speed by 10-20% over minutes, so a naive
+# per-record absolute threshold is hopelessly flaky. The gate therefore
+# checks two things, each robust to a different failure mode:
+#
+#   1. Aggregate: the geometric mean of steps_per_sec over the cells both
+#      sides share must not drop by more than ROTOM_REGRESS_AGG_TOLERANCE
+#      (default 0.15). Catches uniform regressions — a tensor-layer or
+#      pipeline-wide slowdown moves every cell together.
+#   2. Per record: each cell's rate *normalized by its file's geometric
+#      mean* must not drop by more than ROTOM_REGRESS_TOLERANCE (default
+#      0.35). Normalization cancels uniform host drift, so what remains is
+#      the cell's speed relative to its peers — a single trainer or mode
+#      getting disproportionately slower trips this even when the host got
+#      faster overall.
+#
+# Both sides should be best-of-N merges: pass several fresh BENCH files and
+# the gate takes the per-cell maximum before comparing (the slowest
+# repetition is scheduler noise; the fastest is the machine's ability).
+# `scripts/check.sh regress` runs the bench ROTOM_REGRESS_RUNS times
+# (default 3) for exactly this reason, and committed baselines are produced
+# the same way (see EXPERIMENTS.md "Refreshing bench baselines").
+#
+# Records are matched by identity key (op, threads, pipeline); a baseline
+# record with no fresh counterpart is an error (a bench cell silently
+# disappeared), while extra fresh records are fine (new cells do not need a
+# baseline yet). Only steps_per_sec is gated — wall_seconds is its
+# reciprocal per cell and would double-report every regression.
+#
+# Usage:
+#   scripts/check_bench_regress.sh [current_dir...]
+#       Each dir (default: $ROTOM_BENCH_DIR, then ./build) must contain a
+#       fresh counterpart for every BENCH_*.json in bench/baseline/;
+#       multiple dirs are best-of merged per cell.
+#   scripts/check_bench_regress.sh --selftest
+#       No build products needed: synthesizes a baseline plus (a) an
+#       identical run, which must pass, (b) a uniform 20% slowdown, which
+#       must fail the aggregate check, and (c) a single cell slowed 2.5x,
+#       which must fail the per-record check. Wired into ctest as
+#       tools_bench_regress_selftest.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${ROTOM_REGRESS_TOLERANCE:-0.35}"
+agg_tolerance="${ROTOM_REGRESS_AGG_TOLERANCE:-0.15}"
+
+# compare <per_record_tol> <agg_tol> <baseline.json> <current.json...>
+# Exits 0 when every baseline record is present and within tolerance.
+compare() {
+  python3 - "$@" <<'PY'
+import json, math, sys
+
+tol, agg_tol = float(sys.argv[1]), float(sys.argv[2])
+baseline_path, current_paths = sys.argv[3], sys.argv[4:]
+
+def merge_records(paths):
+    """Best-of merge: per-cell max of steps_per_sec over all given files."""
+    out = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if not isinstance(doc, dict) or doc.get("schema") != "rotom-bench-v2":
+            sys.exit(f"{path}: not a rotom-bench-v2 document "
+                     "(regenerate with the current bench binaries)")
+        for rec in doc["records"]:
+            rate = rec.get("steps_per_sec")
+            if rate is None:
+                continue
+            key = (rec.get("op"), rec.get("threads"), rec.get("pipeline"))
+            out[key] = max(out.get(key, 0.0), float(rate))
+    return out
+
+base = merge_records([baseline_path])
+cur = merge_records(current_paths)
+
+failures = [f"MISSING  {op} threads={t} pipeline={p}: no fresh record"
+            for (op, t, p) in sorted(base) if (op, t, p) not in cur]
+
+shared = sorted(set(base) & set(cur))
+if not shared:
+    sys.exit(f"no shared records between {baseline_path} and fresh run(s)")
+
+def geomean(records, keys):
+    return math.exp(sum(math.log(records[k]) for k in keys) / len(keys))
+
+base_gm, cur_gm = geomean(base, shared), geomean(cur, shared)
+agg_drop = 1.0 - cur_gm / base_gm
+print(f"  aggregate geomean: {base_gm:.3f} -> {cur_gm:.3f} steps/s "
+      f"({agg_drop:+.1%} drop, tolerance {agg_tol:.0%})")
+if agg_drop > agg_tol:
+    failures.append(
+        f"REGRESS  aggregate: geomean {base_gm:.3f} -> {cur_gm:.3f} steps/s "
+        f"({agg_drop:.1%} uniform drop, tolerance {agg_tol:.0%})")
+
+for key in shared:
+    op, threads, pipeline = key
+    label = f"{op} threads={threads} pipeline={pipeline}"
+    norm_base = base[key] / base_gm
+    norm_cur = cur[key] / cur_gm
+    drop = 1.0 - norm_cur / norm_base
+    verdict = "ok"
+    if drop > tol:
+        failures.append(
+            f"REGRESS  {label}: {norm_base:.3f} -> {norm_cur:.3f} relative "
+            f"rate ({drop:.1%} drop vs peers, tolerance {tol:.0%})")
+        verdict = "REGRESS"
+    print(f"  {verdict:8s} {label}: {base[key]:.3f} -> {cur[key]:.3f} "
+          f"steps/s (relative {norm_base:.3f} -> {norm_cur:.3f})")
+
+if failures:
+    print(f"\n{len(failures)} regression(s) vs {baseline_path}:",
+          file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+PY
+}
+
+# synth <path> <uniform_scale> <slow_op_scale>: writes a minimal v2 document
+# whose rates are scaled by <uniform_scale>, with the EM/Rotom cells further
+# scaled by <slow_op_scale> (selftest only).
+synth() {
+  python3 - "$1" "$2" "$3" <<'PY'
+import json, sys
+path, scale, slow = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+records = []
+for op, base in (("EM/Baseline", 100.0), ("EM/MixDA", 50.0),
+                 ("EM/Rotom", 10.0)):
+    for pipeline in (True, False):
+        rate = base * scale * (slow if op == "EM/Rotom" else 1.0)
+        records.append({"op": op, "threads": 4, "pipeline": pipeline,
+                        "wall_seconds": 1.0 / rate, "steps_per_sec": rate})
+with open(path, "w") as f:
+    json.dump({"schema": "rotom-bench-v2", "records": records,
+               "metrics": None}, f)
+PY
+}
+
+if [[ "${1:-}" == "--selftest" ]]; then
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  synth "$tmp/baseline.json" 1.0 1.0
+  synth "$tmp/same.json" 1.0 1.0
+  synth "$tmp/uniform_slow.json" 0.8 1.0   # injected uniform 20% slowdown
+  synth "$tmp/one_op_slow.json" 1.0 0.4    # one trainer 2.5x slower
+
+  echo "selftest: identical run must pass"
+  compare "$tolerance" "$agg_tolerance" "$tmp/baseline.json" "$tmp/same.json"
+
+  echo "selftest: uniform 20% slowdown must fail the aggregate check"
+  if compare "$tolerance" "$agg_tolerance" \
+      "$tmp/baseline.json" "$tmp/uniform_slow.json" 2>/dev/null; then
+    echo "selftest FAILED: uniform 20% slowdown was not flagged" >&2
+    exit 1
+  fi
+
+  echo "selftest: single slow trainer must fail the per-record check"
+  if compare "$tolerance" "$agg_tolerance" \
+      "$tmp/baseline.json" "$tmp/one_op_slow.json" 2>/dev/null; then
+    echo "selftest FAILED: localized 2.5x slowdown was not flagged" >&2
+    exit 1
+  fi
+
+  echo "selftest: best-of merge must mask a single noisy run"
+  if ! compare "$tolerance" "$agg_tolerance" "$tmp/baseline.json" \
+      "$tmp/uniform_slow.json" "$tmp/same.json"; then
+    echo "selftest FAILED: best-of merge did not recover the good run" >&2
+    exit 1
+  fi
+
+  echo "check_bench_regress.sh selftest OK"
+  exit 0
+fi
+
+current_dirs=("$@")
+if [[ ${#current_dirs[@]} -eq 0 ]]; then
+  current_dirs=("${ROTOM_BENCH_DIR:-build}")
+fi
+baseline_dir="bench/baseline"
+
+if [[ ! -d "$baseline_dir" ]]; then
+  echo "no committed baselines under $baseline_dir; nothing to gate" >&2
+  exit 1
+fi
+
+status=0
+found=0
+for baseline in "$baseline_dir"/BENCH_*.json; do
+  [[ -e "$baseline" ]] || break
+  found=1
+  name="$(basename "$baseline")"
+  currents=()
+  for dir in "${current_dirs[@]}"; do
+    [[ -f "$dir/$name" ]] && currents+=("$dir/$name")
+  done
+  if [[ ${#currents[@]} -eq 0 ]]; then
+    echo "MISSING $name in ${current_dirs[*]} (baseline $baseline)" >&2
+    status=1
+    continue
+  fi
+  echo "== $name: ${currents[*]} vs $baseline =="
+  compare "$tolerance" "$agg_tolerance" "$baseline" "${currents[@]}" \
+    || status=1
+done
+
+if [[ "$found" == 0 ]]; then
+  echo "no BENCH_*.json baselines under $baseline_dir" >&2
+  exit 1
+fi
+
+if [[ "$status" == 0 ]]; then
+  echo "check_bench_regress.sh: all benches within tolerance"
+fi
+exit "$status"

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Docs gate for the observability layer: every metric and span name emitted
-# from src/ or bench/, and every public symbol declared in the src/obs
+# from src/, bench/, or tools/, every run-log event and field name written
+# by src/obs/runlog.cc, and every public symbol declared in the src/obs
 # headers, must appear in OBSERVABILITY.md. Fails (exit 1) listing what is
 # missing. Names are extractable because call sites pass string literals to
-# GetCounter/GetGauge/GetHistogram and ROTOM_TRACE_SPAN — keep it that way.
+# GetCounter/GetGauge/GetHistogram, ROTOM_TRACE_SPAN, RunLogLine, and
+# RunLogLine::Add — keep it that way.
 #
 # Usage: scripts/check_obs_docs.sh
 
@@ -31,7 +33,7 @@ require() {
 # emitting sites.
 while IFS= read -r name; do
   require "$name" "metric"
-done < <(grep -rh 'Get\(Counter\|Gauge\|Histogram\)("' src bench \
+done < <(grep -rh 'Get\(Counter\|Gauge\|Histogram\)("' src bench tools \
            | grep -vE '^[[:space:]]*(//|\*)' \
            | grep -oE 'Get(Counter|Gauge|Histogram)\("[^"]+"\)' \
            | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
@@ -39,10 +41,43 @@ done < <(grep -rh 'Get\(Counter\|Gauge\|Histogram\)("' src bench \
 # ---- Span names: ROTOM_TRACE_SPAN("...") documented as span.<name>.us ----
 while IFS= read -r name; do
   require "span.${name}.us" "span"
-done < <(grep -rh 'ROTOM_TRACE_SPAN("' src bench \
+done < <(grep -rh 'ROTOM_TRACE_SPAN("' src bench tools \
            | grep -vE '^[[:space:]]*(//|\*)' \
            | grep -oE 'ROTOM_TRACE_SPAN\("[^"]+"\)' \
            | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+
+# ---- Run-log event names: RunLogLine <var>("...") in runlog.cc, plus the
+# raw crash-handler line. Documented backticked so a bare word elsewhere in
+# the doc cannot satisfy the check by accident.
+runlog_src="src/obs/runlog.cc"
+while IFS= read -r name; do
+  require "\`$name\`" "run-log event"
+done < <({ grep -hoE 'RunLogLine [a-z_]+\("[^"]+"\)' "$runlog_src" \
+             | sed -E 's/.*\("([^"]+)"\).*/\1/'
+           grep -hoE '\\"event\\": \\"[a-z_]+' "$runlog_src" \
+             | sed -E 's/.*\\"event\\": \\"//'; } | sort -u)
+
+# ---- Run-log field names: RunLogLine::Add("...") literals. The dynamic
+# per-operator fields are emitted as "op." + name and must be documented as
+# op.<operator>; crash-handler fields are raw snprintf keys.
+while IFS= read -r field; do
+  if [[ "$field" == "op." ]]; then
+    require "op.<operator>" "run-log field"
+  else
+    require "\`$field\`" "run-log field"
+  fi
+done < <({ grep -hoE '\.(Add|Raw)\("[^"]+"' "$runlog_src" \
+             | sed -E 's/.*\("([^"]+)"?/\1/'
+           grep -hoE '\\"signo\\"' "$runlog_src" | sed 's/[\\"]//g'; } \
+           | grep -v '^event$' | sort -u)
+
+# ---- Derived metric names appended to BENCH_*.json ("extras") ----
+while IFS= read -r name; do
+  require "$name" "derived metric"
+done < <(grep -rh 'extras\.emplace_back("' src bench tools \
+           | grep -vE '^[[:space:]]*(//|\*)' \
+           | grep -oE 'emplace_back\("[^"]+"' \
+           | sed -E 's/.*\("([^"]+)"/\1/' | sort -u)
 
 # ---- Public API of the obs headers: classes and free functions ----
 while IFS= read -r symbol; do
@@ -57,7 +92,7 @@ done < <(grep -hoE '^[A-Za-z_:<>&* ]+ [A-Z][A-Za-z0-9]*\(' src/obs/*.h \
            | sed -E 's/.* ([A-Z][A-Za-z0-9]*)\($/\1/' | sort -u)
 
 # ---- Documented env vars must include the obs switches ----
-for var in ROTOM_METRICS ROTOM_TRACE ROTOM_NUM_THREADS; do
+for var in ROTOM_METRICS ROTOM_TRACE ROTOM_NUM_THREADS ROTOM_RUNLOG_DIR; do
   require "$var" "environment variable"
 done
 

@@ -292,5 +292,10 @@ std::string AugmentText(const std::string& input, DaOp op,
   return text::Detokenize(ApplyDaOp(op, text::Tokenize(input), context, rng));
 }
 
+TaggedAugment AugmentTextTagged(const std::string& input, DaOp op,
+                                const AugmentContext& context, Rng& rng) {
+  return {AugmentText(input, op, context, rng), DaOpName(op)};
+}
+
 }  // namespace augment
 }  // namespace rotom

@@ -56,6 +56,21 @@ std::vector<std::string> ApplyDaOp(DaOp op,
 std::string AugmentText(const std::string& input, DaOp op,
                         const AugmentContext& context, Rng& rng);
 
+/// An augmentation carrying the id of the operator that produced it. `op`
+/// is a DaOpName() literal (static storage), suitable directly as the
+/// operator tag of a core::TaggedCandidate — the run log aggregates kept
+/// candidates per step under these names as `op.<name>` fields
+/// (obs/runlog.h).
+struct TaggedAugment {
+  std::string text;
+  const char* op;
+};
+
+/// AugmentText plus the producing operator's name, for building tagged
+/// candidate pools: sample an op from OpsForTask(), apply it, keep the tag.
+TaggedAugment AugmentTextTagged(const std::string& input, DaOp op,
+                                const AugmentContext& context, Rng& rng);
+
 // Structure helpers shared with InvDA's corruption and tests.
 
 /// A [COL] attr [VAL] value... span inside a serialized record.

@@ -5,6 +5,7 @@
 
 #include "augment/mixda.h"
 #include "nn/optim.h"
+#include "obs/runlog.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/prefetcher.h"
@@ -46,6 +47,23 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
   WallTimer timer;
   Rng rng(options_.seed);
   nn::Adam optimizer(model_->Parameters(), options_.lr);
+
+  auto runlog = obs::RunLog::Open({options_.pipeline.runlog_dir, "finetune"});
+  if (runlog) {
+    obs::RunLogManifest manifest;
+    manifest.Set("trainer", "finetune")
+        .Set("aug_mode",
+             options_.aug_mode == AugMode::kNone      ? "none"
+             : options_.aug_mode == AugMode::kReplace ? "replace"
+                                                      : "mixda")
+        .Set("epochs", options_.epochs)
+        .Set("batch_size", options_.batch_size)
+        .Set("lr", static_cast<double>(options_.lr))
+        .Set("seed", static_cast<int64_t>(options_.seed))
+        .Set("threads", static_cast<int64_t>(ComputeThreads()))
+        .Set("train_examples", static_cast<int64_t>(ds.train.size()));
+    runlog->WriteManifest(manifest);
+  }
 
   const auto cache = MakeEncodingCache(options_.pipeline, &model_->vocab(),
                                        model_->config().max_len);
@@ -131,18 +149,29 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
         }
         loss = ops::CrossEntropyMean(logits, batch.labels);
       }
+      float grad_norm = 0.0f;
       {
         ROTOM_TRACE_SPAN("finetune.backward");
         loss.Backward();
-        nn::ClipGradNorm(optimizer.params(), 5.0f);
+        grad_norm = nn::ClipGradNorm(optimizer.params(), 5.0f);
         optimizer.Step();
       }
       result.loss_history.push_back(loss.value()[0]);
       ++result.steps;
+      if (runlog) {
+        obs::RunLogStep record;
+        record.step = result.steps;
+        record.epoch = epoch;
+        record.loss = static_cast<double>(loss.value()[0]);
+        record.lr = static_cast<double>(options_.lr);
+        record.grad_norm = static_cast<double>(grad_norm);
+        runlog->LogStep(record);
+      }
     }
 
     const double valid_metric =
         eval::EvaluateModel(*model_, ds.valid, metric_, cache.get());
+    if (runlog) runlog->LogEpoch(epoch, valid_metric, /*keep_fraction=*/-1.0);
     if (valid_metric > best_metric) {
       best_metric = valid_metric;
       best_state = model_->StateDict();
@@ -154,6 +183,7 @@ TrainResult FinetuneTrainer::Train(const data::TaskDataset& ds,
   model_->SetTraining(false);
   result.best_valid_metric = best_metric;
   result.seconds = timer.Seconds();
+  if (runlog) result.runlog_path = runlog->path();
   return result;
 }
 

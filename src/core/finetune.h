@@ -17,13 +17,16 @@ namespace core {
 /// score of the restored-best model on the validation set, wall time, and
 /// number of epochs/steps executed. `loss_history` records the training
 /// loss of every optimizer step — the determinism tests compare these
-/// trajectories bit-for-bit across pipeline configurations.
+/// trajectories bit-for-bit across pipeline configurations. `runlog_path`
+/// is the flight-recorder JSONL file written for the run (obs/runlog.h),
+/// "" when run logging is off.
 struct TrainResult {
   double best_valid_metric = 0.0;
   double seconds = 0.0;
   int64_t epochs_run = 0;
   int64_t steps = 0;
   std::vector<float> loss_history;
+  std::string runlog_path;
 };
 
 /// Produces one augmented variant of a text (simple DA op, InvDA sample,

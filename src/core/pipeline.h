@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "text/encoding_cache.h"
 #include "text/vocab.h"
@@ -41,6 +42,13 @@ struct PipelineOptions {
 
   /// Queue depth of the prefetcher; 2 = double buffering.
   size_t prefetch_depth = 2;
+
+  /// Directory for per-run flight-recorder JSONL logs (obs/runlog.h). Empty
+  /// falls back to the ROTOM_RUNLOG_DIR environment variable; when both are
+  /// empty, run logging is off. The log's step/epoch events are themselves
+  /// part of the determinism contract above: bit-identical across every
+  /// cache/prefetch/thread-count combination.
+  std::string runlog_dir;
 
   bool cache_enabled() const { return cache_rows > 0; }
 };

@@ -7,6 +7,7 @@
 
 #include "core/ssl.h"
 #include "nn/optim.h"
+#include "obs/runlog.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/prefetcher.h"
@@ -22,6 +23,7 @@ namespace {
 struct Candidate {
   std::string original;
   std::string augmented;
+  std::string op;  // producing operator tag ("" = untagged; run-log counts)
   int64_t label;
   bool is_original;  // untouched training examples bypass the filter
 };
@@ -33,6 +35,7 @@ struct Candidate {
 // previous step trains.
 struct StreamBatch {
   std::vector<std::string> aug_texts;
+  std::vector<std::string> ops;
   std::vector<int64_t> labels;
   std::vector<bool> is_original;
   text::EncodedBatch joint;  // rows [0,B) originals, rows [B,2B) augmented
@@ -105,6 +108,19 @@ RotomTrainer::RotomTrainer(models::TransformerClassifier* model,
 
 TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
                                 const CandidateGenerator& candidates) {
+  ROTOM_CHECK(candidates != nullptr);
+  return Train(ds, TaggedCandidateGenerator(
+                       [&candidates](const std::string& text, Rng& rng) {
+                         std::vector<TaggedCandidate> out;
+                         for (auto& aug : candidates(text, rng)) {
+                           out.push_back({std::move(aug), std::string()});
+                         }
+                         return out;
+                       }));
+}
+
+TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
+                                const TaggedCandidateGenerator& candidates) {
   ROTOM_CHECK(!ds.train.empty());
   ROTOM_CHECK(!ds.valid.empty());
   ROTOM_CHECK(candidates != nullptr);
@@ -138,6 +154,31 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
   const auto cache = MakeEncodingCache(options_.pipeline, &model_->vocab(),
                                        model_->config().max_len);
 
+  auto runlog = obs::RunLog::Open({options_.pipeline.runlog_dir, "rotom"});
+  if (runlog) {
+    obs::RunLogManifest manifest;
+    manifest.Set("trainer", "rotom")
+        .Set("epochs", options_.epochs)
+        .Set("batch_size", options_.batch_size)
+        .Set("lr", static_cast<double>(options_.lr))
+        .Set("meta_lr", static_cast<double>(options_.meta_lr))
+        .Set("filter_lr", static_cast<double>(options_.filter_lr))
+        .Set("epsilon", static_cast<double>(options_.epsilon))
+        .Set("use_filtering", options_.use_filtering)
+        .Set("use_weighting", options_.use_weighting)
+        .Set("use_ssl", options_.use_ssl)
+        .Set("include_original", options_.include_original)
+        .Set("augments_per_example", options_.augments_per_example)
+        .Set("meta_update_every", options_.meta_update_every)
+        .Set("seed", static_cast<int64_t>(options_.seed))
+        .Set("threads", static_cast<int64_t>(ComputeThreads()))
+        .Set("train_examples", static_cast<int64_t>(ds.train.size()))
+        .Set("valid_examples", static_cast<int64_t>(ds.valid.size()))
+        .Set("unlabeled_examples", static_cast<int64_t>(ds.unlabeled.size()))
+        .Set("num_classes", model_->config().num_classes);
+    runlog->WriteManifest(manifest);
+  }
+
   std::vector<std::string> unlabeled = ds.unlabeled;
   if (static_cast<int64_t>(unlabeled.size()) > options_.max_unlabeled) {
     rng.Shuffle(unlabeled);
@@ -161,7 +202,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
     // stream is identical at any thread count (and to the serial path).
     const uint64_t epoch_seed = rng.Next64();
     const int64_t n_train = static_cast<int64_t>(ds.train.size());
-    std::vector<std::vector<std::string>> augs_per_example(ds.train.size());
+    std::vector<std::vector<TaggedCandidate>> augs_per_example(ds.train.size());
     {
       ROTOM_TRACE_SPAN("rotom.augment");
       ComputePool().ParallelFor(n_train, 1, [&](int64_t lo, int64_t hi) {
@@ -179,11 +220,12 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
     for (int64_t i = 0; i < n_train; ++i) {
       const auto& example = ds.train[i];
       if (options_.include_original) {
-        stream.push_back({example.text, example.text, example.label, true});
+        stream.push_back({example.text, example.text, "original",
+                          example.label, true});
       }
       for (auto& aug : augs_per_example[i]) {
-        stream.push_back(
-            {example.text, std::move(aug), example.label, false});
+        stream.push_back({example.text, std::move(aug.text),
+                          std::move(aug.op), example.label, false});
       }
     }
     rng.Shuffle(stream);
@@ -206,6 +248,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       for (size_t i = begin; i < end; ++i) joint_texts.push_back(stream[i].original);
       for (size_t i = begin; i < end; ++i) {
         batch.aug_texts.push_back(stream[i].augmented);
+        batch.ops.push_back(stream[i].op);
         batch.labels.push_back(stream[i].label);
         batch.is_original.push_back(stream[i].is_original);
         joint_texts.push_back(stream[i].augmented);
@@ -327,7 +370,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
           ++class_counts[guess];
           // Augment the unlabeled sequence for consistency regularization.
           auto augs = candidates(pool[i], rng);
-          ssl_texts.push_back(augs.empty() ? pool[i] : augs[0]);
+          ssl_texts.push_back(augs.empty() ? pool[i] : augs[0].text);
           std::vector<float> row(num_classes);
           for (int64_t j = 0; j < num_classes; ++j)
             row[j] = src.at({static_cast<int64_t>(i), j});
@@ -385,7 +428,11 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
       model_->SetTraining(true);  // inference passes done
 
       // Builds the weighted training loss with the CURRENT model parameters;
-      // reused by the finite-difference passes.
+      // reused by the finite-difference passes. `step_weights` keeps the
+      // most recent normalized weight vector for the run-log step record
+      // (read right after the phase-1 call, before the FD passes re-run
+      // the lambda).
+      Tensor step_weights;
       auto build_train_loss = [&]() -> Variable {
         ROTOM_TRACE_SPAN("rotom.forward");
         Variable logits = model_->ForwardLogitsEncoded(all_batch, rng);
@@ -408,6 +455,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
         if (options_.use_weighting) {
           Variable w_raw = weighting_->WeightsEncoded(all_batch, l2, rng);
           weights = ops::NormalizeMeanOne(w_raw);
+          if (runlog) step_weights = weights.value().Clone();
         } else {
           weights = Variable(Tensor::Ones({n_all}), false);
         }
@@ -424,13 +472,41 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
         ROTOM_TRACE_SPAN("rotom.backward");
         loss_train.Backward();
       }
-      nn::ClipGradNorm(model_params, 5.0f);
+      const float grad_norm = nn::ClipGradNorm(model_params, 5.0f);
       const std::vector<Tensor> w_pre = CloneValues(model_params);
       const std::vector<Tensor> g_train = CloneGrads(model_params);
       opt_model.Step();
       const std::vector<Tensor> w_post = CloneValues(model_params);
       result.loss_history.push_back(loss_train.value()[0]);
       ++result.steps;
+
+      if (runlog) {
+        obs::RunLogStep record;
+        record.step = result.steps;
+        record.epoch = epoch;
+        record.loss = static_cast<double>(loss_train.value()[0]);
+        record.lr = static_cast<double>(options_.lr);
+        record.grad_norm = static_cast<double>(grad_norm);
+        record.keep_rate = static_cast<double>(kept_rows.size()) /
+                           static_cast<double>(b);
+        if (options_.use_weighting && step_weights.size() > 0) {
+          record.has_weights = true;
+          double sum = 0.0;
+          record.weight_min = record.weight_max = step_weights[0];
+          for (int64_t i = 0; i < step_weights.size(); ++i) {
+            const double w = static_cast<double>(step_weights[i]);
+            record.weight_min = std::min(record.weight_min, w);
+            record.weight_max = std::max(record.weight_max, w);
+            sum += w;
+          }
+          record.weight_mean = sum / static_cast<double>(step_weights.size());
+        }
+        for (int64_t row : kept_rows) {
+          const std::string& op = batch.ops[row];
+          if (!op.empty()) ++record.op_counts[op];
+        }
+        runlog->LogStep(record);
+      }
 
       // ---- Phase 2: update M_F and M_W (lines 8-11). ----
       const bool meta_step =
@@ -532,6 +608,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
 
     const double valid_metric =
         eval::EvaluateModel(*model_, ds.valid, metric_, cache.get());
+    if (runlog) runlog->LogEpoch(epoch, valid_metric, last_keep_fraction_);
     if (valid_metric > best_metric) {
       best_metric = valid_metric;
       best_state = model_->StateDict();
@@ -543,6 +620,7 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
   model_->SetTraining(false);
   result.best_valid_metric = best_metric;
   result.seconds = timer.Seconds();
+  if (runlog) result.runlog_path = runlog->path();
   return result;
 }
 

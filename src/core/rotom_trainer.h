@@ -77,6 +77,22 @@ struct RotomOptions {
 using CandidateGenerator =
     std::function<std::vector<std::string>(const std::string&, Rng&)>;
 
+/// An augmented candidate carrying the id of the operator that produced it
+/// — an augment::DaOpName() ("token_del", "span_shuffle", ...) or a source
+/// tag like "invda". The trainer aggregates, per optimizer step, how many
+/// kept candidates each operator contributed and records the counts as the
+/// `op.<name>` fields of the run log's step events (obs/runlog.h): the
+/// per-operator survival mix is the most direct view of what the filtering
+/// policy learned. An empty `op` is allowed and simply not counted.
+struct TaggedCandidate {
+  std::string text;
+  std::string op;
+};
+
+/// Tagged variant of CandidateGenerator; same concurrency contract.
+using TaggedCandidateGenerator =
+    std::function<std::vector<TaggedCandidate>(const std::string&, Rng&)>;
+
 /// Rotom's meta-learning trainer: jointly optimizes the target model, the
 /// filtering model M_F, and the weighting model M_W by alternating Algorithm
 /// 2's two phases. With use_ssl it additionally consumes unlabeled data via
@@ -86,9 +102,13 @@ class RotomTrainer {
   RotomTrainer(models::TransformerClassifier* model, eval::MetricKind metric,
                RotomOptions options);
 
-  /// Runs meta-training; `candidates` supplies augmented variants.
+  /// Runs meta-training; `candidates` supplies augmented variants. The
+  /// untagged overload forwards with empty operator tags (run-log step
+  /// events then carry no `op.<name>` counts).
   TrainResult Train(const data::TaskDataset& ds,
                     const CandidateGenerator& candidates);
+  TrainResult Train(const data::TaskDataset& ds,
+                    const TaggedCandidateGenerator& candidates);
 
   const FilteringModel& filtering_model() const { return *filtering_; }
   const WeightingModel& weighting_model() const { return *weighting_; }

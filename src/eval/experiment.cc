@@ -100,7 +100,10 @@ void TaskContext::EnsurePretrained() {
   models::TransformerClassifier model(options_.classifier, vocab_, rng);
   std::vector<std::string> corpus = dataset_.unlabeled;
   for (const auto& e : dataset_.train) corpus.push_back(e.text);
-  models::PretrainMaskedLm(model, corpus, rng, options_.pretrain);
+  // One pipeline config (cache/prefetch/runlog_dir) drives every stage.
+  models::PretrainOptions pretrain = options_.pretrain;
+  pretrain.pipeline = options_.pipeline;
+  models::PretrainMaskedLm(model, corpus, rng, pretrain);
   if (dataset_.is_pair_task && options_.same_origin.steps > 0) {
     // EM: add the self-supervised same-origin stage (substitution for the
     // comparison ability a large pre-trained LM brings; DESIGN.md).
@@ -110,7 +113,9 @@ void TaskContext::EnsurePretrained() {
       records.push_back(std::move(left));
       if (!right.empty()) records.push_back(std::move(right));
     }
-    models::PretrainSameOrigin(model, records, rng, options_.same_origin);
+    models::SameOriginOptions same_origin = options_.same_origin;
+    same_origin.pipeline = options_.pipeline;
+    models::PretrainSameOrigin(model, records, rng, same_origin);
   }
   // Only the encoder transfers; the task head is re-initialized per run.
   pretrained_state_ = model.StateDict();
@@ -141,8 +146,10 @@ void TaskContext::EnsureInvDa() {
     corpus = dataset_.unlabeled;
     for (const auto& e : dataset_.train) inputs.push_back(e.text);
   }
-  invda_->Train(corpus, options_.invda);
-  invda_->PrecomputeCache(inputs, options_.invda);
+  invda::InvDaOptions invda_options = options_.invda;
+  invda_options.pipeline = options_.pipeline;
+  invda_->Train(corpus, invda_options);
+  invda_->PrecomputeCache(inputs, invda_options);
 }
 
 std::string TaskContext::InvDaSample(const std::string& input, Rng& rng) {
@@ -181,10 +188,14 @@ std::unique_ptr<models::TransformerClassifier> TaskContext::FreshModel(
 }
 
 std::string TaskContext::RandomSimpleAugment(const std::string& input,
-                                             Rng& rng) const {
+                                             Rng& rng,
+                                             const char** op_name) const {
   const augment::DaOp op =
       task_ops_[rng.UniformInt(static_cast<int64_t>(task_ops_.size()))];
-  return augment::AugmentText(input, op, aug_context_, rng);
+  augment::TaggedAugment aug =
+      augment::AugmentTextTagged(input, op, aug_context_, rng);
+  if (op_name != nullptr) *op_name = aug.op;
+  return std::move(aug.text);
 }
 
 std::string TaskContext::MixDaAugment(const std::string& input,
@@ -281,16 +292,20 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
       // (Section 6.1: Rotom combines InvDA with MixDA's operators). For
       // texts outside the precomputed InvDA cache (e.g. SSL's unlabeled
       // sequences) only the cheap simple op is used — live seq2seq decoding
-      // inside the training loop would dominate wall time.
+      // inside the training loop would dominate wall time. Candidates carry
+      // operator tags so the run log reports per-operator survival counts.
       train = trainer.Train(
-          ds, [this](const std::string& s, Rng& r) {
-            std::vector<std::string> out;
-            out.push_back(RandomSimpleAugment(s, r));
-            if (InvDaHasCached(s)) {
-              out.push_back(InvDaSample(s, r));
-            }
-            return out;
-          });
+          ds, core::TaggedCandidateGenerator(
+                  [this](const std::string& s, Rng& r) {
+                    std::vector<core::TaggedCandidate> out;
+                    const char* op_name = "";
+                    std::string aug = RandomSimpleAugment(s, r, &op_name);
+                    out.push_back({std::move(aug), op_name});
+                    if (InvDaHasCached(s)) {
+                      out.push_back({InvDaSample(s, r), "invda"});
+                    }
+                    return out;
+                  }));
       break;
     }
   }

@@ -103,8 +103,12 @@ class TaskContext {
   std::string InvDaSample(const std::string& input, Rng& rng);
   bool InvDaHasCached(const std::string& input) const;
 
-  /// One random applicable simple op (for Rotom's candidate pool).
-  std::string RandomSimpleAugment(const std::string& input, Rng& rng) const;
+  /// One random applicable simple op (for Rotom's candidate pool). When
+  /// `op_name` is non-null it receives the augment::DaOpName of the sampled
+  /// operator — the tag the run log aggregates per-operator selection
+  /// counts under (core::TaggedCandidate).
+  std::string RandomSimpleAugment(const std::string& input, Rng& rng,
+                                  const char** op_name = nullptr) const;
   /// The task family's fixed MixDA operator.
   std::string MixDaAugment(const std::string& input, Rng& rng) const;
 

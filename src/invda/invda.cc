@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/optim.h"
+#include "obs/runlog.h"
 #include "obs/trace.h"
 #include "text/tokenizer.h"
 #include "util/logging.h"
@@ -56,7 +57,21 @@ float InvDa::Train(const std::vector<std::string>& unlabeled,
 
   model_.SetTraining(true);
   nn::Adam optimizer(model_.Parameters(), options.lr);
+
+  auto runlog = obs::RunLog::Open({options.pipeline.runlog_dir, "invda"});
+  if (runlog) {
+    obs::RunLogManifest manifest;
+    manifest.Set("trainer", "invda")
+        .Set("epochs", options.epochs)
+        .Set("batch_size", options.batch_size)
+        .Set("lr", static_cast<double>(options.lr))
+        .Set("corruption_ops", options.corruption_ops)
+        .Set("corpus_examples", static_cast<int64_t>(corpus.size()));
+    runlog->WriteManifest(manifest);
+  }
+
   float last_loss = 0.0f;
+  int64_t steps = 0;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     // Fresh corruptions every epoch (Algorithm 1 line 4-6 resampled).
     auto pairs = BuildCorruptionPairs(corpus, options.corruption_ops, context_,
@@ -70,9 +85,19 @@ float InvDa::Train(const std::vector<std::string>& unlabeled,
       optimizer.ZeroGrad();
       Variable loss = model_.Loss(batch, rng_);
       loss.Backward();
-      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      const float grad_norm = nn::ClipGradNorm(optimizer.params(), 5.0f);
       optimizer.Step();
       last_loss = loss.value()[0];
+      ++steps;
+      if (runlog) {
+        obs::RunLogStep record;
+        record.step = steps;
+        record.epoch = epoch;
+        record.loss = static_cast<double>(last_loss);
+        record.lr = static_cast<double>(options.lr);
+        record.grad_norm = static_cast<double>(grad_norm);
+        runlog->LogStep(record);
+      }
     }
   }
   model_.SetTraining(false);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "augment/ops.h"
+#include "core/pipeline.h"
 #include "models/seq2seq.h"
 
 namespace rotom {
@@ -27,6 +28,11 @@ struct InvDaOptions {
   // sequences per example; scaled to this reproduction's vocabulary).
   models::SamplingOptions sampling;
   int64_t augments_per_example = 4;
+
+  /// Only runlog_dir is consumed here (the seq2seq loop has no encoding
+  /// cache/prefetch stage); carried as PipelineOptions so
+  /// eval::ExperimentOptions forwards one pipeline config to every trainer.
+  core::PipelineOptions pipeline;
 };
 
 /// Algorithm 1's training-pair construction: corrupts each sequence with

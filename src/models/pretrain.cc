@@ -5,6 +5,7 @@
 
 #include "augment/ops.h"
 #include "nn/optim.h"
+#include "obs/runlog.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/prefetcher.h"
@@ -42,6 +43,18 @@ float PretrainMaskedLm(TransformerClassifier& model,
   // as the serial loop produces it.
   const auto cache = core::MakeEncodingCache(options.pipeline, &vocab,
                                              max_len);
+
+  auto runlog = obs::RunLog::Open({options.pipeline.runlog_dir, "mlm"});
+  if (runlog) {
+    obs::RunLogManifest manifest;
+    manifest.Set("trainer", "mlm")
+        .Set("epochs", options.epochs)
+        .Set("batch_size", options.batch_size)
+        .Set("lr", static_cast<double>(options.lr))
+        .Set("mask_prob", options.mask_prob)
+        .Set("corpus_examples", static_cast<int64_t>(texts.size()));
+    runlog->WriteManifest(manifest);
+  }
 
   model.SetTraining(true);
   int64_t steps = 0;
@@ -95,10 +108,19 @@ float PretrainMaskedLm(TransformerClassifier& model,
       Variable logits = mlm_head.Forward(gathered);
       Variable loss = ops::CrossEntropyMean(logits, targets);
       loss.Backward();
-      nn::ClipGradNorm(optimizer.params(), 5.0f);
+      const float grad_norm = nn::ClipGradNorm(optimizer.params(), 5.0f);
       optimizer.Step();
       last_loss = loss.value()[0];
       ++steps;
+      if (runlog) {
+        obs::RunLogStep record;
+        record.step = steps;
+        record.epoch = epoch;
+        record.loss = static_cast<double>(last_loss);
+        record.lr = static_cast<double>(options.lr);
+        record.grad_norm = static_cast<double>(grad_norm);
+        runlog->LogStep(record);
+      }
     }
   }
   ROTOM_LOG(Debug) << "MLM pretraining finished after " << steps
@@ -162,6 +184,18 @@ float PretrainSameOrigin(TransformerClassifier& model,
   const auto cache = core::MakeEncodingCache(options.pipeline, &model.vocab(),
                                              model.config().max_len);
 
+  auto runlog =
+      obs::RunLog::Open({options.pipeline.runlog_dir, "same_origin"});
+  if (runlog) {
+    obs::RunLogManifest manifest;
+    manifest.Set("trainer", "same_origin")
+        .Set("steps", options.steps)
+        .Set("batch_size", options.batch_size)
+        .Set("lr", static_cast<double>(options.lr))
+        .Set("corpus_examples", n);
+    runlog->WriteManifest(manifest);
+  }
+
   // Pair construction for step s runs under its own Rng stream split from
   // one base seed, so batches can be built (and encoded) on the prefetch
   // thread ahead of the optimizer without changing what any step sees.
@@ -202,15 +236,25 @@ float PretrainSameOrigin(TransformerClassifier& model,
                                    options.pipeline.prefetch_depth);
 
   float last_loss = 0.0f;
+  int64_t steps = 0;
   while (auto next = prefetcher.Next()) {
     PairBatch pairs = std::move(*next);
     optimizer.ZeroGrad();
     Variable loss = ops::CrossEntropyMean(
         model.ForwardLogitsEncoded(pairs.batch, rng), pairs.labels);
     loss.Backward();
-    nn::ClipGradNorm(optimizer.params(), 5.0f);
+    const float grad_norm = nn::ClipGradNorm(optimizer.params(), 5.0f);
     optimizer.Step();
     last_loss = loss.value()[0];
+    ++steps;
+    if (runlog) {
+      obs::RunLogStep record;
+      record.step = steps;
+      record.loss = static_cast<double>(last_loss);
+      record.lr = static_cast<double>(options.lr);
+      record.grad_norm = static_cast<double>(grad_norm);
+      runlog->LogStep(record);
+    }
   }
   ROTOM_LOG(Debug) << "same-origin pretraining loss " << last_loss;
   return last_loss;

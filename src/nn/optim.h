@@ -71,7 +71,10 @@ class Adam : public Optimizer {
 };
 
 /// Rescales gradients so their global L2 norm is at most `max_norm`.
-/// Returns the pre-clipping norm.
+/// Returns the pre-clipping norm — the trainers record it as the
+/// `grad_norm` field of their flight-recorder step events (obs/runlog.h),
+/// so it must be the unclipped value: post-clip norms saturate at
+/// `max_norm` and would hide diverging gradients.
 float ClipGradNorm(const std::vector<Variable>& params, float max_norm);
 
 }  // namespace nn

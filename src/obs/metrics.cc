@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -152,6 +153,32 @@ double HistogramQuantile(const MetricSnapshot& metric, double q) {
       Histogram::BucketUpperBound(metric.buckets.size() - 1));
 }
 
+double HistogramPercentile(const MetricSnapshot& metric, double q) {
+  if (metric.kind != MetricKind::kHistogram || metric.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 0-based fractional rank into the sorted sample; walk the cumulative
+  // bucket counts to the bucket containing it.
+  const double rank = q * static_cast<double>(metric.count - 1);
+  double cumulative = 0.0;
+  size_t last_nonzero = 0;
+  for (size_t b = 0; b < metric.buckets.size(); ++b) {
+    const double n = static_cast<double>(metric.buckets[b]);
+    if (n <= 0.0) continue;
+    last_nonzero = b;
+    if (cumulative + n > rank) {
+      if (b == 0) return 0.0;  // bucket 0 holds exact zeros
+      // Bucket b >= 1 covers [2^(b-1), 2^b); interpolate by the rank's
+      // position within the bucket. The overflow bucket has no upper bound
+      // and interpolates as one more doubling.
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = lo * 2.0;
+      return lo + (hi - lo) * ((rank - cumulative) / n);
+    }
+    cumulative += n;
+  }
+  return static_cast<double>(Histogram::BucketUpperBound(last_nonzero));
+}
+
 std::string SnapshotJson(
     const SnapshotData& snapshot,
     const std::vector<std::pair<std::string, double>>& extras) {
@@ -180,9 +207,11 @@ std::string SnapshotJson(
                ", \"sum\": " + std::to_string(m.sum) + ", \"mean\": ";
         AppendJsonNumber(&out, mean);
         out += ", \"p50\": ";
-        AppendJsonNumber(&out, HistogramQuantile(m, 0.5));
+        AppendJsonNumber(&out, HistogramPercentile(m, 0.5));
+        out += ", \"p95\": ";
+        AppendJsonNumber(&out, HistogramPercentile(m, 0.95));
         out += ", \"p99\": ";
-        AppendJsonNumber(&out, HistogramQuantile(m, 0.99));
+        AppendJsonNumber(&out, HistogramPercentile(m, 0.99));
         out += "}";
         break;
       }

@@ -248,12 +248,24 @@ SnapshotData Snapshot();
 
 /// Approximate quantile (0 <= q <= 1) of a histogram snapshot: the upper
 /// bound of the first bucket whose cumulative count reaches q * count.
-/// Returns 0 for empty histograms.
+/// Returns 0 for empty histograms. Coarse (a power of two minus one) but
+/// conservative — never below the true quantile's bucket.
 double HistogramQuantile(const MetricSnapshot& metric, double q);
 
+/// Interpolated percentile (0 <= q <= 1) of a histogram snapshot: locates
+/// the fractional rank q*(count-1) by cumulative bucket counts, then
+/// interpolates linearly across the target bucket's value range, so a p95
+/// moves smoothly instead of jumping between powers of two. Still bounded
+/// by log2 bucket resolution (the overflow bucket interpolates as if it
+/// were one more doubling). Returns 0 for empty histograms. This is the
+/// estimator behind the p50/p95/p99 fields in BENCH_*.json's metrics
+/// section and `rotom_inspect summary`.
+double HistogramPercentile(const MetricSnapshot& metric, double q);
+
 /// Renders a snapshot as a JSON object: counters and gauges map to numbers,
-/// histograms to {"count", "sum", "mean", "p50", "p99"} objects. `extras`
-/// appends caller-derived numeric fields (e.g. a computed hit rate).
+/// histograms to {"count", "sum", "mean", "p50", "p95", "p99"} objects with
+/// HistogramPercentile estimates. `extras` appends caller-derived numeric
+/// fields (e.g. a computed hit rate).
 std::string SnapshotJson(
     const SnapshotData& snapshot,
     const std::vector<std::pair<std::string, double>>& extras = {});

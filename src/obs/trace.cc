@@ -4,14 +4,27 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
 #include <vector>
+
+#include "obs/runlog.h"
 
 namespace rotom {
 namespace obs {
 
 namespace {
+
+// Mirror of TraceState::path readable from a signal handler without taking
+// the state mutex. Updated under the mutex wherever the path changes.
+char g_crash_trace_path[512] = {0};
+
+void SetCrashTracePath(const std::string& path) {
+  std::strncpy(g_crash_trace_path, path.c_str(),
+               sizeof(g_crash_trace_path) - 1);
+  g_crash_trace_path[sizeof(g_crash_trace_path) - 1] = '\0';
+}
 
 // Nanoseconds since the first call (a process-local anchor keeps trace
 // timestamps small enough for exact double microseconds).
@@ -72,6 +85,10 @@ void InitFromEnvOnce() {
     if (env != nullptr && env[0] != '\0') {
       state.path = env;
       state.enabled.store(true, std::memory_order_relaxed);
+      SetCrashTracePath(state.path);
+      // A crash must not lose the whole trace: atexit never runs for
+      // SIGSEGV/SIGABRT, so the obs crash handlers dump the buffers too.
+      InstallCrashHandlers();
     }
     if (!state.atexit_registered) {
       state.atexit_registered = true;
@@ -121,6 +138,8 @@ void SetTracePath(const std::string& path) {
   std::lock_guard<std::mutex> lock(state.mu);
   state.path = path;
   state.enabled.store(!path.empty(), std::memory_order_relaxed);
+  SetCrashTracePath(path);
+  if (!path.empty()) InstallCrashHandlers();
 }
 
 std::string TracePath() {
@@ -182,6 +201,10 @@ void ClearTrace() {
     buffer->dropped = 0;
   }
 }
+
+namespace internal {
+const char* TracePathForCrashHandler() { return g_crash_trace_path; }
+}  // namespace internal
 
 uint64_t TraceDroppedEvents() {
   TraceState& state = State();

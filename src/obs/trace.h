@@ -64,6 +64,14 @@ void ClearTrace();
 /// Number of buffered events overwritten because a ring wrapped.
 uint64_t TraceDroppedEvents();
 
+namespace internal {
+/// Lock-free copy of the trace path for the obs crash handlers (see
+/// obs/runlog.h): a signal handler must not take the TraceState mutex that
+/// guards TracePath(). Returns a NUL-terminated string, "" when tracing is
+/// off; truncated to its fixed capacity for very long paths.
+const char* TracePathForCrashHandler();
+}  // namespace internal
+
 /// RAII span: records the scope's wall time. Use via ROTOM_TRACE_SPAN;
 /// `name` must outlive the dump (string literals only). `hist` receives the
 /// duration in microseconds when metrics are enabled.

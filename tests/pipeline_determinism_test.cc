@@ -7,6 +7,7 @@
 // runs this binary under TSan at several pool sizes.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -225,6 +226,45 @@ TEST(PipelineDeterminismTest, InstrumentationIsResultInvariant) {
   std::remove(trace_path.c_str());
 
   ExpectIdentical(reference, instrumented, "metrics+tracing on");
+}
+
+TEST(PipelineDeterminismTest, RunLogStreamIsConfigInvariant) {
+  // The flight recorder's step/epoch events must be pure functions of the
+  // training trajectory (obs/runlog.h determinism contract): byte-identical
+  // across thread counts and cache/prefetch settings. Manifest and end
+  // events are excluded — they intentionally carry wall-clock time and the
+  // thread configuration.
+  auto trajectory = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"event\": \"step\"") != std::string::npos ||
+          line.find("\"event\": \"epoch\"") != std::string::npos)
+        lines.push_back(line);
+    }
+    return lines;
+  };
+  auto run = [&](PipelineConfig config) {
+    config.options.runlog_dir = testing::TempDir() + "/runlog_determinism";
+    const auto result = RunRotom(config, /*use_ssl=*/false);
+    EXPECT_FALSE(result.runlog_path.empty()) << config.label;
+    auto lines = trajectory(result.runlog_path);
+    std::remove(result.runlog_path.c_str());
+    return lines;
+  };
+  const auto configs = AllConfigs();
+  const auto reference = run(configs[0]);
+  ASSERT_FALSE(reference.empty());
+  for (size_t c = 1; c < configs.size(); ++c) {
+    const auto candidate = run(configs[c]);
+    ASSERT_EQ(reference.size(), candidate.size()) << configs[c].label;
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(reference[i], candidate[i])
+          << configs[c].label << " diverged at event " << i;
+    }
+  }
 }
 
 TEST(PipelineDeterminismTest, MaskedLmPretrainIsConfigInvariant) {

@@ -1,0 +1,269 @@
+// Tests for the training-run flight recorder (obs/runlog.h): file naming
+// and schema round-trip, the const-char*/bool overload trap, the env-var
+// fallback, the NaN/Inf sentinel, and end-to-end runs of the real trainers
+// with run logging on (the trainer-side wiring is what production debugging
+// depends on). The crash-handler path is exercised separately by the
+// rotom_inspect selftest's truncated-line case and by construction
+// (async-signal-safe write(2) only).
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/finetune.h"
+#include "core/rotom_trainer.h"
+#include "models/classifier.h"
+#include "obs/runlog.h"
+#include "util/rng.h"
+
+namespace rotom {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(RunLogTest, DisabledWhenUnconfigured) {
+  ::unsetenv("ROTOM_RUNLOG_DIR");
+  EXPECT_EQ(obs::RunLog::Open({"", "finetune"}), nullptr);
+}
+
+TEST(RunLogTest, EnvVarFallbackEnablesLogging) {
+  const std::string dir = testing::TempDir() + "/runlog_env";
+  ::setenv("ROTOM_RUNLOG_DIR", dir.c_str(), 1);
+  auto runlog = obs::RunLog::Open({"", "envtag"});
+  ::unsetenv("ROTOM_RUNLOG_DIR");
+  ASSERT_NE(runlog, nullptr);
+  EXPECT_EQ(runlog->path().rfind(dir + "/envtag-p", 0), 0) << runlog->path();
+}
+
+TEST(RunLogTest, SchemaRoundTrip) {
+  const std::string dir = testing::TempDir() + "/runlog_schema";
+  std::string path;
+  {
+    auto runlog = obs::RunLog::Open({dir, "unit"});
+    ASSERT_NE(runlog, nullptr);
+    path = runlog->path();
+
+    obs::RunLogManifest manifest;
+    manifest.Set("trainer", "unit")  // const char*: must render as a string
+        .Set("seed", int64_t{42})
+        .Set("lr", 0.001)
+        .Set("use_ssl", true);
+    runlog->WriteManifest(manifest);
+
+    obs::RunLogStep step;
+    step.step = 1;
+    step.epoch = 0;
+    step.loss = 0.75;
+    step.lr = 0.001;
+    step.grad_norm = 2.5;
+    step.keep_rate = 0.5;
+    step.has_weights = true;
+    step.weight_min = 0.25;
+    step.weight_mean = 1.0;
+    step.weight_max = 1.75;
+    step.op_counts["token_del"] = 3;
+    runlog->LogStep(step);
+    EXPECT_EQ(runlog->steps(), 1);
+
+    runlog->LogEpoch(0, 91.5, 0.625);
+  }  // destructor writes the end event
+
+  const auto lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 4u);
+
+  EXPECT_TRUE(Contains(lines[0], "\"event\": \"manifest\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[0], "\"schema\": \"rotom-runlog-v1\""));
+  EXPECT_TRUE(Contains(lines[0], "\"git_sha\": \""));
+  EXPECT_TRUE(Contains(lines[0], "\"rotom_num_threads\": \""));
+  // The const char* value must land on the string overload, not decay to
+  // bool ("trainer": true was a real bug).
+  EXPECT_TRUE(Contains(lines[0], "\"trainer\": \"unit\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[0], "\"seed\": 42"));
+  EXPECT_TRUE(Contains(lines[0], "\"use_ssl\": true"));
+
+  EXPECT_TRUE(Contains(lines[1], "\"event\": \"step\"")) << lines[1];
+  EXPECT_TRUE(Contains(lines[1], "\"loss\": 0.75"));
+  EXPECT_TRUE(Contains(lines[1], "\"grad_norm\": 2.5"));
+  EXPECT_TRUE(Contains(lines[1], "\"keep_rate\": 0.5"));
+  EXPECT_TRUE(Contains(lines[1], "\"weight_mean\": 1"));
+  EXPECT_TRUE(Contains(lines[1], "\"op.token_del\": 3"));
+
+  EXPECT_TRUE(Contains(lines[2], "\"event\": \"epoch\"")) << lines[2];
+  EXPECT_TRUE(Contains(lines[2], "\"valid_metric\": 91.5"));
+  EXPECT_TRUE(Contains(lines[2], "\"keep_fraction\": 0.625"));
+
+  EXPECT_TRUE(Contains(lines[3], "\"event\": \"end\"")) << lines[3];
+  EXPECT_TRUE(Contains(lines[3], "\"steps\": 1"));
+  EXPECT_TRUE(Contains(lines[3], "\"seconds\": "));
+}
+
+TEST(RunLogTest, OptionalStepFieldsAreOmitted) {
+  const std::string dir = testing::TempDir() + "/runlog_optional";
+  std::string path;
+  {
+    auto runlog = obs::RunLog::Open({dir, "plain"});
+    ASSERT_NE(runlog, nullptr);
+    path = runlog->path();
+    obs::RunLogStep step;
+    step.step = 1;
+    step.loss = 0.5;
+    step.lr = 0.01;  // grad_norm/keep_rate stay at their -1 sentinels
+    runlog->LogStep(step);
+  }
+  const auto lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);  // step + end (no manifest written)
+  EXPECT_FALSE(Contains(lines[0], "grad_norm")) << lines[0];
+  EXPECT_FALSE(Contains(lines[0], "keep_rate")) << lines[0];
+  EXPECT_FALSE(Contains(lines[0], "weight_")) << lines[0];
+  EXPECT_FALSE(Contains(lines[0], "\"op.")) << lines[0];
+}
+
+TEST(RunLogDeathTest, NonFiniteLossAborts) {
+  const std::string dir = testing::TempDir() + "/runlog_nan";
+  EXPECT_DEATH(
+      {
+        auto runlog = obs::RunLog::Open({dir, "nan"});
+        obs::RunLogStep step;
+        step.step = 3;
+        step.loss = std::nan("");
+        step.lr = 0.01;
+        runlog->LogStep(step);
+      },
+      "non-finite loss");
+}
+
+TEST(RunLogDeathTest, NonFiniteGradNormAborts) {
+  const std::string dir = testing::TempDir() + "/runlog_inf";
+  EXPECT_DEATH(
+      {
+        auto runlog = obs::RunLog::Open({dir, "inf"});
+        obs::RunLogStep step;
+        step.step = 4;
+        step.loss = 0.5;
+        step.lr = 0.01;
+        step.grad_norm = HUGE_VAL;
+        runlog->LogStep(step);
+      },
+      "non-finite grad_norm");
+}
+
+// ---- Real-trainer integration ----
+
+std::shared_ptr<text::Vocabulary> TinyVocab() {
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (const char* w : {"good", "bad", "movie", "product", "the", "was"})
+    vocab->AddToken(w);
+  return vocab;
+}
+
+models::ClassifierConfig TinyConfig() {
+  models::ClassifierConfig config;
+  config.num_classes = 2;
+  config.max_len = 8;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  return config;
+}
+
+data::TaskDataset TinyTask() {
+  data::TaskDataset ds;
+  ds.name = "tiny";
+  ds.num_classes = 2;
+  for (const char* t : {"the movie was good", "good good movie",
+                        "the product was good"})
+    ds.train.push_back({t, 1});
+  for (const char* t : {"the movie was bad", "bad bad movie",
+                        "the product was bad"})
+    ds.train.push_back({t, 0});
+  ds.valid = ds.train;
+  ds.test = ds.train;
+  return ds;
+}
+
+TEST(RunLogTest, FinetuneTrainerWritesRunLog) {
+  const std::string dir = testing::TempDir() + "/runlog_finetune";
+  Rng rng(3);
+  auto vocab = TinyVocab();
+  models::TransformerClassifier model(TinyConfig(), vocab, rng);
+  core::FinetuneOptions options;
+  options.epochs = 1;
+  options.batch_size = 3;
+  options.aug_mode = core::AugMode::kNone;
+  options.pipeline.runlog_dir = dir;
+  core::FinetuneTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  const auto result = trainer.Train(TinyTask(), nullptr);
+
+  ASSERT_FALSE(result.runlog_path.empty());
+  EXPECT_EQ(result.runlog_path.rfind(dir + "/finetune-p", 0), 0)
+      << result.runlog_path;
+  const auto lines = ReadLines(result.runlog_path);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(Contains(lines[0], "\"trainer\": \"finetune\"")) << lines[0];
+  int step_lines = 0;
+  for (const auto& line : lines) {
+    if (Contains(line, "\"event\": \"step\"")) {
+      ++step_lines;
+      EXPECT_TRUE(Contains(line, "\"grad_norm\": ")) << line;
+    }
+  }
+  EXPECT_EQ(step_lines, result.steps);
+  EXPECT_TRUE(Contains(lines.back(), "\"event\": \"end\"")) << lines.back();
+}
+
+TEST(RunLogTest, RotomTrainerLogsPolicyTelemetry) {
+  const std::string dir = testing::TempDir() + "/runlog_rotom";
+  Rng rng(5);
+  auto vocab = TinyVocab();
+  models::TransformerClassifier model(TinyConfig(), vocab, rng);
+  core::RotomOptions options;
+  options.epochs = 1;
+  options.batch_size = 4;
+  options.augments_per_example = 1;
+  options.pipeline.runlog_dir = dir;
+  core::RotomTrainer trainer(&model, eval::MetricKind::kAccuracy, options);
+  const auto result = trainer.Train(
+      TinyTask(),
+      core::TaggedCandidateGenerator([](const std::string& s, Rng&) {
+        return std::vector<core::TaggedCandidate>{{s + " good", "token_insert"}};
+      }));
+
+  ASSERT_FALSE(result.runlog_path.empty());
+  const auto lines = ReadLines(result.runlog_path);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(Contains(lines[0], "\"trainer\": \"rotom\"")) << lines[0];
+  EXPECT_TRUE(Contains(lines[0], "\"meta_lr\": "));
+  bool saw_keep_rate = false, saw_weights = false, saw_op = false;
+  for (const auto& line : lines) {
+    if (!Contains(line, "\"event\": \"step\"")) continue;
+    saw_keep_rate |= Contains(line, "\"keep_rate\": ");
+    saw_weights |= Contains(line, "\"weight_mean\": ");
+    saw_op |= Contains(line, "\"op.token_insert\": ") ||
+              Contains(line, "\"op.original\": ");
+  }
+  EXPECT_TRUE(saw_keep_rate);
+  EXPECT_TRUE(saw_weights);
+  EXPECT_TRUE(saw_op);
+}
+
+}  // namespace
+}  // namespace rotom
