@@ -217,9 +217,14 @@ void BM_ClassifierTrainStep(benchmark::State& state) {
   nn::Adam optimizer(model.Parameters(), 1e-3f);
   std::vector<std::string> texts(16, "tok1 tok2 tok3 tok4 tok5 tok6 tok7");
   std::vector<int64_t> labels(16, 1);
+  // Encoded once, like the pipelined training path (the raw-text overload is
+  // deprecated); the bench isolates the forward/backward/step cost.
+  const text::EncodedBatch batch =
+      text::EncodeBatchForClassifier(model.vocab(), texts, BenchConfig().max_len);
   for (auto _ : state) {
     optimizer.ZeroGrad();
-    ops::CrossEntropyMean(model.ForwardLogits(texts, rng), labels).Backward();
+    ops::CrossEntropyMean(model.ForwardLogitsEncoded(batch, rng), labels)
+        .Backward();
     optimizer.Step();
   }
 }

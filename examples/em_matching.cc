@@ -1,17 +1,18 @@
-// Entity matching with Rotom (paper Sections 2.1 and 6.3).
+// Entity matching with Rotom (paper Sections 2.1 and 6.3), through the
+// stable rotom::api facade.
 //
-// Shows the lower-level API: serializing entity records into the
-// "[COL] attr [VAL] value ... [SEP] ..." format, building a classifier, and
-// training it with the Rotom meta-trainer using simple DA operators.
+// Shows serializing entity records into the "[COL] attr [VAL] value ...
+// [SEP] ..." format, training a matcher with api::Train (which runs the
+// masked-LM + same-origin pre-training and the Rotom meta-learner
+// internally), exporting it as a snapshot, and answering pair-matching
+// queries from an InferenceSession — the Ditto-style serve shape.
 //
 // Run:  ./example_em_matching
 
 #include <cstdio>
 
-#include "augment/ops.h"
-#include "core/rotom_trainer.h"
 #include "data/em_gen.h"
-#include "eval/experiment.h"
+#include "rotom/api.h"
 #include "text/records.h"
 
 using namespace rotom;  // NOLINT: example brevity
@@ -22,8 +23,8 @@ int main() {
   google.fields = {{"Name", "Google LLC"}, {"phone", "(866) 246-6453"}};
   text::Record alphabet;
   alphabet.fields = {{"Name", "Alphabet inc"}, {"phone", "6502530000"}};
-  std::printf("serialized pair:\n  %s\n\n",
-              text::SerializeEntityPair(google, alphabet).c_str());
+  const std::string query_pair = text::SerializeEntityPair(google, alphabet);
+  std::printf("serialized pair:\n  %s\n\n", query_pair.c_str());
 
   // A low-resource EM task: 300 labeled pairs of the Abt-Buy stand-in.
   data::EmOptions em_options;
@@ -38,65 +39,67 @@ int main() {
               dataset.test.size());
   std::printf("example pair:\n  %s\n\n", dataset.train[0].text.c_str());
 
-  // Build the model by hand (instead of through TaskContext) to show the
-  // pieces: vocabulary -> classifier -> Rotom trainer with DA operators.
-  auto vocab = eval::BuildTaskVocabulary(dataset);
-  models::ClassifierConfig config;
-  config.num_classes = 2;
-  config.max_len = 56;
-  config.dim = 32;
-  config.num_layers = 2;
-  config.ffn_dim = 64;
-  Rng rng(1);
-  models::TransformerClassifier model(config, vocab, rng);
+  // One spec trains the matcher end to end: vocabulary, masked-LM +
+  // same-origin pre-training on the unlabeled pairs, then the Rotom
+  // meta-trainer over the EM operator set (pair/record-aware ops are picked
+  // from dataset.is_pair_task / is_record_task).
+  api::TrainSpec spec;
+  spec.dataset = dataset;
+  spec.method = eval::Method::kRotom;
+  spec.seed = 1;
+  spec.options.classifier.max_len = 56;
+  spec.options.classifier.dim = 32;
+  spec.options.classifier.num_layers = 2;
+  spec.options.classifier.ffn_dim = 64;
+  spec.options.seq2seq.max_src_len = 32;
+  spec.options.seq2seq.max_tgt_len = 32;
+  spec.options.seq2seq.dim = 32;
+  spec.options.seq2seq.ffn_dim = 64;
+  spec.options.pretrain.epochs = 2;
+  spec.options.same_origin.steps = 400;
+  spec.options.invda.epochs = 8;
+  spec.options.invda.sampling.top_k = 3;   // records need conservative sampling
+  spec.options.invda.corruption_ops = 1;
+  spec.options.epochs = 8;
 
-  // "Pre-trained LM" stand-in: masked-LM self-training on the unlabeled
-  // pairs plus the same-origin comparison stage (DESIGN.md, Substitutions).
-  std::printf("pre-training on %zu unlabeled pairs...\n",
-              dataset.unlabeled.size());
-  models::PretrainOptions pretrain;
-  pretrain.epochs = 2;
-  models::PretrainMaskedLm(model, dataset.unlabeled, rng, pretrain);
-  std::vector<std::string> records;
-  for (const auto& pair : dataset.unlabeled) {
-    const size_t sep = pair.find(" [SEP] ");
-    records.push_back(pair.substr(0, sep));
-    if (sep != std::string::npos) records.push_back(pair.substr(sep + 7));
+  std::printf("training the matcher (pre-training + meta-learning)...\n");
+  auto report = api::Train(spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 report.status().message().c_str());
+    return 1;
   }
-  models::SameOriginOptions same_origin;
-  same_origin.steps = 400;
-  models::PretrainSameOrigin(model, records, rng, same_origin);
+  std::printf("meta-training done: test F1 %.2f%% in %.1fs\n",
+              report.value().metrics.test_metric,
+              report.value().metrics.train_seconds);
 
-  // The Table 3 operators applicable to EM, with IDF-weighted sampling.
-  std::vector<std::vector<std::string>> docs;
-  for (const auto& e : dataset.train) docs.push_back(text::Tokenize(e.text));
-  const text::IdfTable idf = text::IdfTable::Build(docs);
-  augment::AugmentContext aug_context;
-  aug_context.idf = &idf;
-  aug_context.synonyms = &augment::SynonymLexicon::Default();
-  const auto ops = augment::OpsForTask(/*is_pair_task=*/true,
-                                       /*is_record_task=*/true);
-  std::printf("EM DA operators:");
-  for (auto op : ops) std::printf(" %s", augment::DaOpName(op));
-  std::printf("\n\n");
+  // Export + serve: the snapshot is the deployable artifact; the session
+  // answers match queries with no training machinery loaded.
+  const std::string path = "em_matcher.rsnap";
+  if (auto s = report.value().snapshot.Save(path); !s.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", s.message().c_str());
+    return 1;
+  }
+  auto session = api::InferenceSession::Open(path);
+  if (!session.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", session.status().message().c_str());
+    return 1;
+  }
 
-  core::RotomOptions train_options;
-  train_options.epochs = 8;
-  train_options.batch_size = 16;
-  train_options.seed = 1;
-  core::RotomTrainer trainer(&model, eval::MetricKind::kF1, train_options);
-  auto result = trainer.Train(
-      dataset, [&](const std::string& s, Rng& r) {
-        const auto op = ops[r.UniformInt(static_cast<int64_t>(ops.size()))];
-        return std::vector<std::string>{
-            augment::AugmentText(s, op, aug_context, r)};
-      });
-
-  std::printf("meta-training done: best valid F1 %.2f%%, %.1fs, filter kept "
-              "%.0f%% of augmentations\n",
-              result.best_valid_metric, result.seconds,
-              100.0 * trainer.last_keep_fraction());
-  std::printf("test F1: %.2f%%\n",
-              eval::EvaluateModel(model, dataset.test, eval::MetricKind::kF1));
+  // Score the Section 2.1 pair plus a few test pairs in one fused forward.
+  std::vector<std::string> queries = {query_pair};
+  for (size_t i = 0; i < 4 && i < dataset.test.size(); ++i) {
+    queries.push_back(dataset.test[i].text);
+  }
+  const auto predictions = session.value()->PredictBatch(queries);
+  std::printf("\nmatch(Google LLC, Alphabet inc) = %s (p_match=%.2f)\n",
+              predictions[0].label == 1 ? "yes" : "no",
+              predictions[0].probs[1]);
+  for (size_t i = 1; i < predictions.size(); ++i) {
+    std::printf("test pair %zu: predicted %lld, labeled %lld (p_match=%.2f)\n",
+                i, static_cast<long long>(predictions[i].label),
+                static_cast<long long>(dataset.test[i - 1].label),
+                predictions[i].probs[1]);
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the data-path perf benches and collects their machine-readable
-# results (BENCH_micro.json, BENCH_figure4.json) in the repo root.
+# Runs the data-path perf benches and the serve-path load generator, and
+# collects their machine-readable results (BENCH_micro.json,
+# BENCH_figure4.json, BENCH_serve.json) in the repo root.
 #
 # bench_figure4_training_time runs every (domain, method) cell twice — once
 # with the pipelined data path (encoding cache + background prefetch), once
@@ -28,7 +29,7 @@ fi
 
 cmake -B "$build" -S . "${generator[@]}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j \
-  --target bench_micro_substrate bench_figure4_training_time
+  --target bench_micro_substrate bench_figure4_training_time rotom_serve_bench
 
 export ROTOM_BENCH_DIR="$PWD"
 export ROTOM_NUM_THREADS="${ROTOM_NUM_THREADS:-4}"
@@ -39,4 +40,7 @@ echo "== bench_micro_substrate (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 echo "== bench_figure4_training_time (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 "$build/bench/bench_figure4_training_time"
 
-echo "bench.sh: wrote BENCH_micro.json and BENCH_figure4.json"
+echo "== rotom_serve_bench (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
+"$build/tools/rotom_serve_bench"
+
+echo "bench.sh: wrote BENCH_micro.json, BENCH_figure4.json, BENCH_serve.json"

@@ -45,10 +45,12 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DROTOM_SANITIZE=thread
   cmake --build build-tsan -j \
     --target thread_pool_test kernels_test autograd_test \
-             encoding_cache_test obs_test pipeline_determinism_test
+             encoding_cache_test obs_test pipeline_determinism_test \
+             serve_test
   # Force a multi-threaded pool even on single-CPU hosts so TSan actually
   # sees concurrent kernel execution, cache hammering, sharded metric
-  # writes, and prefetch threads.
+  # writes, prefetch threads, and the micro-batching server's worker +
+  # 8 closed-loop submitter threads.
   for threads in 2 4; do
     echo "-- ROTOM_NUM_THREADS=$threads"
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/thread_pool_test
@@ -57,6 +59,7 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/encoding_cache_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/obs_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/pipeline_determinism_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/serve_test
   done
 fi
 
@@ -72,7 +75,8 @@ if [[ "$mode" == "all" || "$mode" == "perf" ]]; then
   if [[ -f build/CMakeCache.txt ]]; then perf_generator=(); fi
   cmake -B build -S . "${perf_generator[@]}"
   cmake --build build -j \
-    --target bench_micro_substrate bench_figure4_training_time rotom_inspect
+    --target bench_micro_substrate bench_figure4_training_time rotom_inspect \
+             rotom_serve_bench
   ctest --test-dir build -L perf-smoke --output-on-failure
 fi
 

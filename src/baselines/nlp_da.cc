@@ -137,7 +137,10 @@ double RunHuVariant(bool learned_da, const data::TaskDataset& dataset,
       }
 
       optimizer.ZeroGrad();
-      Variable logits = model->ForwardLogits(texts, rng);
+      Variable logits = model->ForwardLogitsEncoded(
+          text::EncodeBatchForClassifier(model->vocab(), texts,
+                                         model->config().max_len),
+          rng);
       Variable ce = ops::CrossEntropyPerExample(logits, labels);
       Variable loss;
       if (!learned_da) {
@@ -309,7 +312,12 @@ double RunKumarCondGen(const data::TaskDataset& dataset,
         labels.push_back(augmented[i].label);
       }
       optimizer.ZeroGrad();
-      ops::CrossEntropyMean(model->ForwardLogits(texts, rng), labels)
+      ops::CrossEntropyMean(
+          model->ForwardLogitsEncoded(
+              text::EncodeBatchForClassifier(model->vocab(), texts,
+                                             model->config().max_len),
+              rng),
+          labels)
           .Backward();
       nn::ClipGradNorm(optimizer.params(), 5.0f);
       optimizer.Step();
@@ -433,7 +441,12 @@ double RunKumarMlmResample(const data::TaskDataset& dataset,
         labels.push_back(augmented[i].label);
       }
       optimizer.ZeroGrad();
-      ops::CrossEntropyMean(model->ForwardLogits(texts, rng), labels)
+      ops::CrossEntropyMean(
+          model->ForwardLogitsEncoded(
+              text::EncodeBatchForClassifier(model->vocab(), texts,
+                                             model->config().max_len),
+              rng),
+          labels)
           .Backward();
       nn::ClipGradNorm(optimizer.params(), 5.0f);
       optimizer.Step();

@@ -208,8 +208,10 @@ const NamedTensors& TaskContext::PretrainedState() {
   return pretrained_state_;
 }
 
-ExperimentResult TaskContext::Run(Method method, uint64_t seed) {
-  return RunOnDataset(dataset_, method, seed);
+ExperimentResult TaskContext::Run(
+    Method method, uint64_t seed,
+    std::unique_ptr<models::TransformerClassifier>* trained) {
+  return RunOnDataset(dataset_, method, seed, trained);
 }
 
 ExperimentResult TaskContext::RunWithBudget(Method method, uint64_t seed,
@@ -224,8 +226,9 @@ ExperimentResult TaskContext::RunWithBudget(Method method, uint64_t seed,
   return RunOnDataset(view, method, seed);
 }
 
-ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
-                                           Method method, uint64_t seed) {
+ExperimentResult TaskContext::RunOnDataset(
+    const data::TaskDataset& ds, Method method, uint64_t seed,
+    std::unique_ptr<models::TransformerClassifier>* trained) {
   ExperimentResult result;
   auto model = FreshModel(seed);
 
@@ -317,6 +320,7 @@ ExperimentResult TaskContext::RunOnDataset(const data::TaskDataset& ds,
                           : 0.0;
 
   result.test_metric = EvaluateModel(*model, ds.test, metric_);
+  if (trained != nullptr) *trained = std::move(model);
   return result;
 }
 

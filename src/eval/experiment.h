@@ -69,8 +69,13 @@ class TaskContext {
   TaskContext(data::TaskDataset dataset, ExperimentOptions options);
 
   /// Runs one method; seed controls sampling/shuffling (the paper averages
-  /// over 5 runs; benches here default to fewer, see ROTOM_SEEDS).
-  ExperimentResult Run(Method method, uint64_t seed);
+  /// over 5 runs; benches here default to fewer, see ROTOM_SEEDS). When
+  /// `trained` is non-null it receives the fine-tuned model (best validation
+  /// checkpoint restored) — the artifact rotom::api::Train exports as a
+  /// serve::Snapshot.
+  ExperimentResult Run(
+      Method method, uint64_t seed,
+      std::unique_ptr<models::TransformerClassifier>* trained = nullptr);
 
   /// Like Run but restricts training (and validation) to the first `budget`
   /// examples of the sample — nested labeling budgets for the Figure 3
@@ -88,6 +93,7 @@ class TaskContext {
     options_.pipeline = pipeline;
   }
   std::shared_ptr<const text::Vocabulary> vocab_ptr() const { return vocab_; }
+  const text::IdfTable& idf() const { return idf_; }
 
   /// The MLM(+same-origin) pre-trained weights (computed on first use);
   /// exposed so comparator baselines can start from the same checkpoint.
@@ -115,8 +121,9 @@ class TaskContext {
  private:
   void EnsurePretrained();
   std::unique_ptr<models::TransformerClassifier> FreshModel(uint64_t seed);
-  ExperimentResult RunOnDataset(const data::TaskDataset& ds, Method method,
-                                uint64_t seed);
+  ExperimentResult RunOnDataset(
+      const data::TaskDataset& ds, Method method, uint64_t seed,
+      std::unique_ptr<models::TransformerClassifier>* trained = nullptr);
 
   data::TaskDataset dataset_;
   ExperimentOptions options_;

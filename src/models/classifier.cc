@@ -73,7 +73,8 @@ Variable TransformerClassifier::EncodeHidden(const text::EncodedBatch& batch,
 
 Tensor TransformerClassifier::PredictProbs(const std::vector<std::string>& texts,
                                            Rng& rng) const {
-  return ops::SoftmaxRows(ForwardLogits(texts, rng).value());
+  return PredictProbsEncoded(
+      text::EncodeBatchForClassifier(*vocab_, texts, config_.max_len), rng);
 }
 
 Tensor TransformerClassifier::PredictProbsEncoded(const text::EncodedBatch& batch,

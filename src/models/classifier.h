@@ -35,6 +35,14 @@ class TransformerClassifier : public nn::Module {
                         Rng& rng);
 
   /// Logits [B, num_classes] for a batch of raw texts.
+  ///
+  /// Deprecated: this overload re-tokenizes every call. Prefer
+  /// ForwardLogitsEncoded with a text::EncodedBatch (text/tokenizer.h),
+  /// produced once via text::EncodeBatchForClassifier or memoized through
+  /// text::EncodingCache, so encoding work is paid once per distinct text.
+  /// The one supported raw-text entry point is serve::InferenceSession,
+  /// which sits behind an encoding cache; everything else in the repo has
+  /// been migrated to the encoded-batch path.
   Variable ForwardLogits(const std::vector<std::string>& texts,
                          Rng& rng) const;
 

@@ -20,6 +20,9 @@
 //   baselines/ DeepMatcher-, Raha-, Hu et al.- and Kumar et al.-style
 //             comparators
 //   eval/     metrics and the TaskContext experiment runner
+//   serve/    model snapshots + micro-batching inference (Snapshot,
+//             InferenceSession, BatchingServer)
+//   rotom/    the rotom::api facade (TrainSpec -> Train -> Snapshot)
 //
 // Quickstart: see examples/quickstart.cc.
 
@@ -48,6 +51,10 @@
 #include "models/seq2seq.h"
 #include "nn/optim.h"
 #include "nn/transformer.h"
+#include "rotom/api.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"

@@ -1,0 +1,63 @@
+#include "rotom/api.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rotom {
+namespace api {
+
+namespace {
+
+// Returns a non-OK status if any example's label falls outside
+// [0, num_classes); `split` names the offending split in the message.
+Status CheckLabels(const std::vector<data::Example>& examples,
+                   int64_t num_classes, const char* split) {
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const int64_t label = examples[i].label;
+    if (label < 0 || label >= num_classes) {
+      return Status::Error("TrainSpec: " + std::string(split) + " example " +
+                           std::to_string(i) + " has label " +
+                           std::to_string(label) + ", outside [0, " +
+                           std::to_string(num_classes) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateSpec(const TrainSpec& spec) {
+  if (spec.dataset.train.empty())
+    return Status::Error("TrainSpec: dataset.train is empty");
+  if (spec.dataset.num_classes < 2) {
+    return Status::Error("TrainSpec: num_classes must be >= 2, got " +
+                         std::to_string(spec.dataset.num_classes));
+  }
+  const int64_t classes = spec.dataset.num_classes;
+  if (Status s = CheckLabels(spec.dataset.train, classes, "train"); !s.ok())
+    return s;
+  if (Status s = CheckLabels(spec.dataset.valid, classes, "valid"); !s.ok())
+    return s;
+  if (Status s = CheckLabels(spec.dataset.test, classes, "test"); !s.ok())
+    return s;
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<TrainReport> Train(const TrainSpec& spec) {
+  if (Status s = ValidateSpec(spec); !s.ok()) return s;
+
+  data::TaskDataset dataset = spec.dataset;
+  if (dataset.valid.empty()) dataset.valid = dataset.train;
+
+  eval::TaskContext context(std::move(dataset), spec.options);
+  std::unique_ptr<models::TransformerClassifier> model;
+  TrainReport report;
+  report.metrics = context.Run(spec.method, spec.seed, &model);
+  ROTOM_CHECK(model != nullptr);
+  report.snapshot = serve::Snapshot::FromModel(*model, context.idf());
+  return report;
+}
+
+}  // namespace api
+}  // namespace rotom

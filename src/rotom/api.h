@@ -1,0 +1,66 @@
+#ifndef ROTOM_ROTOM_API_H_
+#define ROTOM_ROTOM_API_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+#include "eval/experiment.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace rotom {
+namespace api {
+
+// The stable user-facing surface of the library, covering the whole
+// train -> export -> serve lifecycle in three types:
+//
+//   TrainSpec spec{.dataset = my_task};
+//   auto report = api::Train(spec);                    // meta-learned DA loop
+//   report.value().snapshot.Save("model.rsnap");       // single-file export
+//   auto session = api::InferenceSession::Open("model.rsnap");
+//   api::BatchingServer server(session.value().get()); // micro-batching
+//
+// Everything underneath (TaskContext, trainers, augmentation policies) stays
+// reachable for research use; this facade is the supported path for
+// applications. Recoverable failures surface as Status, never as aborts.
+
+/// Serving types re-exported under the facade namespace.
+using serve::BatchingServer;
+using serve::InferenceSession;
+using serve::Prediction;
+using serve::Snapshot;
+
+/// One training request: a task dataset plus the method and knobs to train
+/// it with. Defaults reproduce the paper's headline configuration (the full
+/// Rotom filtering+weighting meta-learner) at this repo's scaled-down sizes.
+struct TrainSpec {
+  data::TaskDataset dataset;
+  eval::Method method = eval::Method::kRotom;
+  eval::ExperimentOptions options;
+  uint64_t seed = 1;
+};
+
+/// What Train() hands back: the evaluation numbers for the run and a
+/// self-contained servable snapshot of the fine-tuned model (best validation
+/// checkpoint, paired with the task vocabulary and IDF table).
+struct TrainReport {
+  eval::ExperimentResult metrics;
+  serve::Snapshot snapshot;
+};
+
+/// Validates the spec, trains one model end to end (vocabulary + IDF build,
+/// masked-LM pre-training, the selected method's fine-tuning loop), and
+/// packages the result. Returns an error Status for unusable specs — empty
+/// train set, fewer than two classes, labels outside [0, num_classes) —
+/// instead of CHECK-aborting deep in the trainer. An empty valid set falls
+/// back to validating on train (the paper's labeling-budget-saving setup for
+/// EM/EDT).
+StatusOr<TrainReport> Train(const TrainSpec& spec);
+
+}  // namespace api
+}  // namespace rotom
+
+#endif  // ROTOM_ROTOM_API_H_

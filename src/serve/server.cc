@@ -1,0 +1,154 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rotom {
+namespace serve {
+
+namespace {
+
+obs::Counter& RequestCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.requests");
+  return c;
+}
+
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.rejected");
+  return c;
+}
+
+obs::Counter& BatchCounter() {
+  static obs::Counter& c = obs::GetCounter("serve.batches");
+  return c;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::GetGauge("serve.queue_depth");
+  return g;
+}
+
+obs::Histogram& BatchSizeHistogram() {
+  static obs::Histogram& h = obs::GetHistogram("serve.batch_size");
+  return h;
+}
+
+obs::Histogram& LatencyHistogram() {
+  static obs::Histogram& h = obs::GetHistogram("serve.latency_us");
+  return h;
+}
+
+}  // namespace
+
+BatchingServer::BatchingServer(const InferenceSession* session,
+                               const Options& options)
+    : session_(session), options_(options) {
+  ROTOM_CHECK(session != nullptr);
+  ROTOM_CHECK_GE(options_.max_batch, 1);
+  ROTOM_CHECK_GE(options_.max_delay_us, 0);
+  ROTOM_CHECK_GE(options_.queue_capacity, 1u);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BatchingServer::~BatchingServer() { Shutdown(); }
+
+std::future<StatusOr<Prediction>> BatchingServer::Submit(std::string text) {
+  std::promise<StatusOr<Prediction>> promise;
+  std::future<StatusOr<Prediction>> future = promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [&] {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutdown_) {
+      RejectedCounter().Add();
+      promise.set_value(Status::Error("BatchingServer is shut down"));
+      return future;
+    }
+    queue_.push_back(Request{std::move(text), std::move(promise),
+                             std::chrono::steady_clock::now()});
+    ++requests_;
+    RequestCounter().Add();
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void BatchingServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  // Serialize the join so concurrent Shutdown() calls are safe.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (worker_.joinable()) worker_.join();
+}
+
+BatchingServer::Stats BatchingServer::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{requests_, batches_};
+}
+
+void BatchingServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to drain
+
+      // Close the batch once max_batch requests are waiting or the oldest
+      // one has waited max_delay_us. The deadline anchors at enqueue time,
+      // so when the queue is backlogged (arrival outpaced the previous
+      // forward) the wait is already over and the batch leaves immediately.
+      const auto deadline =
+          queue_.front().enqueued +
+          std::chrono::microseconds(options_.max_delay_us);
+      queue_cv_.wait_until(lock, deadline, [&] {
+        return shutdown_ ||
+               queue_.size() >= static_cast<size_t>(options_.max_batch);
+      });
+
+      const size_t take = std::min(
+          queue_.size(), static_cast<size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++batches_;
+      QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
+    }
+    space_cv_.notify_all();
+
+    std::vector<std::string> texts;
+    texts.reserve(batch.size());
+    for (const Request& r : batch) texts.push_back(r.text);
+    std::vector<Prediction> predictions;
+    {
+      ROTOM_TRACE_SPAN("serve.batch");
+      predictions = session_->PredictBatch(texts);
+    }
+    BatchCounter().Add();
+    BatchSizeHistogram().Record(batch.size());
+
+    const auto done = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      LatencyHistogram().Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              done - batch[i].enqueued)
+              .count()));
+      batch[i].promise.set_value(std::move(predictions[i]));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace rotom

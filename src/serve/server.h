@@ -1,0 +1,122 @@
+#ifndef ROTOM_SERVE_SERVER_H_
+#define ROTOM_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/session.h"
+#include "util/status.h"
+
+namespace rotom {
+namespace serve {
+
+/// Micro-batching front end for an InferenceSession.
+///
+/// N client threads Submit() single requests into a bounded MPSC queue; one
+/// worker thread coalesces waiting requests into batches of up to
+/// `max_batch` and runs a single fused forward per batch, delivering each
+/// result through the future returned at submit time. Batching amortizes the
+/// per-forward fixed costs (graph-free op dispatch, kernel launches, softmax)
+/// across requests — under a multi-client closed loop this is several times
+/// the throughput of serial single-request inference (tools/rotom_serve_bench
+/// measures it; BENCH_serve.json records it).
+///
+/// Coalescing policy: a batch is closed as soon as either `max_batch`
+/// requests are waiting, or the *oldest* waiting request has been queued for
+/// `max_delay_us`. Measuring the delay from enqueue time (not from when the
+/// worker goes idle) means a backlogged queue is drained at full batch size
+/// with no artificial waiting, while a lone request under light load still
+/// leaves within max_delay_us.
+///
+/// Backpressure: the queue holds at most `queue_capacity` requests;
+/// Submit() blocks until space frees up. Shutdown() (also run by the
+/// destructor) stops accepting new work, *drains every queued request*
+/// through the model, and joins the worker — no future returned by a
+/// successful pre-shutdown Submit() is ever abandoned. A Submit() that loses
+/// the race with Shutdown() resolves immediately to an error Status.
+///
+/// Thread-safety: Submit()/Predict() may be called from any number of
+/// threads. Shutdown() may be called from any thread (concurrently with
+/// submitters); once effective all later submissions are rejected.
+///
+/// Observability (see OBSERVABILITY.md): `serve.requests`,
+/// `serve.rejected`, `serve.batches` counters; `serve.queue_depth` gauge;
+/// `serve.batch_size` and `serve.latency_us` (enqueue -> result delivered)
+/// histograms; each fused forward runs under a `serve.batch` trace span.
+class BatchingServer {
+ public:
+  struct Options {
+    /// Largest coalesced batch per fused forward.
+    int64_t max_batch = 32;
+    /// Longest a request may wait in the queue for co-batching, in
+    /// microseconds.
+    int64_t max_delay_us = 1000;
+    /// Bound of the submission queue; Submit() blocks when full.
+    size_t queue_capacity = 1024;
+  };
+
+  /// The session must outlive the server.
+  explicit BatchingServer(const InferenceSession* session,
+                          const Options& options);
+  explicit BatchingServer(const InferenceSession* session)
+      : BatchingServer(session, Options()) {}
+  ~BatchingServer();
+
+  BatchingServer(const BatchingServer&) = delete;
+  BatchingServer& operator=(const BatchingServer&) = delete;
+
+  /// Enqueues one request and returns the future that will carry its result
+  /// (or an error Status if the server shut down before this call took
+  /// effect). Blocks while the queue is full.
+  std::future<StatusOr<Prediction>> Submit(std::string text);
+
+  /// Convenience synchronous round trip: Submit + wait.
+  StatusOr<Prediction> Predict(std::string text) {
+    return Submit(std::move(text)).get();
+  }
+
+  /// Stops accepting requests, drains everything already queued through the
+  /// session, and joins the worker thread. Idempotent.
+  void Shutdown();
+
+  /// Totals since construction (exact once concurrent submitters quiesce).
+  struct Stats {
+    uint64_t requests = 0;  // accepted submissions
+    uint64_t batches = 0;   // fused forwards run
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Request {
+    std::string text;
+    std::promise<StatusOr<Prediction>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+
+  const InferenceSession* session_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // worker waits for work / deadline
+  std::condition_variable space_cv_;  // submitters wait for queue space
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+  uint64_t requests_ = 0;
+  uint64_t batches_ = 0;
+
+  std::mutex join_mu_;  // serializes concurrent Shutdown() joins
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace rotom
+
+#endif  // ROTOM_SERVE_SERVER_H_

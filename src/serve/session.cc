@@ -1,0 +1,84 @@
+#include "serve/session.h"
+
+#include <cstring>
+#include <utility>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+
+namespace rotom {
+namespace serve {
+
+InferenceSession::InferenceSession(
+    std::unique_ptr<models::TransformerClassifier> model, text::IdfTable idf,
+    const Options& options)
+    : model_(std::move(model)),
+      idf_(std::move(idf)),
+      cache_(std::make_unique<text::EncodingCache>(
+          &model_->vocab(), model_->config().max_len, options.cache_rows)) {}
+
+StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Create(
+    const Snapshot& snapshot, const Options& options) {
+  auto model = snapshot.BuildModel();
+  if (!model.ok()) return model.status();
+  // Private constructor: make_unique cannot reach it.
+  return std::unique_ptr<InferenceSession>(new InferenceSession(
+      std::move(model).value(), snapshot.idf, options));
+}
+
+StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Open(
+    const std::string& path, const Options& options) {
+  auto snapshot = Snapshot::Load(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return Create(snapshot.value(), options);
+}
+
+text::EncodedBatch InferenceSession::Assemble(
+    std::span<const std::string> texts) const {
+  const int64_t max_len = cache_->max_len();
+  text::EncodedBatch batch;
+  batch.batch = static_cast<int64_t>(texts.size());
+  batch.max_len = max_len;
+  batch.ids.reserve(batch.batch * max_len);
+  batch.flags.reserve(batch.batch * max_len);
+  batch.mask = Tensor({batch.batch, max_len});
+  float* mask = batch.mask.data();
+  for (int64_t i = 0; i < batch.batch; ++i) {
+    const std::shared_ptr<const text::EncodedRow> row =
+        cache_->Encode(texts[static_cast<size_t>(i)]);
+    batch.ids.insert(batch.ids.end(), row->ids.begin(), row->ids.end());
+    batch.flags.insert(batch.flags.end(), row->flags.begin(),
+                       row->flags.end());
+    std::memcpy(mask + i * max_len, row->mask.data(),
+                sizeof(float) * static_cast<size_t>(max_len));
+  }
+  return batch;
+}
+
+Tensor InferenceSession::Logits(std::span<const std::string> texts) const {
+  if (texts.empty()) return Tensor();
+  const text::EncodedBatch batch = Assemble(texts);
+  // Eval mode consumes no randomness and no-grad builds no graph; the Rng is
+  // only a signature requirement.
+  NoGradGuard guard;
+  Rng rng(0);
+  return model_->ForwardLogitsEncoded(batch, rng).value();
+}
+
+std::vector<Prediction> InferenceSession::PredictBatch(
+    std::span<const std::string> texts) const {
+  if (texts.empty()) return {};
+  const Tensor probs = ops::SoftmaxRows(Logits(texts));
+  const int64_t classes = probs.size(-1);
+  std::vector<Prediction> out(texts.size());
+  for (size_t i = 0; i < texts.size(); ++i) {
+    const float* row = probs.data() + static_cast<int64_t>(i) * classes;
+    out[i].label = kernels::RowArgmax(row, classes);
+    out[i].probs.assign(row, row + classes);
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace rotom

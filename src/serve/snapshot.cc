@@ -1,0 +1,348 @@
+#include "serve/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+namespace rotom {
+namespace serve {
+
+namespace {
+
+// "RSNAP" + NULs to 8 bytes; distinct from the bare tensor container's
+// "ROTM1" magic so the two formats cannot be confused.
+constexpr char kMagic[8] = {'R', 'S', 'N', 'A', 'P', '\0', '\0', '\0'};
+
+// FNV-1a 64-bit over the payload bytes: tiny, dependency-free, and plenty to
+// catch truncation/bit-rot (this is an integrity check, not authentication).
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// In-memory payload writer. Integers/floats are appended as raw
+// little-endian bytes (the library only targets little-endian hosts).
+class PayloadWriter {
+ public:
+  template <typename T>
+  void Pod(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char* p = reinterpret_cast<const char*>(&value);
+    buffer_.append(p, sizeof(T));
+  }
+
+  void String(const std::string& s) {
+    Pod<uint64_t>(s.size());
+    buffer_.append(s);
+  }
+
+  void Bytes(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+// Bounds-checked payload reader: every accessor returns false once the
+// cursor would run past the end, so corrupt length fields degrade into a
+// Status error instead of out-of-bounds reads or absurd allocations.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload) : payload_(payload) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (Remaining() < sizeof(T)) return false;
+    std::memcpy(value, payload_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return true;
+  }
+
+  bool String(std::string* out) {
+    uint64_t size = 0;
+    if (!Pod(&size) || Remaining() < size) return false;
+    out->assign(payload_.data() + cursor_, size);
+    cursor_ += size;
+    return true;
+  }
+
+  bool Bytes(void* data, size_t size) {
+    if (Remaining() < size) return false;
+    std::memcpy(data, payload_.data() + cursor_, size);
+    cursor_ += size;
+    return true;
+  }
+
+  size_t Remaining() const { return payload_.size() - cursor_; }
+
+ private:
+  const std::string& payload_;
+  size_t cursor_ = 0;
+};
+
+void WriteConfig(PayloadWriter& w, const models::ClassifierConfig& config) {
+  w.Pod<int64_t>(config.num_classes);
+  w.Pod<int64_t>(config.max_len);
+  w.Pod<int64_t>(config.dim);
+  w.Pod<int64_t>(config.num_heads);
+  w.Pod<int64_t>(config.num_layers);
+  w.Pod<int64_t>(config.ffn_dim);
+  w.Pod<float>(config.dropout);
+}
+
+bool ReadConfig(PayloadReader& r, models::ClassifierConfig* config) {
+  return r.Pod(&config->num_classes) && r.Pod(&config->max_len) &&
+         r.Pod(&config->dim) && r.Pod(&config->num_heads) &&
+         r.Pod(&config->num_layers) && r.Pod(&config->ffn_dim) &&
+         r.Pod(&config->dropout);
+}
+
+}  // namespace
+
+Snapshot Snapshot::FromModel(const models::TransformerClassifier& model,
+                             const text::IdfTable& idf) {
+  Snapshot snapshot;
+  snapshot.config = model.config();
+  snapshot.vocab = model.vocab_ptr();
+  snapshot.idf = idf;
+  snapshot.weights = model.StateDict();  // StateDict clones every tensor
+  return snapshot;
+}
+
+Status Snapshot::Save(const std::string& path) const {
+  if (vocab == nullptr) {
+    return Status::Error("snapshot has no vocabulary; nothing to save");
+  }
+  PayloadWriter payload;
+
+  WriteConfig(payload, config);
+
+  // Vocabulary: every token in id order (ids are implicit). The fixed
+  // special tokens are included so Load() can verify the layout assumption.
+  payload.Pod<uint64_t>(static_cast<uint64_t>(vocab->size()));
+  for (int64_t id = 0; id < vocab->size(); ++id) payload.String(vocab->Token(id));
+
+  // IDF table, token-sorted for deterministic bytes.
+  payload.Pod<int64_t>(idf.num_documents());
+  payload.Pod<double>(idf.max_idf());
+  const auto entries = idf.SortedEntries();
+  payload.Pod<uint64_t>(entries.size());
+  for (const auto& [token, value] : entries) {
+    payload.String(token);
+    payload.Pod<double>(value);
+  }
+
+  // Weights, in StateDict order.
+  payload.Pod<uint64_t>(weights.size());
+  for (const auto& [name, tensor] : weights) {
+    payload.String(name);
+    payload.Pod<uint64_t>(tensor.shape().size());
+    for (int64_t d : tensor.shape()) payload.Pod<int64_t>(d);
+    payload.Bytes(tensor.data(), sizeof(float) * tensor.size());
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kFormatVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t size = payload.buffer().size();
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  const uint64_t checksum = Fnv1a64(payload.buffer().data(), size);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.write(payload.buffer().data(), static_cast<std::streamsize>(size));
+  if (!out) return Status::Error("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<Snapshot> Snapshot::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open snapshot " + path);
+
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error(path + " is not a rotom snapshot (bad magic)");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) return Status::Error(path + ": truncated snapshot header");
+  if (version != kFormatVersion) {
+    return Status::Error(path + ": unsupported snapshot version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(kFormatVersion) + ")");
+  }
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in) return Status::Error(path + ": truncated snapshot header");
+
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<uint64_t>(in.gcount()) != payload_size) {
+    return Status::Error(path + ": truncated snapshot payload (expected " +
+                         std::to_string(payload_size) + " bytes, got " +
+                         std::to_string(in.gcount()) + ")");
+  }
+  if (Fnv1a64(payload.data(), payload.size()) != checksum) {
+    return Status::Error(path + ": snapshot checksum mismatch (corrupt file)");
+  }
+  // The header says the file ends here; anything after it means the file was
+  // appended to (or two snapshots were concatenated) and the checksum no
+  // longer vouches for what a naive reader would consume.
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return Status::Error(path + ": trailing bytes after snapshot payload");
+  }
+
+  // The payload verified, so any parse failure below means a writer bug or
+  // a hand-edited file that still has a valid checksum; report which section
+  // failed rather than aborting.
+  PayloadReader r(payload);
+  Snapshot snapshot;
+
+  if (!ReadConfig(r, &snapshot.config)) {
+    return Status::Error(path + ": snapshot config section is malformed");
+  }
+  if (snapshot.config.num_classes < 2 || snapshot.config.max_len < 1 ||
+      snapshot.config.dim < 1 || snapshot.config.num_heads < 1 ||
+      snapshot.config.num_layers < 1 || snapshot.config.ffn_dim < 1) {
+    return Status::Error(path + ": snapshot config has non-positive sizes");
+  }
+
+  uint64_t vocab_size = 0;
+  if (!r.Pod(&vocab_size) ||
+      vocab_size < static_cast<uint64_t>(text::SpecialTokens::kCount)) {
+    return Status::Error(path + ": snapshot vocabulary section is malformed");
+  }
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (uint64_t id = 0; id < vocab_size; ++id) {
+    std::string token;
+    if (!r.String(&token)) {
+      return Status::Error(path + ": snapshot vocabulary section is truncated");
+    }
+    if (id < static_cast<uint64_t>(text::SpecialTokens::kCount)) {
+      if (token != vocab->Token(static_cast<int64_t>(id))) {
+        return Status::Error(path + ": snapshot special token " +
+                             std::to_string(id) + " is '" + token +
+                             "', expected '" +
+                             vocab->Token(static_cast<int64_t>(id)) + "'");
+      }
+      continue;  // the Vocabulary constructor already added it
+    }
+    if (vocab->AddToken(token) != static_cast<int64_t>(id)) {
+      return Status::Error(path + ": snapshot vocabulary has duplicate token '" +
+                           token + "'");
+    }
+  }
+  snapshot.vocab = std::move(vocab);
+
+  int64_t num_documents = 0;
+  double max_idf = 0.0;
+  uint64_t idf_count = 0;
+  if (!r.Pod(&num_documents) || !r.Pod(&max_idf) || !r.Pod(&idf_count)) {
+    return Status::Error(path + ": snapshot idf section is malformed");
+  }
+  std::vector<std::pair<std::string, double>> idf_entries;
+  idf_entries.reserve(idf_count);
+  for (uint64_t i = 0; i < idf_count; ++i) {
+    std::string token;
+    double value = 0.0;
+    if (!r.String(&token) || !r.Pod(&value)) {
+      return Status::Error(path + ": snapshot idf section is truncated");
+    }
+    idf_entries.emplace_back(std::move(token), value);
+  }
+  snapshot.idf =
+      text::IdfTable::FromParts(std::move(idf_entries), max_idf, num_documents);
+
+  uint64_t weight_count = 0;
+  if (!r.Pod(&weight_count)) {
+    return Status::Error(path + ": snapshot weights section is malformed");
+  }
+  for (uint64_t i = 0; i < weight_count; ++i) {
+    std::string name;
+    uint64_t ndim = 0;
+    if (!r.String(&name) || !r.Pod(&ndim) || ndim == 0 || ndim > 8) {
+      return Status::Error(path + ": snapshot weight " + std::to_string(i) +
+                           " has a malformed header");
+    }
+    std::vector<int64_t> shape(ndim);
+    uint64_t numel = 1;
+    for (auto& d : shape) {
+      if (!r.Pod(&d) || d < 1 || numel > UINT64_MAX / static_cast<uint64_t>(d)) {
+        return Status::Error(path + ": snapshot weight '" + name +
+                             "' has a malformed shape");
+      }
+      numel *= static_cast<uint64_t>(d);
+    }
+    // The data must fit in what is actually left of the payload; this bounds
+    // the allocation below before it happens.
+    if (numel > r.Remaining() / sizeof(float)) {
+      return Status::Error(path + ": snapshot weight '" + name +
+                           "' claims more data than the payload holds");
+    }
+    Tensor tensor(std::move(shape));
+    if (!r.Bytes(tensor.data(), sizeof(float) * tensor.size())) {
+      return Status::Error(path + ": snapshot weight '" + name +
+                           "' is truncated");
+    }
+    snapshot.weights.emplace_back(std::move(name), std::move(tensor));
+  }
+  if (r.Remaining() != 0) {
+    return Status::Error(path + ": snapshot has " +
+                         std::to_string(r.Remaining()) +
+                         " trailing bytes after the weights section");
+  }
+  return snapshot;
+}
+
+StatusOr<std::unique_ptr<models::TransformerClassifier>> Snapshot::BuildModel()
+    const {
+  if (vocab == nullptr) {
+    return Status::Error("snapshot has no vocabulary; cannot build a model");
+  }
+  // Construction randomness is irrelevant — every parameter is overwritten —
+  // but the constructor requires a generator.
+  Rng rng(0);
+  auto model =
+      std::make_unique<models::TransformerClassifier>(config, vocab, rng);
+
+  // Validate the weight list against the freshly built module tree before
+  // LoadStateDict, which CHECK-aborts on mismatch: a snapshot may have been
+  // produced by an incompatible build, and that is an input error, not a
+  // programmer error.
+  NamedTensors expected = model->StateDict();
+  if (expected.size() != weights.size()) {
+    return Status::Error("snapshot has " + std::to_string(weights.size()) +
+                         " weight tensors, model expects " +
+                         std::to_string(expected.size()));
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i].first != weights[i].first) {
+      return Status::Error("snapshot weight " + std::to_string(i) + " is '" +
+                           weights[i].first + "', model expects '" +
+                           expected[i].first + "'");
+    }
+    if (expected[i].second.shape() != weights[i].second.shape()) {
+      return Status::Error("snapshot weight '" + weights[i].first +
+                           "' has a shape mismatch");
+    }
+  }
+  model->LoadStateDict(weights);
+  model->SetTraining(false);
+  return model;
+}
+
+}  // namespace serve
+}  // namespace rotom

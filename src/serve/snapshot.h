@@ -1,0 +1,74 @@
+#ifndef ROTOM_SERVE_SNAPSHOT_H_
+#define ROTOM_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "models/classifier.h"
+#include "tensor/serialize.h"
+#include "text/idf.h"
+#include "text/vocab.h"
+#include "util/status.h"
+
+namespace rotom {
+namespace serve {
+
+/// A self-contained, servable export of a trained classifier: everything an
+/// inference process needs to answer match/clean/classify queries without the
+/// training dataset — the model weights, the ClassifierConfig that shapes
+/// them, the task vocabulary (token ids are baked into the embeddings), and
+/// the IDF table (so downstream augmentation/active-labeling tooling sees the
+/// same token-importance statistics training did).
+///
+/// On disk a snapshot is a single file:
+///
+///   | field            | size     | contents                               |
+///   |------------------|----------|----------------------------------------|
+///   | magic            | 8 bytes  | "RSNAP\0\0\0"                          |
+///   | version          | u32      | kFormatVersion (currently 1)           |
+///   | payload_size     | u64      | byte length of the payload section     |
+///   | payload_checksum | u64      | FNV-1a 64 over the payload bytes       |
+///   | payload          | variable | config, vocab, idf, weights (in order) |
+///
+/// The whole payload is checksummed, so truncation and bit corruption are
+/// detected before any of it is interpreted; Load() returns a Status error
+/// (never CHECK-aborts) for missing files, bad magic, unsupported versions,
+/// short reads, and checksum mismatches. All integers are little-endian
+/// fixed-width, floats/doubles are raw IEEE-754 bytes, so a snapshot
+/// round-trips bit-identically: BuildModel() on a loaded snapshot produces
+/// the same logits, bit for bit, as the model that was saved
+/// (serve_test.cc asserts this).
+struct Snapshot {
+  models::ClassifierConfig config;
+  std::shared_ptr<const text::Vocabulary> vocab;
+  text::IdfTable idf;
+  NamedTensors weights;
+
+  /// Current on-disk format version written by Save().
+  static constexpr uint32_t kFormatVersion = 1;
+
+  /// Captures a model's weights/config/vocabulary (plus an optional IDF
+  /// table) into an in-memory snapshot. Weight tensors are deep-copied, so
+  /// later training steps do not mutate the snapshot.
+  static Snapshot FromModel(const models::TransformerClassifier& model,
+                            const text::IdfTable& idf = {});
+
+  /// Writes the snapshot to `path` in the format above.
+  Status Save(const std::string& path) const;
+
+  /// Reads a snapshot written by Save(). Returns an error Status for any
+  /// malformed input instead of aborting.
+  static StatusOr<Snapshot> Load(const std::string& path);
+
+  /// Constructs a classifier from this snapshot and loads the weights into
+  /// it. Returns an error if the weight list does not match the structure
+  /// implied by `config` (name or shape mismatch) — e.g. a snapshot edited
+  /// by hand or produced by an incompatible build. The returned model is in
+  /// eval mode (SetTraining(false)).
+  StatusOr<std::unique_ptr<models::TransformerClassifier>> BuildModel() const;
+};
+
+}  // namespace serve
+}  // namespace rotom
+
+#endif  // ROTOM_SERVE_SNAPSHOT_H_

@@ -1,5 +1,6 @@
 #include "text/idf.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
@@ -21,6 +22,23 @@ IdfTable IdfTable::Build(const std::vector<std::vector<std::string>>& docs) {
     table.idf_[token] = idf;
     table.max_idf_ = std::max(table.max_idf_, idf);
   }
+  return table;
+}
+
+std::vector<std::pair<std::string, double>> IdfTable::SortedEntries() const {
+  std::vector<std::pair<std::string, double>> out(idf_.begin(), idf_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+IdfTable IdfTable::FromParts(
+    std::vector<std::pair<std::string, double>> entries, double max_idf,
+    int64_t num_documents) {
+  IdfTable table;
+  table.num_documents_ = num_documents;
+  table.max_idf_ = max_idf;
+  for (auto& [token, idf] : entries) table.idf_[std::move(token)] = idf;
   return table;
 }
 

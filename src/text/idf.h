@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace rotom {
@@ -28,6 +29,19 @@ class IdfTable {
   double CorruptionWeight(const std::string& token) const;
 
   int64_t num_documents() const { return num_documents_; }
+
+  /// Maximum observed IDF (the default for unseen tokens).
+  double max_idf() const { return max_idf_; }
+
+  /// The table's (token, idf) entries ordered by token, so serialization is
+  /// deterministic regardless of hash-map iteration order.
+  std::vector<std::pair<std::string, double>> SortedEntries() const;
+
+  /// Reassembles a table from serialized parts (serve::Snapshot::Load).
+  /// Round-trips Build() output bit-identically through
+  /// SortedEntries()/max_idf()/num_documents().
+  static IdfTable FromParts(std::vector<std::pair<std::string, double>> entries,
+                            double max_idf, int64_t num_documents);
 
  private:
   std::unordered_map<std::string, double> idf_;

@@ -42,10 +42,33 @@ TEST(ClassifierTest, LogitShape) {
   auto vocab = TinyVocab();
   TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
   model.SetTraining(false);
-  Variable logits =
-      model.ForwardLogits({"the movie was great", "the movie was terrible"},
-                          rng);
+  const text::EncodedBatch batch = text::EncodeBatchForClassifier(
+      *vocab, {"the movie was great", "the movie was terrible"},
+      TinyClassifierConfig().max_len);
+  Variable logits = model.ForwardLogitsEncoded(batch, rng);
   EXPECT_EQ(logits.value().shape(), (std::vector<int64_t>{2, 2}));
+}
+
+// The raw-text ForwardLogits overload is deprecated in favor of the
+// encoded-batch path (see the doc comment in models/classifier.h); it must
+// keep producing bit-identical logits while it exists.
+TEST(ClassifierTest, DeprecatedRawTextForwardMatchesEncodedPath) {
+  Rng rng(1);
+  auto vocab = TinyVocab();
+  TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
+  model.SetTraining(false);
+  const std::vector<std::string> texts = {"the movie was great",
+                                          "a terrible movie"};
+  Rng r1(3), r2(3);
+  Variable raw = model.ForwardLogits(texts, r1);
+  Variable encoded = model.ForwardLogitsEncoded(
+      text::EncodeBatchForClassifier(*vocab, texts,
+                                     TinyClassifierConfig().max_len),
+      r2);
+  ASSERT_EQ(raw.value().size(), encoded.value().size());
+  for (int64_t i = 0; i < raw.value().size(); ++i) {
+    EXPECT_EQ(raw.value()[i], encoded.value()[i]);
+  }
 }
 
 TEST(ClassifierTest, PredictProbsSumToOne) {
@@ -81,9 +104,11 @@ TEST(ClassifierTest, FineTuningLearnsTinyTask) {
   std::vector<int64_t> labels = {1, 0, 1, 0, 1, 0};
 
   model.SetTraining(true);
+  const text::EncodedBatch batch =
+      text::EncodeBatchForClassifier(*vocab, texts, config.max_len);
   for (int step = 0; step < 60; ++step) {
     optimizer.ZeroGrad();
-    Variable logits = model.ForwardLogits(texts, rng);
+    Variable logits = model.ForwardLogitsEncoded(batch, rng);
     ops::CrossEntropyMean(logits, labels).Backward();
     optimizer.Step();
   }
@@ -104,8 +129,10 @@ TEST(ClassifierTest, StateDictRoundTripsThroughCheckpoints) {
   Rng r1(9), r2(9);
   a.SetTraining(false);
   b.SetTraining(false);
-  Variable la = a.ForwardLogits({"the movie was great"}, r1);
-  Variable lb = b.ForwardLogits({"the movie was great"}, r2);
+  const text::EncodedBatch batch = text::EncodeBatchForClassifier(
+      *vocab, {"the movie was great"}, config.max_len);
+  Variable la = a.ForwardLogitsEncoded(batch, r1);
+  Variable lb = b.ForwardLogitsEncoded(batch, r2);
   EXPECT_TRUE(la.value().AllClose(lb.value()));
 }
 

@@ -1,0 +1,480 @@
+// Tests for the serve subsystem (DESIGN.md §10): snapshot save/load
+// round-trip fidelity, Status-based rejection of malformed snapshot files,
+// the thread-safe InferenceSession, the micro-batching BatchingServer
+// (including the 8-thread concurrent load shape run under TSan by
+// scripts/check.sh), and the rotom::api facade's spec validation.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/textcls_gen.h"
+#include "rotom/api.h"
+
+namespace rotom {
+namespace {
+
+using serve::BatchingServer;
+using serve::InferenceSession;
+using serve::Prediction;
+using serve::Snapshot;
+
+std::shared_ptr<text::Vocabulary> ServeVocab() {
+  auto vocab = std::make_shared<text::Vocabulary>();
+  for (const char* w :
+       {"the", "movie", "was", "great", "terrible", "plot", "acting",
+        "boring", "brilliant", "a", "an", "of"})
+    vocab->AddToken(w);
+  return vocab;
+}
+
+models::ClassifierConfig ServeConfig() {
+  models::ClassifierConfig config;
+  config.num_classes = 3;
+  config.max_len = 12;
+  config.dim = 16;
+  config.num_heads = 2;
+  config.num_layers = 1;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+text::IdfTable ServeIdf() {
+  return text::IdfTable::Build({{"the", "movie", "was", "great"},
+                                {"the", "plot", "was", "boring"},
+                                {"brilliant", "acting"}});
+}
+
+Snapshot MakeSnapshot(uint64_t seed = 1) {
+  Rng rng(seed);
+  models::TransformerClassifier model(ServeConfig(), ServeVocab(), rng);
+  model.SetTraining(false);
+  return Snapshot::FromModel(model, ServeIdf());
+}
+
+const std::vector<std::string>& QueryTexts() {
+  static const std::vector<std::string> texts = {
+      "the movie was great", "the plot was boring", "brilliant acting",
+      "a terrible movie of boring acting"};
+  return texts;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot round trip
+
+TEST(SnapshotTest, SaveLoadRoundTripsBitIdenticalLogits) {
+  const Snapshot original = MakeSnapshot();
+  const std::string path = TempPath("serve_roundtrip.rsnap");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  auto loaded = Snapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  auto before = InferenceSession::Create(original);
+  auto after = InferenceSession::Create(loaded.value());
+  ASSERT_TRUE(before.ok()) << before.status().message();
+  ASSERT_TRUE(after.ok()) << after.status().message();
+
+  const Tensor a = before.value()->Logits(QueryTexts());
+  const Tensor b = after.value()->Logits(QueryTexts());
+  ASSERT_EQ(a.shape(), b.shape());
+  // Bit-identical, not approximately equal: the format stores raw IEEE-754
+  // bytes and fixed-width integers, so nothing is lost in the round trip.
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RoundTripPreservesConfigVocabAndIdf) {
+  const Snapshot original = MakeSnapshot();
+  const std::string path = TempPath("serve_sections.rsnap");
+  ASSERT_TRUE(original.Save(path).ok());
+  auto loaded = Snapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  const auto& got = loaded.value();
+  EXPECT_EQ(got.config.num_classes, original.config.num_classes);
+  EXPECT_EQ(got.config.max_len, original.config.max_len);
+  EXPECT_EQ(got.config.dim, original.config.dim);
+  EXPECT_EQ(got.vocab->size(), original.vocab->size());
+  for (const char* w : {"movie", "brilliant", "terrible"})
+    EXPECT_TRUE(got.vocab->Contains(w)) << w;
+
+  EXPECT_EQ(got.idf.num_documents(), original.idf.num_documents());
+  EXPECT_EQ(got.idf.max_idf(), original.idf.max_idf());
+  const auto want_entries = original.idf.SortedEntries();
+  const auto got_entries = got.idf.SortedEntries();
+  ASSERT_EQ(got_entries.size(), want_entries.size());
+  for (size_t i = 0; i < want_entries.size(); ++i) {
+    EXPECT_EQ(got_entries[i].first, want_entries[i].first);
+    EXPECT_EQ(got_entries[i].second, want_entries[i].second);  // bit-exact
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot::Load error paths: every malformed input is a Status, not an abort.
+
+TEST(SnapshotTest, LoadMissingFileReturnsStatus) {
+  auto result = Snapshot::Load(TempPath("serve_no_such_file.rsnap"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cannot open"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(SnapshotTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("serve_bad_magic.rsnap");
+  WriteFileBytes(path, "definitely not a snapshot file at all");
+  auto result = Snapshot::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("bad magic"), std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadRejectsUnsupportedVersion) {
+  const std::string path = TempPath("serve_bad_version.rsnap");
+  ASSERT_TRUE(MakeSnapshot().Save(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Header layout: 8-byte magic, then the u32 format version.
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[8] = static_cast<char>(0x7f);
+  WriteFileBytes(path, bytes);
+  auto result = Snapshot::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unsupported snapshot version"),
+            std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadRejectsTruncatedFile) {
+  const std::string path = TempPath("serve_truncated.rsnap");
+  ASSERT_TRUE(MakeSnapshot().Save(path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  // Chop mid-payload and, separately, mid-header.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 2));
+  auto mid_payload = Snapshot::Load(path);
+  ASSERT_FALSE(mid_payload.ok());
+  EXPECT_NE(mid_payload.status().message().find("truncated"),
+            std::string::npos)
+      << mid_payload.status().message();
+
+  WriteFileBytes(path, bytes.substr(0, 10));
+  auto mid_header = Snapshot::Load(path);
+  ASSERT_FALSE(mid_header.ok());
+  EXPECT_NE(mid_header.status().message().find("truncated"),
+            std::string::npos)
+      << mid_header.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadDetectsBitCorruptionViaChecksum) {
+  const std::string path = TempPath("serve_corrupt.rsnap");
+  ASSERT_TRUE(MakeSnapshot().Save(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flip one bit deep in the payload (past the 28-byte header).
+  ASSERT_GT(bytes.size(), 128u);
+  bytes[bytes.size() - 64] ^= 0x01;
+  WriteFileBytes(path, bytes);
+  auto result = Snapshot::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << result.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadRejectsTrailingBytes) {
+  const std::string path = TempPath("serve_trailing.rsnap");
+  ASSERT_TRUE(MakeSnapshot().Save(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes += "extra";
+  WriteFileBytes(path, bytes);
+  auto result = Snapshot::Load(path);
+  ASSERT_FALSE(result.ok()) << "trailing bytes must not be ignored";
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, BuildModelRejectsMismatchedWeights) {
+  Snapshot snapshot = MakeSnapshot();
+  ASSERT_FALSE(snapshot.weights.empty());
+  snapshot.weights[0].first += "_renamed";
+  auto result = snapshot.BuildModel();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("snapshot weight"),
+            std::string::npos)
+      << result.status().message();
+
+  Snapshot missing = MakeSnapshot();
+  missing.weights.pop_back();
+  auto short_result = missing.BuildModel();
+  ASSERT_FALSE(short_result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// InferenceSession
+
+TEST(InferenceSessionTest, PredictBatchReturnsArgmaxAndDistribution) {
+  auto session = InferenceSession::Create(MakeSnapshot());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  const auto predictions = session.value()->PredictBatch(QueryTexts());
+  ASSERT_EQ(predictions.size(), QueryTexts().size());
+  for (const auto& p : predictions) {
+    ASSERT_EQ(p.probs.size(), 3u);
+    float sum = 0.0f;
+    size_t argmax = 0;
+    for (size_t c = 0; c < p.probs.size(); ++c) {
+      sum += p.probs[c];
+      if (p.probs[c] > p.probs[argmax]) argmax = c;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    EXPECT_EQ(static_cast<size_t>(p.label), argmax);
+  }
+}
+
+TEST(InferenceSessionTest, RepeatQueriesHitTheEncodingCache) {
+  auto session = InferenceSession::Create(MakeSnapshot());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  session.value()->PredictBatch(QueryTexts());
+  const auto cold = session.value()->CacheStats();
+  session.value()->PredictBatch(QueryTexts());
+  const auto warm = session.value()->CacheStats();
+  EXPECT_EQ(cold.misses, QueryTexts().size());
+  EXPECT_EQ(warm.misses, cold.misses);
+  EXPECT_GE(warm.hits, cold.hits + QueryTexts().size());
+}
+
+TEST(InferenceSessionTest, OpenReportsLoadErrors) {
+  auto session = InferenceSession::Open(TempPath("serve_absent.rsnap"));
+  ASSERT_FALSE(session.ok());
+  EXPECT_NE(session.status().message().find("cannot open"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// BatchingServer
+
+// The TSan-swept concurrency shape from ISSUE acceptance: 8 closed-loop
+// client threads against one server; every coalesced answer must equal the
+// serial single-request answer for the same text (eval-mode forwards are
+// deterministic and rows are independent, so co-batching must not change
+// results).
+TEST(BatchingServerTest, EightThreadsGetSerialIdenticalResults) {
+  auto session = InferenceSession::Create(MakeSnapshot());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+
+  // Serial reference answers, one text per forward.
+  std::vector<Prediction> expected;
+  for (const auto& text : QueryTexts()) {
+    auto one = session.value()->PredictBatch(
+        std::span<const std::string>(&text, 1));
+    ASSERT_EQ(one.size(), 1u);
+    expected.push_back(one[0]);
+  }
+
+  BatchingServer::Options options;
+  options.max_batch = 16;
+  options.max_delay_us = 500;
+  BatchingServer server(session.value().get(), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 32;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const size_t q = static_cast<size_t>(t + i) % QueryTexts().size();
+        auto result = server.Predict(QueryTexts()[q]);
+        if (!result.ok() || result.value().label != expected[q].label ||
+            result.value().probs != expected[q].probs) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.Shutdown();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << t;
+
+  const auto stats = server.GetStats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GT(stats.batches, 0u);
+  // Coalescing must actually happen under 8-way concurrent load.
+  EXPECT_LT(stats.batches, stats.requests);
+}
+
+TEST(BatchingServerTest, ShutdownDrainsEveryPendingFuture) {
+  auto session = InferenceSession::Create(MakeSnapshot());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  // A huge delay and batch bound park submissions in the queue so Shutdown()
+  // races real pending work.
+  BatchingServer::Options options;
+  options.max_batch = 1024;
+  options.max_delay_us = 60 * 1000 * 1000;
+  BatchingServer server(session.value().get(), options);
+
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(
+        server.Submit(QueryTexts()[static_cast<size_t>(i) %
+                                   QueryTexts().size()]));
+  }
+  server.Shutdown();
+  for (auto& f : futures) {
+    auto result = f.get();  // must not hang
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result.value().probs.size(), 3u);
+  }
+}
+
+TEST(BatchingServerTest, SubmitAfterShutdownResolvesToError) {
+  auto session = InferenceSession::Create(MakeSnapshot());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  BatchingServer server(session.value().get());
+  server.Shutdown();
+  server.Shutdown();  // idempotent
+  auto result = server.Submit("the movie was great").get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("shut down"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(BatchingServerTest, DestructorResolvesOutstandingFutures) {
+  auto session = InferenceSession::Create(MakeSnapshot());
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  {
+    BatchingServer::Options options;
+    options.max_delay_us = 60 * 1000 * 1000;
+    BatchingServer server(session.value().get(), options);
+    for (int i = 0; i < 8; ++i)
+      futures.push_back(server.Submit("brilliant acting"));
+  }  // destructor == Shutdown()
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+// ---------------------------------------------------------------------------
+// rotom::api facade
+
+data::TaskDataset TinyApiDataset() {
+  data::TextClsOptions options;
+  options.train_size = 16;
+  options.test_size = 24;
+  options.unlabeled_size = 32;
+  options.seed = 11;
+  return data::MakeTextClsDataset("sst2", options);
+}
+
+eval::ExperimentOptions TinyApiOptions() {
+  eval::ExperimentOptions options;
+  options.classifier.max_len = 16;
+  options.classifier.dim = 16;
+  options.classifier.num_heads = 2;
+  options.classifier.num_layers = 1;
+  options.classifier.ffn_dim = 32;
+  options.pretrain.epochs = 1;
+  options.pretrain.max_corpus = 32;
+  options.epochs = 2;
+  options.batch_size = 8;
+  return options;
+}
+
+TEST(ApiTest, TrainRejectsEmptyTrainSet) {
+  api::TrainSpec spec;
+  spec.dataset = TinyApiDataset();
+  spec.dataset.train.clear();
+  auto report = api::Train(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("train is empty"),
+            std::string::npos)
+      << report.status().message();
+}
+
+TEST(ApiTest, TrainRejectsDegenerateClassCount) {
+  api::TrainSpec spec;
+  spec.dataset = TinyApiDataset();
+  spec.dataset.num_classes = 1;
+  auto report = api::Train(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("num_classes"), std::string::npos)
+      << report.status().message();
+}
+
+TEST(ApiTest, TrainRejectsOutOfRangeLabels) {
+  api::TrainSpec spec;
+  spec.dataset = TinyApiDataset();
+  spec.dataset.train[3].label = spec.dataset.num_classes + 5;
+  auto report = api::Train(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("label"), std::string::npos)
+      << report.status().message();
+}
+
+// The full facade lifecycle at test scale: Train -> Snapshot::Save ->
+// InferenceSession::Open -> PredictBatch, with the session serving the
+// training-time logits bit for bit.
+TEST(ApiTest, TrainExportServeLifecycle) {
+  api::TrainSpec spec;
+  spec.dataset = TinyApiDataset();
+  spec.method = eval::Method::kBaseline;  // fastest method; facade is the DUT
+  spec.options = TinyApiOptions();
+  spec.seed = 5;
+  auto report = api::Train(spec);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GE(report.value().metrics.test_metric, 0.0);
+  EXPECT_LE(report.value().metrics.test_metric, 100.0);
+
+  const std::string path = TempPath("serve_api_lifecycle.rsnap");
+  ASSERT_TRUE(report.value().snapshot.Save(path).ok());
+
+  auto direct = api::InferenceSession::Create(report.value().snapshot);
+  auto opened = api::InferenceSession::Open(path);
+  ASSERT_TRUE(direct.ok()) << direct.status().message();
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < 5 && i < spec.dataset.test.size(); ++i)
+    queries.push_back(spec.dataset.test[i].text);
+  const Tensor a = direct.value()->Logits(queries);
+  const Tensor b = opened.value()->Logits(queries);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+
+  const auto predictions = opened.value()->PredictBatch(queries);
+  ASSERT_EQ(predictions.size(), queries.size());
+  for (const auto& p : predictions) {
+    EXPECT_GE(p.label, 0);
+    EXPECT_LT(p.label, spec.dataset.num_classes);
+    EXPECT_EQ(p.probs.size(),
+              static_cast<size_t>(spec.dataset.num_classes));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rotom
