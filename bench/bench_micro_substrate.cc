@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "bench_common.h"
 #include "models/classifier.h"
 #include "models/seq2seq.h"
@@ -171,19 +172,21 @@ void BM_Tokenize(benchmark::State& state) {
 BENCHMARK(BM_Tokenize);
 
 void BM_SimpleDaOp(benchmark::State& state) {
-  const auto op = static_cast<augment::DaOp>(state.range(0));
+  // Indexes the registry in registration order (0 = token_del, 5 =
+  // span_shuffle, 6 = col_shuffle, ...).
+  const augment::Operator& op =
+      *augment::OperatorRegistry::Global().All()[static_cast<size_t>(
+          state.range(0))];
+  state.SetLabel(op.name());
   Rng rng(3);
   const auto tokens = text::Tokenize(
       "[COL] title [VAL] efficient query processing in relational databases "
       "[COL] year [VAL] 1999");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(augment::ApplyDaOp(op, tokens, {}, rng));
+    benchmark::DoNotOptimize(op.Apply(tokens, {}, rng));
   }
 }
-BENCHMARK(BM_SimpleDaOp)
-    ->Arg(static_cast<int>(augment::DaOp::kTokenDel))
-    ->Arg(static_cast<int>(augment::DaOp::kSpanShuffle))
-    ->Arg(static_cast<int>(augment::DaOp::kColShuffle));
+BENCHMARK(BM_SimpleDaOp)->Arg(0)->Arg(5)->Arg(6);
 
 models::ClassifierConfig BenchConfig() {
   models::ClassifierConfig config;

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "data/em_gen.h"
 #include "data/textcls_gen.h"
 #include "eval/experiment.h"
@@ -48,14 +49,15 @@ void Explore(const char* title, const data::TaskDataset& dataset,
   std::printf("InvDA trained (reconstruction loss %.2f)\n\n", loss);
 
   Rng rng(3);
-  const auto ops =
-      augment::OpsForTask(dataset.is_pair_task, dataset.is_record_task);
+  const auto ops = augment::OperatorRegistry::Global().DefaultOps(
+      dataset.is_pair_task, dataset.is_record_task);
   for (int i = 0; i < num_examples; ++i) {
     const std::string& original = dataset.train[i].text;
     std::printf("original: %s\n", original.c_str());
     for (int k = 0; k < 2; ++k) {
-      const auto op = ops[rng.UniformInt(static_cast<int64_t>(ops.size()))];
-      std::printf("  DA%d (%s): %s\n", k + 1, augment::DaOpName(op),
+      const augment::Operator& op =
+          *ops[rng.UniformInt(static_cast<int64_t>(ops.size()))];
+      std::printf("  DA%d (%s): %s\n", k + 1, op.name(),
                   augment::AugmentText(original, op, context, rng).c_str());
     }
     int k = 0;

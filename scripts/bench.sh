@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the data-path perf benches and the serve-path load generator, and
-# collects their machine-readable results (BENCH_micro.json,
-# BENCH_figure4.json, BENCH_serve.json) in the repo root.
+# Runs the data-path perf benches, the operator-space sweep, and the
+# serve-path load generator, and collects their machine-readable results
+# (BENCH_micro.json, BENCH_figure4.json, BENCH_opspace.json,
+# BENCH_serve.json) in the repo root.
 #
 # bench_figure4_training_time runs every (domain, method) cell twice — once
 # with the pipelined data path (encoding cache + background prefetch), once
@@ -29,7 +30,8 @@ fi
 
 cmake -B "$build" -S . "${generator[@]}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j \
-  --target bench_micro_substrate bench_figure4_training_time rotom_serve_bench
+  --target bench_micro_substrate bench_figure4_training_time bench_opspace \
+           rotom_serve_bench
 
 export ROTOM_BENCH_DIR="$PWD"
 export ROTOM_NUM_THREADS="${ROTOM_NUM_THREADS:-4}"
@@ -40,7 +42,11 @@ echo "== bench_micro_substrate (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 echo "== bench_figure4_training_time (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 "$build/bench/bench_figure4_training_time"
 
+echo "== bench_opspace (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
+"$build/bench/bench_opspace"
+
 echo "== rotom_serve_bench (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 "$build/tools/rotom_serve_bench"
 
-echo "bench.sh: wrote BENCH_micro.json, BENCH_figure4.json, BENCH_serve.json"
+echo "bench.sh: wrote BENCH_micro.json, BENCH_figure4.json," \
+     "BENCH_opspace.json, BENCH_serve.json"

@@ -58,11 +58,14 @@ done < <({ grep -hoE 'RunLogLine [a-z_]+\("[^"]+"\)' "$runlog_src" \
              | sed -E 's/.*\\"event\\": \\"//'; } | sort -u)
 
 # ---- Run-log field names: RunLogLine::Add("...") literals. The dynamic
-# per-operator fields are emitted as "op." + name and must be documented as
-# op.<operator>; crash-handler fields are raw snprintf keys.
+# per-operator fields are emitted as "op." + name (kept) and "gen." + name
+# (offered) and must be documented as op.<operator> / gen.<operator>;
+# crash-handler fields are raw snprintf keys.
 while IFS= read -r field; do
   if [[ "$field" == "op." ]]; then
     require "op.<operator>" "run-log field"
+  elif [[ "$field" == "gen." ]]; then
+    require "gen.<operator>" "run-log field"
   else
     require "\`$field\`" "run-log field"
   fi
@@ -70,6 +73,27 @@ done < <({ grep -hoE '\.(Add|Raw)\("[^"]+"' "$runlog_src" \
              | sed -E 's/.*\("([^"]+)"?/\1/'
            grep -hoE '\\"signo\\"' "$runlog_src" | sed 's/[\\"]//g'; } \
            | grep -v '^event$' | sort -u)
+
+# ---- Registered DA operator names: the op.<name>/gen.<name> catalog must
+# list every operator the registry can emit. The authoritative enumeration
+# is `rotom_inspect --list-ops` (any built copy works — the list is
+# compiled in); when no binary exists yet (docs-only checkout) fall back to
+# scraping the one-line `return "<name>";` bodies of Operator::name()
+# overrides in src/augment.
+list_ops() {
+  local bin
+  for bin in build*/tools/rotom_inspect; do
+    if [[ -x "$bin" ]]; then
+      "$bin" --list-ops
+      return
+    fi
+  done
+  grep -rhA1 'name() const override' src/augment \
+    | grep -oE 'return "[a-z_0-9]+"' | sed -E 's/return "([^"]+)"/\1/'
+}
+while IFS= read -r name; do
+  require "\`op.$name\`" "DA operator (registry)"
+done < <(list_ops | sort -u)
 
 # ---- Derived metric names appended to BENCH_*.json ("extras") ----
 while IFS= read -r name; do

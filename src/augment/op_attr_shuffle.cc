@@ -1,0 +1,57 @@
+#include <memory>
+
+#include "augment/registry.h"
+
+namespace rotom {
+namespace augment {
+namespace {
+
+// Shuffles the value tokens of one column in place — attribute-level word
+// reordering ("sony bravia 55" -> "55 sony bravia"), a label-preserving
+// perturbation for most EM/EDT attributes. Beyond Table 3.
+class AttrShuffleOp final : public Operator {
+ public:
+  const char* name() const override { return "attr_shuffle"; }
+  uint32_t tags() const override { return kRequiresRecord | kBeyondTable3; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    const size_t sep = FindEntitySep(tokens);
+    size_t begin = 0, end = tokens.size();
+    if (sep < tokens.size()) {
+      if (rng.Bernoulli(0.5)) {
+        end = sep;
+      } else {
+        begin = sep + 1;
+      }
+    }
+    auto cols = FindColumns(tokens, begin, end);
+    if (cols.empty()) return tokens;
+    const ColumnSpan& col =
+        cols[rng.UniformInt(static_cast<int64_t>(cols.size()))];
+    // Value tokens start one past the [VAL] marker.
+    size_t val = col.end;
+    for (size_t i = col.begin; i < col.end; ++i)
+      if (tokens[i] == "[VAL]") {
+        val = i;
+        break;
+      }
+    if (val >= col.end || col.end - val <= 2) return tokens;  // <2 value toks
+    std::vector<std::string> out = tokens;
+    std::vector<std::string> value(out.begin() + static_cast<int64_t>(val) + 1,
+                                   out.begin() + static_cast<int64_t>(col.end));
+    rng.Shuffle(value);
+    std::copy(value.begin(), value.end(),
+              out.begin() + static_cast<int64_t>(val) + 1);
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterAttrShuffleOp(OperatorRegistry& registry) {
+  registry.Register(std::make_unique<AttrShuffleOp>());
+}
+
+}  // namespace augment
+}  // namespace rotom

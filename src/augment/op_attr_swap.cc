@@ -1,0 +1,89 @@
+#include <memory>
+#include <utility>
+
+#include "augment/registry.h"
+
+namespace rotom {
+namespace augment {
+namespace {
+
+// Index of the [VAL] token inside a column span, or span.end if absent.
+size_t FindValMarker(const std::vector<std::string>& tokens,
+                     const ColumnSpan& span) {
+  for (size_t i = span.begin; i < span.end; ++i)
+    if (tokens[i] == "[VAL]") return i;
+  return span.end;
+}
+
+// Swaps the *values* of two columns inside one entity segment while the
+// attribute names stay in place — the DITTO-style attribute-level corruption
+// (a record whose "title" holds the "brand" and vice versa should look wrong
+// to a matcher, which is exactly the hard-negative signal Rotom's filter
+// learns to grade). Beyond Table 3.
+class AttrSwapOp final : public Operator {
+ public:
+  const char* name() const override { return "attr_swap"; }
+  uint32_t tags() const override { return kRequiresRecord | kBeyondTable3; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    // Same segment-pick draw pattern as the col_* ops: one side of the
+    // [SEP] by coin flip, or the whole sequence when unpaired.
+    const size_t sep = FindEntitySep(tokens);
+    size_t begin = 0, end = tokens.size();
+    if (sep < tokens.size()) {
+      if (rng.Bernoulli(0.5)) {
+        end = sep;
+      } else {
+        begin = sep + 1;
+      }
+    }
+    auto cols = FindColumns(tokens, begin, end);
+    if (cols.size() < 2) return tokens;
+    const int64_t n = static_cast<int64_t>(cols.size());
+    int64_t a = rng.UniformInt(n);
+    int64_t b = rng.UniformInt(n);
+    int attempts = 0;
+    while (b == a && attempts++ < 8) b = rng.UniformInt(n);
+    if (a == b) return tokens;
+    if (a > b) std::swap(a, b);
+
+    const size_t val_a = FindValMarker(tokens, cols[a]);
+    const size_t val_b = FindValMarker(tokens, cols[b]);
+    if (val_a >= cols[a].end || val_b >= cols[b].end) return tokens;
+
+    std::vector<std::string> out(tokens.begin(),
+                                 tokens.begin() + static_cast<int64_t>(begin));
+    for (int64_t c = 0; c < n; ++c) {
+      // Header ([COL] attr [VAL]) from column c, value tokens from its swap
+      // partner (or itself when uninvolved).
+      const size_t val_c = c == a ? val_a : (c == b ? val_b : 0);
+      if (c == a || c == b) {
+        out.insert(out.end(),
+                   tokens.begin() + static_cast<int64_t>(cols[c].begin),
+                   tokens.begin() + static_cast<int64_t>(val_c) + 1);
+        const ColumnSpan& src = c == a ? cols[b] : cols[a];
+        const size_t src_val = c == a ? val_b : val_a;
+        out.insert(out.end(),
+                   tokens.begin() + static_cast<int64_t>(src_val) + 1,
+                   tokens.begin() + static_cast<int64_t>(src.end));
+      } else {
+        out.insert(out.end(),
+                   tokens.begin() + static_cast<int64_t>(cols[c].begin),
+                   tokens.begin() + static_cast<int64_t>(cols[c].end));
+      }
+    }
+    out.insert(out.end(), tokens.begin() + static_cast<int64_t>(end),
+               tokens.end());
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterAttrSwapOp(OperatorRegistry& registry) {
+  registry.Register(std::make_unique<AttrSwapOp>());
+}
+
+}  // namespace augment
+}  // namespace rotom

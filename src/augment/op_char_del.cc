@@ -1,0 +1,42 @@
+#include <memory>
+
+#include "augment/registry.h"
+
+namespace rotom {
+namespace augment {
+namespace {
+
+// Typo-style noise: deletes one character from one content token of length
+// >= 2 ("bravia" -> "brvia"). Single-character tokens are exempt (deleting
+// their only character would create an empty token), as are structural
+// markers. The result survives the Detokenize->Tokenize round trip because
+// word tokens remain contiguous word-character runs. Beyond Table 3.
+class CharDelOp final : public Operator {
+ public:
+  const char* name() const override { return "char_del"; }
+  uint32_t tags() const override { return kBeyondTable3; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    std::vector<size_t> eligible;
+    for (size_t p : ContentPositions(tokens))
+      if (tokens[p].size() >= 2) eligible.push_back(p);
+    if (eligible.empty()) return tokens;
+    const size_t victim =
+        eligible[rng.UniformInt(static_cast<int64_t>(eligible.size()))];
+    std::vector<std::string> out = tokens;
+    const size_t pos =
+        rng.UniformInt(static_cast<int64_t>(out[victim].size()));
+    out[victim].erase(pos, 1);
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterCharDelOp(OperatorRegistry& registry) {
+  registry.Register(std::make_unique<CharDelOp>());
+}
+
+}  // namespace augment
+}  // namespace rotom

@@ -1,0 +1,59 @@
+#include <cmath>
+#include <memory>
+
+#include "augment/registry.h"
+
+namespace rotom {
+namespace augment {
+namespace {
+
+// IDF-similarity-guided synonym replacement: like token_repl it replaces a
+// corruption-weight-sampled token with a synonym, but instead of a uniform
+// synonym draw it picks the synonym whose IDF is *closest* to the original
+// token's — substituting a word of comparable informativeness, which keeps
+// the example's information profile (and usually its label) intact. Without
+// an IDF table it degrades to token_repl's uniform synonym choice; without a
+// synonym lexicon (or a token with synonyms) it is a no-op. Beyond Table 3.
+class IdfSynonymOp final : public Operator {
+ public:
+  const char* name() const override { return "idf_synonym"; }
+  uint32_t tags() const override { return kBeyondTable3; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& context,
+                                 Rng& rng) const override {
+    if (context.synonyms == nullptr) return tokens;
+    std::vector<size_t> positions;
+    for (size_t p : ContentPositions(tokens))
+      if (context.synonyms->HasSynonyms(tokens[p])) positions.push_back(p);
+    if (positions.empty()) return tokens;
+    const size_t victim =
+        SampleContentPosition(tokens, positions, context, rng);
+    const auto& syns = context.synonyms->Synonyms(tokens[victim]);
+    std::vector<std::string> out = tokens;
+    if (context.idf == nullptr) {
+      out[victim] = syns[rng.UniformInt(static_cast<int64_t>(syns.size()))];
+      return out;
+    }
+    const double target = context.idf->Idf(tokens[victim]);
+    size_t best = 0;
+    double best_dist = std::abs(context.idf->Idf(syns[0]) - target);
+    for (size_t i = 1; i < syns.size(); ++i) {
+      const double dist = std::abs(context.idf->Idf(syns[i]) - target);
+      if (dist < best_dist) {
+        best = i;
+        best_dist = dist;
+      }
+    }
+    out[victim] = syns[best];
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterIdfSynonymOp(OperatorRegistry& registry) {
+  registry.Register(std::make_unique<IdfSynonymOp>());
+}
+
+}  // namespace augment
+}  // namespace rotom

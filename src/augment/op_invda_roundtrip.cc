@@ -1,0 +1,42 @@
+#include <memory>
+
+#include "augment/registry.h"
+#include "text/tokenizer.h"
+
+namespace rotom {
+namespace augment {
+namespace {
+
+// Round-trip corruption through the task's InvDA seq2seq model (paper
+// Section 3.2 used inversely: instead of training the seq2seq on corruption
+// pairs, sample it as an operator). The backend is installed per task by
+// eval::TaskContext after InvDA training; with no backend — or when the
+// backend has no rewrite for this input — the operator is a no-op, so specs
+// listing it are safe in every configuration. Beyond Table 3.
+class InvDaRoundTripOp final : public Operator {
+ public:
+  const char* name() const override { return "invda_roundtrip"; }
+  uint32_t tags() const override {
+    return kRequiresRoundTrip | kBeyondTable3;
+  }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& context,
+                                 Rng& rng) const override {
+    if (context.round_trip == nullptr) return tokens;
+    const std::string rewritten =
+        context.round_trip->RoundTrip(text::Detokenize(tokens), rng);
+    if (rewritten.empty()) return tokens;
+    auto out = text::Tokenize(rewritten);
+    if (out.empty()) return tokens;  // never empty a non-empty sequence
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterInvDaRoundTripOp(OperatorRegistry& registry) {
+  registry.Register(std::make_unique<InvDaRoundTripOp>());
+}
+
+}  // namespace augment
+}  // namespace rotom

@@ -1,0 +1,55 @@
+#include <memory>
+
+#include "augment/registry.h"
+
+namespace rotom {
+namespace augment {
+namespace {
+
+bool HasDigit(const std::string& token) {
+  for (char c : token)
+    if (c >= '0' && c <= '9') return true;
+  return false;
+}
+
+// Perturbs one digit of one numeric token ("4gb" -> "7gb", "1999" ->
+// "1949") — numeric noise that a matcher must learn to weigh: sometimes
+// label-preserving (a price off by a digit) and sometimes label-flipping (a
+// model number), which is precisely the distinction Rotom's filtering model
+// is there to learn. No-op when no token contains a digit. Beyond Table 3.
+class NumPerturbOp final : public Operator {
+ public:
+  const char* name() const override { return "num_perturb"; }
+  uint32_t tags() const override { return kBeyondTable3; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    std::vector<size_t> numeric;
+    for (size_t p : ContentPositions(tokens))
+      if (HasDigit(tokens[p])) numeric.push_back(p);
+    if (numeric.empty()) return tokens;
+    const size_t victim =
+        numeric[rng.UniformInt(static_cast<int64_t>(numeric.size()))];
+    std::vector<std::string> out = tokens;
+    std::string& token = out[victim];
+    std::vector<size_t> digit_positions;
+    for (size_t i = 0; i < token.size(); ++i)
+      if (token[i] >= '0' && token[i] <= '9') digit_positions.push_back(i);
+    const size_t pos = digit_positions[rng.UniformInt(
+        static_cast<int64_t>(digit_positions.size()))];
+    // Offset 1..9 mod 10 guarantees the digit actually changes.
+    const char old = token[pos];
+    token[pos] =
+        static_cast<char>('0' + (old - '0' + 1 + rng.UniformInt(9)) % 10);
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterNumPerturbOp(OperatorRegistry& registry) {
+  registry.Register(std::make_unique<NumPerturbOp>());
+}
+
+}  // namespace augment
+}  // namespace rotom

@@ -1,0 +1,50 @@
+#include <memory>
+
+#include "augment/registry.h"
+
+namespace rotom {
+namespace augment {
+namespace {
+
+bool IsPunctToken(const std::string& token) {
+  if (token.size() != 1) return false;
+  const char c = token[0];
+  const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+  return !word;
+}
+
+// Drops one punctuation token (the tokenizer splits punctuation into
+// single-character tokens, so "mp3-player" tokenizes to "mp3 - player" and
+// this op can yield "mp3 player") — normalizes formatting differences
+// between data sources, a classic EM-safe perturbation. No-op when the
+// sequence has no punctuation or only one token. Beyond Table 3.
+class PunctDropOp final : public Operator {
+ public:
+  const char* name() const override { return "punct_drop"; }
+  uint32_t tags() const override { return kBeyondTable3; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    if (tokens.size() <= 1) return tokens;
+    std::vector<size_t> punct;
+    for (size_t p : ContentPositions(tokens))
+      if (IsPunctToken(tokens[p])) punct.push_back(p);
+    if (punct.empty()) return tokens;
+    const size_t victim =
+        punct[rng.UniformInt(static_cast<int64_t>(punct.size()))];
+    std::vector<std::string> out;
+    for (size_t i = 0; i < tokens.size(); ++i)
+      if (i != victim) out.push_back(tokens[i]);
+    return out;
+  }
+};
+
+}  // namespace
+
+void RegisterPunctDropOp(OperatorRegistry& registry) {
+  registry.Register(std::make_unique<PunctDropOp>());
+}
+
+}  // namespace augment
+}  // namespace rotom

@@ -1,29 +1,27 @@
 #include "augment/ops.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "augment/registry.h"
 #include "text/tokenizer.h"
 #include "util/check.h"
 
 namespace rotom {
 namespace augment {
 
-namespace {
-
-bool IsStructural(const std::string& token) {
+bool IsStructuralToken(const std::string& token) {
   return token.size() >= 2 && token.front() == '[' && token.back() == ']';
 }
 
-// Indices of non-structural tokens.
 std::vector<size_t> ContentPositions(const std::vector<std::string>& tokens) {
   std::vector<size_t> out;
   for (size_t i = 0; i < tokens.size(); ++i)
-    if (!IsStructural(tokens[i])) out.push_back(i);
+    if (!IsStructuralToken(tokens[i])) out.push_back(i);
   return out;
 }
 
-// Samples a content position, IDF-weighted toward unimportant tokens when a
-// table is available.
 size_t SampleContentPosition(const std::vector<std::string>& tokens,
                              const std::vector<size_t>& positions,
                              const AugmentContext& context, Rng& rng) {
@@ -38,152 +36,164 @@ size_t SampleContentPosition(const std::vector<std::string>& tokens,
   return positions[rng.WeightedIndex(weights)];
 }
 
-std::vector<std::string> TokenDel(const std::vector<std::string>& tokens,
-                                  const AugmentContext& context, Rng& rng) {
-  auto positions = ContentPositions(tokens);
-  if (positions.empty()) return tokens;
-  const size_t victim = SampleContentPosition(tokens, positions, context, rng);
-  std::vector<std::string> out;
-  for (size_t i = 0; i < tokens.size(); ++i)
-    if (i != victim) out.push_back(tokens[i]);
-  return out;
-}
+namespace {
 
-std::vector<std::string> TokenRepl(const std::vector<std::string>& tokens,
-                                   const AugmentContext& context, Rng& rng) {
-  auto positions = ContentPositions(tokens);
-  if (positions.empty()) return tokens;
-  // Prefer positions that actually have synonyms.
-  if (context.synonyms != nullptr) {
-    std::vector<size_t> with_syn;
-    for (size_t p : positions)
-      if (context.synonyms->HasSynonyms(tokens[p])) with_syn.push_back(p);
-    if (!with_syn.empty()) positions = std::move(with_syn);
-  }
-  const size_t victim = SampleContentPosition(tokens, positions, context, rng);
-  std::vector<std::string> out = tokens;
-  if (context.synonyms != nullptr &&
-      context.synonyms->HasSynonyms(tokens[victim])) {
-    const auto& syns = context.synonyms->Synonyms(tokens[victim]);
-    out[victim] = syns[rng.UniformInt(static_cast<int64_t>(syns.size()))];
-  }
-  return out;
-}
+// The paper's Table 3 operators. Each preserves the RNG draw sequence of the
+// original enum-dispatch implementation exactly — pipeline_determinism_test
+// pins the registry path bit-identical to a frozen legacy reference.
 
-std::vector<std::string> TokenSwap(const std::vector<std::string>& tokens,
-                                   Rng& rng) {
-  auto positions = ContentPositions(tokens);
-  if (positions.size() < 2) return tokens;
-  const int64_t n = static_cast<int64_t>(positions.size());
-  const size_t a = positions[rng.UniformInt(n)];
-  size_t b = positions[rng.UniformInt(n)];
-  int attempts = 0;
-  while (b == a && attempts++ < 8) b = positions[rng.UniformInt(n)];
-  std::vector<std::string> out = tokens;
-  std::swap(out[a], out[b]);
-  return out;
-}
-
-std::vector<std::string> TokenInsert(const std::vector<std::string>& tokens,
-                                     const AugmentContext& context, Rng& rng) {
-  auto positions = ContentPositions(tokens);
-  if (positions.empty()) return tokens;
-  const size_t anchor = SampleContentPosition(tokens, positions, context, rng);
-  std::string inserted = tokens[anchor];
-  if (context.synonyms != nullptr &&
-      context.synonyms->HasSynonyms(tokens[anchor])) {
-    const auto& syns = context.synonyms->Synonyms(tokens[anchor]);
-    inserted = syns[rng.UniformInt(static_cast<int64_t>(syns.size()))];
+class TokenDelOp final : public Operator {
+ public:
+  const char* name() const override { return "token_del"; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& context,
+                                 Rng& rng) const override {
+    // Deleting the sole token would empty the sequence — inapplicable, so
+    // return the input unchanged (and draw nothing).
+    if (tokens.size() <= 1) return tokens;
+    auto positions = ContentPositions(tokens);
+    if (positions.empty()) return tokens;
+    const size_t victim =
+        SampleContentPosition(tokens, positions, context, rng);
+    std::vector<std::string> out;
+    for (size_t i = 0; i < tokens.size(); ++i)
+      if (i != victim) out.push_back(tokens[i]);
+    return out;
   }
-  std::vector<std::string> out = tokens;
-  out.insert(out.begin() + static_cast<int64_t>(anchor) + 1, inserted);
-  return out;
-}
+};
+
+class TokenReplOp final : public Operator {
+ public:
+  const char* name() const override { return "token_repl"; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& context,
+                                 Rng& rng) const override {
+    auto positions = ContentPositions(tokens);
+    if (positions.empty()) return tokens;
+    // Prefer positions that actually have synonyms.
+    if (context.synonyms != nullptr) {
+      std::vector<size_t> with_syn;
+      for (size_t p : positions)
+        if (context.synonyms->HasSynonyms(tokens[p])) with_syn.push_back(p);
+      if (!with_syn.empty()) positions = std::move(with_syn);
+    }
+    const size_t victim =
+        SampleContentPosition(tokens, positions, context, rng);
+    std::vector<std::string> out = tokens;
+    if (context.synonyms != nullptr &&
+        context.synonyms->HasSynonyms(tokens[victim])) {
+      const auto& syns = context.synonyms->Synonyms(tokens[victim]);
+      out[victim] = syns[rng.UniformInt(static_cast<int64_t>(syns.size()))];
+    }
+    return out;
+  }
+};
+
+class TokenSwapOp final : public Operator {
+ public:
+  const char* name() const override { return "token_swap"; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    auto positions = ContentPositions(tokens);
+    if (positions.size() < 2) return tokens;
+    const int64_t n = static_cast<int64_t>(positions.size());
+    const size_t a = positions[rng.UniformInt(n)];
+    size_t b = positions[rng.UniformInt(n)];
+    int attempts = 0;
+    while (b == a && attempts++ < 8) b = positions[rng.UniformInt(n)];
+    std::vector<std::string> out = tokens;
+    std::swap(out[a], out[b]);
+    return out;
+  }
+};
+
+class TokenInsertOp final : public Operator {
+ public:
+  const char* name() const override { return "token_insert"; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& context,
+                                 Rng& rng) const override {
+    auto positions = ContentPositions(tokens);
+    if (positions.empty()) return tokens;
+    const size_t anchor =
+        SampleContentPosition(tokens, positions, context, rng);
+    std::string inserted = tokens[anchor];
+    if (context.synonyms != nullptr &&
+        context.synonyms->HasSynonyms(tokens[anchor])) {
+      const auto& syns = context.synonyms->Synonyms(tokens[anchor]);
+      inserted = syns[rng.UniformInt(static_cast<int64_t>(syns.size()))];
+    }
+    std::vector<std::string> out = tokens;
+    out.insert(out.begin() + static_cast<int64_t>(anchor) + 1, inserted);
+    return out;
+  }
+};
 
 // Longest run of content tokens containing `start`.
 std::pair<size_t, size_t> ContentRunAround(
     const std::vector<std::string>& tokens, size_t start) {
   size_t lo = start;
-  while (lo > 0 && !IsStructural(tokens[lo - 1])) --lo;
+  while (lo > 0 && !IsStructuralToken(tokens[lo - 1])) --lo;
   size_t hi = start + 1;
-  while (hi < tokens.size() && !IsStructural(tokens[hi])) ++hi;
+  while (hi < tokens.size() && !IsStructuralToken(tokens[hi])) ++hi;
   return {lo, hi};
 }
 
-std::vector<std::string> SpanDel(const std::vector<std::string>& tokens,
-                                 const AugmentContext& context, Rng& rng) {
-  auto positions = ContentPositions(tokens);
-  if (positions.empty()) return tokens;
-  const size_t anchor = SampleContentPosition(tokens, positions, context, rng);
-  auto [lo, hi] = ContentRunAround(tokens, anchor);
-  size_t span_len =
-      std::min<size_t>(2 + rng.UniformInt(3), hi - lo);  // 2..4 tokens
-  if (hi - lo == tokens.size() && span_len == tokens.size()) {
-    span_len = tokens.size() - 1;  // never delete the entire sequence
+class SpanDelOp final : public Operator {
+ public:
+  const char* name() const override { return "span_del"; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& context,
+                                 Rng& rng) const override {
+    auto positions = ContentPositions(tokens);
+    if (positions.empty()) return tokens;
+    const size_t anchor =
+        SampleContentPosition(tokens, positions, context, rng);
+    auto [lo, hi] = ContentRunAround(tokens, anchor);
+    size_t span_len =
+        std::min<size_t>(2 + rng.UniformInt(3), hi - lo);  // 2..4 tokens
+    if (hi - lo == tokens.size() && span_len == tokens.size()) {
+      span_len = tokens.size() - 1;  // never delete the entire sequence
+    }
+    if (span_len == 0) return tokens;
+    const size_t begin =
+        lo + rng.UniformInt(static_cast<int64_t>(hi - lo - span_len) + 1);
+    std::vector<std::string> out;
+    for (size_t i = 0; i < tokens.size(); ++i)
+      if (i < begin || i >= begin + span_len) out.push_back(tokens[i]);
+    return out;
   }
-  if (span_len == 0) return tokens;
-  const size_t begin =
-      lo + rng.UniformInt(static_cast<int64_t>(hi - lo - span_len) + 1);
-  std::vector<std::string> out;
-  for (size_t i = 0; i < tokens.size(); ++i)
-    if (i < begin || i >= begin + span_len) out.push_back(tokens[i]);
-  return out;
-}
+};
 
-std::vector<std::string> SpanShuffle(const std::vector<std::string>& tokens,
-                                     const AugmentContext& context, Rng& rng) {
-  auto positions = ContentPositions(tokens);
-  if (positions.empty()) return tokens;
-  const size_t anchor = SampleContentPosition(tokens, positions, context, rng);
-  auto [lo, hi] = ContentRunAround(tokens, anchor);
-  const size_t span_len = std::min<size_t>(2 + rng.UniformInt(3), hi - lo);
-  const size_t begin =
-      lo + rng.UniformInt(static_cast<int64_t>(hi - lo - span_len) + 1);
-  std::vector<std::string> out = tokens;
-  std::vector<std::string> span(out.begin() + begin,
-                                out.begin() + begin + span_len);
-  rng.Shuffle(span);
-  std::copy(span.begin(), span.end(), out.begin() + begin);
-  return out;
-}
+class SpanShuffleOp final : public Operator {
+ public:
+  const char* name() const override { return "span_shuffle"; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& context,
+                                 Rng& rng) const override {
+    auto positions = ContentPositions(tokens);
+    if (positions.empty()) return tokens;
+    const size_t anchor =
+        SampleContentPosition(tokens, positions, context, rng);
+    auto [lo, hi] = ContentRunAround(tokens, anchor);
+    const size_t span_len = std::min<size_t>(2 + rng.UniformInt(3), hi - lo);
+    const size_t begin =
+        lo + rng.UniformInt(static_cast<int64_t>(hi - lo - span_len) + 1);
+    std::vector<std::string> out = tokens;
+    std::vector<std::string> span(out.begin() + begin,
+                                  out.begin() + begin + span_len);
+    rng.Shuffle(span);
+    std::copy(span.begin(), span.end(), out.begin() + begin);
+    return out;
+  }
+};
 
 // Column ops operate per entity segment so [SEP] structure is preserved.
-std::vector<std::string> ColShuffle(const std::vector<std::string>& tokens,
-                                    Rng& rng) {
-  const size_t sep = FindEntitySep(tokens);
-  // Pick one segment (or the whole sequence when unpaired).
-  size_t begin = 0, end = tokens.size();
-  if (sep < tokens.size()) {
-    if (rng.Bernoulli(0.5)) {
-      end = sep;
-    } else {
-      begin = sep + 1;
-    }
-  }
-  auto cols = FindColumns(tokens, begin, end);
-  if (cols.size() < 2) return tokens;
-  const int64_t n = static_cast<int64_t>(cols.size());
-  int64_t a = rng.UniformInt(n);
-  int64_t b = rng.UniformInt(n);
-  int attempts = 0;
-  while (b == a && attempts++ < 8) b = rng.UniformInt(n);
-  if (a == b) return tokens;
-  if (a > b) std::swap(a, b);
-
-  std::vector<std::string> out(tokens.begin(),
-                               tokens.begin() + static_cast<int64_t>(begin));
-  for (int64_t c = 0; c < n; ++c) {
-    int64_t src = c == a ? b : (c == b ? a : c);
-    out.insert(out.end(), tokens.begin() + static_cast<int64_t>(cols[src].begin),
-               tokens.begin() + static_cast<int64_t>(cols[src].end));
-  }
-  out.insert(out.end(), tokens.begin() + static_cast<int64_t>(end),
-             tokens.end());
-  return out;
-}
-
-std::vector<std::string> ColDel(const std::vector<std::string>& tokens,
-                                Rng& rng) {
+// Picks the segment a column op works on: one side of the [SEP] (coin flip)
+// or the whole sequence when unpaired.
+std::pair<size_t, size_t> PickColumnSegment(
+    const std::vector<std::string>& tokens, Rng& rng) {
   const size_t sep = FindEntitySep(tokens);
   size_t begin = 0, end = tokens.size();
   if (sep < tokens.size()) {
@@ -193,61 +203,96 @@ std::vector<std::string> ColDel(const std::vector<std::string>& tokens,
       begin = sep + 1;
     }
   }
-  auto cols = FindColumns(tokens, begin, end);
-  if (cols.size() < 2) return tokens;  // keep at least one column
-  const auto& victim = cols[rng.UniformInt(static_cast<int64_t>(cols.size()))];
-  std::vector<std::string> out;
-  for (size_t i = 0; i < tokens.size(); ++i)
-    if (i < victim.begin || i >= victim.end) out.push_back(tokens[i]);
-  return out;
+  return {begin, end};
 }
 
-std::vector<std::string> EntitySwap(const std::vector<std::string>& tokens) {
-  const size_t sep = FindEntitySep(tokens);
-  if (sep >= tokens.size()) return tokens;
-  std::vector<std::string> out(tokens.begin() + static_cast<int64_t>(sep) + 1,
-                               tokens.end());
-  out.push_back("[SEP]");
-  out.insert(out.end(), tokens.begin(),
-             tokens.begin() + static_cast<int64_t>(sep));
-  return out;
-}
+class ColShuffleOp final : public Operator {
+ public:
+  const char* name() const override { return "col_shuffle"; }
+  uint32_t tags() const override { return kRequiresRecord; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    auto [begin, end] = PickColumnSegment(tokens, rng);
+    auto cols = FindColumns(tokens, begin, end);
+    if (cols.size() < 2) return tokens;
+    const int64_t n = static_cast<int64_t>(cols.size());
+    int64_t a = rng.UniformInt(n);
+    int64_t b = rng.UniformInt(n);
+    int attempts = 0;
+    while (b == a && attempts++ < 8) b = rng.UniformInt(n);
+    if (a == b) return tokens;
+    if (a > b) std::swap(a, b);
+
+    std::vector<std::string> out(tokens.begin(),
+                                 tokens.begin() + static_cast<int64_t>(begin));
+    for (int64_t c = 0; c < n; ++c) {
+      int64_t src = c == a ? b : (c == b ? a : c);
+      out.insert(out.end(),
+                 tokens.begin() + static_cast<int64_t>(cols[src].begin),
+                 tokens.begin() + static_cast<int64_t>(cols[src].end));
+    }
+    out.insert(out.end(), tokens.begin() + static_cast<int64_t>(end),
+               tokens.end());
+    return out;
+  }
+};
+
+class ColDelOp final : public Operator {
+ public:
+  const char* name() const override { return "col_del"; }
+  uint32_t tags() const override { return kRequiresRecord; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& rng) const override {
+    auto [begin, end] = PickColumnSegment(tokens, rng);
+    auto cols = FindColumns(tokens, begin, end);
+    if (cols.size() < 2) return tokens;  // keep at least one column
+    const auto& victim =
+        cols[rng.UniformInt(static_cast<int64_t>(cols.size()))];
+    std::vector<std::string> out;
+    for (size_t i = 0; i < tokens.size(); ++i)
+      if (i < victim.begin || i >= victim.end) out.push_back(tokens[i]);
+    return out;
+  }
+};
+
+class EntitySwapOp final : public Operator {
+ public:
+  const char* name() const override { return "entity_swap"; }
+  uint32_t tags() const override { return kRequiresPair; }
+  std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                 const AugmentContext& /*context*/,
+                                 Rng& /*rng*/) const override {
+    // Deterministic involution; draws NOTHING from the rng. Consuming a draw
+    // here would shift the per-example stream for everything sampled after
+    // the operator (e.g. InvDaSample), breaking bit-reproducibility with the
+    // paper configuration — augment_test pins the zero-draw behavior.
+    const size_t sep = FindEntitySep(tokens);
+    if (sep >= tokens.size()) return tokens;
+    std::vector<std::string> out(
+        tokens.begin() + static_cast<int64_t>(sep) + 1, tokens.end());
+    out.push_back("[SEP]");
+    out.insert(out.end(), tokens.begin(),
+               tokens.begin() + static_cast<int64_t>(sep));
+    return out;
+  }
+};
 
 }  // namespace
 
-const char* DaOpName(DaOp op) {
-  switch (op) {
-    case DaOp::kTokenDel: return "token_del";
-    case DaOp::kTokenRepl: return "token_repl";
-    case DaOp::kTokenSwap: return "token_swap";
-    case DaOp::kTokenInsert: return "token_insert";
-    case DaOp::kSpanDel: return "span_del";
-    case DaOp::kSpanShuffle: return "span_shuffle";
-    case DaOp::kColShuffle: return "col_shuffle";
-    case DaOp::kColDel: return "col_del";
-    case DaOp::kEntitySwap: return "entity_swap";
-  }
-  return "?";
-}
-
-const std::vector<DaOp>& AllDaOps() {
-  static const std::vector<DaOp>* ops = new std::vector<DaOp>{
-      DaOp::kTokenDel,   DaOp::kTokenRepl,  DaOp::kTokenSwap,
-      DaOp::kTokenInsert, DaOp::kSpanDel,   DaOp::kSpanShuffle,
-      DaOp::kColShuffle, DaOp::kColDel,     DaOp::kEntitySwap};
-  return *ops;
-}
-
-std::vector<DaOp> OpsForTask(bool is_pair_task, bool is_record_task) {
-  std::vector<DaOp> ops = {DaOp::kTokenDel,    DaOp::kTokenRepl,
-                           DaOp::kTokenSwap,   DaOp::kTokenInsert,
-                           DaOp::kSpanDel,     DaOp::kSpanShuffle};
-  if (is_record_task) {
-    ops.push_back(DaOp::kColShuffle);
-    ops.push_back(DaOp::kColDel);
-  }
-  if (is_pair_task) ops.push_back(DaOp::kEntitySwap);
-  return ops;
+void RegisterTable3Ops(OperatorRegistry& registry) {
+  // Legacy enum order — DefaultOps/Resolve expose registration order, and
+  // the determinism contract depends on it matching the old OpsForTask.
+  registry.Register(std::make_unique<TokenDelOp>());
+  registry.Register(std::make_unique<TokenReplOp>());
+  registry.Register(std::make_unique<TokenSwapOp>());
+  registry.Register(std::make_unique<TokenInsertOp>());
+  registry.Register(std::make_unique<SpanDelOp>());
+  registry.Register(std::make_unique<SpanShuffleOp>());
+  registry.Register(std::make_unique<ColShuffleOp>());
+  registry.Register(std::make_unique<ColDelOp>());
+  registry.Register(std::make_unique<EntitySwapOp>());
 }
 
 std::vector<ColumnSpan> FindColumns(const std::vector<std::string>& tokens,
@@ -269,32 +314,16 @@ size_t FindEntitySep(const std::vector<std::string>& tokens) {
   return tokens.size();
 }
 
-std::vector<std::string> ApplyDaOp(DaOp op,
-                                   const std::vector<std::string>& tokens,
-                                   const AugmentContext& context, Rng& rng) {
-  if (tokens.empty()) return tokens;
-  switch (op) {
-    case DaOp::kTokenDel: return TokenDel(tokens, context, rng);
-    case DaOp::kTokenRepl: return TokenRepl(tokens, context, rng);
-    case DaOp::kTokenSwap: return TokenSwap(tokens, rng);
-    case DaOp::kTokenInsert: return TokenInsert(tokens, context, rng);
-    case DaOp::kSpanDel: return SpanDel(tokens, context, rng);
-    case DaOp::kSpanShuffle: return SpanShuffle(tokens, context, rng);
-    case DaOp::kColShuffle: return ColShuffle(tokens, rng);
-    case DaOp::kColDel: return ColDel(tokens, rng);
-    case DaOp::kEntitySwap: return EntitySwap(tokens);
-  }
-  return tokens;
-}
-
-std::string AugmentText(const std::string& input, DaOp op,
+std::string AugmentText(const std::string& input, const Operator& op,
                         const AugmentContext& context, Rng& rng) {
-  return text::Detokenize(ApplyDaOp(op, text::Tokenize(input), context, rng));
+  auto tokens = text::Tokenize(input);
+  if (tokens.empty()) return input;
+  return text::Detokenize(op.Apply(tokens, context, rng));
 }
 
-TaggedAugment AugmentTextTagged(const std::string& input, DaOp op,
+TaggedAugment AugmentTextTagged(const std::string& input, const Operator& op,
                                 const AugmentContext& context, Rng& rng) {
-  return {AugmentText(input, op, context, rng), DaOpName(op)};
+  return {AugmentText(input, op, context, rng), op.name()};
 }
 
 }  // namespace augment

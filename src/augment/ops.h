@@ -11,53 +11,39 @@
 namespace rotom {
 namespace augment {
 
-/// The simple DA operators of paper Table 3. Token/span-level ops apply to
-/// every task; col_* only to record-structured inputs (EM, EDT); entity_swap
-/// only to EM pairs.
-enum class DaOp {
-  kTokenDel,
-  kTokenRepl,
-  kTokenSwap,
-  kTokenInsert,
-  kSpanDel,
-  kSpanShuffle,
-  kColShuffle,
-  kColDel,
-  kEntitySwap,
+class Operator;  // augment/registry.h
+
+/// Backend for round-trip ("paraphrase-by-translation") operators: corrupt a
+/// serialized input by sending it through a seq2seq model and back. The one
+/// production implementation wraps the task's InvDA model
+/// (eval::TaskContext); tests install fakes. Implementations must be
+/// thread-safe for concurrent RoundTrip calls — operators run on the
+/// candidate-generation pool. Returning an empty string means "no rewrite
+/// available"; the operator then leaves the input unchanged.
+class RoundTripBackend {
+ public:
+  virtual ~RoundTripBackend() = default;
+  virtual std::string RoundTrip(const std::string& input, Rng& rng) const = 0;
 };
-
-/// Short name ("token_del", ...).
-const char* DaOpName(DaOp op);
-
-/// All nine operators.
-const std::vector<DaOp>& AllDaOps();
-
-/// The operators applicable to a task (Table 3 footnote): col ops require
-/// record-structured inputs; entity_swap requires a pair task.
-std::vector<DaOp> OpsForTask(bool is_pair_task, bool is_record_task);
 
 /// Shared context for the operators: IDF-based importance sampling (paper
 /// Section 2.3: less important tokens are more likely to be deleted or
-/// replaced) and the synonym source. Either pointer may be null, in which
-/// case sampling is uniform / replacement falls back to token duplication.
+/// replaced), the synonym source, and the optional round-trip backend. Any
+/// pointer may be null; operators degrade gracefully (uniform sampling /
+/// token duplication / no-op).
 struct AugmentContext {
   const text::IdfTable* idf = nullptr;
   const SynonymLexicon* synonyms = nullptr;
+  const RoundTripBackend* round_trip = nullptr;
 };
 
-/// Applies one operator to a token sequence. Structural markers
-/// ([COL]/[VAL]/[SEP]) are never deleted, replaced, or moved by the
-/// token/span ops; the col/entity ops reinterpret them instead.
-std::vector<std::string> ApplyDaOp(DaOp op,
-                                   const std::vector<std::string>& tokens,
-                                   const AugmentContext& context, Rng& rng);
-
-/// Convenience: tokenize -> ApplyDaOp -> detokenize.
-std::string AugmentText(const std::string& input, DaOp op,
+/// Convenience: tokenize -> op.Apply -> detokenize. Empty input is returned
+/// unchanged without invoking the operator.
+std::string AugmentText(const std::string& input, const Operator& op,
                         const AugmentContext& context, Rng& rng);
 
 /// An augmentation carrying the id of the operator that produced it. `op`
-/// is a DaOpName() literal (static storage), suitable directly as the
+/// is an Operator::name() literal (static storage), suitable directly as the
 /// operator tag of a core::TaggedCandidate — the run log aggregates kept
 /// candidates per step under these names as `op.<name>` fields
 /// (obs/runlog.h).
@@ -67,11 +53,26 @@ struct TaggedAugment {
 };
 
 /// AugmentText plus the producing operator's name, for building tagged
-/// candidate pools: sample an op from OpsForTask(), apply it, keep the tag.
-TaggedAugment AugmentTextTagged(const std::string& input, DaOp op,
+/// candidate pools: sample an op from a resolved operator set, apply it,
+/// keep the tag.
+TaggedAugment AugmentTextTagged(const std::string& input, const Operator& op,
                                 const AugmentContext& context, Rng& rng);
 
-// Structure helpers shared with InvDA's corruption and tests.
+// Structure helpers shared by the operator implementations, InvDA's
+// corruption, and tests.
+
+/// True for [COL]/[VAL]/[SEP]-style structural markers. Operators never
+/// delete, replace, or perturb these.
+bool IsStructuralToken(const std::string& token);
+
+/// Indices of non-structural tokens.
+std::vector<size_t> ContentPositions(const std::vector<std::string>& tokens);
+
+/// Samples a content position, IDF-weighted toward unimportant tokens when
+/// context.idf is set (uniform otherwise). `positions` must be non-empty.
+size_t SampleContentPosition(const std::vector<std::string>& tokens,
+                             const std::vector<size_t>& positions,
+                             const AugmentContext& context, Rng& rng);
 
 /// A [COL] attr [VAL] value... span inside a serialized record.
 struct ColumnSpan {

@@ -1,0 +1,143 @@
+#include "augment/registry.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace rotom {
+namespace augment {
+
+// Per-file registration hooks, each defined next to the operators it
+// registers. Adding an operator = one new file defining its hook + that
+// hook's line in Global() below. Order matters: it is the registry order,
+// which DefaultOps and glob expansion expose (determinism contract).
+void RegisterTable3Ops(OperatorRegistry& registry);        // ops.cc
+void RegisterAttrSwapOp(OperatorRegistry& registry);       // op_attr_swap.cc
+void RegisterAttrShuffleOp(OperatorRegistry& registry);    // op_attr_shuffle.cc
+void RegisterIdfSynonymOp(OperatorRegistry& registry);     // op_idf_synonym.cc
+void RegisterInvDaRoundTripOp(OperatorRegistry& registry);  // op_invda_roundtrip.cc
+void RegisterCharDelOp(OperatorRegistry& registry);        // op_char_del.cc
+void RegisterNumPerturbOp(OperatorRegistry& registry);     // op_num_perturb.cc
+void RegisterPunctDropOp(OperatorRegistry& registry);      // op_punct_drop.cc
+
+const OperatorRegistry& OperatorRegistry::Global() {
+  static const OperatorRegistry* global = [] {
+    auto* registry = new OperatorRegistry();
+    RegisterTable3Ops(*registry);
+    RegisterAttrSwapOp(*registry);
+    RegisterAttrShuffleOp(*registry);
+    RegisterIdfSynonymOp(*registry);
+    RegisterInvDaRoundTripOp(*registry);
+    RegisterCharDelOp(*registry);
+    RegisterNumPerturbOp(*registry);
+    RegisterPunctDropOp(*registry);
+    return registry;
+  }();
+  return *global;
+}
+
+const Operator* OperatorRegistry::Register(std::unique_ptr<Operator> op) {
+  ROTOM_CHECK(op != nullptr);
+  const std::string name = op->name();
+  ROTOM_CHECK(!name.empty());
+  ROTOM_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                  ("duplicate DA operator name '" + name + "'").c_str());
+  const Operator* raw = op.get();
+  owned_.push_back(std::move(op));
+  order_.push_back(raw);
+  by_name_.emplace(name, raw);
+  return raw;
+}
+
+const Operator* OperatorRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Operator& OperatorRegistry::Require(const std::string& name) const {
+  const Operator* op = Find(name);
+  ROTOM_CHECK_MSG(op != nullptr,
+                  ("unknown DA operator '" + name +
+                   "' (rotom_inspect --list-ops prints the registered names)")
+                      .c_str());
+  return *op;
+}
+
+std::vector<std::string> OperatorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(order_.size());
+  for (const Operator* op : order_) names.push_back(op->name());
+  return names;
+}
+
+std::vector<const Operator*> OperatorRegistry::DefaultOps(
+    bool is_pair_task, bool is_record_task) const {
+  std::vector<const Operator*> ops;
+  for (const Operator* op : order_) {
+    if ((op->tags() & kBeyondTable3) != 0) continue;
+    if (!op->ApplicableTo(is_pair_task, is_record_task)) continue;
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+bool OperatorNameMatches(const std::string& pattern, const std::string& name) {
+  // Iterative greedy glob with single-star backtracking.
+  size_t p = 0, n = 0;
+  size_t star = std::string::npos, mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<const Operator*> OperatorRegistry::Resolve(
+    const std::string& spec, bool is_pair_task, bool is_record_task) const {
+  std::vector<const Operator*> out;
+  auto add = [&](const Operator* op) {
+    if (!op->ApplicableTo(is_pair_task, is_record_task)) return;
+    if (std::find(out.begin(), out.end(), op) == out.end()) out.push_back(op);
+  };
+  for (std::string term : Split(spec.empty() ? "default" : spec, ',')) {
+    // Trim surrounding whitespace so "a, b" parses.
+    while (!term.empty() && term.front() == ' ') term.erase(term.begin());
+    while (!term.empty() && term.back() == ' ') term.pop_back();
+    if (term.empty()) continue;
+    if (term == "default") {
+      for (const Operator* op : DefaultOps(is_pair_task, is_record_task))
+        add(op);
+    } else if (term == "all") {
+      for (const Operator* op : order_) add(op);
+    } else if (term.find('*') != std::string::npos) {
+      for (const Operator* op : order_) {
+        if (OperatorNameMatches(term, op->name())) add(op);
+      }
+    } else {
+      add(&Require(term));
+    }
+  }
+  ROTOM_CHECK_MSG(
+      !out.empty(),
+      ("operator-set spec '" + spec + "' resolves to no operators for " +
+       (is_pair_task ? "pair" : is_record_task ? "record" : "text") +
+       " tasks")
+          .c_str());
+  return out;
+}
+
+}  // namespace augment
+}  // namespace rotom

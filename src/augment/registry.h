@@ -1,0 +1,146 @@
+#ifndef ROTOM_AUGMENT_REGISTRY_H_
+#define ROTOM_AUGMENT_REGISTRY_H_
+
+// Pluggable DA operator registry (NL-Augmenter-style). Every augmentation
+// operator — the paper's Table 3 nine and everything added since — is an
+// Operator object with a stable name, applicability tags, and a pure
+// Apply(tokens, context, rng). Consumers never enumerate operators by hand:
+// they resolve an operator-set *spec string* against the global registry
+// (core::PipelineOptions::op_set threads one spec through every trainer),
+// and the run log's `op.<name>` / `gen.<name>` fields pick names up from the
+// candidates automatically. Adding an operator is one new .cc file plus its
+// registration line in registry.cc (see DESIGN.md §11).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "augment/ops.h"
+#include "util/rng.h"
+
+namespace rotom {
+namespace augment {
+
+/// Applicability tags. Task tags (kRequiresRecord/kRequiresPair) gate which
+/// operators a spec resolves to for a task (Table 3 footnote: col ops need
+/// record-structured inputs, entity_swap needs a pair). kBeyondTable3 marks
+/// operators outside the paper's original nine — the "default" spec excludes
+/// them so the paper configuration stays bit-reproducible. kRequiresRoundTrip
+/// marks operators that need AugmentContext::round_trip and degrade to a
+/// no-op without it (a context property, not a task property, so it does not
+/// affect resolution).
+enum OperatorTag : uint32_t {
+  kRequiresRecord = 1u << 0,
+  kRequiresPair = 1u << 1,
+  kRequiresRoundTrip = 1u << 2,
+  kBeyondTable3 = 1u << 3,
+};
+
+/// One augmentation operator. Implementations live in their own .cc file
+/// and are stateless const objects: Apply may be called concurrently from
+/// the candidate-generation pool workers (core/rotom_trainer.h), so it must
+/// only read `context` and draw from the caller's `rng`.
+///
+/// Contract (augment_test.cc pins it for every registered operator):
+///  - Apply NEVER crashes and NEVER empties a non-empty sequence; when the
+///    operator is inapplicable to the input (no [SEP] for entity_swap, no
+///    columns for col ops, too few tokens, missing context backend) it
+///    returns the input unchanged.
+///  - Structural markers ([COL]/[VAL]/[SEP]) are never deleted, replaced, or
+///    moved out of their segment by token/char-level operators.
+///  - Output depends only on (tokens, context, rng state): same seed, same
+///    augmentation.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Stable snake_case identifier ("token_del", "attr_swap", ...). This is
+  /// the spec-string name, the run-log tag, and the OBSERVABILITY.md catalog
+  /// key — renaming one is a schema change.
+  virtual const char* name() const = 0;
+
+  /// OR of OperatorTag bits; 0 = applies to every task.
+  virtual uint32_t tags() const { return 0; }
+
+  virtual std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                         const AugmentContext& context,
+                                         Rng& rng) const = 0;
+
+  /// Task-tag check used by spec resolution.
+  bool ApplicableTo(bool is_pair_task, bool is_record_task) const {
+    if ((tags() & kRequiresPair) != 0 && !is_pair_task) return false;
+    if ((tags() & kRequiresRecord) != 0 && !is_record_task) return false;
+    return true;
+  }
+};
+
+/// Name -> Operator registry. The process-wide instance (Global()) is built
+/// lazily on first use by calling each operator file's registration hook in
+/// a fixed order (registry.cc) — deliberately NOT static-initializer
+/// self-registration, which both has unspecified cross-TU order (the
+/// registry order is part of the determinism contract: DefaultOps must
+/// reproduce the legacy enum order bit-for-bit) and silently drops
+/// unreferenced TUs when the rotom static library is linked.
+///
+/// Instances are immutable after construction; Global() is safe to read
+/// from any thread. Local instances can be built in tests.
+class OperatorRegistry {
+ public:
+  /// The fully-populated process-wide registry.
+  static const OperatorRegistry& Global();
+
+  OperatorRegistry() = default;
+
+  /// Takes ownership. Aborts (ROTOM_CHECK) on a duplicate name: two
+  /// operators sharing a run-log tag would silently merge their telemetry.
+  const Operator* Register(std::unique_ptr<Operator> op);
+
+  /// Lookup by exact name; nullptr when absent.
+  const Operator* Find(const std::string& name) const;
+
+  /// Lookup that aborts with the offending name when absent — for config
+  /// strings that must be valid (mixda_op_*, op_set specs).
+  const Operator& Require(const std::string& name) const;
+
+  /// Every operator, in registration order (Table 3 nine first, in the
+  /// legacy enum order, then the extensions).
+  const std::vector<const Operator*>& All() const { return order_; }
+
+  /// Registration-ordered names (rotom_inspect --list-ops, docs gate).
+  std::vector<std::string> Names() const;
+
+  /// The paper's per-task default set: the Table 3 operators applicable to
+  /// the task, in the exact order the legacy OpsForTask() produced — the
+  /// bit-compat baseline for pipeline_determinism_test.
+  std::vector<const Operator*> DefaultOps(bool is_pair_task,
+                                          bool is_record_task) const;
+
+  /// Resolves an operator-set spec for a task. Grammar:
+  ///   "default"          the Table 3 per-task set (see DefaultOps)
+  ///   "all"              every registered operator applicable to the task
+  ///   "a,b,glob*"        comma list of names and '*' globs; "default" and
+  ///                      "all" may appear as terms and expand in place
+  /// Terms resolve in list order (globs expand in registration order),
+  /// duplicates keep their first position, and operators whose task tags the
+  /// task cannot satisfy are dropped (pair-only ops never fire on
+  /// single-text tasks). Aborts on an unknown exact name or an empty result.
+  std::vector<const Operator*> Resolve(const std::string& spec,
+                                       bool is_pair_task,
+                                       bool is_record_task) const;
+
+ private:
+  std::vector<std::unique_ptr<Operator>> owned_;
+  std::vector<const Operator*> order_;
+  std::unordered_map<std::string, const Operator*> by_name_;
+};
+
+/// '*'-glob match used by Resolve ("token_*" matches "token_del"; no
+/// character classes, '*' matches any run including empty).
+bool OperatorNameMatches(const std::string& pattern, const std::string& name);
+
+}  // namespace augment
+}  // namespace rotom
+
+#endif  // ROTOM_AUGMENT_REGISTRY_H_

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "eval/metrics.h"
 #include "models/seq2seq.h"
 #include "nn/optim.h"
@@ -15,14 +16,6 @@ namespace rotom {
 namespace baselines {
 
 namespace {
-
-using augment::DaOp;
-
-const std::vector<DaOp>& PolicyOps() {
-  static const std::vector<DaOp>* ops = new std::vector<DaOp>{
-      DaOp::kTokenDel, DaOp::kTokenRepl, DaOp::kTokenInsert, DaOp::kTokenSwap};
-  return *ops;
-}
 
 std::unique_ptr<models::TransformerClassifier> MakeModel(
     const models::ClassifierConfig& config,
@@ -94,8 +87,13 @@ double RunHuVariant(bool learned_da, const data::TaskDataset& dataset,
   ctx.idf = &idf;
   ctx.synonyms = &augment::SynonymLexicon::Default();
 
+  // Operators the REINFORCE policy chooses among.
+  const std::vector<const augment::Operator*> policy_ops =
+      augment::OperatorRegistry::Global().Resolve(options.policy_op_set,
+                                                  dataset.is_pair_task,
+                                                  dataset.is_record_task);
   // Policy parameters.
-  std::vector<double> op_logits(PolicyOps().size(), 0.0);
+  std::vector<double> op_logits(policy_ops.size(), 0.0);
   // Weighting scorer over features [ce, max_prob, bias].
   std::vector<double> weight_theta = {0.0, 0.0, 0.0};
 
@@ -130,7 +128,7 @@ double RunHuVariant(bool learned_da, const data::TaskDataset& dataset,
           const size_t op_idx = static_cast<size_t>(rng.WeightedIndex(probs));
           ops_used.push_back(op_idx);
           texts.push_back(augment::AugmentText(
-              train[i].text, PolicyOps()[op_idx], ctx, rng));
+              train[i].text, *policy_ops[op_idx], ctx, rng));
         } else {
           texts.push_back(train[i].text);
         }

@@ -2,6 +2,7 @@
 #define ROTOM_BASELINES_NLP_DA_H_
 
 #include <memory>
+#include <string>
 
 #include "data/dataset.h"
 #include "models/classifier.h"
@@ -36,6 +37,10 @@ struct NlpBaselineOptions {
   float policy_lr = 0.1f;    // REINFORCE policy step size (Hu variants)
   int64_t gen_per_example = 1;  // generated augmentations (Kumar variants)
   uint64_t seed = 1;
+  /// Operator set the Hu-variant REINFORCE policy chooses among
+  /// (augment::OperatorRegistry spec). The default reproduces the original
+  /// hard-wired single-token edit set.
+  std::string policy_op_set = "token_del,token_repl,token_insert,token_swap";
 };
 
 /// Trains the given baseline on the dataset and returns test accuracy (%).

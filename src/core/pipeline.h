@@ -18,7 +18,9 @@ namespace core {
 /// training trajectories (augmentation uses per-example RNG streams split
 /// from the epoch seed, encoding consumes no randomness, and the cache only
 /// memoizes pure functions), so these knobs trade memory and threads for
-/// wall-clock only. pipeline_determinism_test enforces this — including with
+/// wall-clock only — with one flagged exception, `op_set`, which selects the
+/// augmentation-operator space itself (see its comment below).
+/// pipeline_determinism_test enforces this — including with
 /// the obs metrics/tracing layer recording, which is held to the same
 /// contract (see obs/metrics.h).
 ///
@@ -49,6 +51,16 @@ struct PipelineOptions {
   /// part of the determinism contract above: bit-identical across every
   /// cache/prefetch/thread-count combination.
   std::string runlog_dir;
+
+  /// Operator-set spec resolved against augment::OperatorRegistry (grammar
+  /// in registry.h: "default", "all", comma lists, '*' globs). The one
+  /// *semantic* knob in this struct — unlike the knobs above it changes
+  /// which augmentations exist, so the determinism contract holds per spec
+  /// value, not across values. It rides in PipelineOptions because this is
+  /// the one config object that already reaches all five trainers and the
+  /// eval candidate generators. "default" = the paper's Table 3 per-task
+  /// set, which reproduces the legacy hard-wired behavior bit-for-bit.
+  std::string op_set = "default";
 
   bool cache_enabled() const { return cache_rows > 0; }
 };

@@ -505,6 +505,10 @@ TrainResult RotomTrainer::Train(const data::TaskDataset& ds,
           const std::string& op = batch.ops[row];
           if (!op.empty()) ++record.op_counts[op];
         }
+        for (int64_t i = 0; i < b; ++i) {
+          const std::string& op = batch.ops[i];
+          if (!op.empty()) ++record.op_offered[op];
+        }
         runlog->LogStep(record);
       }
 

@@ -78,12 +78,14 @@ using CandidateGenerator =
     std::function<std::vector<std::string>(const std::string&, Rng&)>;
 
 /// An augmented candidate carrying the id of the operator that produced it
-/// — an augment::DaOpName() ("token_del", "span_shuffle", ...) or a source
-/// tag like "invda". The trainer aggregates, per optimizer step, how many
-/// kept candidates each operator contributed and records the counts as the
-/// `op.<name>` fields of the run log's step events (obs/runlog.h): the
-/// per-operator survival mix is the most direct view of what the filtering
-/// policy learned. An empty `op` is allowed and simply not counted.
+/// — an augment::Operator::name() ("token_del", "span_shuffle", ...; see
+/// augment/registry.h) or a source tag like "invda". The trainer
+/// aggregates, per optimizer step, how many candidates each operator
+/// offered and how many survived filtering, recorded as the `gen.<name>`
+/// and `op.<name>` fields of the run log's step events (obs/runlog.h):
+/// the per-operator keep rate is the most direct view of what the
+/// filtering policy learned. An empty `op` is allowed and simply not
+/// counted.
 struct TaggedCandidate {
   std::string text;
   std::string op;

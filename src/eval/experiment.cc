@@ -70,15 +70,22 @@ TaskContext::TaskContext(data::TaskDataset dataset, ExperimentOptions options)
   idf_ = text::IdfTable::Build(docs);
   aug_context_.idf = &idf_;
   aug_context_.synonyms = &augment::SynonymLexicon::Default();
-  task_ops_ =
-      augment::OpsForTask(dataset_.is_pair_task, dataset_.is_record_task);
-  if (dataset_.is_pair_task) {
-    mixda_op_ = options_.mixda_op_em;
-  } else if (dataset_.is_record_task) {
-    mixda_op_ = options_.mixda_op_edt;
-  } else {
-    mixda_op_ = options_.mixda_op_textcls;
-  }
+  task_ops_ = augment::OperatorRegistry::Global().Resolve(
+      options_.pipeline.op_set, dataset_.is_pair_task, dataset_.is_record_task);
+  const std::string& mixda_name = dataset_.is_pair_task
+                                      ? options_.mixda_op_em
+                                      : dataset_.is_record_task
+                                            ? options_.mixda_op_edt
+                                            : options_.mixda_op_textcls;
+  mixda_op_ = &augment::OperatorRegistry::Global().Require(mixda_name);
+}
+
+void TaskContext::set_pipeline(const core::PipelineOptions& pipeline) {
+  options_.pipeline = pipeline;
+  // op_set is the one semantic pipeline knob: re-resolve the task's
+  // operator set so subsequent runs draw from the new space.
+  task_ops_ = augment::OperatorRegistry::Global().Resolve(
+      options_.pipeline.op_set, dataset_.is_pair_task, dataset_.is_record_task);
 }
 
 namespace {
@@ -91,6 +98,30 @@ std::pair<std::string, std::string> SplitPair(const std::string& text) {
   if (pos == std::string::npos) return {text, ""};
   return {text.substr(0, pos), text.substr(pos + sizeof(kPairSep) - 1)};
 }
+
+// RoundTripBackend over the task's InvDA cache, for the `invda_roundtrip`
+// registry operator. Cached-only (InvDa::SampleCached) so it is thread-safe
+// from the candidate-generation pool and never pays live seq2seq decoding
+// inside a training step; pair inputs rewrite the right-hand record, like
+// TaskContext::InvDaSample.
+class InvDaRoundTrip final : public augment::RoundTripBackend {
+ public:
+  InvDaRoundTrip(const invda::InvDa* invda, bool is_pair_task)
+      : invda_(invda), is_pair_task_(is_pair_task) {}
+
+  std::string RoundTrip(const std::string& input, Rng& rng) const override {
+    if (!is_pair_task_) return invda_->SampleCached(input, rng);
+    auto [left, right] = SplitPair(input);
+    if (right.empty()) return invda_->SampleCached(left, rng);
+    std::string rewritten = invda_->SampleCached(right, rng);
+    if (rewritten.empty()) return rewritten;  // uncached -> no-op
+    return left + kPairSep + rewritten;
+  }
+
+ private:
+  const invda::InvDa* invda_;
+  bool is_pair_task_;
+};
 
 }  // namespace
 
@@ -150,6 +181,11 @@ void TaskContext::EnsureInvDa() {
   invda_options.pipeline = options_.pipeline;
   invda_->Train(corpus, invda_options);
   invda_->PrecomputeCache(inputs, invda_options);
+  // From here on round-trip operators in the resolved set (if any) can
+  // sample the cache.
+  round_trip_ =
+      std::make_unique<InvDaRoundTrip>(invda_.get(), dataset_.is_pair_task);
+  aug_context_.round_trip = round_trip_.get();
 }
 
 std::string TaskContext::InvDaSample(const std::string& input, Rng& rng) {
@@ -190,8 +226,8 @@ std::unique_ptr<models::TransformerClassifier> TaskContext::FreshModel(
 std::string TaskContext::RandomSimpleAugment(const std::string& input,
                                              Rng& rng,
                                              const char** op_name) const {
-  const augment::DaOp op =
-      task_ops_[rng.UniformInt(static_cast<int64_t>(task_ops_.size()))];
+  const augment::Operator& op =
+      *task_ops_[rng.UniformInt(static_cast<int64_t>(task_ops_.size()))];
   augment::TaggedAugment aug =
       augment::AugmentTextTagged(input, op, aug_context_, rng);
   if (op_name != nullptr) *op_name = aug.op;
@@ -200,7 +236,7 @@ std::string TaskContext::RandomSimpleAugment(const std::string& input,
 
 std::string TaskContext::MixDaAugment(const std::string& input,
                                       Rng& rng) const {
-  return augment::AugmentText(input, mixda_op_, aug_context_, rng);
+  return augment::AugmentText(input, *mixda_op_, aug_context_, rng);
 }
 
 const NamedTensors& TaskContext::PretrainedState() {
@@ -289,6 +325,7 @@ ExperimentResult TaskContext::RunOnDataset(
       options.ssl_batch_ratio = options_.ssl_batch_ratio;
       options.seed = seed;
       options.use_ssl = method == Method::kRotomSsl;
+      options.use_filtering = options_.use_filtering;
       options.pipeline = options_.pipeline;
       core::RotomTrainer trainer(model.get(), metric_, options);
       // Candidate pool: one simple-op augmentation + one InvDA sample

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "core/rotom_trainer.h"
 #include "data/dataset.h"
 #include "eval/metrics.h"
@@ -45,10 +46,18 @@ struct ExperimentOptions {
   core::PipelineOptions pipeline;
 
   /// The fixed single operator MixDA applies per task family (the paper
-  /// tunes one generally-good operator per task type; Section 6.1).
-  augment::DaOp mixda_op_textcls = augment::DaOp::kTokenRepl;
-  augment::DaOp mixda_op_em = augment::DaOp::kColDel;  // safest for pairs
-  augment::DaOp mixda_op_edt = augment::DaOp::kTokenDel;
+  /// tunes one generally-good operator per task type; Section 6.1), as
+  /// registry names resolved with OperatorRegistry::Require at context
+  /// construction.
+  std::string mixda_op_textcls = "token_repl";
+  std::string mixda_op_em = "col_del";  // safest for pairs
+  std::string mixda_op_edt = "token_del";
+
+  /// Rotom's meta-learned example filtering (the M_F model). On reproduces
+  /// the paper; off trains on every generated candidate — the ablation arm
+  /// of the F1-vs-operator-space-size bench (bench_opspace), which measures
+  /// how far the operator space can grow before unfiltered noise hurts.
+  bool use_filtering = true;
 };
 
 /// Result of one (dataset, method, seed) run.
@@ -87,11 +96,15 @@ class TaskContext {
   const ExperimentOptions& options() const { return options_; }
 
   /// Swaps the data-path configuration for subsequent runs. Training results
-  /// are bit-identical across pipeline settings (DESIGN.md §8), so benches
-  /// measure pipeline-on vs -off on one shared pre-trained context.
-  void set_pipeline(const core::PipelineOptions& pipeline) {
-    options_.pipeline = pipeline;
-  }
+  /// are bit-identical across pipeline settings (DESIGN.md §8) — except
+  /// pipeline.op_set, the one semantic knob, which re-resolves this task's
+  /// operator set (bench_opspace sweeps it on one shared pre-trained
+  /// context). Benches measure pipeline-on vs -off the same way.
+  void set_pipeline(const core::PipelineOptions& pipeline);
+
+  /// Toggles Rotom's M_F filtering for subsequent runs (bench_opspace's
+  /// ablation arm).
+  void set_use_filtering(bool on) { options_.use_filtering = on; }
   std::shared_ptr<const text::Vocabulary> vocab_ptr() const { return vocab_; }
   const text::IdfTable& idf() const { return idf_; }
 
@@ -109,10 +122,10 @@ class TaskContext {
   std::string InvDaSample(const std::string& input, Rng& rng);
   bool InvDaHasCached(const std::string& input) const;
 
-  /// One random applicable simple op (for Rotom's candidate pool). When
-  /// `op_name` is non-null it receives the augment::DaOpName of the sampled
-  /// operator — the tag the run log aggregates per-operator selection
-  /// counts under (core::TaggedCandidate).
+  /// One random op from this task's resolved operator set (for Rotom's
+  /// candidate pool). When `op_name` is non-null it receives the sampled
+  /// Operator::name() — the tag the run log aggregates per-operator
+  /// selection counts under (core::TaggedCandidate).
   std::string RandomSimpleAugment(const std::string& input, Rng& rng,
                                   const char** op_name = nullptr) const;
   /// The task family's fixed MixDA operator.
@@ -131,12 +144,16 @@ class TaskContext {
   std::shared_ptr<text::Vocabulary> vocab_;
   text::IdfTable idf_;
   augment::AugmentContext aug_context_;
-  std::vector<augment::DaOp> task_ops_;
-  augment::DaOp mixda_op_;
+  std::vector<const augment::Operator*> task_ops_;
+  const augment::Operator* mixda_op_ = nullptr;
 
   bool pretrained_ready_ = false;
   NamedTensors pretrained_state_;
   std::unique_ptr<invda::InvDa> invda_;
+  // Installed into aug_context_.round_trip by EnsureInvDa so registry
+  // operators tagged kRequiresRoundTrip (invda_roundtrip) can sample the
+  // task's InvDA cache.
+  std::unique_ptr<augment::RoundTripBackend> round_trip_;
 };
 
 /// Builds the vocabulary for a task from its train+valid+unlabeled texts.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "augment/registry.h"
 #include "nn/optim.h"
 #include "obs/runlog.h"
 #include "obs/trace.h"
@@ -14,17 +15,18 @@ namespace invda {
 std::vector<std::pair<std::string, std::string>> BuildCorruptionPairs(
     const std::vector<std::string>& corpus, int64_t n_ops,
     const augment::AugmentContext& context, bool is_pair_task,
-    bool is_record_task, Rng& rng) {
-  const std::vector<augment::DaOp> ops =
-      augment::OpsForTask(is_pair_task, is_record_task);
+    bool is_record_task, Rng& rng, const std::string& op_set) {
+  const std::vector<const augment::Operator*> ops =
+      augment::OperatorRegistry::Global().Resolve(op_set, is_pair_task,
+                                                  is_record_task);
   std::vector<std::pair<std::string, std::string>> pairs;
   pairs.reserve(corpus.size());
   for (const auto& target : corpus) {
     std::vector<std::string> tokens = text::Tokenize(target);
     for (int64_t i = 0; i < n_ops; ++i) {
-      const augment::DaOp op =
-          ops[rng.UniformInt(static_cast<int64_t>(ops.size()))];
-      tokens = augment::ApplyDaOp(op, tokens, context, rng);
+      const augment::Operator& op =
+          *ops[rng.UniformInt(static_cast<int64_t>(ops.size()))];
+      if (!tokens.empty()) tokens = op.Apply(tokens, context, rng);
     }
     pairs.emplace_back(text::Detokenize(tokens), target);
   }
@@ -75,7 +77,8 @@ float InvDa::Train(const std::vector<std::string>& unlabeled,
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     // Fresh corruptions every epoch (Algorithm 1 line 4-6 resampled).
     auto pairs = BuildCorruptionPairs(corpus, options.corruption_ops, context_,
-                                      is_pair_task_, is_record_task_, rng_);
+                                      is_pair_task_, is_record_task_, rng_,
+                                      options.pipeline.op_set);
     rng_.Shuffle(pairs);
     for (size_t begin = 0; begin < pairs.size(); begin += options.batch_size) {
       const size_t end =
@@ -162,6 +165,13 @@ std::string InvDa::Sample(const std::string& input, Rng& rng) {
       entry.push_back(input);
     it = cache_.find(input);
   }
+  const auto& pool = it->second;
+  return pool[rng.UniformInt(static_cast<int64_t>(pool.size()))];
+}
+
+std::string InvDa::SampleCached(const std::string& input, Rng& rng) const {
+  auto it = cache_.find(input);
+  if (it == cache_.end() || it->second.empty()) return std::string();
   const auto& pool = it->second;
   return pool[rng.UniformInt(static_cast<int64_t>(pool.size()))];
 }

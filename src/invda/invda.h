@@ -36,12 +36,13 @@ struct InvDaOptions {
 };
 
 /// Algorithm 1's training-pair construction: corrupts each sequence with
-/// `n_ops` uniformly sampled simple DA operators and pairs (corrupted ->
-/// original).
+/// `n_ops` operators uniformly sampled from the `op_set` spec (resolved
+/// against the global OperatorRegistry for the task; "default" = the Table 3
+/// per-task set) and pairs (corrupted -> original).
 std::vector<std::pair<std::string, std::string>> BuildCorruptionPairs(
     const std::vector<std::string>& corpus, int64_t n_ops,
     const augment::AugmentContext& context, bool is_pair_task,
-    bool is_record_task, Rng& rng);
+    bool is_record_task, Rng& rng, const std::string& op_set = "default");
 
 /// The InvDA operator: a seq2seq model self-trained to invert sequence
 /// corruption, then sampled to produce natural yet diverse augmentations.
@@ -70,6 +71,13 @@ class InvDa {
   /// A cached augmentation for `input` (random choice among cached ones);
   /// falls back to live generation when absent.
   std::string Sample(const std::string& input, Rng& rng);
+
+  /// Cached-only variant of Sample: a random cached augmentation, or "" when
+  /// the input was never precomputed. Const and safe to call concurrently
+  /// (never generates, never mutates the cache) — this is the entry point
+  /// the `invda_roundtrip` operator's RoundTripBackend uses from the
+  /// candidate-generation pool workers.
+  std::string SampleCached(const std::string& input, Rng& rng) const;
 
   /// All cached augmentations for an input (empty if not cached).
   const std::vector<std::string>& CachedAugmentations(

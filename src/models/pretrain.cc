@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "nn/optim.h"
 #include "obs/runlog.h"
 #include "obs/trace.h"
@@ -132,16 +133,16 @@ namespace {
 
 // A formatting-style view of a record: information is dropped or reordered
 // but no content token is replaced (mirrors how two data sources render the
-// same entity).
-std::string SameOriginPositiveView(const std::string& record, Rng& rng) {
-  static const augment::DaOp kViewOps[] = {augment::DaOp::kTokenDel,
-                                           augment::DaOp::kSpanShuffle,
-                                           augment::DaOp::kColDel,
-                                           augment::DaOp::kColShuffle};
+// same entity). `view_ops` comes from SameOriginOptions::view_op_set.
+std::string SameOriginPositiveView(
+    const std::string& record,
+    const std::vector<const augment::Operator*>& view_ops, Rng& rng) {
   auto tokens = text::Tokenize(record);
   const int64_t n_ops = 1 + rng.UniformInt(2);
   for (int64_t i = 0; i < n_ops; ++i) {
-    tokens = augment::ApplyDaOp(kViewOps[rng.UniformInt(4)], tokens, {}, rng);
+    const augment::Operator& op =
+        *view_ops[rng.UniformInt(static_cast<int64_t>(view_ops.size()))];
+    if (!tokens.empty()) tokens = op.Apply(tokens, {}, rng);
   }
   return text::Detokenize(tokens);
 }
@@ -177,6 +178,11 @@ float PretrainSameOrigin(TransformerClassifier& model,
   if (records.size() < 4) return 0.0f;
   ROTOM_TRACE_SPAN("pretrain.same_origin");
   ROTOM_CHECK_EQ(model.config().num_classes, 2);
+  // Views operate on single records (is_record, not a pair at this
+  // granularity), resolved once for all steps.
+  const std::vector<const augment::Operator*> view_ops =
+      augment::OperatorRegistry::Global().Resolve(
+          options.view_op_set, /*is_pair_task=*/false, /*is_record_task=*/true);
   nn::Adam optimizer(model.Parameters(), options.lr);
   model.SetTraining(true);
 
@@ -214,7 +220,7 @@ float PretrainSameOrigin(TransformerClassifier& model,
       int64_t label;
       const double roll = pair_rng.Uniform();
       if (roll < 0.5) {
-        right = SameOriginPositiveView(left, pair_rng);
+        right = SameOriginPositiveView(left, view_ops, pair_rng);
         label = 1;
       } else if (roll < 0.75) {
         right = records[pair_rng.UniformInt(n)];  // random different record

@@ -47,6 +47,11 @@ struct SameOriginOptions {
   int64_t batch_size = 16;
   float lr = 1e-3f;
   core::PipelineOptions pipeline;  // pair construction runs on the prefetcher
+  /// Operators that produce the positive "formatting-style view"
+  /// (augment::OperatorRegistry spec). Restricted by design to edits that
+  /// drop or reorder information without replacing content tokens; the
+  /// default reproduces the original hard-wired view set.
+  std::string view_op_set = "token_del,span_shuffle,col_del,col_shuffle";
 };
 float PretrainSameOrigin(TransformerClassifier& model,
                          const std::vector<std::string>& records, Rng& rng,

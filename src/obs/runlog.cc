@@ -320,6 +320,9 @@ void RunLog::LogStep(const RunLogStep& step) {
   for (const auto& [op, count] : step.op_counts) {
     line.Add("op." + op, count);  // documented as `op.<operator>`
   }
+  for (const auto& [op, count] : step.op_offered) {
+    line.Add("gen." + op, count);  // documented as `gen.<operator>`
+  }
   Append(line.Finish());
   ++steps_;
 }

@@ -106,6 +106,10 @@ struct RunLogStep {
   // Kept-candidate counts per augmentation operator tag, rendered as
   // `op.<name>` fields in deterministic (map) order.
   std::map<std::string, int64_t> op_counts;
+  // Offered (pre-filter) candidate counts per operator tag, rendered as
+  // `gen.<name>` fields. Together with op_counts this gives the
+  // per-operator keep rate op.<name>/gen.<name> (rotom_inspect summary).
+  std::map<std::string, int64_t> op_offered;
 };
 
 /// The flight recorder itself. Create via Open(); the destructor appends

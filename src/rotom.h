@@ -12,7 +12,7 @@
 //   nn/       layers, attention, transformer encoder/decoder, optimizers
 //   text/     tokenizer, vocabulary, IDF, [COL]/[VAL] record serialization
 //   data/     synthetic EM / EDT / TextCLS benchmark generators
-//   augment/  the simple DA operators of paper Table 3, synonyms, MixDA
+//   augment/  pluggable DA operator registry (Table 3 ops + beyond), synonyms, MixDA
 //   models/   TransformerClassifier (+ MLM / same-origin pre-training),
 //             Seq2SeqModel
 //   invda/    the InvDA operator (Algorithm 1 + cached top-k sampling)
@@ -28,6 +28,7 @@
 
 #include "augment/mixda.h"
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "augment/synonyms.h"
 #include "baselines/deepmatcher.h"
 #include "baselines/nlp_da.h"

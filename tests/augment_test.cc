@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -6,6 +7,7 @@
 
 #include "augment/mixda.h"
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "tensor/ops.h"
 #include "augment/synonyms.h"
 #include "text/tokenizer.h"
@@ -14,7 +16,8 @@ namespace rotom {
 namespace {
 
 using augment::AugmentContext;
-using augment::DaOp;
+using augment::Operator;
+using augment::OperatorRegistry;
 
 std::vector<std::string> Toks(const std::string& s) {
   return text::Tokenize(s);
@@ -22,6 +25,20 @@ std::vector<std::string> Toks(const std::string& s) {
 
 int CountToken(const std::vector<std::string>& tokens, const std::string& t) {
   return static_cast<int>(std::count(tokens.begin(), tokens.end(), t));
+}
+
+// Registry lookup + apply, the way every production consumer dispatches.
+std::vector<std::string> Apply(const std::string& op,
+                               const std::vector<std::string>& tokens,
+                               const AugmentContext& ctx, Rng& rng) {
+  return OperatorRegistry::Global().Require(op).Apply(tokens, ctx, rng);
+}
+
+std::vector<std::string> Names(
+    const std::vector<const Operator*>& ops) {
+  std::vector<std::string> out;
+  for (const Operator* op : ops) out.push_back(op->name());
+  return out;
 }
 
 TEST(SynonymLexiconTest, DefaultHasGroups) {
@@ -54,25 +71,159 @@ TEST(SynonymLexiconTest, CustomGroups) {
   EXPECT_EQ(lex.Synonyms("bar").size(), 2u);
 }
 
-TEST(DaOpsTest, NamesAndEnumeration) {
-  EXPECT_EQ(augment::AllDaOps().size(), 9u);
-  EXPECT_STREQ(augment::DaOpName(DaOp::kTokenDel), "token_del");
-  EXPECT_STREQ(augment::DaOpName(DaOp::kEntitySwap), "entity_swap");
+// ---------------------------------------------------------------------------
+// Registry structure.
+
+TEST(RegistryTest, Table3OpsFirstInLegacyOrder) {
+  const auto names = OperatorRegistry::Global().Names();
+  ASSERT_GE(names.size(), 13u);
+  const std::vector<std::string> table3 = {
+      "token_del",  "token_repl",   "token_swap", "token_insert", "span_del",
+      "span_shuffle", "col_shuffle", "col_del",    "entity_swap"};
+  for (size_t i = 0; i < table3.size(); ++i) EXPECT_EQ(names[i], table3[i]);
 }
 
-TEST(DaOpsTest, OpsForTaskRespectApplicability) {
-  auto textcls = augment::OpsForTask(false, false);
-  EXPECT_EQ(textcls.size(), 6u);  // token+span ops only
-  auto edt = augment::OpsForTask(false, true);
-  EXPECT_EQ(edt.size(), 8u);  // + col ops
-  auto em = augment::OpsForTask(true, true);
-  EXPECT_EQ(em.size(), 9u);  // + entity_swap
+TEST(RegistryTest, AtLeastFourOpsBeyondTable3) {
+  int beyond = 0;
+  for (const Operator* op : OperatorRegistry::Global().All())
+    if ((op->tags() & augment::kBeyondTable3) != 0) ++beyond;
+  EXPECT_GE(beyond, 4);
 }
+
+TEST(RegistryTest, FindAndRequire) {
+  const auto& registry = OperatorRegistry::Global();
+  EXPECT_EQ(registry.Find("no_such_op"), nullptr);
+  EXPECT_STREQ(registry.Require("entity_swap").name(), "entity_swap");
+}
+
+TEST(RegistryTest, DefaultOpsMatchLegacyOpsForTask) {
+  const auto& registry = OperatorRegistry::Global();
+  // TextCLS: token+span ops only.
+  EXPECT_EQ(Names(registry.DefaultOps(false, false)),
+            (std::vector<std::string>{"token_del", "token_repl", "token_swap",
+                                      "token_insert", "span_del",
+                                      "span_shuffle"}));
+  // EDT: + col ops.  EM: + entity_swap.
+  EXPECT_EQ(registry.DefaultOps(false, true).size(), 8u);
+  EXPECT_EQ(Names(registry.DefaultOps(true, true)),
+            (std::vector<std::string>{"token_del", "token_repl", "token_swap",
+                                      "token_insert", "span_del",
+                                      "span_shuffle", "col_shuffle", "col_del",
+                                      "entity_swap"}));
+}
+
+TEST(RegistryTest, ApplicabilityTagsFilterResolution) {
+  const auto& registry = OperatorRegistry::Global();
+  // Pair-only and record-only ops never resolve for single-text tasks, even
+  // under "all".
+  for (const std::string& name :
+       Names(registry.Resolve("all", false, false))) {
+    EXPECT_NE(name, "entity_swap");
+    EXPECT_NE(name, "col_shuffle");
+    EXPECT_NE(name, "col_del");
+    EXPECT_NE(name, "attr_swap");
+    EXPECT_NE(name, "attr_shuffle");
+  }
+  // "all" for a pair+record task is every registered operator.
+  EXPECT_EQ(registry.Resolve("all", true, true).size(),
+            registry.All().size());
+}
+
+TEST(RegistryTest, ResolveSpecGrammar) {
+  const auto& registry = OperatorRegistry::Global();
+  // Globs expand in registration order.
+  EXPECT_EQ(Names(registry.Resolve("token_*", false, false)),
+            (std::vector<std::string>{"token_del", "token_repl", "token_swap",
+                                      "token_insert"}));
+  // Exact names keep list order; duplicates keep their first position.
+  EXPECT_EQ(Names(registry.Resolve("span_del, token_del, span_del", false,
+                                   false)),
+            (std::vector<std::string>{"span_del", "token_del"}));
+  // "default" expands in place and an empty spec means "default".
+  EXPECT_EQ(Names(registry.Resolve("", true, true)),
+            Names(registry.DefaultOps(true, true)));
+  EXPECT_EQ(Names(registry.Resolve("default,num_perturb", false, false)).back(),
+            "num_perturb");
+}
+
+TEST(RegistryTest, OperatorNameMatchesGlob) {
+  EXPECT_TRUE(augment::OperatorNameMatches("token_*", "token_del"));
+  EXPECT_TRUE(augment::OperatorNameMatches("*", "anything"));
+  EXPECT_TRUE(augment::OperatorNameMatches("*_del", "span_del"));
+  EXPECT_FALSE(augment::OperatorNameMatches("token_*", "span_del"));
+  EXPECT_FALSE(augment::OperatorNameMatches("token", "token_del"));
+}
+
+TEST(RegistryDeathTest, DuplicateNameRegistrationAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  class FakeOp final : public Operator {
+   public:
+    const char* name() const override { return "fake_op"; }
+    std::vector<std::string> Apply(const std::vector<std::string>& tokens,
+                                   const AugmentContext&,
+                                   Rng&) const override {
+      return tokens;
+    }
+  };
+  EXPECT_DEATH(
+      {
+        OperatorRegistry registry;
+        registry.Register(std::make_unique<FakeOp>());
+        registry.Register(std::make_unique<FakeOp>());
+      },
+      "duplicate DA operator name 'fake_op'");
+}
+
+TEST(RegistryDeathTest, UnknownNameAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(OperatorRegistry::Global().Require("no_such_op"),
+               "unknown DA operator 'no_such_op'");
+}
+
+// ---------------------------------------------------------------------------
+// The never-crash / no-op contract, for every registered operator.
+
+TEST(DaOpsTest, EmptyInputIsNoopForEveryOperator) {
+  Rng rng(17);
+  const std::vector<std::string> empty;
+  for (const Operator* op : OperatorRegistry::Global().All()) {
+    EXPECT_TRUE(op->Apply(empty, {}, rng).empty()) << op->name();
+  }
+}
+
+TEST(DaOpsTest, SingleTokenInputNeverEmptied) {
+  const auto single = Toks("zanzibar");
+  ASSERT_EQ(single.size(), 1u);
+  for (const Operator* op : OperatorRegistry::Global().All()) {
+    Rng rng(23);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_FALSE(op->Apply(single, {}, rng).empty()) << op->name();
+    }
+  }
+}
+
+TEST(DaOpsTest, EveryOperatorIsDeterministicPerSeed) {
+  const auto tokens = Toks(
+      "[COL] name [VAL] google inc 42 , mountain view [SEP] "
+      "[COL] name [VAL] alphabet co 1998 ( ca )");
+  AugmentContext ctx;
+  ctx.synonyms = &augment::SynonymLexicon::Default();
+  for (const Operator* op : OperatorRegistry::Global().All()) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      Rng a(seed), b(seed);
+      EXPECT_EQ(op->Apply(tokens, ctx, a), op->Apply(tokens, ctx, b))
+          << op->name() << " seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 operator behavior (registry dispatch).
 
 TEST(DaOpsTest, TokenDelRemovesExactlyOne) {
   Rng rng(1);
   auto tokens = Toks("where is the orange bowl ?");
-  auto out = augment::ApplyDaOp(DaOp::kTokenDel, tokens, {}, rng);
+  auto out = Apply("token_del", tokens, {}, rng);
   EXPECT_EQ(out.size(), tokens.size() - 1);
 }
 
@@ -80,7 +231,7 @@ TEST(DaOpsTest, TokenDelNeverRemovesStructuralTokens) {
   Rng rng(2);
   auto tokens = Toks("[COL] name [VAL] google [SEP] [COL] name [VAL] alphabet");
   for (int i = 0; i < 50; ++i) {
-    auto out = augment::ApplyDaOp(DaOp::kTokenDel, tokens, {}, rng);
+    auto out = Apply("token_del", tokens, {}, rng);
     EXPECT_EQ(CountToken(out, "[COL]"), 2);
     EXPECT_EQ(CountToken(out, "[VAL]"), 2);
     EXPECT_EQ(CountToken(out, "[SEP]"), 1);
@@ -94,7 +245,7 @@ TEST(DaOpsTest, TokenReplUsesSynonyms) {
   auto tokens = Toks("the movie was great");
   bool changed = false;
   for (int i = 0; i < 30 && !changed; ++i) {
-    auto out = augment::ApplyDaOp(DaOp::kTokenRepl, tokens, ctx, rng);
+    auto out = Apply("token_repl", tokens, ctx, rng);
     ASSERT_EQ(out.size(), tokens.size());
     changed = out != tokens;
   }
@@ -104,14 +255,14 @@ TEST(DaOpsTest, TokenReplUsesSynonyms) {
 TEST(DaOpsTest, TokenReplWithoutLexiconIsNoop) {
   Rng rng(4);
   auto tokens = Toks("alpha beta gamma");
-  auto out = augment::ApplyDaOp(DaOp::kTokenRepl, tokens, {}, rng);
+  auto out = Apply("token_repl", tokens, {}, rng);
   EXPECT_EQ(out, tokens);
 }
 
 TEST(DaOpsTest, TokenSwapPreservesMultiset) {
   Rng rng(5);
   auto tokens = Toks("a b c d e");
-  auto out = augment::ApplyDaOp(DaOp::kTokenSwap, tokens, {}, rng);
+  auto out = Apply("token_swap", tokens, {}, rng);
   ASSERT_EQ(out.size(), tokens.size());
   auto sorted_in = tokens, sorted_out = out;
   std::sort(sorted_in.begin(), sorted_in.end());
@@ -124,14 +275,14 @@ TEST(DaOpsTest, TokenInsertAddsExactlyOne) {
   AugmentContext ctx;
   ctx.synonyms = &augment::SynonymLexicon::Default();
   auto tokens = Toks("this is a great movie");
-  auto out = augment::ApplyDaOp(DaOp::kTokenInsert, tokens, ctx, rng);
+  auto out = Apply("token_insert", tokens, ctx, rng);
   EXPECT_EQ(out.size(), tokens.size() + 1);
 }
 
 TEST(DaOpsTest, SpanDelRemovesContiguousRun) {
   Rng rng(7);
   auto tokens = Toks("one two three four five six seven eight");
-  auto out = augment::ApplyDaOp(DaOp::kSpanDel, tokens, {}, rng);
+  auto out = Apply("span_del", tokens, {}, rng);
   EXPECT_LT(out.size(), tokens.size());
   EXPECT_GE(out.size(), tokens.size() - 4);
 }
@@ -140,7 +291,7 @@ TEST(DaOpsTest, SpanDelKeepsStructuralTokens) {
   Rng rng(8);
   auto tokens = Toks("[COL] title [VAL] effective timestamping in databases");
   for (int i = 0; i < 30; ++i) {
-    auto out = augment::ApplyDaOp(DaOp::kSpanDel, tokens, {}, rng);
+    auto out = Apply("span_del", tokens, {}, rng);
     EXPECT_EQ(CountToken(out, "[COL]"), 1);
     EXPECT_EQ(CountToken(out, "[VAL]"), 1);
   }
@@ -149,7 +300,7 @@ TEST(DaOpsTest, SpanDelKeepsStructuralTokens) {
 TEST(DaOpsTest, SpanShufflePreservesMultiset) {
   Rng rng(9);
   auto tokens = Toks("one two three four five");
-  auto out = augment::ApplyDaOp(DaOp::kSpanShuffle, tokens, {}, rng);
+  auto out = Apply("span_shuffle", tokens, {}, rng);
   ASSERT_EQ(out.size(), tokens.size());
   auto a = tokens, b = out;
   std::sort(a.begin(), a.end());
@@ -163,7 +314,7 @@ TEST(DaOpsTest, ColShufflePreservesColumnContents) {
       Toks("[COL] title [VAL] effective timestamping [COL] year [VAL] 1999");
   bool changed = false;
   for (int i = 0; i < 20; ++i) {
-    auto out = augment::ApplyDaOp(DaOp::kColShuffle, tokens, {}, rng);
+    auto out = Apply("col_shuffle", tokens, {}, rng);
     ASSERT_EQ(out.size(), tokens.size());
     auto a = tokens, b = out;
     std::sort(a.begin(), a.end());
@@ -178,14 +329,14 @@ TEST(DaOpsTest, ColDelDropsOneColumn) {
   Rng rng(11);
   auto tokens =
       Toks("[COL] title [VAL] databases [COL] year [VAL] 1999 [COL] venue [VAL] sigmod");
-  auto out = augment::ApplyDaOp(DaOp::kColDel, tokens, {}, rng);
+  auto out = Apply("col_del", tokens, {}, rng);
   EXPECT_EQ(CountToken(out, "[COL]"), 2);
 }
 
 TEST(DaOpsTest, ColDelKeepsAtLeastOneColumn) {
   Rng rng(12);
   auto tokens = Toks("[COL] title [VAL] databases");
-  auto out = augment::ApplyDaOp(DaOp::kColDel, tokens, {}, rng);
+  auto out = Apply("col_del", tokens, {}, rng);
   EXPECT_EQ(out, tokens);
 }
 
@@ -195,7 +346,7 @@ TEST(DaOpsTest, ColOpsRespectEntityBoundary) {
       "[COL] name [VAL] google [COL] phone [VAL] 123 [SEP] "
       "[COL] name [VAL] alphabet [COL] phone [VAL] 456");
   for (int i = 0; i < 40; ++i) {
-    auto out = augment::ApplyDaOp(DaOp::kColShuffle, tokens, {}, rng);
+    auto out = Apply("col_shuffle", tokens, {}, rng);
     // The [SEP] position may shift only if columns of unequal length move,
     // but values must never cross it: google stays left, alphabet right.
     const size_t sep = augment::FindEntitySep(out);
@@ -210,7 +361,7 @@ TEST(DaOpsTest, ColOpsRespectEntityBoundary) {
 TEST(DaOpsTest, EntitySwapSwapsSides) {
   Rng rng(14);
   auto tokens = Toks("[COL] name [VAL] google [SEP] [COL] name [VAL] alphabet");
-  auto out = augment::ApplyDaOp(DaOp::kEntitySwap, tokens, {}, rng);
+  auto out = Apply("entity_swap", tokens, {}, rng);
   ASSERT_EQ(out.size(), tokens.size());
   const size_t sep = augment::FindEntitySep(out);
   const auto left = std::vector<std::string>(out.begin(), out.begin() + sep);
@@ -221,22 +372,26 @@ TEST(DaOpsTest, EntitySwapSwapsSides) {
 TEST(DaOpsTest, EntitySwapIsInvolution) {
   Rng rng(15);
   auto tokens = Toks("[COL] a [VAL] x [SEP] [COL] b [VAL] y");
-  auto once = augment::ApplyDaOp(DaOp::kEntitySwap, tokens, {}, rng);
-  auto twice = augment::ApplyDaOp(DaOp::kEntitySwap, once, {}, rng);
+  auto once = Apply("entity_swap", tokens, {}, rng);
+  auto twice = Apply("entity_swap", once, {}, rng);
   EXPECT_EQ(twice, tokens);
 }
 
 TEST(DaOpsTest, EntitySwapNoopWithoutSep) {
   Rng rng(16);
   auto tokens = Toks("[COL] a [VAL] x");
-  EXPECT_EQ(augment::ApplyDaOp(DaOp::kEntitySwap, tokens, {}, rng), tokens);
+  EXPECT_EQ(Apply("entity_swap", tokens, {}, rng), tokens);
 }
 
-TEST(DaOpsTest, EmptyInputIsNoop) {
-  Rng rng(17);
-  std::vector<std::string> empty;
-  for (DaOp op : augment::AllDaOps())
-    EXPECT_TRUE(augment::ApplyDaOp(op, empty, {}, rng).empty());
+TEST(DaOpsTest, EntitySwapDrawsNothingFromRng) {
+  // The per-example RNG stream feeds everything sampled after the operator
+  // (e.g. the InvDA candidate); an entity_swap draw would shift it and break
+  // bit-reproducibility of the paper configuration.
+  Rng rng(24);
+  Rng probe = rng;  // copyable: same state
+  auto tokens = Toks("[COL] a [VAL] x [SEP] [COL] b [VAL] y");
+  Apply("entity_swap", tokens, {}, rng);
+  EXPECT_EQ(rng.Next64(), probe.Next64());
 }
 
 TEST(DaOpsTest, IdfBiasPrefersFrequentTokens) {
@@ -254,7 +409,7 @@ TEST(DaOpsTest, IdfBiasPrefersFrequentTokens) {
   int zanzibar_deleted = 0;
   const int trials = 300;
   for (int i = 0; i < trials; ++i) {
-    auto out = augment::ApplyDaOp(DaOp::kTokenDel, tokens, ctx, rng);
+    auto out = Apply("token_del", tokens, ctx, rng);
     zanzibar_deleted += CountToken(out, "zanzibar") == 0;
   }
   EXPECT_LT(zanzibar_deleted, trials / 8);
@@ -262,11 +417,201 @@ TEST(DaOpsTest, IdfBiasPrefersFrequentTokens) {
 
 TEST(DaOpsTest, AugmentTextRoundTrip) {
   Rng rng(19);
-  const std::string out =
-      augment::AugmentText("Where is the Orange Bowl ?", DaOp::kTokenDel, {},
-                           rng);
+  const std::string out = augment::AugmentText(
+      "Where is the Orange Bowl ?",
+      OperatorRegistry::Global().Require("token_del"), {}, rng);
   EXPECT_FALSE(out.empty());
   EXPECT_LT(out.size(), std::string("where is the orange bowl ?").size() + 1);
+}
+
+TEST(DaOpsTest, AugmentTextTaggedCarriesName) {
+  Rng rng(25);
+  const auto aug = augment::AugmentTextTagged(
+      "one two three", OperatorRegistry::Global().Require("token_swap"), {},
+      rng);
+  EXPECT_STREQ(aug.op, "token_swap");
+  EXPECT_FALSE(aug.text.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Beyond-Table-3 operator behavior.
+
+TEST(NewOpsTest, AttrSwapExchangesValuesKeepsAttrs) {
+  auto tokens =
+      Toks("[COL] title [VAL] databases rule [COL] year [VAL] 1999");
+  Rng rng(26);
+  bool swapped = false;
+  for (int i = 0; i < 30 && !swapped; ++i) {
+    auto out = Apply("attr_swap", tokens, {}, rng);
+    ASSERT_EQ(out.size(), tokens.size());
+    // Attribute names never move; a swap puts "1999" under title.
+    EXPECT_EQ(out[1], "title");
+    const auto a = tokens;
+    auto b = out;
+    std::sort(b.begin(), b.end());
+    auto sorted_a = a;
+    std::sort(sorted_a.begin(), sorted_a.end());
+    EXPECT_EQ(sorted_a, b);  // pure rearrangement
+    swapped = out != tokens && out[3] == "1999";
+  }
+  EXPECT_TRUE(swapped);
+}
+
+TEST(NewOpsTest, AttrSwapRespectsEntityBoundary) {
+  auto tokens = Toks(
+      "[COL] name [VAL] google [COL] city [VAL] mountainview [SEP] "
+      "[COL] name [VAL] alphabet [COL] city [VAL] paloalto");
+  Rng rng(27);
+  for (int i = 0; i < 40; ++i) {
+    auto out = Apply("attr_swap", tokens, {}, rng);
+    const size_t sep = augment::FindEntitySep(out);
+    ASSERT_LT(sep, out.size());
+    const auto left = std::vector<std::string>(out.begin(), out.begin() + sep);
+    EXPECT_EQ(CountToken(left, "google"), 1);
+    EXPECT_EQ(CountToken(left, "alphabet"), 0);
+  }
+}
+
+TEST(NewOpsTest, AttrSwapSingleColumnIsNoop) {
+  auto tokens = Toks("[COL] title [VAL] databases");
+  Rng rng(28);
+  EXPECT_EQ(Apply("attr_swap", tokens, {}, rng), tokens);
+}
+
+TEST(NewOpsTest, AttrShuffleReordersWithinOneValue) {
+  auto tokens =
+      Toks("[COL] title [VAL] one two three four [COL] year [VAL] 1999");
+  Rng rng(29);
+  bool changed = false;
+  for (int i = 0; i < 40; ++i) {
+    auto out = Apply("attr_shuffle", tokens, {}, rng);
+    ASSERT_EQ(out.size(), tokens.size());
+    // Structure frozen: markers and attribute names in place, year intact.
+    EXPECT_EQ(out[0], "[COL]");
+    EXPECT_EQ(out[1], "title");
+    EXPECT_EQ(out[2], "[VAL]");
+    EXPECT_EQ(out[out.size() - 1], "1999");
+    auto a = tokens, b = out;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    changed = changed || out != tokens;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(NewOpsTest, IdfSynonymPicksClosestIdf) {
+  // "fine" and "excellent" are synonyms of "great"; give "fine" an IDF far
+  // from "great" and "excellent" a matching one — the op must always pick
+  // "excellent".
+  augment::SynonymLexicon lex;
+  lex.AddGroup({"great", "fine", "excellent"});
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 64; ++i) docs.push_back({"fine"});
+  docs.push_back({"great", "excellent"});
+  text::IdfTable idf = text::IdfTable::Build(docs);
+  AugmentContext ctx;
+  ctx.idf = &idf;
+  ctx.synonyms = &lex;
+  Rng rng(30);
+  auto tokens = Toks("great");
+  for (int i = 0; i < 20; ++i) {
+    auto out = Apply("idf_synonym", tokens, ctx, rng);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], "excellent");
+  }
+}
+
+TEST(NewOpsTest, IdfSynonymWithoutLexiconIsNoop) {
+  Rng rng(31);
+  auto tokens = Toks("alpha beta");
+  EXPECT_EQ(Apply("idf_synonym", tokens, {}, rng), tokens);
+}
+
+TEST(NewOpsTest, CharDelShortensOneToken) {
+  Rng rng(32);
+  auto tokens = Toks("zanzibar island");
+  auto out = Apply("char_del", tokens, {}, rng);
+  ASSERT_EQ(out.size(), tokens.size());
+  size_t total_in = 0, total_out = 0;
+  for (const auto& t : tokens) total_in += t.size();
+  for (const auto& t : out) total_out += t.size();
+  EXPECT_EQ(total_out, total_in - 1);
+}
+
+TEST(NewOpsTest, CharDelSkipsSingleCharAndStructuralTokens) {
+  Rng rng(33);
+  auto tokens = Toks("[COL] a [VAL] b");
+  EXPECT_EQ(Apply("char_del", tokens, {}, rng), tokens);
+}
+
+TEST(NewOpsTest, NumPerturbAltersOneDigit) {
+  Rng rng(34);
+  auto tokens = Toks("released in 1999 worldwide");
+  for (int i = 0; i < 20; ++i) {
+    auto out = Apply("num_perturb", tokens, {}, rng);
+    ASSERT_EQ(out.size(), tokens.size());
+    EXPECT_NE(out, tokens);  // a digit always changes
+    int diff = 0;
+    for (size_t j = 0; j < tokens.size(); ++j) diff += out[j] != tokens[j];
+    EXPECT_EQ(diff, 1);
+  }
+}
+
+TEST(NewOpsTest, NumPerturbWithoutDigitsIsNoop) {
+  Rng rng(35);
+  auto tokens = Toks("no numbers here");
+  EXPECT_EQ(Apply("num_perturb", tokens, {}, rng), tokens);
+}
+
+TEST(NewOpsTest, PunctDropRemovesOnePunctToken) {
+  Rng rng(36);
+  auto tokens = Toks("mp3 - player , new");
+  auto out = Apply("punct_drop", tokens, {}, rng);
+  EXPECT_EQ(out.size(), tokens.size() - 1);
+  EXPECT_EQ(CountToken(out, "-") + CountToken(out, ","), 1);
+  EXPECT_EQ(CountToken(out, "player"), 1);
+}
+
+TEST(NewOpsTest, PunctDropWithoutPunctuationIsNoop) {
+  Rng rng(37);
+  auto tokens = Toks("clean words only");
+  EXPECT_EQ(Apply("punct_drop", tokens, {}, rng), tokens);
+}
+
+class EchoBackend final : public augment::RoundTripBackend {
+ public:
+  explicit EchoBackend(std::string reply) : reply_(std::move(reply)) {}
+  std::string RoundTrip(const std::string&, Rng&) const override {
+    return reply_;
+  }
+
+ private:
+  std::string reply_;
+};
+
+TEST(NewOpsTest, InvDaRoundTripUsesBackend) {
+  EchoBackend backend("alpha beta");
+  AugmentContext ctx;
+  ctx.round_trip = &backend;
+  Rng rng(38);
+  auto out = Apply("invda_roundtrip", Toks("anything at all"), ctx, rng);
+  EXPECT_EQ(out, Toks("alpha beta"));
+}
+
+TEST(NewOpsTest, InvDaRoundTripWithoutBackendIsNoop) {
+  Rng rng(39);
+  auto tokens = Toks("anything at all");
+  EXPECT_EQ(Apply("invda_roundtrip", tokens, {}, rng), tokens);
+}
+
+TEST(NewOpsTest, InvDaRoundTripEmptyReplyIsNoop) {
+  EchoBackend backend("");
+  AugmentContext ctx;
+  ctx.round_trip = &backend;
+  Rng rng(40);
+  auto tokens = Toks("keep me intact");
+  EXPECT_EQ(Apply("invda_roundtrip", tokens, ctx, rng), tokens);
 }
 
 TEST(FindColumnsTest, SpansAreCorrect) {

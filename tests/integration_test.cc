@@ -176,7 +176,8 @@ TEST(EndToEndTest, PublicApiPipelineOnTinySentiment) {
   auto result =
       trainer.Train(ds, [](const std::string& text, Rng& r) {
         return std::vector<std::string>{augment::AugmentText(
-            text, augment::DaOp::kTokenDel, {}, r)};
+            text, augment::OperatorRegistry::Global().Require("token_del"), {},
+            r)};
       });
   EXPECT_GE(result.best_valid_metric, 90.0);
   EXPECT_GE(eval::EvaluateModel(model, ds.test, eval::MetricKind::kAccuracy),

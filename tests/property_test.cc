@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "augment/ops.h"
+#include "augment/registry.h"
 #include "core/ssl.h"
 #include "data/edt_gen.h"
 #include "data/em_gen.h"
@@ -19,18 +20,24 @@
 namespace rotom {
 namespace {
 
-using augment::DaOp;
 using testing_support::ExpectGradientsClose;
 
 // ---------------------------------------------------------------------------
-// DA operator invariants over (operator x input-shape x seed).
+// DA operator invariants over (operator x input-shape x seed), sweeping
+// every registered operator — new plugins are covered automatically.
 // ---------------------------------------------------------------------------
+
+int NumRegisteredOps() {
+  return static_cast<int>(augment::OperatorRegistry::Global().All().size());
+}
 
 class DaOpPropertyTest
     : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
 
 TEST_P(DaOpPropertyTest, StructuralInvariants) {
-  const DaOp op = static_cast<DaOp>(std::get<0>(GetParam()));
+  const augment::Operator& op = *augment::OperatorRegistry::Global()
+                                     .All()[std::get<0>(GetParam())];
+  const std::string name = op.name();
   Rng rng(std::get<1>(GetParam()));
   const std::vector<std::string> inputs = {
       "where is the orange bowl ?",
@@ -42,44 +49,46 @@ TEST_P(DaOpPropertyTest, StructuralInvariants) {
   for (const auto& input : inputs) {
     const auto tokens = text::Tokenize(input);
     for (int trial = 0; trial < 10; ++trial) {
-      const auto out = augment::ApplyDaOp(op, tokens, {}, rng);
+      const auto out = op.Apply(tokens, {}, rng);
       // Never empties the sequence.
-      ASSERT_FALSE(out.empty()) << augment::DaOpName(op) << " on " << input;
+      ASSERT_FALSE(out.empty()) << name << " on " << input;
       // [SEP] count is invariant under every operator.
       const auto count = [](const std::vector<std::string>& ts,
                             const char* t) {
         return std::count(ts.begin(), ts.end(), t);
       };
-      EXPECT_EQ(count(out, "[SEP]"), count(tokens, "[SEP]"));
+      EXPECT_EQ(count(out, "[SEP]"), count(tokens, "[SEP]")) << name;
       // [COL]/[VAL] only change (in lockstep) under col_del.
-      if (op != DaOp::kColDel) {
-        EXPECT_EQ(count(out, "[COL]"), count(tokens, "[COL]"));
-        EXPECT_EQ(count(out, "[VAL]"), count(tokens, "[VAL]"));
+      if (name != "col_del") {
+        EXPECT_EQ(count(out, "[COL]"), count(tokens, "[COL]")) << name;
+        EXPECT_EQ(count(out, "[VAL]"), count(tokens, "[VAL]")) << name;
       } else {
         EXPECT_EQ(count(out, "[COL]"), count(out, "[VAL]"));
         if (count(tokens, "[COL]") > 0) EXPECT_GE(count(out, "[COL]"), 1);
       }
-      // Size changes are bounded by the operator's contract.
+      // Size changes are bounded by the operator's contract. Operators
+      // without an entry here must preserve the token count exactly.
       const int64_t delta = static_cast<int64_t>(out.size()) -
                             static_cast<int64_t>(tokens.size());
-      switch (op) {
-        case DaOp::kTokenDel: EXPECT_GE(delta, -1); EXPECT_LE(delta, 0); break;
-        case DaOp::kTokenInsert: EXPECT_GE(delta, 0); EXPECT_LE(delta, 1); break;
-        case DaOp::kTokenRepl:
-        case DaOp::kTokenSwap:
-        case DaOp::kSpanShuffle:
-        case DaOp::kEntitySwap: EXPECT_EQ(delta, 0); break;
-        case DaOp::kSpanDel: EXPECT_LE(delta, 0); EXPECT_GE(delta, -4); break;
-        case DaOp::kColShuffle: EXPECT_EQ(delta, 0); break;
-        case DaOp::kColDel: EXPECT_LE(delta, 0); break;
+      int64_t lo = 0, hi = 0;
+      if (name == "token_del" || name == "punct_drop") {
+        lo = -1;
+      } else if (name == "token_insert") {
+        hi = 1;
+      } else if (name == "span_del") {
+        lo = -4;
+      } else if (name == "col_del") {
+        lo = -static_cast<int64_t>(tokens.size()) + 1;
       }
+      EXPECT_GE(delta, lo) << name << " on " << input;
+      EXPECT_LE(delta, hi) << name << " on " << input;
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllOpsAndSeeds, DaOpPropertyTest,
-    ::testing::Combine(::testing::Range(0, 9),
+    ::testing::Combine(::testing::Range(0, NumRegisteredOps()),
                        ::testing::Values(1u, 2u, 3u)));
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,10 @@
 //   rotom_inspect selftest                   writes a synthetic run log via
 //                                            obs::RunLog and verifies the
 //                                            parser round-trips it (ctest)
+//   rotom_inspect --list-ops                 prints the registered DA
+//                                            operator names, one per line
+//                                            (scripts/check_obs_docs.sh uses
+//                                            this to police the op catalog)
 //
 // Grad-norm percentiles are computed through obs::Histogram +
 // obs::HistogramPercentile (values scaled to integer micro-units), i.e. the
@@ -35,6 +39,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "augment/registry.h"
 #include "obs/metrics.h"
 #include "obs/runlog.h"
 
@@ -143,7 +148,8 @@ struct StepRecord {
   double keep_rate = -1.0;
   bool has_weights = false;
   double weight_min = 0.0, weight_mean = 0.0, weight_max = 0.0;
-  std::map<std::string, int64_t> op_counts;
+  std::map<std::string, int64_t> op_counts;   // `op.<name>`: kept
+  std::map<std::string, int64_t> op_offered;  // `gen.<name>`: generated
 };
 
 struct EpochRecord {
@@ -204,6 +210,8 @@ bool LoadRun(const std::string& path, RunData* run) {
       for (const auto& [k, v] : fields) {
         if (k.rfind("op.", 0) == 0) {
           s.op_counts[k.substr(3)] = std::atoll(v.c_str());
+        } else if (k.rfind("gen.", 0) == 0) {
+          s.op_offered[k.substr(4)] = std::atoll(v.c_str());
         }
       }
       run->steps.push_back(std::move(s));
@@ -281,6 +289,17 @@ std::map<std::string, int64_t> TotalOpCounts(
   return out;
 }
 
+// Totals of the `gen.<name>` (offered, pre-filter) counters. Empty on logs
+// written before the counter existed; CmdSummary degrades gracefully.
+std::map<std::string, int64_t> TotalOfferedCounts(
+    const std::vector<StepRecord>& steps) {
+  std::map<std::string, int64_t> out;
+  for (const auto& s : steps) {
+    for (const auto& [op, count] : s.op_offered) out[op] += count;
+  }
+  return out;
+}
+
 double MeanKeepRate(const std::vector<StepRecord>& steps) {
   double sum = 0.0;
   int64_t n = 0;
@@ -333,20 +352,35 @@ int CmdSummary(const std::string& path) {
                 last.weight_min, last.weight_mean, last.weight_max);
   }
   const auto ops = TotalOpCounts(run.steps);
-  if (!ops.empty()) {
+  const auto offered = TotalOfferedCounts(run.steps);
+  if (!ops.empty() || !offered.empty()) {
+    // Every operator that was ever offered or kept gets a row; kept-count
+    // descending. With `gen.` counters present, a per-operator keep-rate
+    // column (kept/offered) shows which operators the filter trusts.
+    std::map<std::string, int64_t> merged = ops;
+    for (const auto& [op, count] : offered) merged.emplace(op, 0);
     int64_t total = 0;
-    for (const auto& [op, count] : ops) total += count;
-    std::vector<std::pair<std::string, int64_t>> sorted(ops.begin(),
-                                                        ops.end());
+    for (const auto& [op, count] : merged) total += count;
+    std::vector<std::pair<std::string, int64_t>> sorted(merged.begin(),
+                                                        merged.end());
     std::sort(sorted.begin(), sorted.end(),
               [](const auto& a, const auto& b) { return a.second > b.second; });
     std::printf("kept candidates by operator (%lld total):\n",
                 static_cast<long long>(total));
     for (const auto& [op, count] : sorted) {
-      std::printf("  %-16s %8lld  (%.1f%%)\n", op.c_str(),
+      std::printf("  %-16s %8lld  (%.1f%%)", op.c_str(),
                   static_cast<long long>(count),
-                  100.0 * static_cast<double>(count) /
-                      static_cast<double>(total));
+                  total > 0 ? 100.0 * static_cast<double>(count) /
+                                  static_cast<double>(total)
+                            : 0.0);
+      const auto it = offered.find(op);
+      if (it != offered.end() && it->second > 0) {
+        std::printf("  keep-rate %.3f (%lld offered)",
+                    static_cast<double>(count) /
+                        static_cast<double>(it->second),
+                    static_cast<long long>(it->second));
+      }
+      std::printf("\n");
     }
   }
   for (const auto& e : run.epochs) {
@@ -429,7 +463,9 @@ int CmdDiff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
-#define SELFTEST_CHECK(cond)                                              \
+int CmdListOps();
+
+#define SELFTEST_CHECK(cond)                                            \
   do {                                                                    \
     if (!(cond)) {                                                        \
       std::fprintf(stderr, "selftest FAILED at %s:%d: %s\n", __FILE__,    \
@@ -466,6 +502,8 @@ int CmdSelftest() {
       step.weight_max = 1.5;
       step.op_counts["token_del"] = i;
       step.op_counts["invda"] = 2;
+      step.op_offered["token_del"] = i + 1;
+      step.op_offered["invda"] = 4;
       runlog->LogStep(step);
     }
     runlog->LogEpoch(0, 80.5, 0.9);
@@ -493,6 +531,12 @@ int CmdSelftest() {
   const auto ops = TotalOpCounts(run.steps);
   SELFTEST_CHECK(ops.at("token_del") == 55);  // 1 + 2 + ... + 10
   SELFTEST_CHECK(ops.at("invda") == 20);
+  const auto gen = TotalOfferedCounts(run.steps);
+  SELFTEST_CHECK(gen.at("token_del") == 65);  // 2 + 3 + ... + 11
+  SELFTEST_CHECK(gen.at("invda") == 40);
+  SELFTEST_CHECK(CmdListOps() == 0);
+  SELFTEST_CHECK(rotom::augment::OperatorRegistry::Global().Names().size() >=
+                 13);
   SELFTEST_CHECK(MeanKeepRate(run.steps) == 0.75);
   const GradNormStats g = ComputeGradNormStats(run.steps);
   SELFTEST_CHECK(g.count == 10 && g.min == 0.5 && g.max == 5.0);
@@ -519,12 +563,25 @@ int CmdSelftest() {
   return 0;
 }
 
+// Machine-readable dump of the DA operator registry, in registration order
+// (which is also legacy-enum order for the first nine). The docs-drift gate
+// (scripts/check_obs_docs.sh) diffs this against the OBSERVABILITY.md
+// operator catalog, so adding an operator without documenting it fails CI.
+int CmdListOps() {
+  for (const std::string& name :
+       rotom::augment::OperatorRegistry::Global().Names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: rotom_inspect summary <run.jsonl>\n"
                "       rotom_inspect tail <run.jsonl> [n]\n"
                "       rotom_inspect diff <runA.jsonl> <runB.jsonl>\n"
-               "       rotom_inspect selftest\n");
+               "       rotom_inspect selftest\n"
+               "       rotom_inspect --list-ops\n");
   return 1;
 }
 
@@ -542,5 +599,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "diff" && argc == 4) return CmdDiff(argv[2], argv[3]);
   if (cmd == "selftest" && argc == 2) return CmdSelftest();
+  if ((cmd == "--list-ops" || cmd == "list-ops") && argc == 2) {
+    return CmdListOps();
+  }
   return Usage();
 }
