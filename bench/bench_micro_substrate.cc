@@ -6,6 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "augment/ops.h"
 #include "augment/registry.h"
 #include "bench_common.h"
@@ -14,6 +18,7 @@
 #include "nn/optim.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/kernels.h"
+#include "tensor/quant.h"
 #include "text/encoding_cache.h"
 #include "text/tokenizer.h"
 #include "util/thread_pool.h"
@@ -101,6 +106,106 @@ void BM_KernelSoftmaxRows(benchmark::State& state) {
   SetComputeThreads(0);
 }
 BENCHMARK(BM_KernelSoftmaxRows)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
+
+// Simd-vs-scalar dispatch gain for the f32 GEMM, the acceptance record for
+// the ROTOM_SIMD build option. simd:0 runs the serial scalar reference body
+// (kernels::scalar), simd:1 the dispatched kernel; both pin the pool to one
+// thread so the ratio isolates the ISA gain from thread scaling. The label
+// names the flavor the dispatched side compiled to ("avx2"/"neon"/"scalar"
+// — on a scalar build the two rows coincide). "flops" is GFLOP/s.
+void BM_KernelGemmABFlavor(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool simd = state.range(1) != 0;
+  SetComputeThreads(1);
+  state.SetLabel(simd ? kernels::SimdFlavorName() : "scalar");
+  Rng rng(8);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    if (simd) {
+      kernels::GemmAB(a.data(), b.data(), c.data(), n, n, n);
+    } else {
+      kernels::scalar::GemmAB(a.data(), b.data(), c.data(), n, n, n);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+  SetComputeThreads(0);
+}
+BENCHMARK(BM_KernelGemmABFlavor)
+    ->ArgsProduct({{256}, {0, 1}, {1}})
+    ->ArgNames({"n", "simd", "threads"});
+
+// The exact int8 GEMM underneath QLinear, scalar reference vs dispatched.
+// "flops" counts the same 2*n^3 MACs as the f32 cell above, so the
+// int8-vs-f32 gain is this cell's rate over BM_KernelGemmABFlavor's at the
+// same n. C is re-zeroed every iteration: the kernel accumulates, and
+// letting int32 accumulators grow across iterations would overflow.
+void BM_KernelQGemmABT(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const bool simd = state.range(1) != 0;
+  SetComputeThreads(1);
+  state.SetLabel(simd ? kernels::SimdFlavorName() : "scalar");
+  Rng rng(9);
+  std::vector<int8_t> a(static_cast<size_t>(n * n));
+  std::vector<int8_t> b(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<int8_t>(rng.UniformInt(255) - 127);
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(255) - 127);
+  std::vector<int32_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0);
+    if (simd) {
+      quant::QGemmABT(a.data(), b.data(), c.data(), n, n, n);
+    } else {
+      quant::scalar::QGemmABT(a.data(), b.data(), c.data(), n, n, n);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * n * n * n,
+      benchmark::Counter::kIsRate);
+  SetComputeThreads(0);
+}
+BENCHMARK(BM_KernelQGemmABT)
+    ->ArgsProduct({{256}, {0, 1}, {1}})
+    ->ArgNames({"n", "simd", "threads"});
+
+// End-to-end quantized linear layer (dynamic activation quantization + int8
+// GEMM + zero-point-corrected dequantization) against the float equivalent
+// at a serving-shaped problem — the honest int8-vs-f32 gain including the
+// conversion overheads the raw QGemm cell excludes.
+void BM_KernelQLinearVsFloat(benchmark::State& state) {
+  const bool int8 = state.range(0) != 0;
+  SetComputeThreads(1);
+  constexpr int64_t kM = 64, kIn = 256, kOut = 256;
+  Rng rng(10);
+  Tensor x = Tensor::Randn({kM, kIn}, rng);
+  Tensor w = Tensor::Randn({kOut, kIn}, rng);  // [out, in], the stored layout
+  Tensor bias = Tensor::Randn({kOut}, rng);
+  Tensor y({kM, kOut});
+  const quant::QuantizedTensor wq = quant::QuantizeRows(w.data(), kOut, kIn);
+  const std::vector<int32_t> w_sums = quant::RowSums(wq);
+  for (auto _ : state) {
+    if (int8) {
+      quant::QLinear(x.data(), wq, w_sums.data(), bias.data(), y.data(), kM);
+    } else {
+      std::fill_n(y.data(), kM * kOut, 0.0f);  // GemmABT accumulates
+      kernels::GemmABT(x.data(), w.data(), y.data(), kM, kIn, kOut);
+      kernels::BroadcastAddRows(y.data(), bias.data(), kM, kOut);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * kM * kIn * kOut,
+      benchmark::Counter::kIsRate);
+  SetComputeThreads(0);
+}
+BENCHMARK(BM_KernelQLinearVsFloat)
+    ->ArgsProduct({{0, 1}, {1}})
+    ->ArgNames({"int8", "threads"});
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);

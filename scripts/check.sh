@@ -10,16 +10,22 @@
 #   scripts/check.sh            # all configurations
 #   scripts/check.sh address    # ASan/UBSan only
 #   scripts/check.sh thread     # TSan only
+#   scripts/check.sh scalar     # full test suite with -DROTOM_SIMD=OFF
 #   scripts/check.sh docs       # observability docs gate only
 #   scripts/check.sh perf       # perf-smoke benches only
 #   scripts/check.sh regress    # bench regression gate vs bench/baseline/
 #
+# The scalar mode rebuilds and retests everything with the SIMD dispatch
+# disabled, proving the mandatory scalar fallback passes the identical
+# suite the vectorized build does (DESIGN.md §7 "SIMD dispatch").
+#
 # The regress mode is not part of "all": it needs a quiet machine to be
-# meaningful and takes several bench runs. It repeats the figure-4 smoke
-# bench ROTOM_REGRESS_RUNS times (default 3) with the same pinned
-# environment the committed baselines were produced with, then feeds the
-# best-of merge to scripts/check_bench_regress.sh (see that script and
-# EXPERIMENTS.md for the noise model and tolerances).
+# meaningful and takes several bench runs. It repeats every gated bench
+# (figure-4 smoke, kernel microbench, serve bench) ROTOM_REGRESS_RUNS
+# times (default 3) with the same pinned environment the committed
+# baselines were produced with, then feeds the best-of merge to
+# scripts/check_bench_regress.sh (see that script and EXPERIMENTS.md for
+# the noise model and tolerances).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,6 +69,13 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
   done
 fi
 
+if [[ "$mode" == "all" || "$mode" == "scalar" ]]; then
+  echo "== scalar: full test suite with ROTOM_SIMD=OFF =="
+  cmake -B build-scalar -S . "${generator[@]}" -DROTOM_SIMD=OFF
+  cmake --build build-scalar -j
+  ctest --test-dir build-scalar --output-on-failure -j
+fi
+
 if [[ "$mode" == "all" || "$mode" == "docs" ]]; then
   echo "== docs: observability catalog gate =="
   scripts/check_obs_docs.sh
@@ -85,7 +98,9 @@ if [[ "$mode" == "regress" ]]; then
   regress_generator=("${generator[@]}")
   if [[ -f build/CMakeCache.txt ]]; then regress_generator=(); fi
   cmake -B build -S . "${regress_generator[@]}"
-  cmake --build build -j --target bench_figure4_training_time
+  cmake --build build -j \
+    --target bench_figure4_training_time bench_micro_substrate \
+             rotom_serve_bench
   runs="${ROTOM_REGRESS_RUNS:-3}"
   regress_tmp="$(mktemp -d)"
   trap 'rm -rf "$regress_tmp"' EXIT
@@ -94,10 +109,18 @@ if [[ "$mode" == "regress" ]]; then
     echo "-- bench run $i/$runs"
     mkdir -p "$regress_tmp/run$i"
     # Pin the environment the committed baselines were produced with
-    # (EXPERIMENTS.md "Refreshing bench baselines").
+    # (EXPERIMENTS.md "Refreshing bench baselines"). The microbench sizes
+    # its own compute pool per cell, so only the measurement budget needs
+    # pinning there.
     ROTOM_SMOKE=1 ROTOM_SEEDS=1 ROTOM_NUM_THREADS=1 \
       ROTOM_BENCH_DIR="$regress_tmp/run$i" \
       ./build/bench/bench_figure4_training_time >/dev/null
+    ROTOM_NUM_THREADS=1 ROTOM_BENCH_DIR="$regress_tmp/run$i" \
+      ./build/bench/bench_micro_substrate \
+      --benchmark_min_time=0.1 >/dev/null
+    ROTOM_SMOKE=1 ROTOM_NUM_THREADS=1 \
+      ROTOM_BENCH_DIR="$regress_tmp/run$i" \
+      ./build/tools/rotom_serve_bench >/dev/null
     dirs+=("$regress_tmp/run$i")
   done
   scripts/check_bench_regress.sh "${dirs[@]}"

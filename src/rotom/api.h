@@ -27,11 +27,16 @@ namespace api {
 // reachable for research use; this facade is the supported path for
 // applications. Recoverable failures surface as Status, never as aborts.
 
-/// Serving types re-exported under the facade namespace.
+/// Serving types re-exported under the facade namespace. Int8 serving is
+/// part of the surface: QuantizeSnapshot converts a float snapshot to the
+/// int8 row-quantized form (tools/rotom_quantize wraps it), and
+/// InferenceSession::Options::precision selects the forward-pass numerics.
 using serve::BatchingServer;
 using serve::InferenceSession;
 using serve::Prediction;
+using serve::QuantizeSnapshot;
 using serve::Snapshot;
+using serve::TensorQuantReport;
 
 /// One training request: a task dataset plus the method and knobs to train
 /// it with. Defaults reproduce the paper's headline configuration (the full

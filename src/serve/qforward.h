@@ -1,0 +1,85 @@
+#ifndef ROTOM_SERVE_QFORWARD_H_
+#define ROTOM_SERVE_QFORWARD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot.h"
+#include "text/tokenizer.h"
+
+namespace rotom {
+namespace serve {
+
+/// The int8 inference path: a frozen, graph-free re-implementation of the
+/// classifier's eval-mode forward that keeps every Linear projection
+/// (attention q/k/v/out, FFN in/out, classifier head) as a row-quantized
+/// int8 weight and runs it through quant::QLinear — dynamic per-row
+/// activation quantization, exact int8 GEMM, dequantize at the layer
+/// boundary. Everything between the linears (embedding gathers, layer norm,
+/// softmax, GELU, residual adds) runs in f32 on the same kernels the float
+/// model uses, so the only divergence from the float path is the
+/// quantization error of the eight projections per layer stack
+/// (DESIGN.md §12; serve_quant_parity_test asserts the end-task cost).
+///
+/// Construction accepts both snapshot generations: a version-2 snapshot's
+/// int8 weights are used as stored; a float (version-1) snapshot is
+/// quantized on the fly with the same per-output-channel scheme
+/// tools/rotom_quantize applies offline.
+///
+/// Like the float model under InferenceSession, an instance is immutable
+/// after Create() and Logits() is safe to call concurrently; the dense math
+/// inside one forward still fans out over the shared compute pool, and
+/// eval-mode dropout is the identity, so results are deterministic.
+class QuantizedClassifier {
+ public:
+  /// Builds the int8 forward from a snapshot. Fails (Status) if the weight
+  /// list does not match the structure implied by the snapshot's config.
+  static StatusOr<std::unique_ptr<QuantizedClassifier>> Create(
+      const Snapshot& snapshot);
+
+  QuantizedClassifier(const QuantizedClassifier&) = delete;
+  QuantizedClassifier& operator=(const QuantizedClassifier&) = delete;
+
+  /// Logits [batch, num_classes] for an encoded batch (the quantized
+  /// counterpart of TransformerClassifier::ForwardLogitsEncoded).
+  Tensor Logits(const text::EncodedBatch& batch) const;
+
+  const models::ClassifierConfig& config() const { return config_; }
+
+ private:
+  /// One quantized Linear: transposed [out, in] codes, the precomputed
+  /// per-output-channel code sums the zero-point correction needs, and the
+  /// f32 bias.
+  struct QLinearLayer {
+    quant::QuantizedTensor w;
+    std::vector<int32_t> row_sums;
+    Tensor bias;  // [out]
+
+    void Apply(const float* x, float* y, int64_t m) const {
+      quant::QLinear(x, w, row_sums.data(), bias.data(), y, m);
+    }
+  };
+
+  struct Layer {
+    QLinearLayer q, k, v, out;    // attention projections
+    QLinearLayer ffn_in, ffn_out;
+    Tensor norm1_gamma, norm1_beta;
+    Tensor norm2_gamma, norm2_beta;
+  };
+
+  QuantizedClassifier() = default;
+
+  models::ClassifierConfig config_;
+  Tensor token_emb_;  // [vocab, dim], f32
+  Tensor pos_emb_;    // [max_len, dim], f32
+  Tensor flag_emb_;   // [2, dim], f32
+  Tensor emb_norm_gamma_, emb_norm_beta_;
+  std::vector<Layer> layers_;
+  QLinearLayer head_;
+};
+
+}  // namespace serve
+}  // namespace rotom
+
+#endif  // ROTOM_SERVE_QFORWARD_H_

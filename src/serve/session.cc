@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/variable.h"
@@ -11,20 +12,38 @@ namespace rotom {
 namespace serve {
 
 InferenceSession::InferenceSession(
-    std::unique_ptr<models::TransformerClassifier> model, text::IdfTable idf,
+    const models::ClassifierConfig& config,
+    std::shared_ptr<const text::Vocabulary> vocab, text::IdfTable idf,
     const Options& options)
-    : model_(std::move(model)),
+    : config_(config),
+      vocab_(std::move(vocab)),
       idf_(std::move(idf)),
-      cache_(std::make_unique<text::EncodingCache>(
-          &model_->vocab(), model_->config().max_len, options.cache_rows)) {}
+      cache_(std::make_unique<text::EncodingCache>(vocab_.get(), config.max_len,
+                                                   options.cache_rows)) {}
 
 StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Create(
     const Snapshot& snapshot, const Options& options) {
-  auto model = snapshot.BuildModel();
-  if (!model.ok()) return model.status();
+  if (snapshot.vocab == nullptr) {
+    return Status::Error("snapshot has no vocabulary; cannot build a session");
+  }
+  Precision precision = options.precision;
+  if (precision == Precision::kAuto) {
+    precision =
+        snapshot.qweights.empty() ? Precision::kFloat32 : Precision::kInt8;
+  }
   // Private constructor: make_unique cannot reach it.
-  return std::unique_ptr<InferenceSession>(new InferenceSession(
-      std::move(model).value(), snapshot.idf, options));
+  std::unique_ptr<InferenceSession> session(new InferenceSession(
+      snapshot.config, snapshot.vocab, snapshot.idf, options));
+  if (precision == Precision::kInt8) {
+    auto qmodel = QuantizedClassifier::Create(snapshot);
+    if (!qmodel.ok()) return qmodel.status();
+    session->qmodel_ = std::move(qmodel).value();
+  } else {
+    auto model = snapshot.BuildModel();
+    if (!model.ok()) return model.status();
+    session->model_ = std::move(model).value();
+  }
+  return session;
 }
 
 StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Open(
@@ -59,6 +78,13 @@ text::EncodedBatch InferenceSession::Assemble(
 Tensor InferenceSession::Logits(std::span<const std::string> texts) const {
   if (texts.empty()) return Tensor();
   const text::EncodedBatch batch = Assemble(texts);
+  if (qmodel_ != nullptr) {
+    // Counts fused int8 forwards, so quantized vs float traffic is visible
+    // per process (OBSERVABILITY.md).
+    static obs::Counter& quantized_forwards = obs::GetCounter("serve.quantized");
+    quantized_forwards.Add();
+    return qmodel_->Logits(batch);
+  }
   // Eval mode consumes no randomness and no-grad builds no graph; the Rng is
   // only a signature requirement.
   NoGradGuard guard;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/qforward.h"
 #include "serve/snapshot.h"
 #include "text/encoding_cache.h"
 
@@ -32,15 +33,34 @@ struct Prediction {
 /// always yields bit-identical logits — including across a Save/Load round
 /// trip of the snapshot (serve_test.cc).
 ///
+/// Precision: Options::precision selects the float32 forward (the wrapped
+/// TransformerClassifier) or the int8 quantized forward (QuantizedClassifier,
+/// serve/qforward.h), defaulting to whatever the snapshot was exported as.
+/// Both modes answer the same API; the quantized mode trades a bounded
+/// accuracy delta (serve_quant_parity_test) for int8 GEMM throughput.
+///
 /// This is the terminal consumer of the encoded-batch path: raw text is
 /// encoded exactly once (cache hit afterwards) and the model only ever sees
 /// text::EncodedBatch. For request coalescing across client threads, put a
 /// BatchingServer (serve/server.h) in front.
 class InferenceSession {
  public:
+  /// Numeric mode of the forward pass (DESIGN.md §12).
+  enum class Precision {
+    /// int8 when the snapshot carries quantized weights, float32 otherwise.
+    kAuto,
+    /// Full-precision forward; a quantized snapshot is dequantized on load.
+    kFloat32,
+    /// int8 forward (serve/qforward.h); a float snapshot is quantized at
+    /// session build time with the same scheme tools/rotom_quantize uses.
+    kInt8,
+  };
+
   struct Options {
     /// Capacity of the encoding memo (rows); 0 disables caching.
     size_t cache_rows = 1 << 16;
+    /// Forward-pass numerics; see Precision.
+    Precision precision = Precision::kAuto;
   };
 
   /// Builds a session from an in-memory snapshot. Fails (Status) if the
@@ -73,20 +93,29 @@ class InferenceSession {
   /// their own calibration). Thread-safe.
   Tensor Logits(std::span<const std::string> texts) const;
 
-  const models::ClassifierConfig& config() const { return model_->config(); }
-  const text::Vocabulary& vocab() const { return model_->vocab(); }
+  const models::ClassifierConfig& config() const { return config_; }
+  const text::Vocabulary& vocab() const { return *vocab_; }
   const text::IdfTable& idf() const { return idf_; }
+
+  /// True when this session runs the int8 forward. Each quantized fused
+  /// forward bumps the `serve.quantized` counter (OBSERVABILITY.md).
+  bool quantized() const { return qmodel_ != nullptr; }
 
   /// Encoding-memo statistics (hits/misses/evictions) for this session.
   text::EncodingCache::Stats CacheStats() const { return cache_->GetStats(); }
 
  private:
-  InferenceSession(std::unique_ptr<models::TransformerClassifier> model,
+  InferenceSession(const models::ClassifierConfig& config,
+                   std::shared_ptr<const text::Vocabulary> vocab,
                    text::IdfTable idf, const Options& options);
 
   text::EncodedBatch Assemble(std::span<const std::string> texts) const;
 
+  models::ClassifierConfig config_;
+  std::shared_ptr<const text::Vocabulary> vocab_;
+  // Exactly one of the two models is set, per Options::precision.
   std::unique_ptr<models::TransformerClassifier> model_;  // eval mode, frozen
+  std::unique_ptr<QuantizedClassifier> qmodel_;           // int8 forward
   text::IdfTable idf_;
   // Logically const (a pure memo); unique_ptr so the const methods can call
   // its internally-synchronized non-const Encode().

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -107,6 +108,16 @@ bool ReadConfig(PayloadReader& r, models::ClassifierConfig* config) {
          r.Pod(&config->dropout);
 }
 
+// Weight dtype byte in version-2 weight entries.
+constexpr uint8_t kDtypeF32 = 0;
+constexpr uint8_t kDtypeQ8 = 1;
+
+// out [cols, rows] = in [rows, cols]^T.
+void TransposeInto(const float* in, float* out, int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+}
+
 }  // namespace
 
 Snapshot Snapshot::FromModel(const models::TransformerClassifier& model,
@@ -142,19 +153,35 @@ Status Snapshot::Save(const std::string& path) const {
     payload.Pod<double>(value);
   }
 
-  // Weights, in StateDict order.
-  payload.Pod<uint64_t>(weights.size());
+  // Weights, in StateDict order. An all-float snapshot is written as
+  // version 1 — byte-identical to what pre-quantization builds produced —
+  // so the dtype byte below only appears in version-2 files.
+  const bool v2 = !qweights.empty();
+  payload.Pod<uint64_t>(weights.size() + qweights.size());
   for (const auto& [name, tensor] : weights) {
     payload.String(name);
+    if (v2) payload.Pod<uint8_t>(kDtypeF32);
     payload.Pod<uint64_t>(tensor.shape().size());
     for (int64_t d : tensor.shape()) payload.Pod<int64_t>(d);
     payload.Bytes(tensor.data(), sizeof(float) * tensor.size());
+  }
+  for (const auto& [name, qw] : qweights) {
+    const quant::QuantizedTensor& qt = qw.tensor;
+    payload.String(name);
+    payload.Pod<uint8_t>(kDtypeQ8);
+    payload.Pod<int64_t>(qt.rows);
+    payload.Pod<int64_t>(qt.cols);
+    payload.Pod<uint8_t>(qw.transposed ? 1 : 0);
+    payload.Bytes(qt.scales.data(), sizeof(float) * qt.scales.size());
+    payload.Bytes(qt.zero_points.data(),
+                  sizeof(int32_t) * qt.zero_points.size());
+    payload.Bytes(qt.data.data(), qt.data.size());
   }
 
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::Error("cannot open " + path + " for writing");
   out.write(kMagic, sizeof(kMagic));
-  const uint32_t version = kFormatVersion;
+  const uint32_t version = v2 ? 2 : 1;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
   const uint64_t size = payload.buffer().size();
   out.write(reinterpret_cast<const char*>(&size), sizeof(size));
@@ -177,9 +204,9 @@ StatusOr<Snapshot> Snapshot::Load(const std::string& path) {
   uint32_t version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   if (!in) return Status::Error(path + ": truncated snapshot header");
-  if (version != kFormatVersion) {
+  if (version < 1 || version > kFormatVersion) {
     return Status::Error(path + ": unsupported snapshot version " +
-                         std::to_string(version) + " (expected " +
+                         std::to_string(version) + " (expected 1.." +
                          std::to_string(kFormatVersion) + ")");
   }
   uint64_t payload_size = 0;
@@ -272,32 +299,77 @@ StatusOr<Snapshot> Snapshot::Load(const std::string& path) {
   }
   for (uint64_t i = 0; i < weight_count; ++i) {
     std::string name;
-    uint64_t ndim = 0;
-    if (!r.String(&name) || !r.Pod(&ndim) || ndim == 0 || ndim > 8) {
+    if (!r.String(&name)) {
       return Status::Error(path + ": snapshot weight " + std::to_string(i) +
                            " has a malformed header");
     }
-    std::vector<int64_t> shape(ndim);
-    uint64_t numel = 1;
-    for (auto& d : shape) {
-      if (!r.Pod(&d) || d < 1 || numel > UINT64_MAX / static_cast<uint64_t>(d)) {
-        return Status::Error(path + ": snapshot weight '" + name +
-                             "' has a malformed shape");
+    uint8_t dtype = kDtypeF32;
+    if (version >= 2 && !r.Pod(&dtype)) {
+      return Status::Error(path + ": snapshot weight '" + name +
+                           "' has a malformed header");
+    }
+    if (dtype == kDtypeF32) {
+      uint64_t ndim = 0;
+      if (!r.Pod(&ndim) || ndim == 0 || ndim > 8) {
+        return Status::Error(path + ": snapshot weight " + std::to_string(i) +
+                             " has a malformed header");
       }
-      numel *= static_cast<uint64_t>(d);
-    }
-    // The data must fit in what is actually left of the payload; this bounds
-    // the allocation below before it happens.
-    if (numel > r.Remaining() / sizeof(float)) {
+      std::vector<int64_t> shape(ndim);
+      uint64_t numel = 1;
+      for (auto& d : shape) {
+        if (!r.Pod(&d) || d < 1 ||
+            numel > UINT64_MAX / static_cast<uint64_t>(d)) {
+          return Status::Error(path + ": snapshot weight '" + name +
+                               "' has a malformed shape");
+        }
+        numel *= static_cast<uint64_t>(d);
+      }
+      // The data must fit in what is actually left of the payload; this
+      // bounds the allocation below before it happens.
+      if (numel > r.Remaining() / sizeof(float)) {
+        return Status::Error(path + ": snapshot weight '" + name +
+                             "' claims more data than the payload holds");
+      }
+      Tensor tensor(std::move(shape));
+      if (!r.Bytes(tensor.data(), sizeof(float) * tensor.size())) {
+        return Status::Error(path + ": snapshot weight '" + name +
+                             "' is truncated");
+      }
+      snapshot.weights.emplace_back(std::move(name), std::move(tensor));
+    } else if (dtype == kDtypeQ8) {
+      QuantizedWeight qw;
+      quant::QuantizedTensor& qt = qw.tensor;
+      uint8_t transposed = 0;
+      if (!r.Pod(&qt.rows) || !r.Pod(&qt.cols) || !r.Pod(&transposed) ||
+          qt.rows < 1 || qt.cols < 1 || transposed > 1) {
+        return Status::Error(path + ": snapshot weight '" + name +
+                             "' has a malformed quantized header");
+      }
+      qw.transposed = transposed == 1;
+      const uint64_t rows = static_cast<uint64_t>(qt.rows);
+      const uint64_t cols = static_cast<uint64_t>(qt.cols);
+      // Per-row metadata plus the codes must fit in the remaining payload;
+      // checked before any allocation sized from the file.
+      if (rows > r.Remaining() / (sizeof(float) + sizeof(int32_t)) ||
+          cols > (r.Remaining() - rows * (sizeof(float) + sizeof(int32_t))) /
+                     rows) {
+        return Status::Error(path + ": snapshot weight '" + name +
+                             "' claims more data than the payload holds");
+      }
+      qt.scales.resize(rows);
+      qt.zero_points.resize(rows);
+      qt.data.resize(rows * cols);
+      if (!r.Bytes(qt.scales.data(), sizeof(float) * rows) ||
+          !r.Bytes(qt.zero_points.data(), sizeof(int32_t) * rows) ||
+          !r.Bytes(qt.data.data(), rows * cols)) {
+        return Status::Error(path + ": snapshot weight '" + name +
+                             "' is truncated");
+      }
+      snapshot.qweights.emplace_back(std::move(name), std::move(qw));
+    } else {
       return Status::Error(path + ": snapshot weight '" + name +
-                           "' claims more data than the payload holds");
+                           "' has unknown dtype " + std::to_string(dtype));
     }
-    Tensor tensor(std::move(shape));
-    if (!r.Bytes(tensor.data(), sizeof(float) * tensor.size())) {
-      return Status::Error(path + ": snapshot weight '" + name +
-                           "' is truncated");
-    }
-    snapshot.weights.emplace_back(std::move(name), std::move(tensor));
   }
   if (r.Remaining() != 0) {
     return Status::Error(path + ": snapshot has " +
@@ -321,27 +393,108 @@ StatusOr<std::unique_ptr<models::TransformerClassifier>> Snapshot::BuildModel()
   // Validate the weight list against the freshly built module tree before
   // LoadStateDict, which CHECK-aborts on mismatch: a snapshot may have been
   // produced by an incompatible build, and that is an input error, not a
-  // programmer error.
+  // programmer error. Lookup is by name (not position) so float and
+  // quantized entries can be interleaved in any order on disk.
   NamedTensors expected = model->StateDict();
-  if (expected.size() != weights.size()) {
-    return Status::Error("snapshot has " + std::to_string(weights.size()) +
-                         " weight tensors, model expects " +
-                         std::to_string(expected.size()));
+  if (expected.size() != weights.size() + qweights.size()) {
+    return Status::Error(
+        "snapshot has " + std::to_string(weights.size() + qweights.size()) +
+        " weight tensors, model expects " + std::to_string(expected.size()));
   }
-  for (size_t i = 0; i < expected.size(); ++i) {
-    if (expected[i].first != weights[i].first) {
-      return Status::Error("snapshot weight " + std::to_string(i) + " is '" +
-                           weights[i].first + "', model expects '" +
-                           expected[i].first + "'");
+
+  std::unordered_map<std::string, Tensor> by_name;
+  by_name.reserve(expected.size());
+  for (const auto& [name, tensor] : weights) {
+    if (!by_name.emplace(name, tensor).second) {
+      return Status::Error("duplicate snapshot weight '" + name + "'");
     }
-    if (expected[i].second.shape() != weights[i].second.shape()) {
-      return Status::Error("snapshot weight '" + weights[i].first +
+  }
+  for (const auto& [name, qw] : qweights) {
+    if (!by_name.emplace(name, DequantizeWeight(qw)).second) {
+      return Status::Error("duplicate snapshot weight '" + name + "'");
+    }
+  }
+
+  NamedTensors resolved;
+  resolved.reserve(expected.size());
+  for (const auto& [name, tensor] : expected) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::Error("model expects weight '" + name +
+                           "' but no snapshot weight provides it");
+    }
+    if (it->second.shape() != tensor.shape()) {
+      return Status::Error("snapshot weight '" + name +
                            "' has a shape mismatch");
     }
+    resolved.emplace_back(name, std::move(it->second));
   }
-  model->LoadStateDict(weights);
+  model->LoadStateDict(resolved);
   model->SetTraining(false);
   return model;
+}
+
+Tensor Snapshot::DequantizeWeight(const QuantizedWeight& qw) {
+  const quant::QuantizedTensor& qt = qw.tensor;
+  if (!qw.transposed) {
+    Tensor out({qt.rows, qt.cols});
+    quant::Dequantize(qt, out.data());
+    return out;
+  }
+  // Stored output-major [out, in]; the model tensor is the [in, out]
+  // transpose.
+  std::vector<float> staged(static_cast<size_t>(qt.size()));
+  quant::Dequantize(qt, staged.data());
+  Tensor out({qt.cols, qt.rows});
+  TransposeInto(staged.data(), out.data(), qt.rows, qt.cols);
+  return out;
+}
+
+StatusOr<Snapshot> QuantizeSnapshot(const Snapshot& src,
+                                    std::vector<TensorQuantReport>* report) {
+  if (!src.qweights.empty()) {
+    return Status::Error("snapshot is already quantized (" +
+                         std::to_string(src.qweights.size()) +
+                         " int8 weight tensors)");
+  }
+  Snapshot dst;
+  dst.config = src.config;
+  dst.vocab = src.vocab;
+  dst.idf = src.idf;
+
+  for (const auto& [name, tensor] : src.weights) {
+    // Eligible weights are exactly the 2-D Linear projection matrices:
+    // attention q/k/v/out, FFN in/out, and the classifier head. Embedding
+    // tables are also 2-D and also named ".weight" but stay f32 — rows are
+    // looked up, not multiplied, so quantizing them buys no GEMM time and
+    // costs accuracy on every token.
+    const bool is_linear = tensor.shape().size() == 2 &&
+                           name.size() > 7 &&
+                           name.compare(name.size() - 7, 7, ".weight") == 0 &&
+                           name.find("_emb.") == std::string::npos;
+    TensorQuantReport entry;
+    entry.name = name;
+    if (!is_linear) {
+      dst.weights.emplace_back(name, tensor);
+      if (report != nullptr) report->push_back(std::move(entry));
+      continue;
+    }
+    // Store transposed ([out, in]) so per-row quantization is per output
+    // channel and the quantized GEMM reads contiguous rows of W^T.
+    const int64_t in = tensor.shape()[0], out = tensor.shape()[1];
+    std::vector<float> wt(static_cast<size_t>(in * out));
+    TransposeInto(tensor.data(), wt.data(), in, out);
+    Snapshot::QuantizedWeight qw;
+    qw.tensor = quant::QuantizeRows(wt.data(), out, in);
+    qw.transposed = true;
+    entry.quantized = true;
+    entry.rows = out;
+    entry.cols = in;
+    entry.error = quant::MeasureError(wt.data(), qw.tensor);
+    dst.qweights.emplace_back(name, std::move(qw));
+    if (report != nullptr) report->push_back(std::move(entry));
+  }
+  return dst;
 }
 
 }  // namespace serve

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "models/classifier.h"
+#include "tensor/quant.h"
 #include "tensor/serialize.h"
 #include "text/idf.h"
 #include "text/vocab.h"
@@ -25,10 +26,19 @@ namespace serve {
 ///   | field            | size     | contents                               |
 ///   |------------------|----------|----------------------------------------|
 ///   | magic            | 8 bytes  | "RSNAP\0\0\0"                          |
-///   | version          | u32      | kFormatVersion (currently 1)           |
+///   | version          | u32      | 1 (all-f32) or 2 (int8 weights too)    |
 ///   | payload_size     | u64      | byte length of the payload section     |
 ///   | payload_checksum | u64      | FNV-1a 64 over the payload bytes       |
 ///   | payload          | variable | config, vocab, idf, weights (in order) |
+///
+/// Version 1 weights are raw f32 tensors. Version 2 prefixes every weight
+/// with a dtype byte: 0 = f32 (the v1 encoding), 1 = int8 row-quantized —
+/// stored shape [rows, cols], a transposed flag (1 means the dequantized
+/// original is the transpose, i.e. a Linear weight stored output-major),
+/// then per-row f32 scales, per-row i32 zero points, and the int8 codes
+/// (DESIGN.md §12). Save() writes version 1 whenever `qweights` is empty,
+/// so float snapshots stay byte-compatible with v1 readers; Load() accepts
+/// both versions, and the checksum covers the payload identically in each.
 ///
 /// The whole payload is checksummed, so truncation and bit corruption are
 /// detected before any of it is interpreted; Load() returns a Status error
@@ -39,13 +49,24 @@ namespace serve {
 /// the same logits, bit for bit, as the model that was saved
 /// (serve_test.cc asserts this).
 struct Snapshot {
+  /// One int8 row-quantized weight. `tensor` holds the *stored* layout
+  /// [rows, cols]; when `transposed` is true the dequantized original is
+  /// the [cols, rows] transpose (Linear weights are stored output-major so
+  /// the quantized GEMM reads contiguous per-output-channel rows).
+  struct QuantizedWeight {
+    quant::QuantizedTensor tensor;
+    bool transposed = false;
+  };
+
   models::ClassifierConfig config;
   std::shared_ptr<const text::Vocabulary> vocab;
   text::IdfTable idf;
   NamedTensors weights;
+  std::vector<std::pair<std::string, QuantizedWeight>> qweights;
 
-  /// Current on-disk format version written by Save().
-  static constexpr uint32_t kFormatVersion = 1;
+  /// Newest on-disk format version Load() understands; Save() writes
+  /// version 1 for all-float snapshots and 2 when `qweights` is non-empty.
+  static constexpr uint32_t kFormatVersion = 2;
 
   /// Captures a model's weights/config/vocabulary (plus an optional IDF
   /// table) into an in-memory snapshot. Weight tensors are deep-copied, so
@@ -61,12 +82,35 @@ struct Snapshot {
   static StatusOr<Snapshot> Load(const std::string& path);
 
   /// Constructs a classifier from this snapshot and loads the weights into
-  /// it. Returns an error if the weight list does not match the structure
-  /// implied by `config` (name or shape mismatch) — e.g. a snapshot edited
-  /// by hand or produced by an incompatible build. The returned model is in
-  /// eval mode (SetTraining(false)).
+  /// it (int8 weights are dequantized). Returns an error if the combined
+  /// weight list does not match the structure implied by `config` (missing
+  /// name, duplicate, or shape mismatch) — e.g. a snapshot edited by hand
+  /// or produced by an incompatible build. The returned model is in eval
+  /// mode (SetTraining(false)).
   StatusOr<std::unique_ptr<models::TransformerClassifier>> BuildModel() const;
+
+  /// Reconstructs the f32 tensor of one quantized weight (undoing the
+  /// transposed storage layout if set).
+  static Tensor DequantizeWeight(const QuantizedWeight& qw);
 };
+
+/// Per-tensor outcome of QuantizeSnapshot, for operator-facing reports
+/// (tools/rotom_quantize --report).
+struct TensorQuantReport {
+  std::string name;
+  bool quantized = false;      // false: kept f32 (embedding/norm/bias/1-D)
+  int64_t rows = 0, cols = 0;  // stored quantized shape when quantized
+  quant::QuantError error;     // dequantization error vs the f32 original
+};
+
+/// Returns a copy of `src` with every eligible weight replaced by an int8
+/// row-quantized version (Save() will then write format version 2).
+/// Eligible weights are the 2-D Linear projections — attention q/k/v/out,
+/// FFN in/out, and the classifier head — quantized per output channel in
+/// transposed storage; embeddings, layer norms, and biases stay f32.
+/// Quantizing an already-quantized snapshot is an error.
+StatusOr<Snapshot> QuantizeSnapshot(
+    const Snapshot& src, std::vector<TensorQuantReport>* report = nullptr);
 
 }  // namespace serve
 }  // namespace rotom

@@ -2,26 +2,66 @@
 
 #include <cmath>
 
+#if defined(ROTOM_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(ROTOM_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+#include "obs/metrics.h"
+#include "tensor/kernels_serial.h"
+
 namespace rotom {
 namespace kernels {
 
 namespace {
 
-// Serial GEMM cores. Each computes a contiguous range of *output rows* of a
-// single problem, so the parallel entry points can hand disjoint row ranges
-// to pool threads. Tiling reorders the loop nest for cache reuse but never
-// changes the per-element accumulation order (k ascending for AB/ABT, the
-// A/B row index ascending for ATB), which is what keeps results
-// bit-identical regardless of how rows are partitioned.
+// Serial cores live in kernels_serial.h (namespace sref): each computes a
+// contiguous range of *output rows* of a single problem, so the parallel
+// entry points can hand disjoint row ranges to pool threads. In this TU
+// they are the fallback flavor; when built with ROTOM_SIMD_AVX2 /
+// ROTOM_SIMD_NEON a vectorized version (namespace simd) with the same
+// signature and the same per-row/per-element traversal order takes over.
+// `namespace active` below picks the flavor at compile time for the public
+// entry points. The kernels::scalar reference wrappers live in
+// kernels_scalar.cc, compiled without the ISA flags.
 
-// Panel of the shared/loop dimension kept hot in L1 across a row block.
-constexpr int64_t kTileK = 64;
-// B rows kept hot across the full A sweep in the ABT core.
-constexpr int64_t kTileJ = 32;
-// Output rows per block in the ATB core (C block stays in L1).
-constexpr int64_t kTileL = 8;
+using sref::kTileJ;
+using sref::kTileK;
+using sref::kTileL;
 
-// C rows [i0,i1) += A rows [i0,i1) * B, with A [*,k], B [k,n], C [*,n].
+#if defined(ROTOM_SIMD_AVX2)
+
+namespace simd {
+
+// Fixed-order horizontal reductions: lanes are combined the same way every
+// call, so within this build flavor results stay run-to-run and
+// thread-count invariant.
+inline float HSum(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+inline float HMax(__m256 v) {
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  return _mm_cvtss_f32(m);
+}
+
+inline double HSumD(__m256d v) {
+  __m128d s = _mm_add_pd(_mm256_castpd256_pd128(v),
+                         _mm256_extractf128_pd(v, 1));
+  s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+  return _mm_cvtsd_f64(s);
+}
+
+// Same row blocking and k-ascending accumulation order as the scalar core;
+// only the j loop is widened to 8 FMA lanes.
 void GemmABRowRange(const float* a, const float* b, float* c, int64_t i0,
                     int64_t i1, int64_t k, int64_t n) {
   for (int64_t l0 = 0; l0 < k; l0 += kTileK) {
@@ -37,14 +77,30 @@ void GemmABRowRange(const float* a, const float* b, float* c, int64_t i0,
       float* c2 = c + (i + 2) * n;
       float* c3 = c + (i + 3) * n;
       for (int64_t l = l0; l < l1; ++l) {
-        const float av0 = a0[l], av1 = a1[l], av2 = a2[l], av3 = a3[l];
+        const __m256 av0 = _mm256_broadcast_ss(a0 + l);
+        const __m256 av1 = _mm256_broadcast_ss(a1 + l);
+        const __m256 av2 = _mm256_broadcast_ss(a2 + l);
+        const __m256 av3 = _mm256_broadcast_ss(a3 + l);
         const float* br = b + l * n;
-        for (int64_t j = 0; j < n; ++j) {
+        int64_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+          const __m256 bv = _mm256_loadu_ps(br + j);
+          _mm256_storeu_ps(
+              c0 + j, _mm256_fmadd_ps(av0, bv, _mm256_loadu_ps(c0 + j)));
+          _mm256_storeu_ps(
+              c1 + j, _mm256_fmadd_ps(av1, bv, _mm256_loadu_ps(c1 + j)));
+          _mm256_storeu_ps(
+              c2 + j, _mm256_fmadd_ps(av2, bv, _mm256_loadu_ps(c2 + j)));
+          _mm256_storeu_ps(
+              c3 + j, _mm256_fmadd_ps(av3, bv, _mm256_loadu_ps(c3 + j)));
+        }
+        const float s0 = a0[l], s1 = a1[l], s2 = a2[l], s3 = a3[l];
+        for (; j < n; ++j) {
           const float bv = br[j];
-          c0[j] += av0 * bv;
-          c1[j] += av1 * bv;
-          c2[j] += av2 * bv;
-          c3[j] += av3 * bv;
+          c0[j] += s0 * bv;
+          c1[j] += s1 * bv;
+          c2[j] += s2 * bv;
+          c3[j] += s3 * bv;
         }
       }
     }
@@ -52,15 +108,24 @@ void GemmABRowRange(const float* a, const float* b, float* c, int64_t i0,
       const float* ar = a + i * k;
       float* cr = c + i * n;
       for (int64_t l = l0; l < l1; ++l) {
-        const float av = ar[l];
+        const __m256 av = _mm256_broadcast_ss(ar + l);
         const float* br = b + l * n;
-        for (int64_t j = 0; j < n; ++j) cr[j] += av * br[j];
+        int64_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+          _mm256_storeu_ps(cr + j,
+                           _mm256_fmadd_ps(av, _mm256_loadu_ps(br + j),
+                                           _mm256_loadu_ps(cr + j)));
+        }
+        const float s = ar[l];
+        for (; j < n; ++j) cr[j] += s * br[j];
       }
     }
   }
 }
 
-// C rows [i0,i1) += A rows [i0,i1) * B^T, with A [*,k], B [n,k], C [*,n].
+// Dot products run in 8 accumulator lanes summed in a fixed order, then the
+// scalar tail (k % 8) is folded in last — a per-build-flavor order, still
+// independent of chunking.
 void GemmABTRowRange(const float* a, const float* b, float* c, int64_t i0,
                      int64_t i1, int64_t k, int64_t n) {
   for (int64_t j0 = 0; j0 < n; j0 += kTileJ) {
@@ -74,8 +139,21 @@ void GemmABTRowRange(const float* a, const float* b, float* c, int64_t i0,
         const float* b1 = b + (j + 1) * k;
         const float* b2 = b + (j + 2) * k;
         const float* b3 = b + (j + 3) * k;
-        float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-        for (int64_t l = 0; l < k; ++l) {
+        __m256 v0 = _mm256_setzero_ps();
+        __m256 v1 = _mm256_setzero_ps();
+        __m256 v2 = _mm256_setzero_ps();
+        __m256 v3 = _mm256_setzero_ps();
+        int64_t l = 0;
+        for (; l + 8 <= k; l += 8) {
+          const __m256 av = _mm256_loadu_ps(ar + l);
+          v0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + l), v0);
+          v1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + l), v1);
+          v2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + l), v2);
+          v3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + l), v3);
+        }
+        float acc0 = HSum(v0), acc1 = HSum(v1), acc2 = HSum(v2),
+              acc3 = HSum(v3);
+        for (; l < k; ++l) {
           const float av = ar[l];
           acc0 += av * b0[l];
           acc1 += av * b1[l];
@@ -89,16 +167,20 @@ void GemmABTRowRange(const float* a, const float* b, float* c, int64_t i0,
       }
       for (; j < j1; ++j) {
         const float* br = b + j * k;
-        float acc = 0.0f;
-        for (int64_t l = 0; l < k; ++l) acc += ar[l] * br[l];
+        __m256 v = _mm256_setzero_ps();
+        int64_t l = 0;
+        for (; l + 8 <= k; l += 8) {
+          v = _mm256_fmadd_ps(_mm256_loadu_ps(ar + l),
+                              _mm256_loadu_ps(br + l), v);
+        }
+        float acc = HSum(v);
+        for (; l < k; ++l) acc += ar[l] * br[l];
         cr[j] += acc;
       }
     }
   }
 }
 
-// C rows [l0,l1) of the [k,n] output += (A^T B) rows, with A [m,k], B [m,n].
-// The A column l for a fixed row i is a contiguous slice a[i*k + l0 .. l1).
 void GemmATBRowRange(const float* a, const float* b, float* c, int64_t l0,
                      int64_t l1, int64_t m, int64_t k, int64_t n) {
   for (int64_t lb = l0; lb < l1; lb += kTileL) {
@@ -110,11 +192,263 @@ void GemmATBRowRange(const float* a, const float* b, float* c, int64_t l0,
         const float av = ar[l];
         if (av == 0.0f) continue;  // gradients are often sparse (relu, drop)
         float* cr = c + l * n;
-        for (int64_t j = 0; j < n; ++j) cr[j] += av * br[j];
+        const __m256 avv = _mm256_set1_ps(av);
+        int64_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+          _mm256_storeu_ps(cr + j,
+                           _mm256_fmadd_ps(avv, _mm256_loadu_ps(br + j),
+                                           _mm256_loadu_ps(cr + j)));
+        }
+        for (; j < n; ++j) cr[j] += av * br[j];
       }
     }
   }
 }
+
+// Max and the final normalization are vectorized; exp stays std::exp (the
+// libm-accurate form both flavors share), and the exp-order sum is scalar,
+// so the only cross-flavor difference in softmax output comes from the
+// 8-lane max (which is exact) — i.e. none.
+void SoftmaxRow(const float* row, float* orow, int64_t cols) {
+  float mx = row[0];
+  int64_t j = 1;
+  if (cols >= 9) {
+    __m256 vmx = _mm256_loadu_ps(row);
+    for (j = 8; j + 8 <= cols; j += 8)
+      vmx = _mm256_max_ps(vmx, _mm256_loadu_ps(row + j));
+    mx = HMax(vmx);
+  }
+  for (; j < cols; ++j) mx = std::max(mx, row[j]);
+  float sum = 0.0f;
+  for (int64_t jj = 0; jj < cols; ++jj) {
+    orow[jj] = std::exp(row[jj] - mx);
+    sum += orow[jj];
+  }
+  const __m256 vs = _mm256_set1_ps(sum);
+  int64_t jd = 0;
+  for (; jd + 8 <= cols; jd += 8) {
+    _mm256_storeu_ps(orow + jd, _mm256_div_ps(_mm256_loadu_ps(orow + jd), vs));
+  }
+  for (; jd < cols; ++jd) orow[jd] /= sum;
+}
+
+// Mean/variance accumulate in 4 double lanes (the scalar core also
+// accumulates in double); the normalize loop runs 8 float lanes.
+void LayerNormRow(const float* row, const float* gamma, const float* beta,
+                  float eps, float* yr, float* xhr, float* istd_out,
+                  int64_t cols) {
+  __m256d vsum = _mm256_setzero_pd();
+  int64_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    vsum = _mm256_add_pd(vsum, _mm256_cvtps_pd(_mm_loadu_ps(row + j)));
+  }
+  double mu = HSumD(vsum);
+  for (; j < cols; ++j) mu += row[j];
+  mu /= cols;
+  const __m256d vmu = _mm256_set1_pd(mu);
+  __m256d vvar = _mm256_setzero_pd();
+  for (j = 0; j + 4 <= cols; j += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(row + j)), vmu);
+    vvar = _mm256_fmadd_pd(d, d, vvar);
+  }
+  double var = HSumD(vvar);
+  for (; j < cols; ++j) {
+    const double diff = row[j] - mu;
+    var += diff * diff;
+  }
+  var /= cols;
+  const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+  *istd_out = istd;
+  const float muf = static_cast<float>(mu);
+  const __m256 vmuf = _mm256_set1_ps(muf);
+  const __m256 vistd = _mm256_set1_ps(istd);
+  for (j = 0; j + 8 <= cols; j += 8) {
+    const __m256 xh =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(row + j), vmuf), vistd);
+    _mm256_storeu_ps(xhr + j, xh);
+    _mm256_storeu_ps(
+        yr + j,
+        _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(gamma + j), xh),
+                      _mm256_loadu_ps(beta + j)));
+  }
+  for (; j < cols; ++j) {
+    xhr[j] = (row[j] - muf) * istd;
+    yr[j] = gamma[j] * xhr[j] + beta[j];
+  }
+}
+
+void AxpyRange(const float* x, float* y, int64_t n, float alpha) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace simd
+
+#elif defined(ROTOM_SIMD_NEON)
+
+namespace simd {
+
+void GemmABRowRange(const float* a, const float* b, float* c, int64_t i0,
+                    int64_t i1, int64_t k, int64_t n) {
+  for (int64_t l0 = 0; l0 < k; l0 += kTileK) {
+    const int64_t l1 = std::min(k, l0 + kTileK);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* ar = a + i * k;
+      float* cr = c + i * n;
+      for (int64_t l = l0; l < l1; ++l) {
+        const float av = ar[l];
+        const float32x4_t avv = vdupq_n_f32(av);
+        const float* br = b + l * n;
+        int64_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+          vst1q_f32(cr + j,
+                    vfmaq_f32(vld1q_f32(cr + j), avv, vld1q_f32(br + j)));
+        }
+        for (; j < n; ++j) cr[j] += av * br[j];
+      }
+    }
+  }
+}
+
+void GemmABTRowRange(const float* a, const float* b, float* c, int64_t i0,
+                     int64_t i1, int64_t k, int64_t n) {
+  for (int64_t j0 = 0; j0 < n; j0 += kTileJ) {
+    const int64_t j1 = std::min(n, j0 + kTileJ);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* ar = a + i * k;
+      float* cr = c + i * n;
+      for (int64_t j = j0; j < j1; ++j) {
+        const float* br = b + j * k;
+        float32x4_t v = vdupq_n_f32(0.0f);
+        int64_t l = 0;
+        for (; l + 4 <= k; l += 4) {
+          v = vfmaq_f32(v, vld1q_f32(ar + l), vld1q_f32(br + l));
+        }
+        float acc = vaddvq_f32(v);
+        for (; l < k; ++l) acc += ar[l] * br[l];
+        cr[j] += acc;
+      }
+    }
+  }
+}
+
+void GemmATBRowRange(const float* a, const float* b, float* c, int64_t l0,
+                     int64_t l1, int64_t m, int64_t k, int64_t n) {
+  for (int64_t lb = l0; lb < l1; lb += kTileL) {
+    const int64_t le = std::min(l1, lb + kTileL);
+    for (int64_t i = 0; i < m; ++i) {
+      const float* ar = a + i * k;
+      const float* br = b + i * n;
+      for (int64_t l = lb; l < le; ++l) {
+        const float av = ar[l];
+        if (av == 0.0f) continue;  // gradients are often sparse (relu, drop)
+        float* cr = c + l * n;
+        const float32x4_t avv = vdupq_n_f32(av);
+        int64_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+          vst1q_f32(cr + j,
+                    vfmaq_f32(vld1q_f32(cr + j), avv, vld1q_f32(br + j)));
+        }
+        for (; j < n; ++j) cr[j] += av * br[j];
+      }
+    }
+  }
+}
+
+void SoftmaxRow(const float* row, float* orow, int64_t cols) {
+  float mx = row[0];
+  int64_t j = 1;
+  if (cols >= 5) {
+    float32x4_t vmx = vld1q_f32(row);
+    for (j = 4; j + 4 <= cols; j += 4) vmx = vmaxq_f32(vmx, vld1q_f32(row + j));
+    mx = vmaxvq_f32(vmx);
+  }
+  for (; j < cols; ++j) mx = std::max(mx, row[j]);
+  float sum = 0.0f;
+  for (int64_t jj = 0; jj < cols; ++jj) {
+    orow[jj] = std::exp(row[jj] - mx);
+    sum += orow[jj];
+  }
+  const float32x4_t vs = vdupq_n_f32(sum);
+  int64_t jd = 0;
+  for (; jd + 4 <= cols; jd += 4) {
+    vst1q_f32(orow + jd, vdivq_f32(vld1q_f32(orow + jd), vs));
+  }
+  for (; jd < cols; ++jd) orow[jd] /= sum;
+}
+
+void LayerNormRow(const float* row, const float* gamma, const float* beta,
+                  float eps, float* yr, float* xhr, float* istd_out,
+                  int64_t cols) {
+  float64x2_t vsum = vdupq_n_f64(0.0);
+  int64_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const float32x4_t v = vld1q_f32(row + j);
+    vsum = vaddq_f64(vsum, vcvt_f64_f32(vget_low_f32(v)));
+    vsum = vaddq_f64(vsum, vcvt_f64_f32(vget_high_f32(v)));
+  }
+  double mu = vaddvq_f64(vsum);
+  for (; j < cols; ++j) mu += row[j];
+  mu /= cols;
+  const float64x2_t vmu = vdupq_n_f64(mu);
+  float64x2_t vvar = vdupq_n_f64(0.0);
+  for (j = 0; j + 4 <= cols; j += 4) {
+    const float32x4_t v = vld1q_f32(row + j);
+    const float64x2_t dlo = vsubq_f64(vcvt_f64_f32(vget_low_f32(v)), vmu);
+    const float64x2_t dhi = vsubq_f64(vcvt_f64_f32(vget_high_f32(v)), vmu);
+    vvar = vfmaq_f64(vvar, dlo, dlo);
+    vvar = vfmaq_f64(vvar, dhi, dhi);
+  }
+  double var = vaddvq_f64(vvar);
+  for (; j < cols; ++j) {
+    const double diff = row[j] - mu;
+    var += diff * diff;
+  }
+  var /= cols;
+  const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+  *istd_out = istd;
+  const float muf = static_cast<float>(mu);
+  const float32x4_t vmuf = vdupq_n_f32(muf);
+  const float32x4_t vistd = vdupq_n_f32(istd);
+  for (j = 0; j + 4 <= cols; j += 4) {
+    const float32x4_t xh =
+        vmulq_f32(vsubq_f32(vld1q_f32(row + j), vmuf), vistd);
+    vst1q_f32(xhr + j, xh);
+    vst1q_f32(yr + j,
+              vaddq_f32(vmulq_f32(vld1q_f32(gamma + j), xh),
+                        vld1q_f32(beta + j)));
+  }
+  for (; j < cols; ++j) {
+    xhr[j] = (row[j] - muf) * istd;
+    yr[j] = gamma[j] * xhr[j] + beta[j];
+  }
+}
+
+void AxpyRange(const float* x, float* y, int64_t n, float alpha) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vfmaq_f32(vld1q_f32(y + i), va, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace simd
+
+#endif  // ROTOM_SIMD_AVX2 / ROTOM_SIMD_NEON
+
+#if defined(ROTOM_SIMD_AVX2) || defined(ROTOM_SIMD_NEON)
+namespace active = simd;
+#else
+namespace active = sref;
+#endif
 
 // Maps a range of flattened (batch, row) indices onto per-slice row ranges.
 template <typename SliceFn>
@@ -133,6 +467,25 @@ void ForBatchedRowRange(int64_t r0, int64_t r1, int64_t rows_per_batch,
 }
 
 }  // namespace
+
+const char* SimdFlavorName() {
+#if defined(ROTOM_SIMD_AVX2)
+  constexpr const char* kName = "avx2";
+  constexpr int64_t kId = 1;
+#elif defined(ROTOM_SIMD_NEON)
+  constexpr const char* kName = "neon";
+  constexpr int64_t kId = 2;
+#else
+  constexpr const char* kName = "scalar";
+  constexpr int64_t kId = 0;
+#endif
+  static const bool published = [] {
+    obs::GetGauge("kernels.simd_flavor").Set(kId);
+    return true;
+  }();
+  (void)published;
+  return kName;
+}
 
 void GemmAB(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n) {
@@ -154,8 +507,8 @@ void BatchedGemmAB(const float* a, const float* b, float* c, int64_t batch,
   ComputePool().ParallelFor(
       batch * m, RowGrain(2 * k * n), [&](int64_t r0, int64_t r1) {
         ForBatchedRowRange(r0, r1, m, [&](int64_t s, int64_t i0, int64_t i1) {
-          GemmABRowRange(a + s * m * k, b + s * b_stride, c + s * m * n, i0,
-                         i1, k, n);
+          active::GemmABRowRange(a + s * m * k, b + s * b_stride,
+                                 c + s * m * n, i0, i1, k, n);
         });
       });
 }
@@ -165,8 +518,8 @@ void BatchedGemmABT(const float* a, const float* b, float* c, int64_t batch,
   ComputePool().ParallelFor(
       batch * m, RowGrain(2 * k * n), [&](int64_t r0, int64_t r1) {
         ForBatchedRowRange(r0, r1, m, [&](int64_t s, int64_t i0, int64_t i1) {
-          GemmABTRowRange(a + s * m * k, b + s * b_stride, c + s * m * n, i0,
-                          i1, k, n);
+          active::GemmABTRowRange(a + s * m * k, b + s * b_stride,
+                                  c + s * m * n, i0, i1, k, n);
         });
       });
 }
@@ -180,7 +533,8 @@ void BatchedGemmATB(const float* a, const float* b, float* c, int64_t batch,
     ComputePool().ParallelFor(
         k, RowGrain(2 * batch * m * n), [&](int64_t l0, int64_t l1) {
           for (int64_t s = 0; s < batch; ++s) {
-            GemmATBRowRange(a + s * m * k, b + s * m * n, c, l0, l1, m, k, n);
+            active::GemmATBRowRange(a + s * m * k, b + s * m * n, c, l0, l1,
+                                    m, k, n);
           }
         });
     return;
@@ -188,8 +542,8 @@ void BatchedGemmATB(const float* a, const float* b, float* c, int64_t batch,
   ComputePool().ParallelFor(
       batch * k, RowGrain(2 * m * n), [&](int64_t r0, int64_t r1) {
         ForBatchedRowRange(r0, r1, k, [&](int64_t s, int64_t l0, int64_t l1) {
-          GemmATBRowRange(a + s * m * k, b + s * m * n, c + s * c_stride, l0,
-                          l1, m, k, n);
+          active::GemmATBRowRange(a + s * m * k, b + s * m * n,
+                                  c + s * c_stride, l0, l1, m, k, n);
         });
       });
 }
@@ -197,23 +551,14 @@ void BatchedGemmATB(const float* a, const float* b, float* c, int64_t batch,
 void Axpy(const float* x, float* y, int64_t n, float alpha) {
   ComputePool().ParallelFor(n, kElementwiseGrain,
                             [&](int64_t begin, int64_t end) {
-                              for (int64_t i = begin; i < end; ++i)
-                                y[i] += alpha * x[i];
+                              active::AxpyRange(x + begin, y + begin,
+                                                end - begin, alpha);
                             });
 }
 
 void SoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols) {
   ParallelRows(rows, 4 * cols, [&](int64_t r) {
-    const float* row = in + r * cols;
-    float* orow = out + r * cols;
-    float mx = row[0];
-    for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      sum += orow[j];
-    }
-    for (int64_t j = 0; j < cols; ++j) orow[j] /= sum;
+    active::SoftmaxRow(in + r * cols, out + r * cols, cols);
   });
 }
 
@@ -259,24 +604,8 @@ void LayerNormRows(const float* x, const float* gamma, const float* beta,
                    float eps, float* y, float* xhat, float* inv_std,
                    int64_t rows, int64_t cols) {
   ParallelRows(rows, 6 * cols, [&](int64_t r) {
-    const float* row = x + r * cols;
-    double mu = 0.0;
-    for (int64_t j = 0; j < cols; ++j) mu += row[j];
-    mu /= cols;
-    double var = 0.0;
-    for (int64_t j = 0; j < cols; ++j) {
-      const double diff = row[j] - mu;
-      var += diff * diff;
-    }
-    var /= cols;
-    const float istd = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-    inv_std[r] = istd;
-    float* xhr = xhat + r * cols;
-    float* yr = y + r * cols;
-    for (int64_t j = 0; j < cols; ++j) {
-      xhr[j] = (row[j] - static_cast<float>(mu)) * istd;
-      yr[j] = gamma[j] * xhr[j] + beta[j];
-    }
+    active::LayerNormRow(x + r * cols, gamma, beta, eps, y + r * cols,
+                         xhat + r * cols, inv_std + r, cols);
   });
 }
 

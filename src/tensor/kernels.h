@@ -24,16 +24,72 @@ namespace kernels {
 // Grain-size policy. ParallelFor grains are chosen so a chunk amortizes the
 // pool's wake/claim overhead: roughly kGrainWork scalar operations per
 // chunk. Callers pass the per-row cost; RowGrain converts it to rows.
+//
+// The floor is deliberately high (~256k flops). The original 32k floor made
+// bench-scale GEMMs scale *negatively* with pool size (BENCH_micro.json:
+// GemmABT 2897 -> 2622 steps/sec from 1 -> 4 threads): chunks finished in a
+// few microseconds, below the pool's wake/claim handoff, so extra threads
+// only added overhead — and the SIMD flavors shrink per-chunk wall time a
+// further 2-8x. Raising the floor makes small problems single-chunk (they
+// run inline, paying nothing) without changing results: chunk boundaries
+// never affect per-element accumulation order, so numerics are invariant to
+// grain size by construction.
 // ---------------------------------------------------------------------------
 
-inline constexpr int64_t kGrainWork = 1 << 15;       // ~32k flops per chunk
-inline constexpr int64_t kElementwiseGrain = 1 << 13;  // elements per chunk
+inline constexpr int64_t kGrainWork = 1 << 18;       // ~256k flops per chunk
+inline constexpr int64_t kElementwiseGrain = 1 << 16;  // elements per chunk
 
 /// Rows per chunk for a row-parallel kernel whose per-row cost is
 /// `work_per_row` scalar operations.
 inline int64_t RowGrain(int64_t work_per_row) {
   return std::max<int64_t>(1, kGrainWork / std::max<int64_t>(1, work_per_row));
 }
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch. kernels.cc (and tensor/quant.cc) are the only translation
+// units compiled with the ISA flags selected by the ROTOM_SIMD CMake option
+// (AVX2+FMA on x86_64, NEON on aarch64). The hot kernels below dispatch to
+// the vectorized bodies at compile time; the scalar bodies are the
+// mandatory fallback and stay exposed under kernels::scalar so equivalence
+// tests and benches can compare flavors in one binary.
+//
+// Determinism across flavors: within one build flavor every guarantee above
+// holds unchanged — reductions are never split across threads and chunking
+// never changes per-element order, so results stay bit-identical at any
+// thread count. Across flavors, f32 results may differ by FMA/vector-width
+// rounding (the AVX2 dot-product kernels accumulate in 8 lanes); the int8
+// kernels in quant.h are exact integer arithmetic and bit-identical in
+// every flavor.
+// ---------------------------------------------------------------------------
+
+/// Compile-time kernel flavor of this build: "avx2", "neon", or "scalar".
+/// The first call publishes the `kernels.simd_flavor` gauge
+/// (0 = scalar, 1 = avx2, 2 = neon; see OBSERVABILITY.md).
+const char* SimdFlavorName();
+
+namespace scalar {
+
+// Serial scalar reference implementations (no thread pool, no SIMD) of the
+// dispatched kernels. These are the ground truth the flavor-equivalence
+// tests compare against and the "before" side of the simd-vs-scalar bench
+// records in BENCH_micro.json. They live in kernels_scalar.cc, which is
+// compiled without the ISA flags and with auto-vectorization disabled, so
+// "scalar" means portable scalar code even when the rest of the build is
+// AVX2/NEON (see src/CMakeLists.txt).
+
+void GemmAB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+void GemmABT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n);
+void GemmATB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n);
+void SoftmaxRows(const float* in, float* out, int64_t rows, int64_t cols);
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float eps, float* y, float* xhat, float* inv_std,
+                   int64_t rows, int64_t cols);
+void Axpy(const float* x, float* y, int64_t n, float alpha);
+
+}  // namespace scalar
 
 // ---------------------------------------------------------------------------
 // GEMM. All variants *accumulate* into C (C += ...), matching how the

@@ -1,0 +1,22 @@
+// The quant::scalar reference flavor: the exact int8 GEMM compiled without
+// the ROTOM_SIMD ISA flags and without compiler auto-vectorization (see
+// src/CMakeLists.txt), mirroring tensor/kernels_scalar.cc. Because the int8
+// kernel is exact integer arithmetic, this reference is bit-identical to
+// every dispatched flavor — the equivalence tests assert so — and serves as
+// the honest scalar baseline for the int8 cells in BENCH_micro.json.
+
+#include "tensor/quant.h"
+#include "tensor/quant_serial.h"
+
+namespace rotom {
+namespace quant {
+namespace scalar {
+
+void QGemmABT(const int8_t* a, const int8_t* b, int32_t* c, int64_t m,
+              int64_t k, int64_t n) {
+  sref::QGemmABTRowRange(a, b, c, 0, m, k, n);
+}
+
+}  // namespace scalar
+}  // namespace quant
+}  // namespace rotom

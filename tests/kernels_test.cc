@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "tensor/quant.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -246,6 +249,110 @@ TEST_F(KernelsTest, MapApplyZipAxpy) {
   kernels::Axpy(x.data(), acc.data(), 1000, 0.5f);
   for (size_t i = 0; i < acc.size(); ++i)
     EXPECT_NEAR(acc[i], y[i] + 0.5f * x[i], 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD flavor equivalence. The dispatched kernels (whatever flavor this
+// binary was built with) are compared against the serial scalar references
+// in kernels::scalar across a sweep of shapes chosen to hit every ragged
+// edge of the vector loops: below one vector width, exact multiples, and
+// odd overhangs. f32 comparisons use a relative tolerance (the AVX2 bodies
+// reassociate across FMA lanes); the int8 GEMM must be bit-identical.
+// ---------------------------------------------------------------------------
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+class KernelFlavorTest : public ::testing::TestWithParam<GemmShape> {
+ protected:
+  void TearDown() override { SetComputeThreads(0); }
+};
+
+TEST_P(KernelFlavorTest, GemmsMatchScalarReference) {
+  const auto [m, k, n] = GetParam();
+  const auto a = RandVec(m * k, 31), b = RandVec(k * n, 32);
+  const auto bt = RandVec(n * k, 33), bb = RandVec(m * n, 34);
+
+  std::vector<float> c(m * n, 0.25f), ref = c;
+  kernels::GemmAB(a.data(), b.data(), c.data(), m, k, n);
+  kernels::scalar::GemmAB(a.data(), b.data(), ref.data(), m, k, n);
+  ExpectAllNear(c, ref, 1e-4f);
+
+  std::vector<float> cbt(m * n, -0.5f), refbt = cbt;
+  kernels::GemmABT(a.data(), bt.data(), cbt.data(), m, k, n);
+  kernels::scalar::GemmABT(a.data(), bt.data(), refbt.data(), m, k, n);
+  ExpectAllNear(cbt, refbt, 1e-4f);
+
+  std::vector<float> catb(k * n, 1.0f), refatb = catb;
+  kernels::GemmATB(a.data(), bb.data(), catb.data(), m, k, n);
+  kernels::scalar::GemmATB(a.data(), bb.data(), refatb.data(), m, k, n);
+  ExpectAllNear(catb, refatb, 1e-4f);
+}
+
+TEST_P(KernelFlavorTest, RowKernelsMatchScalarReference) {
+  const auto [rows, unused_k, cols] = GetParam();
+  (void)unused_k;
+  const auto x = RandVec(rows * cols, 35);
+  const auto gamma = RandVec(cols, 36), beta = RandVec(cols, 37);
+
+  std::vector<float> soft(rows * cols), soft_ref(rows * cols);
+  kernels::SoftmaxRows(x.data(), soft.data(), rows, cols);
+  kernels::scalar::SoftmaxRows(x.data(), soft_ref.data(), rows, cols);
+  ExpectAllNear(soft, soft_ref, 1e-6f);
+
+  std::vector<float> y(rows * cols), xhat(rows * cols), inv_std(rows);
+  std::vector<float> y_ref(rows * cols), xhat_ref(rows * cols),
+      inv_std_ref(rows);
+  kernels::LayerNormRows(x.data(), gamma.data(), beta.data(), 1e-5f, y.data(),
+                         xhat.data(), inv_std.data(), rows, cols);
+  kernels::scalar::LayerNormRows(x.data(), gamma.data(), beta.data(), 1e-5f,
+                                 y_ref.data(), xhat_ref.data(),
+                                 inv_std_ref.data(), rows, cols);
+  ExpectAllNear(y, y_ref, 1e-5f);
+  ExpectAllNear(xhat, xhat_ref, 1e-5f);
+  ExpectAllNear(inv_std, inv_std_ref, 1e-5f);
+
+  std::vector<float> axpy(rows * cols, 0.75f), axpy_ref(rows * cols, 0.75f);
+  kernels::Axpy(x.data(), axpy.data(), rows * cols, -1.5f);
+  kernels::scalar::Axpy(x.data(), axpy_ref.data(), rows * cols, -1.5f);
+  ExpectAllNear(axpy, axpy_ref, 1e-6f);
+}
+
+TEST_P(KernelFlavorTest, QGemmABTBitIdenticalToScalar) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(38);
+  std::vector<int8_t> a(m * k), b(n * k);
+  for (auto& v : a)
+    v = static_cast<int8_t>(rng.UniformInt(255) - 127);  // [-127, 127]
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(255) - 127);
+
+  std::vector<int32_t> ref(m * n, 7);
+  quant::scalar::QGemmABT(a.data(), b.data(), ref.data(), m, k, n);
+  for (int threads : {1, 4}) {
+    SetComputeThreads(threads);
+    std::vector<int32_t> c(m * n, 7);
+    quant::QGemmABT(a.data(), b.data(), c.data(), m, k, n);
+    ASSERT_EQ(c, ref) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelFlavorTest,
+    ::testing::Values(GemmShape{1, 1, 1},       // degenerate
+                      GemmShape{3, 5, 7},       // below one vector width
+                      GemmShape{8, 16, 8},      // exact SIMD multiples
+                      GemmShape{37, 71, 29},    // ragged overhangs
+                      GemmShape{64, 33, 130}),  // tails in every loop
+    [](const ::testing::TestParamInfo<GemmShape>& info) {
+      return "m" + std::to_string(info.param.m) + "k" +
+             std::to_string(info.param.k) + "n" + std::to_string(info.param.n);
+    });
+
+TEST(KernelFlavorNameTest, ReportsABuiltInFlavor) {
+  const std::string flavor = kernels::SimdFlavorName();
+  EXPECT_TRUE(flavor == "scalar" || flavor == "avx2" || flavor == "neon")
+      << flavor;
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "data/textcls_gen.h"
+#include "obs/metrics.h"
 #include "rotom/api.h"
 
 namespace rotom {
@@ -234,6 +235,193 @@ TEST(SnapshotTest, BuildModelRejectsMismatchedWeights) {
   missing.weights.pop_back();
   auto short_result = missing.BuildModel();
   ASSERT_FALSE(short_result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Quantized snapshots (format v2) and the int8 serving path
+
+TEST(QuantizedSnapshotTest, FloatSnapshotsStillWriteFormatVersion1) {
+  // Backward-compat pin: an all-float snapshot must keep producing files
+  // that pre-quantization readers (which only accept version 1) can load.
+  const std::string path = TempPath("serve_v1_pin.rsnap");
+  ASSERT_TRUE(MakeSnapshot().Save(path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), 12u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[8]), 1);  // u32 version, little-endian
+  EXPECT_EQ(static_cast<uint8_t>(bytes[9]), 0);
+  auto loaded = Snapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded.value().qweights.empty());
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedSnapshotTest, QuantizeReportsEveryTensorOnce) {
+  std::vector<serve::TensorQuantReport> report;
+  auto quantized = serve::QuantizeSnapshot(MakeSnapshot(), &report);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().message();
+
+  const Snapshot original = MakeSnapshot();
+  ASSERT_EQ(report.size(), original.weights.size());
+  size_t num_quantized = 0;
+  for (const auto& e : report) {
+    if (e.quantized) {
+      ++num_quantized;
+      EXPECT_GT(e.rows, 0);
+      EXPECT_GT(e.cols, 0);
+      EXPECT_GE(e.error.max_abs, e.error.mean_abs);
+    }
+  }
+  // ServeConfig has one layer: 4 attention + 2 FFN projections + the head.
+  EXPECT_EQ(num_quantized, 7u);
+  EXPECT_EQ(quantized.value().qweights.size(), 7u);
+  EXPECT_EQ(quantized.value().weights.size() +
+                quantized.value().qweights.size(),
+            original.weights.size());
+
+  // Quantizing twice is an input error, not a silent re-quantization.
+  auto again = serve::QuantizeSnapshot(quantized.value());
+  ASSERT_FALSE(again.ok());
+  EXPECT_NE(again.status().message().find("already quantized"),
+            std::string::npos)
+      << again.status().message();
+}
+
+TEST(QuantizedSnapshotTest, V2RoundTripPreservesCodesBitIdentically) {
+  auto quantized = serve::QuantizeSnapshot(MakeSnapshot());
+  ASSERT_TRUE(quantized.ok());
+  const std::string path = TempPath("serve_v2_roundtrip.rsnap");
+  ASSERT_TRUE(quantized.value().Save(path).ok());
+
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), 12u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[8]), 2);  // format version 2
+
+  auto loaded = Snapshot::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_EQ(loaded.value().qweights.size(),
+            quantized.value().qweights.size());
+  for (size_t i = 0; i < loaded.value().qweights.size(); ++i) {
+    const auto& [name, got] = loaded.value().qweights[i];
+    const auto& [want_name, want] = quantized.value().qweights[i];
+    EXPECT_EQ(name, want_name);
+    EXPECT_EQ(got.transposed, want.transposed);
+    EXPECT_EQ(got.tensor.rows, want.tensor.rows);
+    EXPECT_EQ(got.tensor.cols, want.tensor.cols);
+    EXPECT_EQ(got.tensor.data, want.tensor.data);
+    EXPECT_EQ(got.tensor.scales, want.tensor.scales);
+    EXPECT_EQ(got.tensor.zero_points, want.tensor.zero_points);
+  }
+  ASSERT_EQ(loaded.value().weights.size(), quantized.value().weights.size());
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedSnapshotTest, V2LoadRejectsTruncationAndCorruption) {
+  auto quantized = serve::QuantizeSnapshot(MakeSnapshot());
+  ASSERT_TRUE(quantized.ok());
+  const std::string path = TempPath("serve_v2_damage.rsnap");
+  ASSERT_TRUE(quantized.value().Save(path).ok());
+  const std::string bytes = ReadFileBytes(path);
+
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 48));
+  auto truncated = Snapshot::Load(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("truncated"), std::string::npos)
+      << truncated.status().message();
+
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() - 64] ^= 0x10;  // flip one payload bit
+  WriteFileBytes(path, corrupt);
+  auto mismatch = Snapshot::Load(path);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << mismatch.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedSnapshotTest, BuildModelDequantizesCloseToFloatModel) {
+  const Snapshot original = MakeSnapshot();
+  auto quantized = serve::QuantizeSnapshot(original);
+  ASSERT_TRUE(quantized.ok());
+
+  // BuildModel on a v2 snapshot reconstitutes a float model from the int8
+  // weights; its logits track the original within quantization error.
+  auto float_session = InferenceSession::Create(original);
+  InferenceSession::Options f32;
+  f32.precision = InferenceSession::Precision::kFloat32;
+  auto deq_session = InferenceSession::Create(quantized.value(), f32);
+  ASSERT_TRUE(float_session.ok()) << float_session.status().message();
+  ASSERT_TRUE(deq_session.ok()) << deq_session.status().message();
+  EXPECT_FALSE(deq_session.value()->quantized());
+
+  const Tensor a = float_session.value()->Logits(QueryTexts());
+  const Tensor b = deq_session.value()->Logits(QueryTexts());
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 0.05f) << i;
+}
+
+TEST(QuantizedSessionTest, PrecisionModesSelectTheForward) {
+  const Snapshot float_snapshot = MakeSnapshot();
+  auto quantized = serve::QuantizeSnapshot(float_snapshot);
+  ASSERT_TRUE(quantized.ok());
+
+  // kAuto follows the snapshot.
+  auto auto_f32 = InferenceSession::Create(float_snapshot);
+  auto auto_int8 = InferenceSession::Create(quantized.value());
+  ASSERT_TRUE(auto_f32.ok()) << auto_f32.status().message();
+  ASSERT_TRUE(auto_int8.ok()) << auto_int8.status().message();
+  EXPECT_FALSE(auto_f32.value()->quantized());
+  EXPECT_TRUE(auto_int8.value()->quantized());
+
+  // kInt8 on a float snapshot quantizes at session build time.
+  InferenceSession::Options int8;
+  int8.precision = InferenceSession::Precision::kInt8;
+  auto forced = InferenceSession::Create(float_snapshot, int8);
+  ASSERT_TRUE(forced.ok()) << forced.status().message();
+  EXPECT_TRUE(forced.value()->quantized());
+
+  // The int8 forward approximates the float forward within quantization
+  // error and is deterministic (exact integer GEMM, eval-mode-only ops).
+  const Tensor f = auto_f32.value()->Logits(QueryTexts());
+  const Tensor q1 = auto_int8.value()->Logits(QueryTexts());
+  const Tensor q2 = forced.value()->Logits(QueryTexts());
+  ASSERT_EQ(f.shape(), q1.shape());
+  for (int64_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(f[i], q1[i], 0.25f) << i;
+    EXPECT_EQ(q1[i], q2[i]) << i;  // same codes either way it was quantized
+  }
+  const Tensor q3 = auto_int8.value()->Logits(QueryTexts());
+  for (int64_t i = 0; i < q1.size(); ++i) EXPECT_EQ(q1[i], q3[i]) << i;
+}
+
+TEST(QuantizedSessionTest, QuantizedForwardBumpsTheCounter) {
+  auto quantized = serve::QuantizeSnapshot(MakeSnapshot());
+  ASSERT_TRUE(quantized.ok());
+  auto session = InferenceSession::Create(quantized.value());
+  ASSERT_TRUE(session.ok());
+  const uint64_t before = obs::GetCounter("serve.quantized").Value();
+  session.value()->PredictBatch(QueryTexts());
+  session.value()->PredictBatch(QueryTexts());
+  EXPECT_EQ(obs::GetCounter("serve.quantized").Value(), before + 2);
+}
+
+TEST(QuantizedSessionTest, ServesThroughTheBatchingServer) {
+  auto quantized = serve::QuantizeSnapshot(MakeSnapshot());
+  ASSERT_TRUE(quantized.ok());
+  auto session = InferenceSession::Create(quantized.value());
+  ASSERT_TRUE(session.ok());
+  const auto direct = session.value()->PredictBatch(QueryTexts());
+
+  BatchingServer server(session.value().get());
+  for (size_t i = 0; i < QueryTexts().size(); ++i) {
+    auto result = server.Predict(QueryTexts()[i]);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(result.value().label, direct[i].label);
+    ASSERT_EQ(result.value().probs.size(), direct[i].probs.size());
+    for (size_t c = 0; c < direct[i].probs.size(); ++c)
+      EXPECT_EQ(result.value().probs[c], direct[i].probs[c]) << i << "," << c;
+  }
+  server.Shutdown();
 }
 
 // ---------------------------------------------------------------------------

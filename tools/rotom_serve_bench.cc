@@ -9,6 +9,11 @@
 //             submitting single requests through a BatchingServer, whose
 //             worker coalesces whatever is waiting into one fused forward.
 //
+// Both modes run twice: once against the float session and once against an
+// int8 session built by quantizing the same snapshot (DESIGN.md §12), so
+// BENCH_serve.json carries the quantized-serving qps uplift
+// (speedup_vs_f32_serial) next to the micro-batching speedup.
+//
 // Each client is closed-loop: it submits one request, waits for the result,
 // and immediately submits the next, so offered load tracks service rate and
 // the measured quantity is steady-state throughput. The speedup column is
@@ -65,26 +70,45 @@ double Now() {
       .count();
 }
 
-// A servable model with bench-scale weights. Training quality is irrelevant
-// to throughput, so the weights stay at their random initialization; the
-// snapshot round trip is still exercised end to end (Save -> Open).
-StatusOr<std::unique_ptr<serve::InferenceSession>> MakeSession(
-    const std::string& snapshot_path) {
+// A servable model with bench-scale weights, in both serving precisions.
+// Training quality is irrelevant to throughput, so the weights stay at
+// their random initialization; the snapshot round trip is still exercised
+// end to end (Save -> Open for the float session, QuantizeSnapshot ->
+// Create for the int8 one, mirroring the offline rotom_quantize flow).
+struct Sessions {
+  std::unique_ptr<serve::InferenceSession> f32;
+  std::unique_ptr<serve::InferenceSession> int8;
+};
+
+StatusOr<Sessions> MakeSessions(const std::string& snapshot_path) {
   Rng rng(7);
   auto vocab = std::make_shared<text::Vocabulary>();
   for (int i = 0; i < 512; ++i) vocab->AddToken("tok" + std::to_string(i));
+  // dim 128 (not the experiments' 32/64): the serving stand-in should be
+  // wide enough that per-layer GEMMs dominate the forward the way they do
+  // for the real 768-dim LMs, otherwise both the micro-batching and the
+  // int8 comparisons mostly measure per-request fixed costs.
   models::ClassifierConfig config;
   config.num_classes = 2;
   config.max_len = 48;
-  config.dim = 64;
+  config.dim = 128;
   config.num_heads = 2;
   config.num_layers = 2;
-  config.ffn_dim = 128;
+  config.ffn_dim = 256;
   models::TransformerClassifier model(config, vocab, rng);
   model.SetTraining(false);
   const serve::Snapshot snapshot = serve::Snapshot::FromModel(model);
   if (auto s = snapshot.Save(snapshot_path); !s.ok()) return s;
-  return serve::InferenceSession::Open(snapshot_path);
+  auto f32 = serve::InferenceSession::Open(snapshot_path);
+  if (!f32.ok()) return f32.status();
+  auto quantized = serve::QuantizeSnapshot(snapshot);
+  if (!quantized.ok()) return quantized.status();
+  auto int8 = serve::InferenceSession::Create(quantized.value());
+  if (!int8.ok()) return int8.status();
+  Sessions out;
+  out.f32 = std::move(f32).value();
+  out.int8 = std::move(int8).value();
+  return out;
 }
 
 // Distinct query texts; clients cycle through the pool, so after warmup the
@@ -171,63 +195,102 @@ int Main() {
 
   const std::string snapshot_path =
       bench::BenchJsonPath("rotom_serve_bench.rsnap");
-  auto session = MakeSession(snapshot_path);
-  if (!session.ok()) {
+  auto sessions = MakeSessions(snapshot_path);
+  if (!sessions.ok()) {
     std::fprintf(stderr, "rotom_serve_bench: %s\n",
-                 session.status().message().c_str());
+                 sessions.status().message().c_str());
     return 1;
   }
+  serve::InferenceSession& f32_session = *sessions.value().f32;
+  serve::InferenceSession& int8_session = *sessions.value().int8;
   const std::vector<std::string> pool = MakeQueryPool(256);
 
-  // Warm the encoding cache and the buffer pool outside the windows so both
-  // modes measure steady state.
-  session.value()->PredictBatch(pool);
+  // Warm the encoding caches and the buffer pool outside the windows so
+  // every mode measures steady state.
+  f32_session.PredictBatch(pool);
+  int8_session.PredictBatch(pool);
 
-  bench::PrintTitle("serve: micro-batching vs serial (BENCH_serve.json)");
+  bench::PrintTitle(
+      "serve: micro-batching and int8 vs f32 serial (BENCH_serve.json)");
   bench::PrintHeader("mode", {"threads", "qps", "speedup"});
-
-  const LoadResult serial = RunSerial(*session.value(), pool, seconds);
-  bench::PrintRow("serial batch=1", {1.0, serial.qps(), 1.0});
 
   serve::BatchingServer::Options server_options;
   server_options.max_batch = max_batch;
   server_options.max_delay_us = 200;
-  serve::BatchingServer server(session.value().get(), server_options);
+
+  // Four closed-loop windows over the same query pool: {serial, batched
+  // server} x {f32, int8}. Every speedup column is relative to the f32
+  // serial baseline, so the table reads as "what does each optimization buy
+  // on this host".
+  const LoadResult serial = RunSerial(f32_session, pool, seconds);
+  bench::PrintRow("serial f32", {1.0, serial.qps(), 1.0});
+
+  serve::BatchingServer server(&f32_session, server_options);
   const LoadResult batched = RunServer(server, pool, clients, seconds);
   server.Shutdown();
   const auto stats = server.GetStats();
   const double speedup =
       serial.qps() > 0.0 ? batched.qps() / serial.qps() : 0.0;
-  bench::PrintRow("batched server",
+  bench::PrintRow("server f32",
                   {static_cast<double>(clients), batched.qps(), speedup});
-  std::printf("mean coalesced batch: %.1f requests/forward\n",
-              stats.batches > 0
-                  ? static_cast<double>(stats.requests) /
-                        static_cast<double>(stats.batches)
-                  : 0.0);
 
+  const LoadResult qserial = RunSerial(int8_session, pool, seconds);
+  const double qserial_speedup =
+      serial.qps() > 0.0 ? qserial.qps() / serial.qps() : 0.0;
+  bench::PrintRow("serial int8", {1.0, qserial.qps(), qserial_speedup});
+
+  serve::BatchingServer qserver(&int8_session, server_options);
+  const LoadResult qbatched = RunServer(qserver, pool, clients, seconds);
+  qserver.Shutdown();
+  const auto qstats = qserver.GetStats();
+  const double qbatched_speedup =
+      serial.qps() > 0.0 ? qbatched.qps() / serial.qps() : 0.0;
+  bench::PrintRow("server int8",
+                  {static_cast<double>(clients), qbatched.qps(),
+                   qbatched_speedup});
+  std::printf("mean coalesced batch: f32 %.1f, int8 %.1f requests/forward; "
+              "int8 serial %.2fx f32 serial\n",
+              stats.batches > 0 ? static_cast<double>(stats.requests) /
+                                      static_cast<double>(stats.batches)
+                                : 0.0,
+              qstats.batches > 0 ? static_cast<double>(qstats.requests) /
+                                       static_cast<double>(qstats.batches)
+                                 : 0.0,
+              qserial_speedup);
+
+  // Record schema: `op`/`threads`/`steps_per_sec` (= qps) are the identity
+  // and rate keys scripts/check_bench_regress.sh gates on; `mode`,
+  // `precision`, and the qps/speedup fields are the human-facing view.
   const int64_t cores =
       static_cast<int64_t>(std::thread::hardware_concurrency());
   bench::JsonWriter json;
-  json.Field("mode", "serial")
-      .Field("threads", int64_t{1})
-      .Field("max_batch", int64_t{1})
-      .Field("cores", cores)
-      .Field("pool_threads", static_cast<int64_t>(ComputeThreads()))
-      .Field("requests", static_cast<int64_t>(serial.requests))
-      .Field("wall_seconds", serial.wall_seconds)
-      .Field("qps", serial.qps());
+  auto record = [&](const char* op, const char* mode, const char* precision,
+                    int64_t threads, int64_t batch, const LoadResult& r) ->
+      bench::JsonWriter& {
+    return json.Field("op", op)
+        .Field("mode", mode)
+        .Field("precision", precision)
+        .Field("threads", threads)
+        .Field("max_batch", batch)
+        .Field("cores", cores)
+        .Field("pool_threads", static_cast<int64_t>(ComputeThreads()))
+        .Field("requests", static_cast<int64_t>(r.requests))
+        .Field("wall_seconds", r.wall_seconds)
+        .Field("qps", r.qps())
+        .Field("steps_per_sec", r.qps());
+  };
+  record("serve/serial", "serial", "f32", 1, 1, serial);
   json.EndRecord();
-  json.Field("mode", "server")
-      .Field("threads", clients)
-      .Field("max_batch", max_batch)
-      .Field("cores", cores)
-      .Field("pool_threads", static_cast<int64_t>(ComputeThreads()))
-      .Field("requests", static_cast<int64_t>(batched.requests))
-      .Field("wall_seconds", batched.wall_seconds)
-      .Field("qps", batched.qps())
+  record("serve/server", "server", "f32", clients, max_batch, batched)
       .Field("speedup_vs_serial", speedup)
       .Field("fused_forwards", static_cast<int64_t>(stats.batches));
+  json.EndRecord();
+  record("serve/serial_int8", "serial", "int8", 1, 1, qserial)
+      .Field("speedup_vs_f32_serial", qserial_speedup);
+  json.EndRecord();
+  record("serve/server_int8", "server", "int8", clients, max_batch, qbatched)
+      .Field("speedup_vs_f32_serial", qbatched_speedup)
+      .Field("fused_forwards", static_cast<int64_t>(qstats.batches));
   json.EndRecord();
   json.CaptureMetrics();
   const std::string out = bench::BenchJsonPath("BENCH_serve.json");
