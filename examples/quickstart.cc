@@ -6,7 +6,10 @@
 //      meta-learned filtering+weighting loop, in one call,
 //   3. Snapshot::Save — a single-file export of the fine-tuned model,
 //   4. InferenceSession::Open — load it back, read-only,
-//   5. BatchingServer — answer queries with micro-batched forwards.
+//   5. BatchingServer — answer queries with micro-batched forwards,
+//   6. ModelRegistry + TenantServer — publish the snapshot as a named,
+//      versioned model, then quantize it to int8 and hot-swap the new
+//      version in while the server keeps answering.
 //
 // Run:  ./example_quickstart
 
@@ -97,6 +100,36 @@ int main() {
   }
   std::printf("served %zu queries, accuracy %.2f%%\n", dataset.test.size(),
               100.0 * correct / static_cast<double>(dataset.test.size()));
+
+  // 6. The registry tier (DESIGN.md §13): the same snapshot file published
+  // as version 1 of a named model — Publish(path) mmaps it, no staging
+  // copy — then quantized to int8 (DESIGN.md §12) and published as version
+  // 2. Swap redirects new batches to v2 without disturbing batches already
+  // running on v1; Retire then drops the store's reference to v1.
+  api::ModelRegistry registry;
+  auto v1 = registry.Publish("quickstart", path);
+  if (!v1.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 v1.status().message().c_str());
+    return 1;
+  }
+  api::TenantServer tenants(&registry, {"quickstart"});
+  auto before = tenants.Predict("quickstart", dataset.test[0].text);
+
+  auto quantized = api::QuantizeSnapshot(report.value().snapshot);
+  auto v2 = registry.Publish("quickstart", quantized.value());
+  registry.Swap("quickstart", v2.value());      // hot swap: f32 -> int8
+  auto after = tenants.Predict("quickstart", dataset.test[0].text);
+  registry.Retire("quickstart", v1.value());
+  std::printf(
+      "registry: served v%llu then hot-swapped to v%llu (int8); "
+      "labels %lld / %lld\n",
+      static_cast<unsigned long long>(v1.value()),
+      static_cast<unsigned long long>(v2.value()),
+      static_cast<long long>(before.value().label),
+      static_cast<long long>(after.value().label));
+  tenants.Shutdown();
+
   std::printf(
       "\nRotom combines simple DA operators with InvDA and learns to filter\n"
       "and weight the augmented examples; with 100 labels it should beat\n"

@@ -52,11 +52,12 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
   cmake --build build-tsan -j \
     --target thread_pool_test kernels_test autograd_test \
              encoding_cache_test obs_test pipeline_determinism_test \
-             serve_test
+             serve_test registry_test
   # Force a multi-threaded pool even on single-CPU hosts so TSan actually
   # sees concurrent kernel execution, cache hammering, sharded metric
-  # writes, prefetch threads, and the micro-batching server's worker +
-  # 8 closed-loop submitter threads.
+  # writes, prefetch threads, the micro-batching server's worker +
+  # 8 closed-loop submitter threads, and the registry's client threads
+  # racing repeated hot-swaps.
   for threads in 2 4; do
     echo "-- ROTOM_NUM_THREADS=$threads"
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/thread_pool_test
@@ -66,6 +67,7 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/obs_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/pipeline_determinism_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/serve_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/registry_test
   done
 fi
 

@@ -5,14 +5,54 @@
 # headers, must appear in OBSERVABILITY.md. Fails (exit 1) listing what is
 # missing. Names are extractable because call sites pass string literals to
 # GetCounter/GetGauge/GetHistogram, ROTOM_TRACE_SPAN, RunLogLine, and
-# RunLogLine::Add — keep it that way.
+# RunLogLine::Add — keep it that way. Dynamic per-tenant metric names are
+# the one exception: they are emitted through the Tenant{Counter,Gauge,
+# Histogram}(tenant, "<suffix>") helpers in src/serve/tenant_server.cc, and
+# the gate extracts the literal suffixes and requires each to be documented
+# as serve.tenant.<tenant>.<suffix>.
 #
-# Usage: scripts/check_obs_docs.sh
+# Usage:
+#   scripts/check_obs_docs.sh             # gate OBSERVABILITY.md
+#   scripts/check_obs_docs.sh --selftest  # prove the gate actually fails:
+#       copies the doc, strips a registry.* metric line and a
+#       serve.tenant.* suffix line, and asserts the gate rejects each
+#       mutilated copy while passing the intact one. Wired into ctest as
+#       tools_obs_docs_selftest.
+#
+# ROTOM_OBS_DOC overrides the documentation path (used by --selftest).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-doc="OBSERVABILITY.md"
+if [[ "${1:-}" == "--selftest" ]]; then
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+
+  echo "selftest: intact copy of OBSERVABILITY.md must pass"
+  cp OBSERVABILITY.md "$tmp/intact.md"
+  ROTOM_OBS_DOC="$tmp/intact.md" "$0" >/dev/null
+
+  echo "selftest: undocumented registry.* metric must fail"
+  grep -v 'registry\.swaps' OBSERVABILITY.md > "$tmp/no_registry.md"
+  if ROTOM_OBS_DOC="$tmp/no_registry.md" "$0" >/dev/null 2>&1; then
+    echo "selftest FAILED: missing registry.swaps was not flagged" >&2
+    exit 1
+  fi
+
+  echo "selftest: undocumented serve.tenant.* suffix must fail"
+  grep -v 'serve\.tenant\.<tenant>\.queue_depth' OBSERVABILITY.md \
+    > "$tmp/no_tenant.md"
+  if ROTOM_OBS_DOC="$tmp/no_tenant.md" "$0" >/dev/null 2>&1; then
+    echo "selftest FAILED: missing serve.tenant queue_depth suffix" \
+         "was not flagged" >&2
+    exit 1
+  fi
+
+  echo "check_obs_docs.sh selftest OK"
+  exit 0
+fi
+
+doc="${ROTOM_OBS_DOC:-OBSERVABILITY.md}"
 if [[ ! -f "$doc" ]]; then
   echo "check_obs_docs: $doc is missing" >&2
   exit 1
@@ -37,6 +77,16 @@ done < <(grep -rh 'Get\(Counter\|Gauge\|Histogram\)("' src bench tools \
            | grep -vE '^[[:space:]]*(//|\*)' \
            | grep -oE 'Get(Counter|Gauge|Histogram)\("[^"]+"\)' \
            | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+
+# ---- Per-tenant metric suffixes: Tenant{Counter,Gauge,Histogram}(tenant,
+# "<suffix>") call sites in the serve layer, documented with the <tenant>
+# placeholder since the full name is only known at runtime. ----
+while IFS= read -r suffix; do
+  require "serve.tenant.<tenant>.${suffix}" "per-tenant metric"
+done < <(grep -rh 'Tenant\(Counter\|Gauge\|Histogram\)(' src bench tools \
+           | grep -vE '^[[:space:]]*(//|\*)' \
+           | grep -oE 'Tenant(Counter|Gauge|Histogram)\([^)"]*"[^"]+"\)' \
+           | sed -E 's/.*"([^"]+)"\).*/\1/' | sort -u)
 
 # ---- Span names: ROTOM_TRACE_SPAN("...") documented as span.<name>.us ----
 while IFS= read -r name; do

@@ -29,11 +29,6 @@ TransformerClassifier::TransformerClassifier(
   RegisterSubmodule("head", &head_);
 }
 
-Variable TransformerClassifier::ForwardLogits(
-    const std::vector<std::string>& texts, Rng& rng) const {
-  return head_.Forward(EncodeCls(texts, rng));
-}
-
 Variable TransformerClassifier::ForwardLogitsEncoded(
     const text::EncodedBatch& batch, Rng& rng) const {
   return head_.Forward(EncodeClsEncoded(batch, rng));

@@ -34,20 +34,12 @@ class TransformerClassifier : public nn::Module {
                         std::shared_ptr<const text::Vocabulary> vocab,
                         Rng& rng);
 
-  /// Logits [B, num_classes] for a batch of raw texts.
-  ///
-  /// Deprecated: this overload re-tokenizes every call. Prefer
-  /// ForwardLogitsEncoded with a text::EncodedBatch (text/tokenizer.h),
-  /// produced once via text::EncodeBatchForClassifier or memoized through
-  /// text::EncodingCache, so encoding work is paid once per distinct text.
-  /// The one supported raw-text entry point is serve::InferenceSession,
-  /// which sits behind an encoding cache; everything else in the repo has
-  /// been migrated to the encoded-batch path.
-  Variable ForwardLogits(const std::vector<std::string>& texts,
-                         Rng& rng) const;
-
   /// Logits [B, num_classes] for an already-encoded batch (the pipelined
   /// path: encoding happened on a prefetch thread or came from the cache).
+  /// There is deliberately no raw-text logits overload: encode once with
+  /// text::EncodeBatchForClassifier (or through text::EncodingCache) so
+  /// tokenization is paid once per distinct text. The supported raw-text
+  /// entry point is serve::InferenceSession, which sits behind a cache.
   Variable ForwardLogitsEncoded(const text::EncodedBatch& batch,
                                 Rng& rng) const;
 

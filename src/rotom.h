@@ -21,7 +21,8 @@
 //             comparators
 //   eval/     metrics and the TaskContext experiment runner
 //   serve/    model snapshots + micro-batching inference (Snapshot,
-//             InferenceSession, BatchingServer)
+//             InferenceSession, BatchingServer) and the multi-tenant
+//             registry tier (ModelRegistry, TenantServer)
 //   rotom/    the rotom::api facade (TrainSpec -> Train -> Snapshot)
 //
 // Quickstart: see examples/quickstart.cc.
@@ -53,9 +54,11 @@
 #include "nn/optim.h"
 #include "nn/transformer.h"
 #include "rotom/api.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "serve/snapshot.h"
+#include "serve/tenant_server.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
 #include "tensor/tensor.h"

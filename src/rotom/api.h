@@ -6,9 +6,11 @@
 
 #include "data/dataset.h"
 #include "eval/experiment.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "serve/snapshot.h"
+#include "serve/tenant_server.h"
 #include "util/status.h"
 
 namespace rotom {
@@ -23,6 +25,16 @@ namespace api {
 //   auto session = api::InferenceSession::Open("model.rsnap");
 //   api::BatchingServer server(session.value().get()); // micro-batching
 //
+// and, for multi-model deployments, the registry-backed lifecycle
+// (ARCHITECTURE.md walks the full request path):
+//
+//   api::ModelRegistry registry;
+//   auto v1 = registry.Publish("matcher", "model.rsnap");   // mmap load
+//   api::TenantServer server(&registry, {"matcher"});
+//   auto v2 = registry.Publish("matcher", "model_int8.rsnap");
+//   registry.Swap("matcher", v2.value());   // hot-swap under live traffic
+//   registry.Retire("matcher", v1.value()); // drains when last pin drops
+//
 // Everything underneath (TaskContext, trainers, augmentation policies) stays
 // reachable for research use; this facade is the supported path for
 // applications. Recoverable failures surface as Status, never as aborts.
@@ -31,11 +43,15 @@ namespace api {
 /// part of the surface: QuantizeSnapshot converts a float snapshot to the
 /// int8 row-quantized form (tools/rotom_quantize wraps it), and
 /// InferenceSession::Options::precision selects the forward-pass numerics.
+/// ModelRegistry (Publish/Swap/Retire/Acquire, DESIGN.md §13) owns named
+/// versioned models; TenantServer batches per-tenant traffic over it.
 using serve::BatchingServer;
 using serve::InferenceSession;
+using serve::ModelRegistry;
 using serve::Prediction;
 using serve::QuantizeSnapshot;
 using serve::Snapshot;
+using serve::TenantServer;
 using serve::TensorQuantReport;
 
 /// One training request: a task dataset plus the method and knobs to train

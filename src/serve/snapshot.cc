@@ -1,8 +1,14 @@
 #include "serve/snapshot.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -55,10 +61,12 @@ class PayloadWriter {
 
 // Bounds-checked payload reader: every accessor returns false once the
 // cursor would run past the end, so corrupt length fields degrade into a
-// Status error instead of out-of-bounds reads or absurd allocations.
+// Status error instead of out-of-bounds reads or absurd allocations. Reads
+// from a view, so the same parser serves both the buffered Load() path and
+// the in-place LoadMapped() path (where the view covers mmap'd pages).
 class PayloadReader {
  public:
-  explicit PayloadReader(const std::string& payload) : payload_(payload) {}
+  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
 
   template <typename T>
   bool Pod(T* value) {
@@ -87,7 +95,7 @@ class PayloadReader {
   size_t Remaining() const { return payload_.size() - cursor_; }
 
  private:
-  const std::string& payload_;
+  std::string_view payload_;
   size_t cursor_ = 0;
 };
 
@@ -111,6 +119,10 @@ bool ReadConfig(PayloadReader& r, models::ClassifierConfig* config) {
 // Weight dtype byte in version-2 weight entries.
 constexpr uint8_t kDtypeF32 = 0;
 constexpr uint8_t kDtypeQ8 = 1;
+
+// Fixed on-disk header: magic, version, payload_size, payload_checksum.
+constexpr size_t kHeaderSize =
+    sizeof(kMagic) + sizeof(uint32_t) + 2 * sizeof(uint64_t);
 
 // out [cols, rows] = in [rows, cols]^T.
 void TransposeInto(const float* in, float* out, int64_t rows, int64_t cols) {
@@ -192,49 +204,45 @@ Status Snapshot::Save(const std::string& path) const {
   return Status::Ok();
 }
 
-StatusOr<Snapshot> Snapshot::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::Error("cannot open snapshot " + path);
+namespace {
 
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Error(path + " is not a rotom snapshot (bad magic)");
-  }
+// Validated header fields, shared by both load paths.
+struct Header {
   uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in) return Status::Error(path + ": truncated snapshot header");
-  if (version < 1 || version > kFormatVersion) {
-    return Status::Error(path + ": unsupported snapshot version " +
-                         std::to_string(version) + " (expected 1.." +
-                         std::to_string(kFormatVersion) + ")");
-  }
   uint64_t payload_size = 0;
   uint64_t checksum = 0;
-  in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
-  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
-  if (!in) return Status::Error(path + ": truncated snapshot header");
+};
 
-  std::string payload(payload_size, '\0');
-  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
-  if (static_cast<uint64_t>(in.gcount()) != payload_size) {
-    return Status::Error(path + ": truncated snapshot payload (expected " +
-                         std::to_string(payload_size) + " bytes, got " +
-                         std::to_string(in.gcount()) + ")");
+// Parses and validates the fixed header at `bytes` (which must hold at
+// least kHeaderSize bytes).
+StatusOr<Header> ParseHeader(const char* bytes, const std::string& path) {
+  if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error(path + " is not a rotom snapshot (bad magic)");
   }
-  if (Fnv1a64(payload.data(), payload.size()) != checksum) {
-    return Status::Error(path + ": snapshot checksum mismatch (corrupt file)");
+  Header header;
+  std::memcpy(&header.version, bytes + sizeof(kMagic), sizeof(header.version));
+  if (header.version < 1 || header.version > Snapshot::kFormatVersion) {
+    return Status::Error(path + ": unsupported snapshot version " +
+                         std::to_string(header.version) + " (expected 1.." +
+                         std::to_string(Snapshot::kFormatVersion) + ")");
   }
-  // The header says the file ends here; anything after it means the file was
-  // appended to (or two snapshots were concatenated) and the checksum no
-  // longer vouches for what a naive reader would consume.
-  if (in.peek() != std::ifstream::traits_type::eof()) {
-    return Status::Error(path + ": trailing bytes after snapshot payload");
-  }
+  std::memcpy(&header.payload_size,
+              bytes + sizeof(kMagic) + sizeof(header.version),
+              sizeof(header.payload_size));
+  std::memcpy(&header.checksum,
+              bytes + sizeof(kMagic) + sizeof(header.version) +
+                  sizeof(header.payload_size),
+              sizeof(header.checksum));
+  return header;
+}
 
-  // The payload verified, so any parse failure below means a writer bug or
-  // a hand-edited file that still has a valid checksum; report which section
-  // failed rather than aborting.
+// Parses a checksum-verified payload into a Snapshot. Any failure here
+// means a writer bug or a hand-edited file that still has a valid checksum;
+// report which section failed rather than aborting. The view may cover a
+// heap buffer (Load) or mmap'd pages (LoadMapped) — the parser never copies
+// the payload as a whole, only the sections it materializes.
+StatusOr<Snapshot> ParsePayload(std::string_view payload, uint32_t version,
+                                const std::string& path) {
   PayloadReader r(payload);
   Snapshot snapshot;
 
@@ -337,7 +345,7 @@ StatusOr<Snapshot> Snapshot::Load(const std::string& path) {
       }
       snapshot.weights.emplace_back(std::move(name), std::move(tensor));
     } else if (dtype == kDtypeQ8) {
-      QuantizedWeight qw;
+      Snapshot::QuantizedWeight qw;
       quant::QuantizedTensor& qt = qw.tensor;
       uint8_t transposed = 0;
       if (!r.Pod(&qt.rows) || !r.Pod(&qt.cols) || !r.Pod(&transposed) ||
@@ -377,6 +385,135 @@ StatusOr<Snapshot> Snapshot::Load(const std::string& path) {
                          " trailing bytes after the weights section");
   }
   return snapshot;
+}
+
+// Read-only mmap of a whole file; unmaps on destruction.
+class MappedFile {
+ public:
+  static StatusOr<MappedFile> Open(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Status::Error("cannot open snapshot " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::Error("cannot stat snapshot " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return Status::Error(path + ": truncated snapshot header");
+    }
+    void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping keeps the pages referenced; the descriptor is not needed
+    // after mmap succeeds (or fails).
+    ::close(fd);
+    if (data == MAP_FAILED) {
+      return Status::Error("mmap failed for snapshot " + path);
+    }
+    return MappedFile(static_cast<const char*>(data), size);
+  }
+
+  MappedFile(MappedFile&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile& operator=(MappedFile&&) = delete;
+  ~MappedFile() {
+    if (data_ != nullptr) ::munmap(const_cast<char*>(data_), size_);
+  }
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  // Public only because StatusOr<MappedFile> default-constructs its value
+  // slot; an empty MappedFile maps nothing.
+  MappedFile() = default;
+
+ private:
+  MappedFile(const char* data, size_t size) : data_(data), size_(size) {}
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Snapshot> Snapshot::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open snapshot " + path);
+
+  char header_bytes[kHeaderSize];
+  in.read(header_bytes, sizeof(header_bytes));
+  if (static_cast<size_t>(in.gcount()) < sizeof(kMagic) ||
+      std::memcmp(header_bytes, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error(path + " is not a rotom snapshot (bad magic)");
+  }
+  if (static_cast<size_t>(in.gcount()) != sizeof(header_bytes)) {
+    return Status::Error(path + ": truncated snapshot header");
+  }
+  auto header = ParseHeader(header_bytes, path);
+  if (!header.ok()) return header.status();
+  const uint64_t payload_size = header.value().payload_size;
+
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<uint64_t>(in.gcount()) != payload_size) {
+    return Status::Error(path + ": truncated snapshot payload (expected " +
+                         std::to_string(payload_size) + " bytes, got " +
+                         std::to_string(in.gcount()) + ")");
+  }
+  if (Fnv1a64(payload.data(), payload.size()) != header.value().checksum) {
+    return Status::Error(path + ": snapshot checksum mismatch (corrupt file)");
+  }
+  // The header says the file ends here; anything after it means the file was
+  // appended to (or two snapshots were concatenated) and the checksum no
+  // longer vouches for what a naive reader would consume.
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    return Status::Error(path + ": trailing bytes after snapshot payload");
+  }
+  return ParsePayload(payload, header.value().version, path);
+}
+
+StatusOr<Snapshot> Snapshot::LoadMapped(const std::string& path) {
+  auto mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  const MappedFile& file = mapped.value();
+
+  if (file.size() < sizeof(kMagic) ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error(path + " is not a rotom snapshot (bad magic)");
+  }
+  if (file.size() < kHeaderSize) {
+    return Status::Error(path + ": truncated snapshot header");
+  }
+  auto header = ParseHeader(file.data(), path);
+  if (!header.ok()) return header.status();
+  const uint64_t payload_size = header.value().payload_size;
+
+  // Size checks before touching the payload: the mapped extent must hold
+  // exactly header + payload, mirroring Load()'s short-read and
+  // trailing-bytes errors.
+  if (file.size() - kHeaderSize < payload_size) {
+    return Status::Error(path + ": truncated snapshot payload (expected " +
+                         std::to_string(payload_size) + " bytes, got " +
+                         std::to_string(file.size() - kHeaderSize) + ")");
+  }
+  if (file.size() - kHeaderSize > payload_size) {
+    return Status::Error(path + ": trailing bytes after snapshot payload");
+  }
+
+  const std::string_view payload(file.data() + kHeaderSize, payload_size);
+  if (Fnv1a64(payload.data(), payload.size()) != header.value().checksum) {
+    return Status::Error(path + ": snapshot checksum mismatch (corrupt file)");
+  }
+  // Parsed in place: strings, IDF doubles, and tensor bytes are read
+  // straight out of the mapping (the kernel pages them in on first touch);
+  // the mapping is dropped when `mapped` goes out of scope, after the
+  // sections that outlive the call have been materialized.
+  return ParsePayload(payload, header.value().version, path);
 }
 
 StatusOr<std::unique_ptr<models::TransformerClassifier>> Snapshot::BuildModel()

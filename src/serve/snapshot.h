@@ -81,6 +81,18 @@ struct Snapshot {
   /// malformed input instead of aborting.
   static StatusOr<Snapshot> Load(const std::string& path);
 
+  /// Reads a snapshot via mmap(2) instead of buffered stream I/O: the file
+  /// is mapped read-only, the checksum is verified directly over the
+  /// mapping, and every payload section — vocabulary strings, IDF entries,
+  /// weight bytes — is parsed in place from the mapped pages. Unlike
+  /// Load(), no staging copy of the payload is ever allocated; weight bytes
+  /// move exactly once, from the page cache into the tensors the model will
+  /// serve from (the kernels require owned, aligned storage — see DESIGN.md
+  /// §13 for where the zero-copy boundary sits). Large snapshots are paged
+  /// in lazily by the kernel as the parser walks them. Same error model and
+  /// bit-identical results as Load(); serve::ModelRegistry uses this path.
+  static StatusOr<Snapshot> LoadMapped(const std::string& path);
+
   /// Constructs a classifier from this snapshot and loads the weights into
   /// it (int8 weights are dequantized). Returns an error if the combined
   /// weight list does not match the structure implied by `config` (missing

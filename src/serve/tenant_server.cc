@@ -1,0 +1,226 @@
+#include "serve/tenant_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace rotom {
+namespace serve {
+
+namespace {
+
+// Per-tenant metric accessors. The literal suffix at each call site is what
+// scripts/check_obs_docs.sh matches against the documented
+// `serve.tenant.<tenant>.<suffix>` names — keep suffixes literal.
+obs::Counter& TenantCounter(const std::string& tenant,
+                            const std::string& suffix) {
+  return obs::GetCounter("serve.tenant." + tenant + "." + suffix);
+}
+
+obs::Gauge& TenantGauge(const std::string& tenant, const std::string& suffix) {
+  return obs::GetGauge("serve.tenant." + tenant + "." + suffix);
+}
+
+obs::Histogram& TenantHistogram(const std::string& tenant,
+                                const std::string& suffix) {
+  return obs::GetHistogram("serve.tenant." + tenant + "." + suffix);
+}
+
+}  // namespace
+
+TenantServer::TenantServer(const ModelRegistry* registry,
+                           std::vector<std::string> tenants,
+                           const Options& options)
+    : registry_(registry), options_(options) {
+  ROTOM_CHECK(registry != nullptr);
+  ROTOM_CHECK(!tenants.empty());
+  ROTOM_CHECK_GE(options_.max_batch, 1);
+  ROTOM_CHECK_GE(options_.max_delay_us, 0);
+  ROTOM_CHECK_GE(options_.queue_capacity, 1u);
+  for (std::string& name : tenants) {
+    Tenant& t = tenants_.emplace_back();
+    t.requests_counter = &TenantCounter(name, "requests");
+    t.rejected_counter = &TenantCounter(name, "rejected");
+    t.batches_counter = &TenantCounter(name, "batches");
+    t.queue_depth_gauge = &TenantGauge(name, "queue_depth");
+    t.latency_histogram = &TenantHistogram(name, "latency_us");
+    t.name = std::move(name);
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+TenantServer::~TenantServer() { Shutdown(); }
+
+const TenantServer::Tenant* TenantServer::FindTenant(
+    const std::string& name) const {
+  for (const Tenant& t : tenants_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::future<StatusOr<Prediction>> TenantServer::Submit(
+    const std::string& tenant, std::string text) {
+  std::promise<StatusOr<Prediction>> promise;
+  std::future<StatusOr<Prediction>> future = promise.get_future();
+  // The tenant set is fixed after construction, so the lookup needs no lock.
+  const Tenant* found = FindTenant(tenant);
+  if (found == nullptr) {
+    promise.set_value(
+        Status::Error("TenantServer does not serve tenant '" + tenant + "'"));
+    return future;
+  }
+  Tenant& t = const_cast<Tenant&>(*found);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || t.queue.size() >= options_.queue_capacity) {
+      // Admission control: shed this tenant's overload immediately rather
+      // than blocking the caller (which could be serving other tenants).
+      ++t.rejected;
+      t.rejected_counter->Add();
+      promise.set_value(Status::Error(
+          shutdown_ ? "TenantServer is shut down"
+                    : "tenant '" + tenant + "' queue is full (" +
+                          std::to_string(options_.queue_capacity) + ")"));
+      return future;
+    }
+    t.queue.push_back(Request{std::move(text), std::move(promise),
+                              std::chrono::steady_clock::now()});
+    ++t.requests;
+    t.requests_counter->Add();
+    t.queue_depth_gauge->Set(static_cast<int64_t>(t.queue.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void TenantServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  // Serialize the join so concurrent Shutdown() calls are safe.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (worker_.joinable()) worker_.join();
+}
+
+TenantServer::Stats TenantServer::GetStats(const std::string& tenant) const {
+  const Tenant* t = FindTenant(tenant);
+  if (t == nullptr) return Stats{};
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{t->requests, t->rejected, t->batches};
+}
+
+bool TenantServer::AnyQueuedLocked() const {
+  for (const Tenant& t : tenants_) {
+    if (!t.queue.empty()) return true;
+  }
+  return false;
+}
+
+int TenantServer::NextReadyLocked(
+    std::chrono::steady_clock::time_point now) const {
+  const size_t n = tenants_.size();
+  for (size_t step = 0; step < n; ++step) {
+    const size_t i = (cursor_ + step) % n;
+    const Tenant& t = tenants_[i];
+    if (t.queue.empty()) continue;
+    if (shutdown_ ||
+        t.queue.size() >= static_cast<size_t>(options_.max_batch) ||
+        now >= t.queue.front().enqueued +
+                   std::chrono::microseconds(options_.max_delay_us)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void TenantServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    Tenant* tenant = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      int ready = -1;
+      for (;;) {
+        queue_cv_.wait(lock, [&] { return shutdown_ || AnyQueuedLocked(); });
+        if (!AnyQueuedLocked()) return;  // shutdown with nothing to drain
+
+        ready = NextReadyLocked(std::chrono::steady_clock::now());
+        if (ready >= 0) break;
+
+        // Work is queued but no tenant's batch may close yet: sleep until
+        // the earliest oldest-request deadline (or an arrival/shutdown wakes
+        // us), then re-evaluate. Anchoring at enqueue time means a
+        // backlogged tenant's batch leaves immediately on the next turn.
+        auto deadline = std::chrono::steady_clock::time_point::max();
+        for (const Tenant& t : tenants_) {
+          if (t.queue.empty()) continue;
+          deadline = std::min(
+              deadline, t.queue.front().enqueued +
+                            std::chrono::microseconds(options_.max_delay_us));
+        }
+        queue_cv_.wait_until(lock, deadline, [&] {
+          return shutdown_ ||
+                 NextReadyLocked(std::chrono::steady_clock::now()) >= 0;
+        });
+      }
+
+      // One batch from the ready tenant, then move the cursor past it so the
+      // next turn considers the following tenant first (round-robin: a
+      // backlogged tenant gets one batch per sweep, never two in a row while
+      // others wait).
+      tenant = &tenants_[static_cast<size_t>(ready)];
+      cursor_ = (static_cast<size_t>(ready) + 1) % tenants_.size();
+      const size_t take = std::min(
+          tenant->queue.size(), static_cast<size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(tenant->queue.front()));
+        tenant->queue.pop_front();
+      }
+      ++tenant->batches;
+      tenant->queue_depth_gauge->Set(
+          static_cast<int64_t>(tenant->queue.size()));
+    }
+    queue_cv_.notify_all();
+
+    // Pin the tenant's active session for exactly this batch: a registry
+    // hot-swap lands at the next batch boundary, and a retired version stays
+    // alive until this forward completes (the RCU drain).
+    std::shared_ptr<const InferenceSession> session =
+        registry_->Acquire(tenant->name);
+    if (session == nullptr) {
+      for (Request& r : batch) {
+        r.promise.set_value(Status::Error(
+            "no active model for tenant '" + tenant->name + "'"));
+      }
+      continue;
+    }
+
+    std::vector<std::string> texts;
+    texts.reserve(batch.size());
+    for (const Request& r : batch) texts.push_back(r.text);
+    std::vector<Prediction> predictions;
+    {
+      ROTOM_TRACE_SPAN("serve.tenant.batch");
+      predictions = session->PredictBatch(texts);
+    }
+    tenant->batches_counter->Add();
+
+    const auto done = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      tenant->latency_histogram->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              done - batch[i].enqueued)
+              .count()));
+      batch[i].promise.set_value(std::move(predictions[i]));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace rotom

@@ -1,0 +1,148 @@
+#ifndef ROTOM_SERVE_TENANT_SERVER_H_
+#define ROTOM_SERVE_TENANT_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+#include "util/status.h"
+
+namespace rotom {
+namespace serve {
+
+/// Multi-tenant micro-batching front end over a ModelRegistry: the serving
+/// tier of DESIGN.md §13. Each tenant (a registry model name) gets its own
+/// bounded request queue; one worker thread walks the tenants with a
+/// deterministic round-robin cursor, closes at most one batch per ready
+/// tenant per turn, pins that tenant's active session for exactly the
+/// duration of the fused forward (ModelRegistry::Acquire), and delivers
+/// results through the futures returned at submit time. Because the pin is
+/// per batch, a hot-swap in the registry takes effect at the next batch
+/// boundary — no request ever sees a torn model, and no queue has to drain
+/// for a swap to land.
+///
+/// Admission control: the per-tenant queue holds at most `queue_capacity`
+/// requests, and a Submit() against a full queue fails *immediately* with an
+/// error Status instead of blocking — one tenant's backlog sheds its own
+/// load rather than stalling the others (contrast BatchingServer, whose
+/// single-tenant Submit blocks for backpressure).
+///
+/// Fairness: the round-robin cursor advances past each served tenant, so a
+/// backlogged tenant gets exactly one batch per turn and can never starve a
+/// lightly loaded one; with equal demand, service order is deterministic.
+/// Batch closing mirrors BatchingServer: a tenant's batch is ready once
+/// `max_batch` of its requests wait or its oldest has waited `max_delay_us`.
+///
+/// Shutdown() (also run by the destructor) rejects new submissions, drains
+/// every queued request through its tenant's model, and joins the worker;
+/// no accepted future is abandoned.
+///
+/// Observability (OBSERVABILITY.md): per-tenant `serve.tenant.<tenant>.*`
+/// metrics — `requests`, `rejected`, `batches` counters, `queue_depth`
+/// gauge, `latency_us` histogram — and a `serve.tenant.batch` span around
+/// each fused forward.
+class TenantServer {
+ public:
+  struct Options {
+    /// Largest coalesced batch per tenant per fused forward.
+    int64_t max_batch = 32;
+    /// Longest a request may wait for co-batching, in microseconds.
+    int64_t max_delay_us = 1000;
+    /// Per-tenant queue bound; Submit() fails fast when a queue is full.
+    size_t queue_capacity = 256;
+  };
+
+  /// The registry must outlive the server. `tenants` fixes the served set;
+  /// each must name a registry model by the time its first batch runs (a
+  /// batch for an unpublished tenant fails its requests with an error).
+  TenantServer(const ModelRegistry* registry, std::vector<std::string> tenants,
+               const Options& options);
+  TenantServer(const ModelRegistry* registry, std::vector<std::string> tenants)
+      : TenantServer(registry, std::move(tenants), Options()) {}
+  ~TenantServer();
+
+  TenantServer(const TenantServer&) = delete;
+  TenantServer& operator=(const TenantServer&) = delete;
+
+  /// Enqueues one request for `tenant` and returns the future carrying its
+  /// result. Resolves immediately to an error Status when the tenant is not
+  /// in the served set, its queue is full (admission control), or the
+  /// server is shut down. Never blocks.
+  std::future<StatusOr<Prediction>> Submit(const std::string& tenant,
+                                           std::string text);
+
+  /// Convenience synchronous round trip: Submit + wait.
+  StatusOr<Prediction> Predict(const std::string& tenant, std::string text) {
+    return Submit(tenant, std::move(text)).get();
+  }
+
+  /// Stops accepting requests, drains all queues, joins the worker.
+  /// Idempotent.
+  void Shutdown();
+
+  /// Per-tenant totals since construction (exact once submitters quiesce).
+  /// All-zero for names outside the served set.
+  struct Stats {
+    uint64_t requests = 0;  // accepted submissions
+    uint64_t rejected = 0;  // shed at admission (full queue / shutdown)
+    uint64_t batches = 0;   // fused forwards run
+  };
+  Stats GetStats(const std::string& tenant) const;
+
+ private:
+  struct Request {
+    std::string text;
+    std::promise<StatusOr<Prediction>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct Tenant {
+    std::string name;
+    std::deque<Request> queue;  // guarded by mu_
+    uint64_t requests = 0;      // guarded by mu_
+    uint64_t rejected = 0;      // guarded by mu_
+    uint64_t batches = 0;       // guarded by mu_
+    // Cached at construction; the metric objects are process-lifetime.
+    obs::Counter* requests_counter = nullptr;
+    obs::Counter* rejected_counter = nullptr;
+    obs::Counter* batches_counter = nullptr;
+    obs::Gauge* queue_depth_gauge = nullptr;
+    obs::Histogram* latency_histogram = nullptr;
+  };
+
+  void WorkerLoop();
+  /// First tenant at/after the cursor whose batch is ready to close at
+  /// `now` (full batch, expired oldest request, or shutdown drain).
+  /// Returns its index or -1. Caller holds mu_.
+  int NextReadyLocked(std::chrono::steady_clock::time_point now) const;
+  bool AnyQueuedLocked() const;
+  const Tenant* FindTenant(const std::string& name) const;
+
+  const ModelRegistry* registry_;
+  const Options options_;
+  // Fixed after construction. A deque (not vector) because Tenant holds a
+  // queue of move-only Requests and must never be relocated.
+  std::deque<Tenant> tenants_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // worker waits for work / deadline
+  bool shutdown_ = false;
+  size_t cursor_ = 0;  // round-robin position, next tenant to consider
+
+  std::mutex join_mu_;  // serializes concurrent Shutdown() joins
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace rotom
+
+#endif  // ROTOM_SERVE_TENANT_SERVER_H_

@@ -49,28 +49,6 @@ TEST(ClassifierTest, LogitShape) {
   EXPECT_EQ(logits.value().shape(), (std::vector<int64_t>{2, 2}));
 }
 
-// The raw-text ForwardLogits overload is deprecated in favor of the
-// encoded-batch path (see the doc comment in models/classifier.h); it must
-// keep producing bit-identical logits while it exists.
-TEST(ClassifierTest, DeprecatedRawTextForwardMatchesEncodedPath) {
-  Rng rng(1);
-  auto vocab = TinyVocab();
-  TransformerClassifier model(TinyClassifierConfig(), vocab, rng);
-  model.SetTraining(false);
-  const std::vector<std::string> texts = {"the movie was great",
-                                          "a terrible movie"};
-  Rng r1(3), r2(3);
-  Variable raw = model.ForwardLogits(texts, r1);
-  Variable encoded = model.ForwardLogitsEncoded(
-      text::EncodeBatchForClassifier(*vocab, texts,
-                                     TinyClassifierConfig().max_len),
-      r2);
-  ASSERT_EQ(raw.value().size(), encoded.value().size());
-  for (int64_t i = 0; i < raw.value().size(); ++i) {
-    EXPECT_EQ(raw.value()[i], encoded.value()[i]);
-  }
-}
-
 TEST(ClassifierTest, PredictProbsSumToOne) {
   Rng rng(2);
   auto vocab = TinyVocab();

@@ -14,6 +14,16 @@
 // BENCH_serve.json carries the quantized-serving qps uplift
 // (speedup_vs_f32_serial) next to the micro-batching speedup.
 //
+// A fifth window exercises the multi-tenant registry tier (DESIGN.md §13):
+// three tenant models behind a ModelRegistry-backed TenantServer, each
+// published twice (v1 f32 via the mmap file path, v2 int8), with a swapper
+// thread hot-swapping versions mid-run while the closed-loop clients keep
+// submitting. Every response is verified against per-version ground-truth
+// labels computed up front; the bench exits non-zero if any response is
+// rejected or served from anything other than a coherent published version,
+// or if fewer than two swaps landed. The serve/tenants record in
+// BENCH_serve.json carries the swap/reject/incorrect counts alongside qps.
+//
 // Each client is closed-loop: it submits one request, waits for the result,
 // and immediately submits the next, so offered load tracks service rate and
 // the measured quantity is steady-state throughput. The speedup column is
@@ -80,14 +90,15 @@ struct Sessions {
   std::unique_ptr<serve::InferenceSession> int8;
 };
 
-StatusOr<Sessions> MakeSessions(const std::string& snapshot_path) {
-  Rng rng(7);
+// Bench-scale servable model with seed-determined random weights.
+// dim 128 (not the experiments' 32/64): the serving stand-in should be
+// wide enough that per-layer GEMMs dominate the forward the way they do
+// for the real 768-dim LMs, otherwise both the micro-batching and the
+// int8 comparisons mostly measure per-request fixed costs.
+serve::Snapshot MakeBenchSnapshot(uint64_t seed) {
+  Rng rng(seed);
   auto vocab = std::make_shared<text::Vocabulary>();
   for (int i = 0; i < 512; ++i) vocab->AddToken("tok" + std::to_string(i));
-  // dim 128 (not the experiments' 32/64): the serving stand-in should be
-  // wide enough that per-layer GEMMs dominate the forward the way they do
-  // for the real 768-dim LMs, otherwise both the micro-batching and the
-  // int8 comparisons mostly measure per-request fixed costs.
   models::ClassifierConfig config;
   config.num_classes = 2;
   config.max_len = 48;
@@ -97,7 +108,11 @@ StatusOr<Sessions> MakeSessions(const std::string& snapshot_path) {
   config.ffn_dim = 256;
   models::TransformerClassifier model(config, vocab, rng);
   model.SetTraining(false);
-  const serve::Snapshot snapshot = serve::Snapshot::FromModel(model);
+  return serve::Snapshot::FromModel(model);
+}
+
+StatusOr<Sessions> MakeSessions(const std::string& snapshot_path) {
+  const serve::Snapshot snapshot = MakeBenchSnapshot(7);
   if (auto s = snapshot.Save(snapshot_path); !s.ok()) return s;
   auto f32 = serve::InferenceSession::Open(snapshot_path);
   if (!f32.ok()) return f32.status();
@@ -183,6 +198,76 @@ LoadResult RunServer(serve::BatchingServer& server,
   return result;
 }
 
+struct TenantLoadResult {
+  LoadResult load;
+  uint64_t swaps = 0;      // hot-swaps performed mid-run
+  uint64_t rejected = 0;   // responses that came back as an error Status
+  uint64_t incorrect = 0;  // labels matching neither published version
+};
+
+// Mixed-tenant window: closed-loop clients spread over `tenants`, each
+// response checked against the per-version ground truth, while a swapper
+// thread alternates every tenant's active version mid-run. A correct
+// registry makes rejected == incorrect == 0: requests in flight across a
+// swap finish on the version they pinned (whose labels are in the expected
+// set), and new batches pin the new version atomically.
+TenantLoadResult RunTenants(serve::ModelRegistry& registry,
+                            serve::TenantServer& server,
+                            const std::vector<std::string>& tenants,
+                            const std::vector<std::vector<int64_t>>& labels_v1,
+                            const std::vector<std::vector<int64_t>>& labels_v2,
+                            const std::vector<std::string>& pool,
+                            int64_t clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0}, rejected{0}, incorrect{0};
+  std::vector<std::thread> threads;
+  const double start = Now();
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const size_t t = static_cast<size_t>(c) % tenants.size();
+      size_t i = static_cast<size_t>(c) * 17;  // de-phase the clients
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t q = i++ % pool.size();
+        auto prediction = server.Predict(tenants[t], pool[q]);
+        if (!prediction.ok()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } else if (prediction.value().label != labels_v1[t][q] &&
+                   prediction.value().label != labels_v2[t][q]) {
+          incorrect.fetch_add(1, std::memory_order_relaxed);
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Four swap events paced to land inside the window: each tenant is moved
+  // to its int8 version in turn, then the first tenant is moved back.
+  std::atomic<uint64_t> swaps{0};
+  std::thread swapper([&] {
+    for (int e = 0; e < 4; ++e) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 5));
+      const std::string& name = tenants[static_cast<size_t>(e) %
+                                        tenants.size()];
+      const uint64_t target = e < 3 ? 2 : 1;
+      if (registry.Swap(name, target).ok())
+        swaps.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  swapper.join();
+
+  TenantLoadResult result;
+  result.load.wall_seconds = Now() - start;
+  result.load.requests = completed.load();
+  result.swaps = swaps.load();
+  result.rejected = rejected.load();
+  result.incorrect = incorrect.load();
+  return result;
+}
+
 int Main() {
   const bool smoke = bench::Smoke();
   const double seconds = static_cast<double>(
@@ -258,6 +343,64 @@ int Main() {
                                  : 0.0,
               qserial_speedup);
 
+  // Mixed-tenant registry window. Each tenant publishes v1 (f32, through
+  // the Snapshot::LoadMapped file path — the deployment shape) and v2
+  // (int8, in-memory); ground-truth labels for both versions are computed
+  // on directly pinned sessions before any traffic flows.
+  const std::vector<std::string> tenant_names = {"em", "edt", "cls"};
+  serve::ModelRegistry registry;
+  std::vector<std::vector<int64_t>> labels_v1, labels_v2;
+  for (size_t t = 0; t < tenant_names.size(); ++t) {
+    const serve::Snapshot snapshot = MakeBenchSnapshot(7 + t);
+    const std::string path = bench::BenchJsonPath(
+        "rotom_serve_bench_" + tenant_names[t] + ".rsnap");
+    if (auto s = snapshot.Save(path); !s.ok()) {
+      std::fprintf(stderr, "rotom_serve_bench: %s\n", s.message().c_str());
+      return 1;
+    }
+    auto v1 = registry.Publish(tenant_names[t], path);
+    std::remove(path.c_str());
+    auto quantized = serve::QuantizeSnapshot(snapshot);
+    if (!v1.ok() || !quantized.ok()) {
+      std::fprintf(stderr, "rotom_serve_bench: tenant publish failed\n");
+      return 1;
+    }
+    auto v2 = registry.Publish(tenant_names[t], quantized.value());
+    if (!v2.ok()) {
+      std::fprintf(stderr, "rotom_serve_bench: tenant publish failed\n");
+      return 1;
+    }
+    labels_v1.emplace_back();
+    labels_v2.emplace_back();
+    for (const auto& p : registry.AcquireVersion(tenant_names[t], 1)
+                             ->PredictBatch(pool))
+      labels_v1.back().push_back(p.label);
+    for (const auto& p : registry.AcquireVersion(tenant_names[t], 2)
+                             ->PredictBatch(pool))
+      labels_v2.back().push_back(p.label);
+  }
+
+  serve::TenantServer::Options tenant_options;
+  tenant_options.max_batch = max_batch;
+  tenant_options.max_delay_us = 200;
+  tenant_options.queue_capacity = 1024;
+  serve::TenantServer tenant_server(&registry, tenant_names, tenant_options);
+  const TenantLoadResult tenants = RunTenants(
+      registry, tenant_server, tenant_names, labels_v1, labels_v2, pool,
+      clients, seconds);
+  tenant_server.Shutdown();
+  const double tenant_speedup =
+      serial.qps() > 0.0 ? tenants.load.qps() / serial.qps() : 0.0;
+  bench::PrintRow("tenants mixed",
+                  {static_cast<double>(clients), tenants.load.qps(),
+                   tenant_speedup});
+  std::printf("tenant window: %zu tenants, %llu hot-swaps mid-run, "
+              "%llu rejected, %llu incorrect\n",
+              tenant_names.size(),
+              static_cast<unsigned long long>(tenants.swaps),
+              static_cast<unsigned long long>(tenants.rejected),
+              static_cast<unsigned long long>(tenants.incorrect));
+
   // Record schema: `op`/`threads`/`steps_per_sec` (= qps) are the identity
   // and rate keys scripts/check_bench_regress.sh gates on; `mode`,
   // `precision`, and the qps/speedup fields are the human-facing view.
@@ -292,6 +435,14 @@ int Main() {
       .Field("speedup_vs_f32_serial", qbatched_speedup)
       .Field("fused_forwards", static_cast<int64_t>(qstats.batches));
   json.EndRecord();
+  record("serve/tenants", "tenants", "mixed", clients, max_batch,
+         tenants.load)
+      .Field("tenants", static_cast<int64_t>(tenant_names.size()))
+      .Field("swaps", static_cast<int64_t>(tenants.swaps))
+      .Field("rejected", static_cast<int64_t>(tenants.rejected))
+      .Field("incorrect", static_cast<int64_t>(tenants.incorrect))
+      .Field("speedup_vs_f32_serial", tenant_speedup);
+  json.EndRecord();
   json.CaptureMetrics();
   const std::string out = bench::BenchJsonPath("BENCH_serve.json");
   if (!json.WriteFile(out)) {
@@ -305,6 +456,18 @@ int Main() {
     std::fprintf(stderr,
                  "rotom_serve_bench: speedup %.2fx below required %.2fx\n",
                  speedup, min_speedup);
+    return 1;
+  }
+  // Hot-swap correctness is unconditional: a registry that rejects or
+  // mis-serves requests during a swap is broken regardless of throughput.
+  if (tenants.swaps < 2 || tenants.rejected != 0 || tenants.incorrect != 0) {
+    std::fprintf(stderr,
+                 "rotom_serve_bench: tenant window failed (swaps=%llu "
+                 "rejected=%llu incorrect=%llu; need >=2 swaps, zero "
+                 "rejected/incorrect)\n",
+                 static_cast<unsigned long long>(tenants.swaps),
+                 static_cast<unsigned long long>(tenants.rejected),
+                 static_cast<unsigned long long>(tenants.incorrect));
     return 1;
   }
   return 0;
