@@ -176,6 +176,12 @@ class JsonWriter {
       }
       return 0.0;
     };
+    auto sum_of = [&](const std::string& name) -> double {
+      for (const auto& m : snapshot.metrics) {
+        if (m.name == name) return static_cast<double>(m.sum);
+      }
+      return 0.0;
+    };
     const double hits = value_of("encoding_cache.hits");
     const double misses = value_of("encoding_cache.misses");
     if (hits + misses > 0.0)
@@ -185,6 +191,17 @@ class JsonWriter {
     if (reused + allocated > 0.0)
       extras.emplace_back("buffer_pool.reuse_rate",
                           reused / (reused + allocated));
+    // Serving ratios: fraction of arrivals shed at admission, and the share
+    // of end-to-end latency spent waiting in the queue (queue_wait and
+    // latency histogram sums are both microseconds over the same requests).
+    const double served = value_of("serve.requests");
+    const double rejected = value_of("serve.rejected");
+    if (served + rejected > 0.0)
+      extras.emplace_back("serve.reject_rate", rejected / (served + rejected));
+    const double queue_sum = sum_of("serve.queue_wait_us");
+    const double latency_sum = sum_of("serve.latency_us");
+    if (latency_sum > 0.0)
+      extras.emplace_back("serve.queue_wait_share", queue_sum / latency_sum);
     metrics_json_ = obs::SnapshotJson(snapshot, extras);
   }
 

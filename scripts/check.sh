@@ -39,7 +39,10 @@ fi
 
 if [[ "$mode" == "all" || "$mode" == "address" ]]; then
   echo "== ASan/UBSan: full test suite =="
-  cmake -B build-asan -S . "${generator[@]}" \
+  # An existing tree may predate this script's generator choice; keep it.
+  asan_generator=("${generator[@]}")
+  if [[ -f build-asan/CMakeCache.txt ]]; then asan_generator=(); fi
+  cmake -B build-asan -S . "${asan_generator[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DROTOM_SANITIZE=address
   cmake --build build-asan -j
   ctest --test-dir build-asan --output-on-failure -j
@@ -47,17 +50,21 @@ fi
 
 if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
   echo "== TSan: thread pool + parallel kernel tests =="
-  cmake -B build-tsan -S . "${generator[@]}" \
+  tsan_generator=("${generator[@]}")
+  if [[ -f build-tsan/CMakeCache.txt ]]; then tsan_generator=(); fi
+  cmake -B build-tsan -S . "${tsan_generator[@]}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DROTOM_SANITIZE=thread
   cmake --build build-tsan -j \
     --target thread_pool_test kernels_test autograd_test \
              encoding_cache_test obs_test pipeline_determinism_test \
-             serve_test registry_test
+             serve_test registry_test obs_http_test servelog_test
   # Force a multi-threaded pool even on single-CPU hosts so TSan actually
   # sees concurrent kernel execution, cache hammering, sharded metric
   # writes, prefetch threads, the micro-batching server's worker +
-  # 8 closed-loop submitter threads, and the registry's client threads
-  # racing repeated hot-swaps.
+  # 8 closed-loop submitter threads, the registry's client threads
+  # racing repeated hot-swaps, and the serving observability surface
+  # (the /metrics listener thread + the flight recorder's lock-free
+  # append path) live under that same load.
   for threads in 2 4; do
     echo "-- ROTOM_NUM_THREADS=$threads"
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/thread_pool_test
@@ -68,12 +75,16 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/pipeline_determinism_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/serve_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/registry_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/obs_http_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/servelog_test
   done
 fi
 
 if [[ "$mode" == "all" || "$mode" == "scalar" ]]; then
   echo "== scalar: full test suite with ROTOM_SIMD=OFF =="
-  cmake -B build-scalar -S . "${generator[@]}" -DROTOM_SIMD=OFF
+  scalar_generator=("${generator[@]}")
+  if [[ -f build-scalar/CMakeCache.txt ]]; then scalar_generator=(); fi
+  cmake -B build-scalar -S . "${scalar_generator[@]}" -DROTOM_SIMD=OFF
   cmake --build build-scalar -j
   ctest --test-dir build-scalar --output-on-failure -j
 fi

@@ -1,22 +1,25 @@
 #!/usr/bin/env bash
 # Docs gate for the observability layer: every metric and span name emitted
 # from src/, bench/, or tools/, every run-log event and field name written
-# by src/obs/runlog.cc, and every public symbol declared in the src/obs
-# headers, must appear in OBSERVABILITY.md. Fails (exit 1) listing what is
-# missing. Names are extractable because call sites pass string literals to
-# GetCounter/GetGauge/GetHistogram, ROTOM_TRACE_SPAN, RunLogLine, and
-# RunLogLine::Add — keep it that way. Dynamic per-tenant metric names are
-# the one exception: they are emitted through the Tenant{Counter,Gauge,
-# Histogram}(tenant, "<suffix>") helpers in src/serve/tenant_server.cc, and
-# the gate extracts the literal suffixes and requires each to be documented
-# as serve.tenant.<tenant>.<suffix>.
+# by src/obs/runlog.cc, every serve-log event and field name written by
+# src/obs/servelog.cc, every endpoint the obs HTTP listener serves, and
+# every public symbol declared in the src/obs headers, must appear in
+# OBSERVABILITY.md. Fails (exit 1) listing what is missing. Names are
+# extractable because call sites pass string literals to
+# GetCounter/GetGauge/GetHistogram, ROTOM_TRACE_SPAN, EmitCompletedSpan,
+# RunLogLine/ServeLogLine, and their ::Add — keep it that way. Dynamic
+# per-tenant metric names are the one exception: they are emitted through
+# the Tenant{Counter,Gauge,Histogram}(tenant, "<suffix>") helpers in
+# src/serve/tenant_server.cc, and the gate extracts the literal suffixes
+# and requires each to be documented as serve.tenant.<tenant>.<suffix>.
 #
 # Usage:
 #   scripts/check_obs_docs.sh             # gate OBSERVABILITY.md
 #   scripts/check_obs_docs.sh --selftest  # prove the gate actually fails:
-#       copies the doc, strips a registry.* metric line and a
-#       serve.tenant.* suffix line, and asserts the gate rejects each
-#       mutilated copy while passing the intact one. Wired into ctest as
+#       copies the doc, strips a registry.* metric line, a serve.tenant.*
+#       suffix line, a serve-log field line, and the /metrics endpoint
+#       lines, and asserts the gate rejects each mutilated copy while
+#       passing the intact one. Wired into ctest as
 #       tools_obs_docs_selftest.
 #
 # ROTOM_OBS_DOC overrides the documentation path (used by --selftest).
@@ -45,6 +48,20 @@ if [[ "${1:-}" == "--selftest" ]]; then
   if ROTOM_OBS_DOC="$tmp/no_tenant.md" "$0" >/dev/null 2>&1; then
     echo "selftest FAILED: missing serve.tenant queue_depth suffix" \
          "was not flagged" >&2
+    exit 1
+  fi
+
+  echo "selftest: undocumented serve-log field must fail"
+  grep -v 'p99_us' OBSERVABILITY.md > "$tmp/no_servelog_field.md"
+  if ROTOM_OBS_DOC="$tmp/no_servelog_field.md" "$0" >/dev/null 2>&1; then
+    echo "selftest FAILED: missing serve-log p99_us field was not flagged" >&2
+    exit 1
+  fi
+
+  echo "selftest: undocumented obs http endpoint must fail"
+  grep -v '/metrics' OBSERVABILITY.md > "$tmp/no_endpoint.md"
+  if ROTOM_OBS_DOC="$tmp/no_endpoint.md" "$0" >/dev/null 2>&1; then
+    echo "selftest FAILED: missing /metrics endpoint was not flagged" >&2
     exit 1
   fi
 
@@ -96,6 +113,16 @@ done < <(grep -rh 'ROTOM_TRACE_SPAN("' src bench tools \
            | grep -oE 'ROTOM_TRACE_SPAN\("[^"]+"\)' \
            | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
 
+# ---- Retrospective span names: EmitCompletedSpan("...", us) records the
+# same span.<name>.us histogram without a scope object, so the serving
+# hot path only pays for spans on requests that cross a threshold. ----
+while IFS= read -r name; do
+  require "span.${name}.us" "completed span"
+done < <(grep -rh 'EmitCompletedSpan("' src bench tools \
+           | grep -vE '^[[:space:]]*(//|\*)' \
+           | grep -oE 'EmitCompletedSpan\("[^"]+"' \
+           | sed -E 's/.*\("([^"]+)"/\1/' | sort -u)
+
 # ---- Run-log event names: RunLogLine <var>("...") in runlog.cc, plus the
 # raw crash-handler line. Documented backticked so a bare word elsewhere in
 # the doc cannot satisfy the check by accident.
@@ -123,6 +150,33 @@ done < <({ grep -hoE '\.(Add|Raw)\("[^"]+"' "$runlog_src" \
              | sed -E 's/.*\("([^"]+)"?/\1/'
            grep -hoE '\\"signo\\"' "$runlog_src" | sed 's/[\\"]//g'; } \
            | grep -v '^event$' | sort -u)
+
+# ---- Serve-log (flight recorder) event names: ServeLogLine <var>("...")
+# in servelog.cc, documented backticked like the run-log events. ----
+servelog_src="src/obs/servelog.cc"
+while IFS= read -r name; do
+  require "\`$name\`" "serve-log event"
+done < <(grep -hoE 'ServeLogLine [a-z_]+\("[^"]+"\)' "$servelog_src" \
+           | sed -E 's/.*\("([^"]+)"\).*/\1/' | sort -u)
+
+# ---- Serve-log field names: ServeLogLine::Add/Raw("...") literals. ----
+while IFS= read -r field; do
+  require "\`$field\`" "serve-log field"
+done < <(grep -hoE '\.(Add|Raw)\("[^"]+"' "$servelog_src" \
+           | sed -E 's/.*\("([^"]+)"?/\1/' \
+           | grep -v '^event$' | sort -u)
+
+# ---- The serve-log schema id readers key on (kServeLogSchema) ----
+while IFS= read -r schema; do
+  require "\`$schema\`" "serve-log schema id"
+done < <(grep -hoE 'kServeLogSchema\[\] = "[^"]+"' src/obs/servelog.h \
+           | sed -E 's/.*"([^"]+)".*/\1/' | sort -u)
+
+# ---- Endpoints served by the loopback obs HTTP listener ----
+while IFS= read -r endpoint; do
+  require "\`$endpoint\`" "obs http endpoint"
+done < <(grep -hoE '"/[a-z]+"' src/serve/obs_http.cc \
+           | sed 's/"//g' | sort -u)
 
 # ---- Registered DA operator names: the op.<name>/gen.<name> catalog must
 # list every operator the registry can emit. The authoritative enumeration
@@ -166,7 +220,8 @@ done < <(grep -hoE '^[A-Za-z_:<>&* ]+ [A-Z][A-Za-z0-9]*\(' src/obs/*.h \
            | sed -E 's/.* ([A-Z][A-Za-z0-9]*)\($/\1/' | sort -u)
 
 # ---- Documented env vars must include the obs switches ----
-for var in ROTOM_METRICS ROTOM_TRACE ROTOM_NUM_THREADS ROTOM_RUNLOG_DIR; do
+for var in ROTOM_METRICS ROTOM_TRACE ROTOM_NUM_THREADS ROTOM_RUNLOG_DIR \
+           ROTOM_SERVELOG_DIR ROTOM_OBS_SNAPSHOT; do
   require "$var" "environment variable"
 done
 

@@ -1,0 +1,129 @@
+#include "obs/exposition.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/runlog.h"
+#include "util/logging.h"
+
+namespace rotom {
+namespace obs {
+
+namespace {
+
+// Dotted registry name -> valid Prometheus metric name.
+std::string SanitizedName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendHistogram(const MetricSnapshot& m, const std::string& san,
+                     std::string* out) {
+  // Cumulative le-buckets; trailing empty buckets elided, +Inf closes.
+  size_t last = 0;
+  for (size_t b = 0; b < m.buckets.size(); ++b) {
+    if (m.buckets[b] != 0) last = b;
+  }
+  char line[160];
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b <= last && b + 1 < Histogram::kBuckets; ++b) {
+    cumulative += b < m.buckets.size() ? m.buckets[b] : 0;
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"%llu\"} %llu\n",
+                  san.c_str(),
+                  static_cast<unsigned long long>(
+                      Histogram::BucketUpperBound(b)),
+                  static_cast<unsigned long long>(cumulative));
+    *out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                san.c_str(), static_cast<unsigned long long>(m.count),
+                san.c_str(), static_cast<unsigned long long>(m.sum),
+                san.c_str(), static_cast<unsigned long long>(m.count));
+  *out += line;
+}
+
+// ---- SIGUSR1 snapshot dump ----
+
+// Fixed buffer readable from the handler without locking; set under a mutex
+// by InstallSnapshotSignalHandler.
+char g_snapshot_path[512] = {0};
+
+void SnapshotSignalHandler(int /*signo*/) {
+  // Allocation inside a handler is formally unsafe; see the header note.
+  if (g_snapshot_path[0] == '\0') return;
+  const std::string text = PrometheusText();
+  const int fd = ::open(g_snapshot_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  internal::WriteAll(fd, text.data(), text.size());
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string PrometheusText(const SnapshotData& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    const std::string san = SanitizedName(m.name);
+    // HELP carries the original dotted name — the catalog key.
+    out += "# HELP " + san + " " + m.name + "\n";
+    char line[160];
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + san + " counter\n";
+        std::snprintf(line, sizeof(line), "%s %llu\n", san.c_str(),
+                      static_cast<unsigned long long>(m.count));
+        out += line;
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + san + " gauge\n";
+        std::snprintf(line, sizeof(line), "%s %lld\n", san.c_str(),
+                      static_cast<long long>(m.gauge));
+        out += line;
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + san + " histogram\n";
+        AppendHistogram(m, san, &out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText() { return PrometheusText(Snapshot()); }
+
+void InstallSnapshotSignalHandler(const std::string& path) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::string target = path;
+  if (target.empty()) {
+    const char* env = std::getenv("ROTOM_OBS_SNAPSHOT");
+    if (env != nullptr) target = env;
+  }
+  if (target.empty()) return;
+  std::strncpy(g_snapshot_path, target.c_str(), sizeof(g_snapshot_path) - 1);
+  g_snapshot_path[sizeof(g_snapshot_path) - 1] = '\0';
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SnapshotSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;  // a dump must not fail in-flight accept()s
+  sigaction(SIGUSR1, &action, nullptr);
+  ROTOM_LOG(Info) << "obs: SIGUSR1 dumps metrics snapshot to " << target;
+}
+
+}  // namespace obs
+}  // namespace rotom

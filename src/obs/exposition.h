@@ -1,0 +1,62 @@
+#ifndef ROTOM_OBS_EXPOSITION_H_
+#define ROTOM_OBS_EXPOSITION_H_
+
+// Renders obs::Snapshot() for external scrapers. Two forms exist: the JSON
+// object from obs/metrics.h (SnapshotJson, used by the benches and the
+// `/snapshotz` endpoint) and the Prometheus text exposition format produced
+// here (used by the `/metrics` endpoint of serve/obs_http.h and the SIGUSR1
+// snapshot dump). OBSERVABILITY.md ("Scrape surface") documents what a
+// scrape contains; scripts/check_obs_docs.sh keeps that catalog honest.
+//
+// Name mapping. The registry's dotted names ("serve.queue_wait_us") are not
+// valid Prometheus metric names, so every non-[a-zA-Z0-9_] byte becomes an
+// underscore on the metric line — and the original dotted name is carried
+// verbatim in the `# HELP` comment, so a scrape remains greppable by the
+// names OBSERVABILITY.md catalogs:
+//
+//   # HELP serve_queue_wait_us serve.queue_wait_us
+//   # TYPE serve_queue_wait_us histogram
+//   serve_queue_wait_us_bucket{le="0"} 0
+//   ...
+//
+// Histograms render their log2 buckets cumulatively (`_bucket{le="..."}`
+// lines from Histogram::BucketUpperBound, trailing empty buckets elided,
+// closed by `+Inf`) plus `_sum` and `_count`, which is exactly the shape
+// Prometheus expects for histogram_quantile().
+//
+// When instrumentation is disabled (ROTOM_METRICS=off) the snapshot is
+// empty and PrometheusText() returns an empty string — an empty payload is
+// a valid exposition, so scrapers keep working across the switch.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace rotom {
+namespace obs {
+
+/// Content-Type a conforming scraper expects for the text exposition.
+inline constexpr const char kPrometheusContentType[] =
+    "text/plain; version=0.0.4";
+
+/// Renders one scrape in the Prometheus text exposition format described
+/// above. Deterministic given the snapshot (names are already sorted).
+std::string PrometheusText(const SnapshotData& snapshot);
+
+/// Convenience: PrometheusText(Snapshot()). Empty string when disabled.
+std::string PrometheusText();
+
+/// Installs a SIGUSR1 handler that dumps PrometheusText() to `path`
+/// (truncate-then-write), for environments where binding even a loopback
+/// port is off the table. Empty `path` falls back to the ROTOM_OBS_SNAPSHOT
+/// environment variable; when both are empty nothing is installed. The
+/// handler allocates, which is formally signal-unsafe — same documented
+/// trade-off as the crash handler's trace flush (obs/runlog.h): SIGUSR1 is
+/// operator-initiated, and a lost dump beats no dump mechanism at all.
+/// Idempotent; the last configured path wins.
+void InstallSnapshotSignalHandler(const std::string& path = "");
+
+}  // namespace obs
+}  // namespace rotom
+
+#endif  // ROTOM_OBS_EXPOSITION_H_

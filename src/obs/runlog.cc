@@ -22,6 +22,18 @@
 #define ROTOM_GIT_SHA "unknown"
 #endif
 
+// Kernel-flavor attribution, also baked in by src/CMakeLists.txt: the
+// dispatched SIMD flavor (scalar/avx2/neon, mirroring
+// kernels::SimdFlavorName() without obs depending on tensor/) and the
+// ROTOM_SIMD CMake option value. Without these a recorded run cannot be
+// attributed to a kernel flavor after the fact.
+#ifndef ROTOM_SIMD_FLAVOR_NAME
+#define ROTOM_SIMD_FLAVOR_NAME "unknown"
+#endif
+#ifndef ROTOM_SIMD_SETTING
+#define ROTOM_SIMD_SETTING "unknown"
+#endif
+
 namespace rotom {
 namespace obs {
 
@@ -33,33 +45,14 @@ double MonotonicSeconds() {
       .count();
 }
 
-std::string JsonEscaped(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string RenderDouble(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
+// Rendering and crash-fd helpers live in obs::internal (declared in
+// runlog.h) so obs/servelog.cc and obs/exposition.cc share them; the
+// unqualified names below keep this file reading as before.
+using internal::JsonEscaped;
+using internal::RegisterCrashFd;
+using internal::RenderDouble;
+using internal::UnregisterCrashFd;
+using internal::WriteAll;
 
 // One JSONL event under construction. Every event and field name passed
 // here as a string literal is part of the runlog schema and must be
@@ -110,43 +103,6 @@ constexpr size_t kMaxCrashFds = 64;
 std::atomic<int> g_crash_fds[kMaxCrashFds];
 std::atomic<bool> g_crash_fds_init{false};
 
-void RegisterCrashFd(int fd) {
-  if (!g_crash_fds_init.exchange(true)) {
-    for (auto& slot : g_crash_fds) slot.store(-1, std::memory_order_relaxed);
-  }
-  for (auto& slot : g_crash_fds) {
-    int expected = -1;
-    if (slot.compare_exchange_strong(expected, fd,
-                                     std::memory_order_relaxed)) {
-      return;
-    }
-  }
-}
-
-void UnregisterCrashFd(int fd) {
-  if (!g_crash_fds_init.load(std::memory_order_relaxed)) return;
-  for (auto& slot : g_crash_fds) {
-    int expected = fd;
-    if (slot.compare_exchange_strong(expected, -1,
-                                     std::memory_order_relaxed)) {
-      return;
-    }
-  }
-}
-
-// Full write with EINTR/short-write handling; async-signal-safe.
-void WriteAll(int fd, const char* data, size_t size) {
-  size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::write(fd, data + done, size - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // nothing useful to do; never abort the training run
-    }
-    done += static_cast<size_t>(n);
-  }
-}
-
 std::atomic<bool> g_in_crash_handler{false};
 
 void CrashHandler(int signo) {
@@ -183,6 +139,75 @@ void CrashHandler(int signo) {
 }
 
 }  // namespace
+
+namespace internal {
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void RegisterCrashFd(int fd) {
+  if (!g_crash_fds_init.exchange(true)) {
+    for (auto& slot : g_crash_fds) slot.store(-1, std::memory_order_relaxed);
+  }
+  for (auto& slot : g_crash_fds) {
+    int expected = -1;
+    if (slot.compare_exchange_strong(expected, fd,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void UnregisterCrashFd(int fd) {
+  if (!g_crash_fds_init.load(std::memory_order_relaxed)) return;
+  for (auto& slot : g_crash_fds) {
+    int expected = fd;
+    if (slot.compare_exchange_strong(expected, -1,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+// Full write with EINTR/short-write handling; async-signal-safe.
+void WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // nothing useful to do; never abort the observed workload
+    }
+    done += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace internal
 
 void InstallCrashHandlers() {
   static const bool installed = [] {
@@ -275,6 +300,8 @@ void RunLog::WriteManifest(const RunLogManifest& manifest) {
   line.Add("git_sha", std::string_view(ROTOM_GIT_SHA));
   line.Add("rotom_num_threads",
            std::string_view(env_threads != nullptr ? env_threads : "unset"));
+  line.Add("simd_flavor", std::string_view(ROTOM_SIMD_FLAVOR_NAME));
+  line.Add("rotom_simd", std::string_view(ROTOM_SIMD_SETTING));
   for (const auto& [key, rendered] : manifest.fields_) {
     line.Raw(key, rendered);
   }

@@ -69,7 +69,7 @@ struct RunLogOptions {
 
 /// Ordered key/value set for the manifest record. Values render as JSON
 /// strings or numbers in insertion order, after the auto-emitted fields
-/// (schema, tag, git sha, ROTOM_NUM_THREADS).
+/// (schema, git sha, ROTOM_NUM_THREADS, SIMD flavor, ROTOM_SIMD setting).
 class RunLogManifest {
  public:
   RunLogManifest& Set(std::string_view key, std::string_view value);
@@ -155,6 +155,28 @@ class RunLog {
   int64_t steps_ = 0;
   double start_seconds_ = 0.0;  // steady-clock anchor for the end event
 };
+
+namespace internal {
+
+/// Full write with EINTR/short-write handling; async-signal-safe. Shared by
+/// the run log, the serve log (obs/servelog.h), and the SIGUSR1 snapshot
+/// dump (obs/exposition.h). Errors are swallowed — telemetry must never
+/// abort the workload it observes.
+void WriteAll(int fd, const char* data, size_t size);
+
+/// Adds/removes an open O_APPEND descriptor in the crash-handler table so a
+/// fatal signal appends a terminal `signal` event to it (see
+/// InstallCrashHandlers). Lock-free; bounded table — registration beyond
+/// capacity is silently dropped (the log itself still works).
+void RegisterCrashFd(int fd);
+void UnregisterCrashFd(int fd);
+
+/// JSON string escaping and %.17g double rendering shared by the JSONL
+/// event writers (runlog, servelog).
+std::string JsonEscaped(std::string_view s);
+std::string RenderDouble(double value);
+
+}  // namespace internal
 
 /// Installs best-effort crash handlers for SIGSEGV / SIGABRT / SIGBUS /
 /// SIGFPE / SIGILL that (1) append a `{"event":"signal",...}` line to every

@@ -221,6 +221,19 @@ uint64_t TraceDroppedEvents() {
   return total;
 }
 
+void EmitCompletedSpan(const char* name, uint64_t duration_us) {
+  if (!Enabled() && !TraceEnabled()) return;
+#ifndef ROTOM_METRICS_DISABLED
+  GetHistogram(std::string("span.") + name + ".us").Record(duration_us);
+#endif
+  if (TraceEnabled()) {
+    // Retrospective event: the caller measured [now - duration, now].
+    const uint64_t now_ns = MonotonicNanos();
+    const uint64_t dur_ns = duration_us * 1000;
+    RecordEvent(name, now_ns > dur_ns ? now_ns - dur_ns : 0, dur_ns);
+  }
+}
+
 TraceSpan::TraceSpan(const char* name, Histogram* hist)
     : name_(name), hist_(hist) {
   active_ = Enabled() || TraceEnabled();

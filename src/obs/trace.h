@@ -64,6 +64,15 @@ void ClearTrace();
 /// Number of buffered events overwritten because a ring wrapped.
 uint64_t TraceDroppedEvents();
 
+/// Records a span whose duration was measured by the caller rather than by
+/// scope: feeds the `span.<name>.us` histogram and (while tracing) a
+/// retrospective ring-buffer event ending now. This is how conditional
+/// spans work — e.g. the serving path emits a `serve.slow_request` span
+/// only for requests whose measured total latency crossed the slow-request
+/// threshold, which a scoped RAII span cannot express. `name` must be a
+/// string literal (it outlives the dump).
+void EmitCompletedSpan(const char* name, uint64_t duration_us);
+
 namespace internal {
 /// Lock-free copy of the trace path for the obs crash handlers (see
 /// obs/runlog.h): a signal handler must not take the TraceState mutex that

@@ -6,6 +6,8 @@
 
 #include "data/dataset.h"
 #include "eval/experiment.h"
+#include "obs/servelog.h"
+#include "serve/obs_http.h"
 #include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -45,9 +47,17 @@ namespace api {
 /// InferenceSession::Options::precision selects the forward-pass numerics.
 /// ModelRegistry (Publish/Swap/Retire/Acquire, DESIGN.md §13) owns named
 /// versioned models; TenantServer batches per-tenant traffic over it.
+/// Serving observability is part of the surface too: ObsHttpOptions on a
+/// server's Options starts the live /metrics listener (ObsHttpServer,
+/// serve/obs_http.h) and ServeLog (obs/servelog.h) is the serve flight
+/// recorder both servers and the registry write through.
+using obs::ServeLog;
+using obs::ServeLogOptions;
 using serve::BatchingServer;
 using serve::InferenceSession;
 using serve::ModelRegistry;
+using serve::ObsHttpOptions;
+using serve::ObsHttpServer;
 using serve::Prediction;
 using serve::QuantizeSnapshot;
 using serve::Snapshot;

@@ -1,0 +1,170 @@
+#include "serve/obs_http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/runlog.h"
+
+namespace rotom {
+namespace serve {
+
+namespace {
+
+// How long the accept loop sleeps in poll() before re-checking the stop
+// flag; bounds Stop() latency.
+constexpr int kPollMs = 50;
+
+// Per-client socket read/write timeout. A stalled scraper must not wedge
+// the listener thread forever.
+constexpr int kClientTimeoutSec = 2;
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status_line, content_type, body.size());
+  return header + body;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ObsHttpServer>> ObsHttpServer::Start(
+    const ObsHttpOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Error(std::string("obs_http: socket() failed: ") +
+                         std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // 127.0.0.1 only
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Error("obs_http: cannot bind 127.0.0.1:" +
+                         std::to_string(options.port) + ": " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Error("obs_http: listen() failed: " + err);
+  }
+
+  // Read back the kernel's port pick (Options::port == 0).
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  std::memset(&bound, 0, sizeof(bound));
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Error("obs_http: getsockname() failed: " + err);
+  }
+  const int port = ntohs(bound.sin_port);
+
+  // Non-blocking listen socket: accept() after a poll() hit can still block
+  // if the client vanished between the two calls.
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+
+  return std::unique_ptr<ObsHttpServer>(new ObsHttpServer(fd, port));
+}
+
+ObsHttpServer::ObsHttpServer(int listen_fd, int port)
+    : listen_fd_(listen_fd), port_(port) {
+  thread_ = std::thread([this] { ServeLoop(); });
+}
+
+ObsHttpServer::~ObsHttpServer() { Stop(); }
+
+void ObsHttpServer::Stop() {
+  if (stop_.exchange(true)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ObsHttpServer::ServeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;  // client gone between poll and accept
+    HandleClient(client);
+    ::close(client);
+  }
+}
+
+void ObsHttpServer::HandleClient(int client_fd) {
+  timeval timeout;
+  timeout.tv_sec = kClientTimeoutSec;
+  timeout.tv_usec = 0;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the request head or the bounded buffer fills;
+  // the request body (there should be none for a GET) is ignored.
+  char buf[4096];
+  size_t used = 0;
+  while (used < sizeof(buf) - 1) {
+    const ssize_t n = ::read(client_fd, buf + used, sizeof(buf) - 1 - used);
+    if (n <= 0) break;  // EOF, timeout, or error — parse what we have
+    used += static_cast<size_t>(n);
+    buf[used] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr) break;
+  }
+  buf[used] = '\0';
+
+  // "GET <path> HTTP/1.x" — anything else is a 405/400.
+  std::string response;
+  if (std::strncmp(buf, "GET ", 4) != 0) {
+    response = HttpResponse("405 Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
+  } else {
+    const char* path_start = buf + 4;
+    const char* path_end = std::strchr(path_start, ' ');
+    const std::string path =
+        path_end != nullptr ? std::string(path_start, path_end)
+                            : std::string();
+    if (path == "/metrics") {
+      response = HttpResponse("200 OK", obs::kPrometheusContentType,
+                              obs::PrometheusText());
+    } else if (path == "/healthz") {
+      response = HttpResponse("200 OK", "text/plain", "ok\n");
+    } else if (path == "/snapshotz") {
+      response = HttpResponse("200 OK", "application/json",
+                              obs::SnapshotJson() + "\n");
+    } else {
+      response = HttpResponse("404 Not Found", "text/plain",
+                              "unknown path; try /metrics /healthz "
+                              "/snapshotz\n");
+    }
+  }
+  obs::internal::WriteAll(client_fd, response.data(), response.size());
+}
+
+}  // namespace serve
+}  // namespace rotom

@@ -120,6 +120,7 @@ Status ModelRegistry::Swap(const std::string& name, uint64_t version) {
   entry.active = vit->second;
   entry.active_version = version;
   SwapCounter().Add();
+  if (options_.servelog != nullptr) options_.servelog->LogSwap(name, version);
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/servelog.h"
 #include "serve/session.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
@@ -54,12 +55,18 @@ namespace serve {
 ///
 /// Observability (OBSERVABILITY.md): `registry.models` / `registry.versions`
 /// gauges, `registry.loads` / `registry.swaps` / `registry.retired`
-/// counters, and `registry.load` / `registry.swap` spans.
+/// counters, and `registry.load` / `registry.swap` spans. When Options
+/// carries a serve log (usually the same one the TenantServer writes),
+/// every successful Swap appends a `swap` event, so the flight recorder
+/// shows exactly when each model's traffic was redirected relative to the
+/// surrounding request stream.
 class ModelRegistry {
  public:
   struct Options {
     /// Applied to every session the registry builds (precision, cache size).
     InferenceSession::Options session;
+    /// Serve flight recorder for `swap` events; nullptr = none.
+    std::shared_ptr<obs::ServeLog> servelog;
   };
 
   ModelRegistry() : ModelRegistry(Options()) {}

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace rotom {
 namespace serve {
@@ -42,15 +43,58 @@ obs::Histogram& LatencyHistogram() {
   return h;
 }
 
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h = obs::GetHistogram("serve.queue_wait_us");
+  return h;
+}
+
+obs::Histogram& ComputeHistogram() {
+  static obs::Histogram& h = obs::GetHistogram("serve.compute_us");
+  return h;
+}
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
 }  // namespace
 
 BatchingServer::BatchingServer(const InferenceSession* session,
                                const Options& options)
-    : session_(session), options_(options) {
+    : session_(session), options_(options), servelog_(options.servelog) {
   ROTOM_CHECK(session != nullptr);
   ROTOM_CHECK_GE(options_.max_batch, 1);
   ROTOM_CHECK_GE(options_.max_delay_us, 0);
   ROTOM_CHECK_GE(options_.queue_capacity, 1u);
+
+  if (servelog_ == nullptr) {
+    obs::ServeLogOptions log_options;
+    log_options.dir = options_.servelog_dir;
+    log_options.sample = options_.servelog_sample;
+    servelog_ = obs::ServeLog::Open(log_options);
+  }
+  if (servelog_ != nullptr) {
+    obs::ServeManifest manifest;
+    manifest.server = "batching";
+    manifest.precision = session_->quantized() ? "int8" : "f32";
+    manifest.max_batch = options_.max_batch;
+    manifest.max_delay_us = options_.max_delay_us;
+    manifest.queue_capacity = static_cast<int64_t>(options_.queue_capacity);
+    manifest.slow_request_us = options_.slow_request_us;
+    servelog_->LogManifest(manifest);
+  }
+  if (options_.obs_http.enabled) {
+    auto listener = ObsHttpServer::Start(options_.obs_http);
+    if (listener.ok()) {
+      obs_http_ = std::move(listener).value();
+    } else {
+      // Observability must not take the server down with it.
+      ROTOM_LOG(Warning) << listener.status().message();
+    }
+  }
+
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -70,7 +114,8 @@ std::future<StatusOr<Prediction>> BatchingServer::Submit(std::string text) {
       return future;
     }
     queue_.push_back(Request{std::move(text), std::move(promise),
-                             std::chrono::steady_clock::now()});
+                             std::chrono::steady_clock::now(),
+                             ++next_request_id_});
     ++requests_;
     RequestCounter().Add();
     QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
@@ -89,6 +134,8 @@ void BatchingServer::Shutdown() {
   // Serialize the join so concurrent Shutdown() calls are safe.
   std::lock_guard<std::mutex> join_lock(join_mu_);
   if (worker_.joinable()) worker_.join();
+  // The listener dies with the worker; obs_http_port() reads 0 afterwards.
+  obs_http_.reset();
 }
 
 BatchingServer::Stats BatchingServer::GetStats() const {
@@ -128,6 +175,11 @@ void BatchingServer::WorkerLoop() {
     }
     space_cv_.notify_all();
 
+    // The claim timestamp splits each request's latency: enqueue -> claim
+    // is time spent waiting for co-batching (queue_us), claim -> done is
+    // dominated by the fused forward (compute_us).
+    const auto claimed = std::chrono::steady_clock::now();
+
     std::vector<std::string> texts;
     texts.reserve(batch.size());
     for (const Request& r : batch) texts.push_back(r.text);
@@ -136,15 +188,27 @@ void BatchingServer::WorkerLoop() {
       ROTOM_TRACE_SPAN("serve.batch");
       predictions = session_->PredictBatch(texts);
     }
+    const auto done = std::chrono::steady_clock::now();
+    const int64_t compute_us = ElapsedUs(claimed, done);
     BatchCounter().Add();
     BatchSizeHistogram().Record(batch.size());
+    ComputeHistogram().Record(static_cast<uint64_t>(compute_us));
 
-    const auto done = std::chrono::steady_clock::now();
     for (size_t i = 0; i < batch.size(); ++i) {
-      LatencyHistogram().Record(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              done - batch[i].enqueued)
-              .count()));
+      const int64_t queue_us = ElapsedUs(batch[i].enqueued, claimed);
+      const int64_t total_us = ElapsedUs(batch[i].enqueued, done);
+      const int64_t label = predictions[i].label;
+      QueueWaitHistogram().Record(static_cast<uint64_t>(queue_us));
+      LatencyHistogram().Record(static_cast<uint64_t>(total_us));
+      if (total_us >= options_.slow_request_us) {
+        obs::EmitCompletedSpan("serve.slow_request",
+                               static_cast<uint64_t>(total_us));
+      }
+      if (servelog_ != nullptr && servelog_->SampleRequest(batch[i].id)) {
+        servelog_->LogRequest(batch[i].id, /*tenant=*/"", queue_us,
+                              compute_us, total_us,
+                              static_cast<int64_t>(batch.size()), label);
+      }
       batch[i].promise.set_value(std::move(predictions[i]));
     }
   }

@@ -1,10 +1,12 @@
 #include "serve/tenant_server.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace rotom {
 namespace serve {
@@ -28,26 +30,79 @@ obs::Histogram& TenantHistogram(const std::string& tenant,
   return obs::GetHistogram("serve.tenant." + tenant + "." + suffix);
 }
 
+// Global queue/compute decomposition, shared with BatchingServer (same
+// metric names; the registry hands back the same instruments).
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h = obs::GetHistogram("serve.queue_wait_us");
+  return h;
+}
+
+obs::Histogram& ComputeHistogram() {
+  static obs::Histogram& h = obs::GetHistogram("serve.compute_us");
+  return h;
+}
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
 }  // namespace
 
 TenantServer::TenantServer(const ModelRegistry* registry,
                            std::vector<std::string> tenants,
                            const Options& options)
-    : registry_(registry), options_(options) {
+    : registry_(registry), options_(options), servelog_(options.servelog) {
   ROTOM_CHECK(registry != nullptr);
   ROTOM_CHECK(!tenants.empty());
   ROTOM_CHECK_GE(options_.max_batch, 1);
   ROTOM_CHECK_GE(options_.max_delay_us, 0);
   ROTOM_CHECK_GE(options_.queue_capacity, 1u);
+  ROTOM_CHECK_GE(options_.slo_latency_us, 0);
+  ROTOM_CHECK(options_.slo_target > 0.0 && options_.slo_target <= 1.0);
+  ROTOM_CHECK_GE(options_.slo_window, 1);
   for (std::string& name : tenants) {
     Tenant& t = tenants_.emplace_back();
     t.requests_counter = &TenantCounter(name, "requests");
     t.rejected_counter = &TenantCounter(name, "rejected");
     t.batches_counter = &TenantCounter(name, "batches");
+    t.slo_violations_counter = &TenantCounter(name, "slo_violations");
     t.queue_depth_gauge = &TenantGauge(name, "queue_depth");
+    t.budget_remaining_gauge = &TenantGauge(name, "budget_remaining");
     t.latency_histogram = &TenantHistogram(name, "latency_us");
+    t.window_latencies.reserve(static_cast<size_t>(options_.slo_window));
     t.name = std::move(name);
   }
+
+  if (servelog_ == nullptr) {
+    obs::ServeLogOptions log_options;
+    log_options.dir = options_.servelog_dir;
+    log_options.sample = options_.servelog_sample;
+    servelog_ = obs::ServeLog::Open(log_options);
+  }
+  if (servelog_ != nullptr) {
+    obs::ServeManifest manifest;
+    manifest.server = "tenant";
+    manifest.tenants = static_cast<int64_t>(tenants_.size());
+    manifest.max_batch = options_.max_batch;
+    manifest.max_delay_us = options_.max_delay_us;
+    manifest.queue_capacity = static_cast<int64_t>(options_.queue_capacity);
+    manifest.slow_request_us = options_.slow_request_us;
+    manifest.slo_latency_us = options_.slo_latency_us;
+    manifest.slo_target = options_.slo_target;
+    servelog_->LogManifest(manifest);
+  }
+  if (options_.obs_http.enabled) {
+    auto listener = ObsHttpServer::Start(options_.obs_http);
+    if (listener.ok()) {
+      obs_http_ = std::move(listener).value();
+    } else {
+      // Observability must not take the server down with it.
+      ROTOM_LOG(Warning) << listener.status().message();
+    }
+  }
+
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -80,6 +135,9 @@ std::future<StatusOr<Prediction>> TenantServer::Submit(
       // than blocking the caller (which could be serving other tenants).
       ++t.rejected;
       t.rejected_counter->Add();
+      if (!shutdown_ && servelog_ != nullptr) {
+        servelog_->LogShed(t.name, static_cast<int64_t>(t.queue.size()));
+      }
       promise.set_value(Status::Error(
           shutdown_ ? "TenantServer is shut down"
                     : "tenant '" + tenant + "' queue is full (" +
@@ -87,7 +145,8 @@ std::future<StatusOr<Prediction>> TenantServer::Submit(
       return future;
     }
     t.queue.push_back(Request{std::move(text), std::move(promise),
-                              std::chrono::steady_clock::now()});
+                              std::chrono::steady_clock::now(),
+                              ++next_request_id_});
     ++t.requests;
     t.requests_counter->Add();
     t.queue_depth_gauge->Set(static_cast<int64_t>(t.queue.size()));
@@ -105,6 +164,8 @@ void TenantServer::Shutdown() {
   // Serialize the join so concurrent Shutdown() calls are safe.
   std::lock_guard<std::mutex> join_lock(join_mu_);
   if (worker_.joinable()) worker_.join();
+  // The listener dies with the worker; obs_http_port() reads 0 afterwards.
+  obs_http_.reset();
 }
 
 TenantServer::Stats TenantServer::GetStats(const std::string& tenant) const {
@@ -138,10 +199,49 @@ int TenantServer::NextReadyLocked(
   return -1;
 }
 
+void TenantServer::AccountSlo(Tenant* tenant, int64_t total_us,
+                              uint64_t shed_snapshot) {
+  ++tenant->completed;
+  if (total_us > options_.slo_latency_us) {
+    ++tenant->violations;
+    tenant->slo_violations_counter->Add();
+  }
+  tenant->window_latencies.push_back(total_us);
+
+  // Error budget: at slo_target availability the tenant may violate on
+  // (1 - slo_target) of completed requests; what is left of that allowance
+  // can go negative once the budget is burned through.
+  const int64_t allowed = static_cast<int64_t>(
+      (1.0 - options_.slo_target) * static_cast<double>(tenant->completed));
+  tenant->budget_remaining_gauge->Set(
+      allowed - static_cast<int64_t>(tenant->violations));
+
+  if (tenant->window_latencies.size() <
+      static_cast<size_t>(options_.slo_window)) {
+    return;
+  }
+  // Window rollup: p99 of the closed window, then start the next one.
+  std::vector<int64_t>& window = tenant->window_latencies;
+  const size_t idx = std::min(window.size() - 1, (window.size() * 99) / 100);
+  std::nth_element(window.begin(),
+                   window.begin() + static_cast<ptrdiff_t>(idx), window.end());
+  const int64_t p99_us = window[idx];
+  if (servelog_ != nullptr) {
+    servelog_->LogWindow(
+        tenant->name, static_cast<int64_t>(window.size()),
+        static_cast<int64_t>(shed_snapshot - tenant->window_shed_base),
+        p99_us, static_cast<int64_t>(tenant->violations),
+        allowed - static_cast<int64_t>(tenant->violations));
+  }
+  tenant->window_shed_base = shed_snapshot;
+  window.clear();
+}
+
 void TenantServer::WorkerLoop() {
   for (;;) {
     std::vector<Request> batch;
     Tenant* tenant = nullptr;
+    uint64_t shed_snapshot = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       int ready = -1;
@@ -183,10 +283,14 @@ void TenantServer::WorkerLoop() {
         tenant->queue.pop_front();
       }
       ++tenant->batches;
+      shed_snapshot = tenant->rejected;  // for the SLO window's shed column
       tenant->queue_depth_gauge->Set(
           static_cast<int64_t>(tenant->queue.size()));
     }
     queue_cv_.notify_all();
+
+    // Claim timestamp: splits queue_us (enqueue -> here) from compute_us.
+    const auto claimed = std::chrono::steady_clock::now();
 
     // Pin the tenant's active session for exactly this batch: a registry
     // hot-swap lands at the next batch boundary, and a retired version stays
@@ -212,11 +316,24 @@ void TenantServer::WorkerLoop() {
     tenant->batches_counter->Add();
 
     const auto done = std::chrono::steady_clock::now();
+    const int64_t compute_us = ElapsedUs(claimed, done);
+    ComputeHistogram().Record(static_cast<uint64_t>(compute_us));
     for (size_t i = 0; i < batch.size(); ++i) {
-      tenant->latency_histogram->Record(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              done - batch[i].enqueued)
-              .count()));
+      const int64_t queue_us = ElapsedUs(batch[i].enqueued, claimed);
+      const int64_t total_us = ElapsedUs(batch[i].enqueued, done);
+      const int64_t label = predictions[i].label;
+      QueueWaitHistogram().Record(static_cast<uint64_t>(queue_us));
+      tenant->latency_histogram->Record(static_cast<uint64_t>(total_us));
+      if (total_us >= options_.slow_request_us) {
+        obs::EmitCompletedSpan("serve.slow_request",
+                               static_cast<uint64_t>(total_us));
+      }
+      if (servelog_ != nullptr && servelog_->SampleRequest(batch[i].id)) {
+        servelog_->LogRequest(batch[i].id, tenant->name, queue_us, compute_us,
+                              total_us, static_cast<int64_t>(batch.size()),
+                              label);
+      }
+      AccountSlo(tenant, total_us, shed_snapshot);
       batch[i].promise.set_value(std::move(predictions[i]));
     }
   }

@@ -6,12 +6,15 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/servelog.h"
+#include "serve/obs_http.h"
 #include "serve/registry.h"
 #include "serve/session.h"
 #include "util/status.h"
@@ -46,10 +49,28 @@ namespace serve {
 /// every queued request through its tenant's model, and joins the worker;
 /// no accepted future is abandoned.
 ///
+/// SLO accounting: each tenant's completed requests are judged against a
+/// configurable latency objective (Options::slo_latency_us at
+/// Options::slo_target availability). Violations increment the per-tenant
+/// `slo_violations` counter; the `budget_remaining` gauge tracks the error
+/// budget — floor((1 - slo_target) * completed) - violations, negative when
+/// the budget is burned through — and every `slo_window` completed requests
+/// the window's p99 is rolled up into a servelog `window` event. All SLO
+/// state is touched only by the worker thread, so it costs the submit path
+/// nothing.
+///
+/// Request ids share one dense per-server sequence with the same lifecycle
+/// semantics as BatchingServer (see server.h); within a tenant, servelog
+/// `request` ids are strictly increasing (round-robin interleaves the
+/// tenants' subsequences in the file).
+///
 /// Observability (OBSERVABILITY.md): per-tenant `serve.tenant.<tenant>.*`
-/// metrics — `requests`, `rejected`, `batches` counters, `queue_depth`
-/// gauge, `latency_us` histogram — and a `serve.tenant.batch` span around
-/// each fused forward.
+/// metrics — `requests`, `rejected`, `batches`, `slo_violations` counters,
+/// `queue_depth` and `budget_remaining` gauges, `latency_us` histogram —
+/// plus the global `serve.queue_wait_us`/`serve.compute_us` decomposition
+/// histograms, a `serve.tenant.batch` span around each fused forward, and
+/// `serve.slow_request` spans above the slow threshold. The optional
+/// obs_http listener and serve log mirror BatchingServer's.
 class TenantServer {
  public:
   struct Options {
@@ -59,6 +80,30 @@ class TenantServer {
     int64_t max_delay_us = 1000;
     /// Per-tenant queue bound; Submit() fails fast when a queue is full.
     size_t queue_capacity = 256;
+    /// Live-scrape listener (GET /metrics, /healthz, /snapshotz);
+    /// disabled by default. A failed bind degrades to a warning.
+    ObsHttpOptions obs_http;
+    /// An already-open serve flight recorder to share (e.g. with the
+    /// ModelRegistry so `swap` events land in the same stream); when null
+    /// one is opened from `servelog_dir`.
+    std::shared_ptr<obs::ServeLog> servelog;
+    /// Directory for a server-owned serve log; empty falls back to the
+    /// ROTOM_SERVELOG_DIR environment variable (unset = disabled).
+    std::string servelog_dir;
+    /// 1-in-N sampling rate for servelog `request` events.
+    int64_t servelog_sample = 64;
+    /// Requests with total latency at or above this emit a
+    /// `serve.slow_request` span (default 1s).
+    int64_t slow_request_us = 1000000;
+    /// Per-tenant latency objective: a completed request slower than this
+    /// is an SLO violation (default 100ms).
+    int64_t slo_latency_us = 100000;
+    /// Target availability of the objective; sets the error-budget rate
+    /// floor((1 - slo_target) * completed).
+    double slo_target = 0.99;
+    /// Completed requests per tenant between SLO window rollups (p99 +
+    /// servelog `window` event).
+    int64_t slo_window = 256;
   };
 
   /// The registry must outlive the server. `tenants` fixes the served set;
@@ -98,11 +143,22 @@ class TenantServer {
   };
   Stats GetStats(const std::string& tenant) const;
 
+  /// Port of the running observability listener, 0 when none is running
+  /// (not enabled, or the bind failed).
+  int obs_http_port() const {
+    return obs_http_ != nullptr ? obs_http_->port() : 0;
+  }
+
+  /// The serve flight recorder in use (options-supplied or server-opened);
+  /// nullptr when serve logging is disabled.
+  const std::shared_ptr<obs::ServeLog>& servelog() const { return servelog_; }
+
  private:
   struct Request {
     std::string text;
     std::promise<StatusOr<Prediction>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    uint64_t id = 0;  // dense per server, 1-based, assigned under mu_
   };
 
   struct Tenant {
@@ -115,8 +171,16 @@ class TenantServer {
     obs::Counter* requests_counter = nullptr;
     obs::Counter* rejected_counter = nullptr;
     obs::Counter* batches_counter = nullptr;
+    obs::Counter* slo_violations_counter = nullptr;
     obs::Gauge* queue_depth_gauge = nullptr;
+    obs::Gauge* budget_remaining_gauge = nullptr;
     obs::Histogram* latency_histogram = nullptr;
+    // SLO accounting — written only by the worker thread after batch
+    // delivery, so none of it needs mu_.
+    std::vector<int64_t> window_latencies;  // total_us of the open window
+    uint64_t completed = 0;                 // lifetime completed requests
+    uint64_t violations = 0;                // lifetime SLO violations
+    uint64_t window_shed_base = 0;          // rejected count at last rollup
   };
 
   void WorkerLoop();
@@ -127,8 +191,16 @@ class TenantServer {
   bool AnyQueuedLocked() const;
   const Tenant* FindTenant(const std::string& name) const;
 
+  /// Worker-side SLO bookkeeping after one request completes in
+  /// `total_us`; rolls the window up (p99, servelog `window` event) at the
+  /// slo_window boundary. `shed_snapshot` is the tenant's rejected count
+  /// read under mu_ at batch claim.
+  void AccountSlo(Tenant* tenant, int64_t total_us, uint64_t shed_snapshot);
+
   const ModelRegistry* registry_;
   const Options options_;
+  std::shared_ptr<obs::ServeLog> servelog_;
+  std::unique_ptr<ObsHttpServer> obs_http_;
   // Fixed after construction. A deque (not vector) because Tenant holds a
   // queue of move-only Requests and must never be relocated.
   std::deque<Tenant> tenants_;
@@ -137,6 +209,7 @@ class TenantServer {
   std::condition_variable queue_cv_;  // worker waits for work / deadline
   bool shutdown_ = false;
   size_t cursor_ = 0;  // round-robin position, next tenant to consider
+  uint64_t next_request_id_ = 0;  // last id handed out; ids are 1-based
 
   std::mutex join_mu_;  // serializes concurrent Shutdown() joins
   std::thread worker_;

@@ -487,7 +487,17 @@ TEST(BatchingServerTest, EightThreadsGetSerialIdenticalResults) {
   BatchingServer::Options options;
   options.max_batch = 16;
   options.max_delay_us = 500;
+  // Run the full observability surface under the concurrent load: the live
+  // /metrics listener and the flight recorder (sampling every request) must
+  // not perturb batching or results — this is the shape the TSan sweep in
+  // scripts/check.sh replays.
+  options.obs_http.enabled = true;
+  options.servelog_dir = ::testing::TempDir();
+  options.servelog_sample = 1;
   BatchingServer server(session.value().get(), options);
+  EXPECT_NE(server.obs_http_port(), 0);
+  ASSERT_NE(server.servelog(), nullptr);
+  const std::string servelog_path = server.servelog()->path();
 
   constexpr int kThreads = 8;
   constexpr int kPerThread = 32;
@@ -514,6 +524,19 @@ TEST(BatchingServerTest, EightThreadsGetSerialIdenticalResults) {
   EXPECT_GT(stats.batches, 0u);
   // Coalescing must actually happen under 8-way concurrent load.
   EXPECT_LT(stats.batches, stats.requests);
+
+  // With sample=1, every request produced exactly one flight-recorder
+  // event: ids are dense 1..N even though 8 clients raced to submit.
+  std::ifstream log(servelog_path);
+  ASSERT_TRUE(log.good()) << servelog_path;
+  int request_events = 0;
+  std::string line;
+  while (std::getline(log, line)) {
+    if (line.find("\"event\": \"request\"") != std::string::npos)
+      ++request_events;
+  }
+  EXPECT_EQ(request_events, kThreads * kPerThread);
+  std::remove(servelog_path.c_str());
 }
 
 TEST(BatchingServerTest, ShutdownDrainsEveryPendingFuture) {

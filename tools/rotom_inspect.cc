@@ -1,17 +1,27 @@
-// rotom_inspect: operator console for the training-run flight recorder
-// (obs/runlog.h). Reads the append-only JSONL run logs the trainers write
-// under ROTOM_RUNLOG_DIR / PipelineOptions::runlog_dir and answers the
-// questions the raw stream is too noisy for:
+// rotom_inspect: operator console for the flight recorders — the training
+// run logs (obs/runlog.h) and the serve logs (obs/servelog.h). Reads the
+// append-only JSONL streams and answers the questions the raw stream is too
+// noisy for:
 //
 //   rotom_inspect summary <run.jsonl>        one-screen digest: manifest,
 //                                            loss/grad-norm/keep-rate stats,
 //                                            per-operator selection counts
-//   rotom_inspect tail <run.jsonl> [n]       last n events, raw (default 10)
+//   rotom_inspect serve <serve.jsonl>        serve-log digest: manifest(s),
+//                                            per-tenant request/shed/latency
+//                                            columns with SLO standing, swap
+//                                            count
+//   rotom_inspect tail <log.jsonl> [n] [--follow]
+//                                            last n events, raw (default
+//                                            10); --follow then polls the
+//                                            file and streams appended
+//                                            lines, tail -f style (works on
+//                                            run logs and serve logs alike)
 //   rotom_inspect diff <runA> <runB>         per-operator and grad-norm
 //                                            deltas between two runs
-//   rotom_inspect selftest                   writes a synthetic run log via
-//                                            obs::RunLog and verifies the
-//                                            parser round-trips it (ctest)
+//   rotom_inspect selftest                   writes a synthetic run log and
+//                                            a synthetic serve log via the
+//                                            real writers and verifies the
+//                                            parsers round-trip them (ctest)
 //   rotom_inspect --list-ops                 prints the registered DA
 //                                            operator names, one per line
 //                                            (scripts/check_obs_docs.sh uses
@@ -28,20 +38,24 @@
 // a crash mid-write is skipped, as the schema contract requires.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
 #include "augment/registry.h"
 #include "obs/metrics.h"
 #include "obs/runlog.h"
+#include "obs/servelog.h"
 
 namespace {
 
@@ -397,21 +411,194 @@ int CmdSummary(const std::string& path) {
   return 0;
 }
 
-int CmdTail(const std::string& path, int64_t n) {
+// ---- Serve logs (obs/servelog.h, rotom-servelog-v1) ----
+
+// Per-tenant rollup of one serve log. The BatchingServer's global stream
+// (request events with no `tenant` field) lands under the display name "-".
+struct ServeTenantStats {
+  int64_t sampled = 0;           // request events seen (1-in-`sample`)
+  int64_t sheds = 0;             // shed events
+  int64_t windows = 0;           // SLO window rollups
+  std::vector<int64_t> total_us;  // sampled end-to-end latencies
+  double queue_sum = 0.0;        // sum of sampled queue_us
+  double total_sum = 0.0;        // sum of sampled total_us
+  int64_t last_p99_us = -1;      // from the most recent window event
+  int64_t slo_violations = -1;   // cumulative, from the most recent window
+  int64_t budget_remaining = 0;  // may be negative (budget overspent)
+  bool has_budget = false;
+};
+
+struct ServeRun {
+  std::string path;
+  std::vector<Fields> manifests;  // one per server writing this log
+  std::map<std::string, ServeTenantStats> tenants;
+  int64_t swaps = 0;
+  int64_t skipped_lines = 0;
+};
+
+bool LoadServe(const std::string& path, ServeRun* run) {
   std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rotom_inspect: cannot open %s\n", path.c_str());
+    return false;
+  }
+  run->path = path;
+  std::string line;
+  Fields fields;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!ParseFlatLine(line, &fields)) {
+      ++run->skipped_lines;
+      continue;
+    }
+    const std::string* event = Find(fields, "event");
+    if (event == nullptr) {
+      ++run->skipped_lines;
+      continue;
+    }
+    const std::string* tenant = Find(fields, "tenant");
+    const std::string key = tenant == nullptr ? std::string("-") : *tenant;
+    if (*event == "manifest") {
+      run->manifests.push_back(fields);
+    } else if (*event == "request") {
+      ServeTenantStats& t = run->tenants[key];
+      ++t.sampled;
+      const int64_t total = GetInt(fields, "total_us", 0);
+      t.total_us.push_back(total);
+      t.total_sum += static_cast<double>(total);
+      t.queue_sum += static_cast<double>(GetInt(fields, "queue_us", 0));
+    } else if (*event == "shed") {
+      ++run->tenants[key].sheds;
+    } else if (*event == "window") {
+      ServeTenantStats& t = run->tenants[key];
+      ++t.windows;
+      t.last_p99_us = GetInt(fields, "p99_us", -1);
+      t.slo_violations = GetInt(fields, "slo_violations", -1);
+      t.budget_remaining = GetInt(fields, "budget_remaining", 0);
+      t.has_budget = true;
+    } else if (*event == "swap") {
+      ++run->swaps;
+    }
+    // signal events (crash handler) and unknown future events fall through:
+    // the schema is append-only, old readers skip what they don't know.
+  }
+  return true;
+}
+
+// Exact percentile of the sampled latencies (the sample is small enough
+// that sorting beats the log2-bucket estimator's quantization).
+int64_t ExactPercentile(std::vector<int64_t> values, double q) {
+  if (values.empty()) return 0;
+  const size_t idx = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(idx), values.end());
+  return values[idx];
+}
+
+int CmdServe(const std::string& path) {
+  ServeRun run;
+  if (!LoadServe(path, &run)) return 1;
+  std::printf("servelog: %s\n", run.path.c_str());
+  for (const auto& manifest : run.manifests) {
+    std::printf("manifest:");
+    for (const auto& [k, v] : manifest) {
+      if (k == "event") continue;
+      std::printf(" %s=%s", k.c_str(), v.c_str());
+    }
+    std::printf("\n");
+  }
+  if (run.skipped_lines > 0) {
+    std::printf("skipped %lld malformed line(s) (crash-truncated?)\n",
+                static_cast<long long>(run.skipped_lines));
+  }
+  if (run.tenants.empty()) {
+    std::printf("no request/shed/window events\n");
+  } else {
+    std::printf("%-12s %8s %8s %8s %8s %8s %9s %8s\n", "tenant", "sampled",
+                "p50_us", "p99_us", "shed", "windows", "slo_viol", "budget");
+    for (const auto& [name, t] : run.tenants) {
+      std::printf("%-12s %8lld %8lld %8lld %8lld %8lld",
+                  name.c_str(), static_cast<long long>(t.sampled),
+                  static_cast<long long>(ExactPercentile(t.total_us, 0.50)),
+                  static_cast<long long>(ExactPercentile(t.total_us, 0.99)),
+                  static_cast<long long>(t.sheds),
+                  static_cast<long long>(t.windows));
+      if (t.has_budget) {
+        std::printf(" %9lld %8lld", static_cast<long long>(t.slo_violations),
+                    static_cast<long long>(t.budget_remaining));
+      } else {
+        std::printf(" %9s %8s", "-", "-");
+      }
+      std::printf("\n");
+      if (t.total_sum > 0.0) {
+        std::printf("%-12s   queue-wait share of latency: %.3f\n", "",
+                    t.queue_sum / t.total_sum);
+      }
+    }
+  }
+  std::printf("swaps: %lld\n", static_cast<long long>(run.swaps));
+  return 0;
+}
+
+int CmdTail(const std::string& path, int64_t n, bool follow) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "rotom_inspect: cannot open %s\n", path.c_str());
     return 1;
   }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // In follow mode only complete (newline-terminated) lines are consumed;
+  // a partial final line is left for the next poll, so a line the writer is
+  // mid-append on is never emitted twice or torn.
+  size_t consumed = content.size();
+  if (follow) {
+    const size_t last_newline = content.rfind('\n');
+    consumed = last_newline == std::string::npos ? 0 : last_newline + 1;
+  }
   std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty()) lines.push_back(line);
+  size_t begin_of_line = 0;
+  while (begin_of_line < consumed) {
+    size_t end = content.find('\n', begin_of_line);
+    if (end == std::string::npos || end >= consumed) end = consumed;
+    if (end > begin_of_line)
+      lines.push_back(content.substr(begin_of_line, end - begin_of_line));
+    begin_of_line = end + 1;
   }
   const size_t begin =
       lines.size() > static_cast<size_t>(n) ? lines.size() - n : 0;
   for (size_t i = begin; i < lines.size(); ++i) {
     std::printf("%s\n", lines[i].c_str());
+  }
+  if (!follow) return 0;
+  std::fflush(stdout);
+
+  // Poll-based follow: the recorders append with one write(2) per line, so
+  // watching the file size and emitting up to the last newline is exact.
+  // ROTOM_INSPECT_FOLLOW_MAX_POLLS (hidden; tests set it) bounds the loop —
+  // unset or <= 0 follows until interrupted.
+  const char* cap_env = std::getenv("ROTOM_INSPECT_FOLLOW_MAX_POLLS");
+  const int64_t max_polls =
+      cap_env == nullptr || cap_env[0] == '\0' ? -1 : std::atoll(cap_env);
+  size_t offset = consumed;
+  for (int64_t poll = 0; max_polls <= 0 || poll < max_polls; ++poll) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::ifstream f(path, std::ios::binary);
+    if (!f) continue;  // rotated away; keep waiting for it to reappear
+    f.seekg(0, std::ios::end);
+    const size_t size = static_cast<size_t>(f.tellg());
+    if (size < offset) offset = 0;  // truncated/replaced: restart from top
+    if (size == offset) continue;
+    f.seekg(static_cast<std::streamoff>(offset));
+    std::string chunk(size - offset, '\0');
+    f.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const size_t complete = chunk.rfind('\n');
+    if (complete == std::string::npos) continue;  // no full line yet
+    std::fwrite(chunk.data(), 1, complete + 1, stdout);
+    std::fflush(stdout);
+    offset += complete + 1;
   }
   return 0;
 }
@@ -555,9 +742,75 @@ int CmdSelftest() {
   // Exercise the printing paths end to end.
   SELFTEST_CHECK(CmdSummary(path) == 0);
   SELFTEST_CHECK(CmdDiff(path, path) == 0);
-  SELFTEST_CHECK(CmdTail(path, 3) == 0);
+  SELFTEST_CHECK(CmdTail(path, 3, /*follow=*/false) == 0);
+  // --follow with a poll cap so the selftest terminates: one quiet poll.
+  ::setenv("ROTOM_INSPECT_FOLLOW_MAX_POLLS", "1", 1);
+  SELFTEST_CHECK(CmdTail(path, 1, /*follow=*/true) == 0);
+  ::unsetenv("ROTOM_INSPECT_FOLLOW_MAX_POLLS");
+
+  // Serve-log round trip: write through the real obs::ServeLog writer,
+  // re-read through this tool's parser.
+  std::string serve_path;
+  {
+    rotom::obs::ServeLogOptions options;
+    options.dir = dir;
+    options.tag = "selftest_serve";
+    options.sample = 2;
+    auto servelog = rotom::obs::ServeLog::Open(options);
+    SELFTEST_CHECK(servelog != nullptr);
+    rotom::obs::ServeManifest manifest;
+    manifest.server = "tenant";
+    manifest.tenants = 2;
+    manifest.slo_latency_us = 1000;
+    manifest.slo_target = 0.99;
+    servelog->LogManifest(manifest);
+    // sample=2 keeps odd ids (1, 3, ...) and drops even ones.
+    SELFTEST_CHECK(servelog->SampleRequest(1) && !servelog->SampleRequest(2));
+    for (uint64_t id = 1; id <= 8; ++id) {
+      if (!servelog->SampleRequest(id)) continue;
+      servelog->LogRequest(id, id % 2 == 1 ? "em" : "cls", /*queue_us=*/100,
+                           /*compute_us=*/300, /*total_us=*/400,
+                           /*batch_size=*/4, /*label=*/1);
+    }
+    servelog->LogShed("em", /*queue_depth=*/16);
+    servelog->LogSwap("em", /*version=*/2);
+    servelog->LogWindow("em", /*completed=*/8, /*shed=*/1, /*p99_us=*/400,
+                        /*slo_violations=*/0, /*budget_remaining=*/0);
+    serve_path = servelog->path();
+  }
+  ServeRun serve_run;
+  SELFTEST_CHECK(LoadServe(serve_path, &serve_run));
+  SELFTEST_CHECK(serve_run.skipped_lines == 0);
+  SELFTEST_CHECK(serve_run.manifests.size() == 1);
+  const std::string* serve_schema = Find(serve_run.manifests[0], "schema");
+  SELFTEST_CHECK(serve_schema != nullptr &&
+                 *serve_schema == rotom::obs::kServeLogSchema);
+  const std::string* server_kind = Find(serve_run.manifests[0], "server");
+  SELFTEST_CHECK(server_kind != nullptr && *server_kind == "tenant");
+  SELFTEST_CHECK(Find(serve_run.manifests[0], "simd_flavor") != nullptr);
+  SELFTEST_CHECK(serve_run.swaps == 1);
+  SELFTEST_CHECK(serve_run.tenants.at("em").sampled == 4);  // ids 1,3,5,7
+  SELFTEST_CHECK(serve_run.tenants.at("em").sheds == 1);
+  SELFTEST_CHECK(serve_run.tenants.at("em").windows == 1);
+  SELFTEST_CHECK(serve_run.tenants.at("em").last_p99_us == 400);
+  SELFTEST_CHECK(serve_run.tenants.at("em").slo_violations == 0);
+  SELFTEST_CHECK(ExactPercentile(serve_run.tenants.at("em").total_us, 0.99) ==
+                 400);
+  SELFTEST_CHECK(serve_run.tenants.count("cls") == 0);  // never sampled
+
+  // Same crash-truncation tolerance as the run-log parser.
+  {
+    std::ofstream append(serve_path, std::ios::app);
+    append << "{\"event\": \"request\", \"id\": 9, \"que";
+  }
+  ServeRun truncated_serve;
+  SELFTEST_CHECK(LoadServe(serve_path, &truncated_serve));
+  SELFTEST_CHECK(truncated_serve.skipped_lines == 1);
+  SELFTEST_CHECK(truncated_serve.tenants.at("em").sampled == 4);
+  SELFTEST_CHECK(CmdServe(serve_path) == 0);
 
   std::remove(path.c_str());
+  std::remove(serve_path.c_str());
   ::rmdir(dir);
   std::printf("selftest OK\n");
   return 0;
@@ -578,7 +831,8 @@ int CmdListOps() {
 int Usage() {
   std::fprintf(stderr,
                "usage: rotom_inspect summary <run.jsonl>\n"
-               "       rotom_inspect tail <run.jsonl> [n]\n"
+               "       rotom_inspect serve <serve.jsonl>\n"
+               "       rotom_inspect tail <log.jsonl> [n] [--follow]\n"
                "       rotom_inspect diff <runA.jsonl> <runB.jsonl>\n"
                "       rotom_inspect selftest\n"
                "       rotom_inspect --list-ops\n");
@@ -594,8 +848,22 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "summary" && argc == 3) return CmdSummary(argv[2]);
-  if (cmd == "tail" && (argc == 3 || argc == 4)) {
-    return CmdTail(argv[2], argc == 4 ? std::atoll(argv[3]) : 10);
+  if (cmd == "serve" && argc == 3) return CmdServe(argv[2]);
+  if (cmd == "tail" && argc >= 3 && argc <= 5) {
+    bool follow = false;
+    int64_t n = 10;
+    bool have_n = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--follow") == 0 && !follow) {
+        follow = true;
+      } else if (!have_n) {
+        n = std::atoll(argv[i]);
+        have_n = true;
+      } else {
+        return Usage();
+      }
+    }
+    return CmdTail(argv[2], n, follow);
   }
   if (cmd == "diff" && argc == 4) return CmdDiff(argv[2], argv[3]);
   if (cmd == "selftest" && argc == 2) return CmdSelftest();

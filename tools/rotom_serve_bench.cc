@@ -44,8 +44,14 @@
 // see EXPERIMENTS.md "Serve bench".
 //
 // Output: a console table plus BENCH_serve.json (rotom-bench-v2 schema; the
-// metrics section carries the serve.* counters and the serve.latency_us /
-// serve.batch_size histograms with interpolated percentiles).
+// metrics section carries the serve.* counters, the serve.latency_us /
+// serve.queue_wait_us / serve.compute_us / serve.batch_size histograms with
+// interpolated percentiles, and the derived serve.reject_rate /
+// serve.queue_wait_share ratios). The bench also runs the full serving
+// observability surface under load: a serve flight recorder
+// (serve_bench-p<pid>-*.jsonl next to BENCH_serve.json, readable with
+// `rotom_inspect serve`) shared by both servers and the registry, and a
+// live /metrics listener on an ephemeral loopback port per server window.
 //
 // Environment:
 //   ROTOM_SMOKE=1            short measurement windows
@@ -67,6 +73,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/exposition.h"
 #include "rotom/api.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -290,6 +297,27 @@ int Main() {
   serve::InferenceSession& int8_session = *sessions.value().int8;
   const std::vector<std::string> pool = MakeQueryPool(256);
 
+  // Serve flight recorder, shared by every server window and the registry
+  // (so `swap` events interleave with the request stream they redirect).
+  // The JSONL lands next to BENCH_serve.json; inspect it with
+  // `rotom_inspect serve <file>`. Sampling 1-in-256 keeps the recorder's
+  // write amplification invisible at bench qps.
+  const char* bench_dir = std::getenv("ROTOM_BENCH_DIR");
+  obs::ServeLogOptions servelog_options;
+  servelog_options.dir = bench_dir != nullptr && bench_dir[0] != '\0'
+                             ? bench_dir
+                             : ".";
+  servelog_options.tag = "serve_bench";
+  servelog_options.sample = 256;
+  std::shared_ptr<obs::ServeLog> servelog = obs::ServeLog::Open(
+      servelog_options);
+  if (servelog != nullptr)
+    std::printf("servelog: %s\n", servelog->path().c_str());
+
+  // `kill -USR1 <pid>` dumps the Prometheus exposition to
+  // ROTOM_OBS_SNAPSHOT; a no-op when the variable is unset.
+  obs::InstallSnapshotSignalHandler();
+
   // Warm the encoding caches and the buffer pool outside the windows so
   // every mode measures steady state.
   f32_session.PredictBatch(pool);
@@ -302,6 +330,12 @@ int Main() {
   serve::BatchingServer::Options server_options;
   server_options.max_batch = max_batch;
   server_options.max_delay_us = 200;
+  server_options.servelog = servelog;
+  // Live scrape endpoint on an ephemeral port, held open for the window's
+  // duration: the bench doubles as an integration check that the listener
+  // costs nothing measurable next to the serving work.
+  server_options.obs_http.enabled = true;
+  server_options.obs_http.port = 0;
 
   // Four closed-loop windows over the same query pool: {serial, batched
   // server} x {f32, int8}. Every speedup column is relative to the f32
@@ -311,6 +345,8 @@ int Main() {
   bench::PrintRow("serial f32", {1.0, serial.qps(), 1.0});
 
   serve::BatchingServer server(&f32_session, server_options);
+  if (server.obs_http_port() != 0)
+    std::printf("obs http: 127.0.0.1:%d/metrics\n", server.obs_http_port());
   const LoadResult batched = RunServer(server, pool, clients, seconds);
   server.Shutdown();
   const auto stats = server.GetStats();
@@ -348,7 +384,9 @@ int Main() {
   // (int8, in-memory); ground-truth labels for both versions are computed
   // on directly pinned sessions before any traffic flows.
   const std::vector<std::string> tenant_names = {"em", "edt", "cls"};
-  serve::ModelRegistry registry;
+  serve::ModelRegistry::Options registry_options;
+  registry_options.servelog = servelog;  // swap events join the same stream
+  serve::ModelRegistry registry(registry_options);
   std::vector<std::vector<int64_t>> labels_v1, labels_v2;
   for (size_t t = 0; t < tenant_names.size(); ++t) {
     const serve::Snapshot snapshot = MakeBenchSnapshot(7 + t);
@@ -384,6 +422,9 @@ int Main() {
   tenant_options.max_batch = max_batch;
   tenant_options.max_delay_us = 200;
   tenant_options.queue_capacity = 1024;
+  tenant_options.servelog = servelog;
+  tenant_options.obs_http.enabled = true;
+  tenant_options.obs_http.port = 0;
   serve::TenantServer tenant_server(&registry, tenant_names, tenant_options);
   const TenantLoadResult tenants = RunTenants(
       registry, tenant_server, tenant_names, labels_v1, labels_v2, pool,
