@@ -32,25 +32,33 @@ int main() {
     }
   }
 
-  // 2. Load and split: 80 labels for training, 150 for test, the rest
-  //    becomes the unlabeled pool for InvDA and Rotom+SSL.
-  std::vector<std::string> label_names;
-  auto examples = data::LoadTextClsCsv(path, "review", "sentiment",
-                                       &label_names);
-  if (!examples.ok()) {
+  // 2. Load and split through the unified source factory: 80 labels for
+  //    training, 150 for test, the rest becomes the unlabeled pool for
+  //    InvDA and Rotom+SSL. The same DataSource plugs directly into
+  //    api::TrainSpec::source; OpenSource is the lower-level entry when you
+  //    want the TaskDataset itself (as here, to share one TaskContext
+  //    across methods).
+  data::DataSource::FileSpec file;
+  file.path = path;
+  file.text_column = "review";
+  file.label_column = "sentiment";
+  data::DataSource::SplitSpec split;
+  split.train_size = 80;
+  split.test_size = 150;
+  split.seed = 1;
+  split.name = "my-reviews";
+  auto opened = data::OpenSource(data::DataSource::File(file, split));
+  if (!opened.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
-                 examples.status().message().c_str());
+                 opened.status().message().c_str());
     return 1;
   }
-  data::TaskDataset ds = data::MakeTaskDataset(
-      std::move(examples).value(), /*train_size=*/80, /*test_size=*/150,
-      static_cast<int64_t>(label_names.size()),
-      /*is_pair_task=*/false, /*is_record_task=*/false, /*seed=*/1,
-      "my-reviews");
+  data::TaskDataset ds = std::move(opened.value().dataset);
   std::printf("loaded %s: train=%zu test=%zu unlabeled=%zu classes:",
               ds.name.c_str(), ds.train.size(), ds.test.size(),
               ds.unlabeled.size());
-  for (const auto& l : label_names) std::printf(" %s", l.c_str());
+  for (const auto& l : opened.value().label_names)
+    std::printf(" %s", l.c_str());
   std::printf("\n");
 
   // 3. Train baseline vs Rotom through the shared harness.

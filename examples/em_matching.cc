@@ -43,8 +43,20 @@ int main() {
   // same-origin pre-training on the unlabeled pairs, then the Rotom
   // meta-trainer over the EM operator set (pair/record-aware ops are picked
   // from dataset.is_pair_task / is_record_task).
+  //
+  // The data input is a streaming DataSource (DESIGN.md §14): instead of
+  // epoch-shuffling the 300 labeled pairs, the trainer pulls them endlessly
+  // through a ShuffleBuffer for a fixed step budget, validating every
+  // `valid_every` steps — the shape a production matcher trains in when the
+  // labeled pairs arrive as a feed rather than a file. Swap in
+  // data::DataSource::Inline(dataset) for the classic epoch loop, or
+  // ::Stream({...csv files...}, ...) to pull straight from CSVs.
+  data::DataSource::StreamSpec stream_spec;
+  stream_spec.max_steps = 400;
+  stream_spec.valid_every = 50;
+  stream_spec.shuffle_capacity = 128;
   api::TrainSpec spec;
-  spec.dataset = dataset;
+  spec.source = data::DataSource::StreamOf(dataset, stream_spec);
   spec.method = eval::Method::kRotom;
   spec.seed = 1;
   spec.options.classifier.max_len = 56;

@@ -34,9 +34,12 @@ int main() {
               static_cast<long long>(dataset.num_classes));
 
   // 2. One TrainSpec describes the whole run; the options default to the
-  // paper's configuration and only the scaled-down sizes are set here.
+  // paper's configuration and only the scaled-down sizes are set here. The
+  // data input is a DataSource — Inline wraps an in-memory dataset; File /
+  // Mixture / Stream point at CSVs (see examples/custom_csv.cc and
+  // examples/em_matching.cc).
   api::TrainSpec spec;
-  spec.dataset = dataset;
+  spec.source = data::DataSource::Inline(dataset);
   spec.method = eval::Method::kRotom;
   spec.seed = 1;
   spec.options.classifier.max_len = 24;

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Runs the data-path perf benches, the operator-space sweep, and the
-# serve-path load generator, and collects their machine-readable results
-# (BENCH_micro.json, BENCH_figure4.json, BENCH_opspace.json,
-# BENCH_serve.json) in the repo root.
+# Runs the data-path perf benches, the operator-space sweep, the streaming
+# data-path scaling bench, and the serve-path load generator, and collects
+# their machine-readable results (BENCH_micro.json, BENCH_figure4.json,
+# BENCH_opspace.json, BENCH_stream.json, BENCH_serve.json) in the repo root.
 #
 # bench_figure4_training_time runs every (domain, method) cell twice — once
 # with the pipelined data path (encoding cache + background prefetch), once
@@ -31,7 +31,7 @@ fi
 cmake -B "$build" -S . "${generator[@]}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" -j \
   --target bench_micro_substrate bench_figure4_training_time bench_opspace \
-           rotom_serve_bench
+           bench_stream rotom_serve_bench
 
 export ROTOM_BENCH_DIR="$PWD"
 export ROTOM_NUM_THREADS="${ROTOM_NUM_THREADS:-4}"
@@ -45,8 +45,11 @@ echo "== bench_figure4_training_time (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 echo "== bench_opspace (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 "$build/bench/bench_opspace"
 
+echo "== bench_stream (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
+"$build/bench/bench_stream"
+
 echo "== rotom_serve_bench (ROTOM_NUM_THREADS=$ROTOM_NUM_THREADS) =="
 "$build/tools/rotom_serve_bench"
 
 echo "bench.sh: wrote BENCH_micro.json, BENCH_figure4.json," \
-     "BENCH_opspace.json, BENCH_serve.json"
+     "BENCH_opspace.json, BENCH_stream.json, BENCH_serve.json"

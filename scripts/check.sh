@@ -21,7 +21,8 @@
 #
 # The regress mode is not part of "all": it needs a quiet machine to be
 # meaningful and takes several bench runs. It repeats every gated bench
-# (figure-4 smoke, kernel microbench, serve bench) ROTOM_REGRESS_RUNS
+# (figure-4 smoke, kernel microbench, serve bench, stream bench)
+# ROTOM_REGRESS_RUNS
 # times (default 3) with the same pinned environment the committed
 # baselines were produced with, then feeds the best-of merge to
 # scripts/check_bench_regress.sh (see that script and EXPERIMENTS.md for
@@ -57,14 +58,16 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
   cmake --build build-tsan -j \
     --target thread_pool_test kernels_test autograd_test \
              encoding_cache_test obs_test pipeline_determinism_test \
-             serve_test registry_test obs_http_test servelog_test
+             serve_test registry_test obs_http_test servelog_test \
+             stream_test
   # Force a multi-threaded pool even on single-CPU hosts so TSan actually
   # sees concurrent kernel execution, cache hammering, sharded metric
   # writes, prefetch threads, the micro-batching server's worker +
   # 8 closed-loop submitter threads, the registry's client threads
   # racing repeated hot-swaps, and the serving observability surface
   # (the /metrics listener thread + the flight recorder's lock-free
-  # append path) live under that same load.
+  # append path), and the streaming pipeline's producer thread feeding
+  # batches across the prefetch ring, live under that same load.
   for threads in 2 4; do
     echo "-- ROTOM_NUM_THREADS=$threads"
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/thread_pool_test
@@ -77,6 +80,7 @@ if [[ "$mode" == "all" || "$mode" == "thread" ]]; then
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/registry_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/obs_http_test
     ROTOM_NUM_THREADS=$threads ./build-tsan/tests/servelog_test
+    ROTOM_NUM_THREADS=$threads ./build-tsan/tests/stream_test
   done
 fi
 
@@ -101,8 +105,8 @@ if [[ "$mode" == "all" || "$mode" == "perf" ]]; then
   if [[ -f build/CMakeCache.txt ]]; then perf_generator=(); fi
   cmake -B build -S . "${perf_generator[@]}"
   cmake --build build -j \
-    --target bench_micro_substrate bench_figure4_training_time rotom_inspect \
-             rotom_serve_bench
+    --target bench_micro_substrate bench_figure4_training_time bench_opspace \
+             bench_stream rotom_inspect rotom_serve_bench
   ctest --test-dir build -L perf-smoke --output-on-failure
 fi
 
@@ -112,7 +116,7 @@ if [[ "$mode" == "regress" ]]; then
   if [[ -f build/CMakeCache.txt ]]; then regress_generator=(); fi
   cmake -B build -S . "${regress_generator[@]}"
   cmake --build build -j \
-    --target bench_figure4_training_time bench_micro_substrate \
+    --target bench_figure4_training_time bench_micro_substrate bench_stream \
              rotom_serve_bench
   runs="${ROTOM_REGRESS_RUNS:-3}"
   regress_tmp="$(mktemp -d)"
@@ -134,6 +138,9 @@ if [[ "$mode" == "regress" ]]; then
     ROTOM_SMOKE=1 ROTOM_NUM_THREADS=1 \
       ROTOM_BENCH_DIR="$regress_tmp/run$i" \
       ./build/tools/rotom_serve_bench >/dev/null
+    ROTOM_SMOKE=1 ROTOM_NUM_THREADS=1 \
+      ROTOM_BENCH_DIR="$regress_tmp/run$i" \
+      ./build/bench/bench_stream >/dev/null
     dirs+=("$regress_tmp/run$i")
   done
   scripts/check_bench_regress.sh "${dirs[@]}"

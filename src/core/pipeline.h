@@ -10,7 +10,51 @@
 #include "text/vocab.h"
 
 namespace rotom {
+
+namespace stream {
+class ExampleStream;  // stream/stream.h
+}  // namespace stream
+
 namespace core {
+
+/// Streaming (step-budgeted) training mode: instead of epochs over a
+/// materialized TaskDataset::train, the trainer pulls labeled examples from
+/// an ExampleStream pipeline (stream/stream.h) for `max_steps` optimizer
+/// steps, validating every `valid_every` steps against the materialized
+/// valid split. The stream replaces only the *train* split — valid/test
+/// and the unlabeled SSL pool stay materialized.
+///
+/// Like `op_set`, this is a semantic knob: the example order differs from
+/// the epoch loop's Fisher-Yates shuffle, so determinism holds per
+/// configuration (same stream spec + seeds → bit-identical run), not
+/// across streaming/epoch modes.
+struct StreamingOptions {
+  /// Root of the example pipeline (typically ShuffleBuffer(Mix(sources))).
+  /// Shared so a caller can inspect stream state after training; the
+  /// trainer is the only puller while Train runs. Null = epoch mode.
+  std::shared_ptr<stream::ExampleStream> source;
+
+  /// Total optimizer steps; must be > 0 when `source` is set.
+  int64_t max_steps = 0;
+
+  /// Validation/checkpoint cadence in steps; 0 = ceil(max_steps / epochs)
+  /// so a streaming run logs the same number of "epoch" rounds as the
+  /// epoch-budgeted configuration it replaces.
+  int64_t valid_every = 0;
+
+  /// When non-empty, a TrainCheckpoint (model + optimizers + stream
+  /// cursors) is written here atomically at every validation round.
+  std::string checkpoint_path;
+
+  /// When non-empty, training state is restored from this checkpoint and
+  /// the run continues at the recorded step; the stream `source` must be a
+  /// freshly built pipeline of the same spec (it is fast-forwarded by
+  /// replay). The resumed run's remaining steps reproduce the
+  /// uninterrupted run bit-identically.
+  std::string resume_from;
+
+  bool enabled() const { return source != nullptr; }
+};
 
 /// Configuration of the training data pipeline shared by RotomTrainer,
 /// FinetuneTrainer, and the pretraining loops. The pipeline is a pure
@@ -61,6 +105,10 @@ struct PipelineOptions {
   /// eval candidate generators. "default" = the paper's Table 3 per-task
   /// set, which reproduces the legacy hard-wired behavior bit-for-bit.
   std::string op_set = "default";
+
+  /// Streaming step-budget mode (see StreamingOptions above). Defaults to
+  /// disabled (null source) = the epoch loop.
+  StreamingOptions streaming;
 
   bool cache_enabled() const { return cache_rows > 0; }
 };

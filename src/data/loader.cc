@@ -53,18 +53,19 @@ text::Record RowToRecord(const CsvTable& table,
 StatusOr<std::vector<Example>> LoadTextClsCsv(
     const std::string& path, const std::string& text_column,
     const std::string& label_column, std::vector<std::string>* label_names) {
-  auto table = ReadCsvFile(path);
-  if (!table.ok()) return table.status();
-  auto text_col = FindColumn(table.value(), text_column);
+  auto parsed = ReadCsvFileShared(path);
+  if (!parsed.ok()) return parsed.status();
+  const CsvTable& table = *parsed.value();
+  auto text_col = FindColumn(table, text_column);
   if (!text_col.ok()) return text_col.status();
-  auto label_col = FindColumn(table.value(), label_column);
+  auto label_col = FindColumn(table, label_column);
   if (!label_col.ok()) return label_col.status();
-  if (auto s = CheckRectangular(table.value(), path); !s.ok()) return s;
+  if (auto s = CheckRectangular(table, path); !s.ok()) return s;
 
   std::map<std::string, int64_t> label_ids;
   std::vector<Example> out;
-  out.reserve(table.value().rows.size());
-  for (const auto& row : table.value().rows) {
+  out.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
     const std::string& label = row[label_col.value()];
     auto [it, inserted] =
         label_ids.emplace(label, static_cast<int64_t>(label_ids.size()));
@@ -75,11 +76,11 @@ StatusOr<std::vector<Example>> LoadTextClsCsv(
 }
 
 StatusOr<std::vector<Example>> LoadEmPairsCsv(const EmCsvSpec& spec) {
-  auto left = ReadCsvFile(spec.left_table_path);
+  auto left = ReadCsvFileShared(spec.left_table_path);
   if (!left.ok()) return left.status();
-  auto right = ReadCsvFile(spec.right_table_path);
+  auto right = ReadCsvFileShared(spec.right_table_path);
   if (!right.ok()) return right.status();
-  auto pairs = ReadCsvFile(spec.pairs_path);
+  auto pairs = ReadCsvFileShared(spec.pairs_path);
   if (!pairs.ok()) return pairs.status();
 
   auto index_table = [&](const CsvTable& table, const std::string& path)
@@ -94,23 +95,24 @@ StatusOr<std::vector<Example>> LoadEmPairsCsv(const EmCsvSpec& spec) {
     }
     return by_id;
   };
-  auto left_by_id = index_table(left.value(), spec.left_table_path);
+  auto left_by_id = index_table(*left.value(), spec.left_table_path);
   if (!left_by_id.ok()) return left_by_id.status();
-  auto right_by_id = index_table(right.value(), spec.right_table_path);
+  auto right_by_id = index_table(*right.value(), spec.right_table_path);
   if (!right_by_id.ok()) return right_by_id.status();
 
-  auto lcol = FindColumn(pairs.value(), spec.pair_left_column);
+  const CsvTable& pair_table = *pairs.value();
+  auto lcol = FindColumn(pair_table, spec.pair_left_column);
   if (!lcol.ok()) return lcol.status();
-  auto rcol = FindColumn(pairs.value(), spec.pair_right_column);
+  auto rcol = FindColumn(pair_table, spec.pair_right_column);
   if (!rcol.ok()) return rcol.status();
-  auto ycol = FindColumn(pairs.value(), spec.pair_label_column);
+  auto ycol = FindColumn(pair_table, spec.pair_label_column);
   if (!ycol.ok()) return ycol.status();
-  if (auto s = CheckRectangular(pairs.value(), spec.pairs_path); !s.ok())
+  if (auto s = CheckRectangular(pair_table, spec.pairs_path); !s.ok())
     return s;
 
   std::vector<Example> out;
-  out.reserve(pairs.value().rows.size());
-  for (const auto& row : pairs.value().rows) {
+  out.reserve(pair_table.rows.size());
+  for (const auto& row : pair_table.rows) {
     auto lit = left_by_id.value().find(row[lcol.value()]);
     auto rit = right_by_id.value().find(row[rcol.value()]);
     if (lit == left_by_id.value().end() || rit == right_by_id.value().end()) {
@@ -131,33 +133,33 @@ StatusOr<std::vector<Example>> LoadEmPairsCsv(const EmCsvSpec& spec) {
 StatusOr<std::vector<Example>> LoadEdtTableCsv(const std::string& dirty_path,
                                                const std::string& clean_path,
                                                bool context_dependent) {
-  auto dirty = ReadCsvFile(dirty_path);
-  if (!dirty.ok()) return dirty.status();
-  if (auto s = CheckRectangular(dirty.value(), dirty_path); !s.ok()) return s;
+  auto parsed_dirty = ReadCsvFileShared(dirty_path);
+  if (!parsed_dirty.ok()) return parsed_dirty.status();
+  const CsvTable& dirty = *parsed_dirty.value();
+  if (auto s = CheckRectangular(dirty, dirty_path); !s.ok()) return s;
   CsvTable clean;
   const bool has_clean = !clean_path.empty();
   if (has_clean) {
-    auto parsed = ReadCsvFile(clean_path);
+    auto parsed = ReadCsvFileShared(clean_path);
     if (!parsed.ok()) return parsed.status();
-    clean = std::move(parsed.value());
+    clean = *parsed.value();
     if (auto s = CheckRectangular(clean, clean_path); !s.ok()) return s;
-    if (clean.header != dirty.value().header ||
-        clean.rows.size() != dirty.value().rows.size()) {
+    if (clean.header != dirty.header ||
+        clean.rows.size() != dirty.rows.size()) {
       return Status::Error("clean table shape differs from dirty table");
     }
   }
 
   std::vector<Example> out;
-  for (size_t r = 0; r < dirty.value().rows.size(); ++r) {
-    const auto& row = dirty.value().rows[r];
-    text::Record record = RowToRecord(dirty.value(), row, /*skip_column=*/-1);
+  for (size_t r = 0; r < dirty.rows.size(); ++r) {
+    const auto& row = dirty.rows[r];
+    text::Record record = RowToRecord(dirty, row, /*skip_column=*/-1);
     for (size_t c = 0; c < row.size(); ++c) {
       const int64_t label =
           has_clean && clean.rows[r][c] != row[c] ? 1 : 0;
       const std::string input =
           context_dependent ? text::SerializeRowContext(record, c)
-                            : text::SerializeCell(dirty.value().header[c],
-                                                  row[c]);
+                            : text::SerializeCell(dirty.header[c], row[c]);
       out.push_back({input, label});
     }
   }

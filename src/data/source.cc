@@ -1,0 +1,301 @@
+#include "data/source.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "data/loader.h"
+#include "stream/csv_source.h"
+#include "stream/stream.h"
+#include "util/rng.h"
+
+namespace rotom {
+namespace data {
+
+namespace {
+
+// Per-stage seed streams split from StreamSpec::seed, so the mixer and the
+// shuffle buffer never share a random sequence. Frozen: changing them
+// changes every streaming trajectory (and invalidates checkpoints).
+constexpr uint64_t kMixSalt = 0x6d6978;      // "mix"
+constexpr uint64_t kShuffleSalt = 0x736866;  // "shf"
+
+bool FileReadable(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+Status CheckFiles(const std::vector<DataSource::FileSpec>& files,
+                  const char* what) {
+  for (const auto& file : files) {
+    if (file.path.empty())
+      return Status::Error(std::string(what) + ": empty file path");
+    if (!FileReadable(file.path)) {
+      return Status::Error(std::string(what) + ": cannot read '" + file.path +
+                           "'");
+    }
+    if (!(file.weight > 0.0)) {
+      return Status::Error(std::string(what) + ": non-positive weight " +
+                           std::to_string(file.weight) + " for '" + file.path +
+                           "'");
+    }
+  }
+  return Status::Ok();
+}
+
+// Loads every file and remaps each file's local label enumeration into one
+// global first-appearance-across-files table, so "positive" gets the same
+// id no matter which file (or how late) it appears in.
+StatusOr<std::vector<Example>> LoadFiles(
+    const std::vector<DataSource::FileSpec>& files,
+    std::vector<std::string>* label_names) {
+  auto global_id = [&](const std::string& name) -> int64_t {
+    for (size_t i = 0; i < label_names->size(); ++i) {
+      if ((*label_names)[i] == name) return static_cast<int64_t>(i);
+    }
+    label_names->push_back(name);
+    return static_cast<int64_t>(label_names->size()) - 1;
+  };
+  std::vector<Example> all;
+  for (const auto& file : files) {
+    std::vector<std::string> file_names;
+    auto examples = LoadTextClsCsv(file.path, file.text_column,
+                                   file.label_column, &file_names);
+    if (!examples.ok()) return examples.status();
+    for (auto& e : examples.value()) {
+      e.label = global_id(file_names[static_cast<size_t>(e.label)]);
+      all.push_back(std::move(e));
+    }
+  }
+  return all;
+}
+
+// Builds the endless train pipeline over the spec's files:
+// ShuffleBuffer(Mix(CsvFileSource...)). `label_names` pre-seeds the shared
+// LabelTable so stream ids match the materialized enumeration.
+StatusOr<std::shared_ptr<stream::ExampleStream>> BuildFileStream(
+    const DataSource& source, const std::vector<std::string>& label_names) {
+  auto labels = std::make_shared<stream::LabelTable>();
+  for (const auto& name : label_names) labels->IdFor(name);
+  std::vector<std::unique_ptr<stream::ExampleStream>> children;
+  std::vector<double> weights;
+  for (const auto& file : source.files) {
+    stream::CsvFileSource::Options options;
+    options.text_column = file.text_column;
+    options.label_column = file.label_column;
+    auto child = stream::CsvFileSource::Open(file.path, options, labels);
+    if (!child.ok()) return child.status();
+    children.push_back(std::move(child).value());
+    weights.push_back(file.weight);
+  }
+  std::unique_ptr<stream::ExampleStream> inner;
+  if (children.size() == 1) {
+    inner = std::move(children[0]);
+  } else {
+    auto mix = stream::Mix::Create(std::move(children), std::move(weights),
+                                   SplitSeed(source.stream.seed, kMixSalt));
+    if (!mix.ok()) return mix.status();
+    inner = std::move(mix).value();
+  }
+  return std::shared_ptr<stream::ExampleStream>(
+      std::make_unique<stream::ShuffleBuffer>(
+          std::move(inner), source.stream.shuffle_capacity,
+          SplitSeed(source.stream.seed, kShuffleSalt)));
+}
+
+}  // namespace
+
+DataSource DataSource::Inline(TaskDataset ds) {
+  DataSource source;
+  source.kind = Kind::kInline;
+  source.dataset = std::move(ds);
+  return source;
+}
+
+DataSource DataSource::File(FileSpec file) {
+  return File(std::move(file), SplitSpec{});
+}
+
+DataSource DataSource::File(FileSpec file, SplitSpec split) {
+  DataSource source;
+  source.kind = Kind::kFile;
+  source.files.push_back(std::move(file));
+  source.split = std::move(split);
+  return source;
+}
+
+DataSource DataSource::Mixture(std::vector<FileSpec> files) {
+  return Mixture(std::move(files), SplitSpec{});
+}
+
+DataSource DataSource::Mixture(std::vector<FileSpec> files, SplitSpec split) {
+  DataSource source;
+  source.kind = Kind::kMixture;
+  source.files = std::move(files);
+  source.split = std::move(split);
+  return source;
+}
+
+DataSource DataSource::Stream(std::vector<FileSpec> files, StreamSpec stream) {
+  return Stream(std::move(files), std::move(stream), SplitSpec{});
+}
+
+DataSource DataSource::Stream(std::vector<FileSpec> files, StreamSpec stream,
+                              SplitSpec split) {
+  DataSource source;
+  source.kind = Kind::kStream;
+  source.files = std::move(files);
+  source.stream = std::move(stream);
+  source.split = std::move(split);
+  return source;
+}
+
+DataSource DataSource::StreamOf(TaskDataset ds, StreamSpec stream) {
+  DataSource source;
+  source.kind = Kind::kStream;
+  source.dataset = std::move(ds);
+  source.stream = std::move(stream);
+  return source;
+}
+
+Status ValidateSource(const DataSource& source) {
+  switch (source.kind) {
+    case DataSource::Kind::kNone:
+      return Status::Error("DataSource: kind is unset");
+    case DataSource::Kind::kInline:
+      if (source.dataset.train.empty())
+        return Status::Error("DataSource: inline dataset train is empty");
+      return Status::Ok();
+    case DataSource::Kind::kFile:
+      if (source.files.size() != 1) {
+        return Status::Error("DataSource: File source needs exactly one "
+                             "file, got " +
+                             std::to_string(source.files.size()));
+      }
+      return CheckFiles(source.files, "DataSource");
+    case DataSource::Kind::kMixture:
+      if (source.files.empty())
+        return Status::Error("DataSource: mixture is empty");
+      return CheckFiles(source.files, "DataSource mixture");
+    case DataSource::Kind::kStream: {
+      if (source.stream.max_steps <= 0) {
+        return Status::Error("DataSource: stream needs max_steps > 0, got " +
+                             std::to_string(source.stream.max_steps));
+      }
+      if (source.stream.shuffle_capacity < 1) {
+        return Status::Error(
+            "DataSource: stream shuffle_capacity must be >= 1, got " +
+            std::to_string(source.stream.shuffle_capacity));
+      }
+      const bool over_dataset = source.files.empty();
+      if (over_dataset) {
+        if (source.dataset.train.empty()) {
+          return Status::Error(
+              "DataSource: stream has neither files nor an in-memory train "
+              "split");
+        }
+        if (source.dataset.valid.empty()) {
+          return Status::Error(
+              "DataSource: streamed dataset needs a valid split (streaming "
+              "validates and checkpoints by rounds)");
+        }
+        return Status::Ok();
+      }
+      if (Status s = CheckFiles(source.files, "DataSource stream"); !s.ok())
+        return s;
+      if (!source.stream.eval.path.empty() &&
+          !FileReadable(source.stream.eval.path)) {
+        return Status::Error("DataSource stream: cannot read eval file '" +
+                             source.stream.eval.path + "'");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Error("DataSource: unknown kind");
+}
+
+StatusOr<OpenedSource> OpenSource(const DataSource& source) {
+  if (Status s = ValidateSource(source); !s.ok()) return s;
+  OpenedSource opened;
+
+  switch (source.kind) {
+    case DataSource::Kind::kNone:
+      break;  // unreachable: validation rejected it
+
+    case DataSource::Kind::kInline:
+      opened.dataset = source.dataset;
+      break;
+
+    case DataSource::Kind::kFile:
+    case DataSource::Kind::kMixture: {
+      auto examples = LoadFiles(source.files, &opened.label_names);
+      if (!examples.ok()) return examples.status();
+      const int64_t n = static_cast<int64_t>(examples.value().size());
+      const DataSource::SplitSpec& split = source.split;
+      const int64_t test_size = std::min<int64_t>(split.test_size, n);
+      const int64_t train_size =
+          split.train_size > 0 ? std::min<int64_t>(split.train_size,
+                                                   n - test_size)
+                               : n - test_size;
+      opened.dataset = MakeTaskDataset(
+          std::move(examples).value(), train_size, test_size,
+          static_cast<int64_t>(opened.label_names.size()),
+          split.is_pair_task, split.is_record_task, split.seed, split.name);
+      break;
+    }
+
+    case DataSource::Kind::kStream: {
+      opened.stream_spec = source.stream;
+      if (source.files.empty()) {
+        // Stream over an in-memory dataset's train split.
+        opened.dataset = source.dataset;
+        opened.stream = std::make_shared<stream::ShuffleBuffer>(
+            std::make_unique<stream::VectorSource>("train",
+                                                   source.dataset.train),
+            source.stream.shuffle_capacity,
+            SplitSeed(source.stream.seed, kShuffleSalt));
+        break;
+      }
+      // File-based: materialize once for the vocabulary/IDF corpus and the
+      // eval splits (the shared CSV cache makes this the only extra read),
+      // then stream the same files endlessly for training.
+      auto examples = LoadFiles(source.files, &opened.label_names);
+      if (!examples.ok()) return examples.status();
+      TaskDataset& ds = opened.dataset;
+      ds.name = source.split.name;
+      ds.is_pair_task = source.split.is_pair_task;
+      ds.is_record_task = source.split.is_record_task;
+      ds.train = examples.value();
+      for (const auto& e : examples.value()) ds.unlabeled.push_back(e.text);
+      if (!source.stream.eval.path.empty()) {
+        std::vector<DataSource::FileSpec> eval_files = {source.stream.eval};
+        auto eval = LoadFiles(eval_files, &opened.label_names);
+        if (!eval.ok()) return eval.status();
+        ds.valid = eval.value();
+        ds.test = std::move(eval).value();
+      } else {
+        // No held-out file: sample eval examples from the training corpus.
+        // The stream trains on these same rows — acceptable for smoke runs,
+        // a contamination caveat for real measurements (see DataSource).
+        std::vector<Example> shuffled = examples.value();
+        Rng rng(source.split.seed);
+        rng.Shuffle(shuffled);
+        const int64_t n = static_cast<int64_t>(shuffled.size());
+        const int64_t eval_size = std::min<int64_t>(
+            n, source.split.test_size > 0 ? source.split.test_size
+                                          : std::max<int64_t>(1, n / 5));
+        shuffled.resize(static_cast<size_t>(eval_size));
+        ds.valid = shuffled;
+        ds.test = std::move(shuffled);
+      }
+      ds.num_classes = static_cast<int64_t>(opened.label_names.size());
+      auto built = BuildFileStream(source, opened.label_names);
+      if (!built.ok()) return built.status();
+      opened.stream = std::move(built).value();
+      break;
+    }
+  }
+  return opened;
+}
+
+}  // namespace data
+}  // namespace rotom

@@ -1,0 +1,139 @@
+#ifndef ROTOM_DATA_SOURCE_H_
+#define ROTOM_DATA_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace rotom {
+
+namespace stream {
+class ExampleStream;  // stream/stream.h
+}  // namespace stream
+
+namespace data {
+
+/// Declarative spec of where a training run's data comes from — the single
+/// data-input type of the rotom::api facade (api::TrainSpec::source) and of
+/// data::OpenSource, which resolves any kind into the one OpenedSource
+/// shape the trainers consume. Four kinds:
+///
+///   kInline   an in-memory TaskDataset (generators, tests);
+///   kFile     one text-classification CSV, split into a TaskDataset;
+///   kMixture  several CSVs concatenated (with one shared label space),
+///             then split like kFile — the weights are ignored when
+///             materializing (every row is used once);
+///   kStream   step-budgeted streaming (DESIGN.md §14): train examples are
+///             pulled endlessly from a ShuffleBuffer(Mix(CsvFileSource...))
+///             pipeline built over `files` with their mixture weights — or
+///             from the train split of an in-memory dataset (StreamOf).
+///
+/// Build instances through the factory functions; ValidateSource reports
+/// spec-level problems (empty mixture, non-positive weight, unknown path)
+/// as Status errors before any file is parsed.
+struct DataSource {
+  enum class Kind { kNone, kInline, kFile, kMixture, kStream };
+
+  /// One CSV file: a text column and a label column (labels are arbitrary
+  /// strings, enumerated across ALL files of the source in first-appearance
+  /// order). `weight` is the mixture draw weight — meaningful only for
+  /// kStream (materializing kinds read every row exactly once).
+  struct FileSpec {
+    std::string path;
+    std::string text_column = "text";
+    std::string label_column = "label";
+    double weight = 1.0;
+  };
+
+  /// How materialized examples become a TaskDataset (MakeTaskDataset):
+  /// shuffle with `seed`, hold out `test_size` for test, take `train_size`
+  /// for train (valid aliases train), remaining texts become the unlabeled
+  /// pool. 0 sizes = "the loader's defaults" (documented per kind in
+  /// OpenSource).
+  struct SplitSpec {
+    int64_t train_size = 0;
+    int64_t test_size = 0;
+    bool is_pair_task = false;
+    bool is_record_task = false;
+    uint64_t seed = 1;
+    std::string name = "csv";
+  };
+
+  /// Streaming knobs (kStream), forwarded to core::StreamingOptions by
+  /// api::Train. `eval` optionally names a held-out CSV for the valid/test
+  /// splits; without it they are sampled from the training corpus itself,
+  /// which the stream also trains on — fine for smoke runs, documented
+  /// contamination for real measurements.
+  struct StreamSpec {
+    int64_t max_steps = 0;      // required > 0
+    int64_t valid_every = 0;    // 0 = trainer default cadence
+    int64_t shuffle_capacity = 256;
+    uint64_t seed = 1;
+    std::string checkpoint_path;
+    std::string resume_from;
+    FileSpec eval;              // optional held-out eval file
+  };
+
+  Kind kind = Kind::kNone;
+  TaskDataset dataset;          // kInline, and StreamOf's base
+  std::vector<FileSpec> files;  // kFile (exactly 1), kMixture/kStream (1+)
+  SplitSpec split;              // kFile / kMixture / file-based kStream
+  StreamSpec stream;            // kStream
+
+  // (Overloads instead of `SplitSpec split = {}` defaults: an NSDMI-bearing
+  // nested aggregate cannot appear as a default argument while the enclosing
+  // class is still incomplete.)
+  static DataSource Inline(TaskDataset ds);
+  static DataSource File(FileSpec file);
+  static DataSource File(FileSpec file, SplitSpec split);
+  static DataSource Mixture(std::vector<FileSpec> files);
+  static DataSource Mixture(std::vector<FileSpec> files, SplitSpec split);
+  /// File-based streaming: `files` become the endless train stream; the
+  /// same files are materialized once (through the shared CSV cache, so
+  /// the stream's own first pass is the only other read) for the
+  /// vocabulary/IDF corpus and — absent `stream.eval` — the eval splits.
+  static DataSource Stream(std::vector<FileSpec> files, StreamSpec stream);
+  static DataSource Stream(std::vector<FileSpec> files, StreamSpec stream,
+                           SplitSpec split);
+  /// Streaming over an in-memory dataset: `ds` keeps its valid/test/
+  /// unlabeled splits and its train split is streamed through a
+  /// ShuffleBuffer instead of epoch-shuffled.
+  static DataSource StreamOf(TaskDataset ds, StreamSpec stream);
+};
+
+/// A resolved DataSource: the materialized TaskDataset (always — streaming
+/// kinds still materialize the vocabulary/IDF corpus and eval splits) plus,
+/// for kStream, the example pipeline and the spec to wire into
+/// core::StreamingOptions.
+struct OpenedSource {
+  TaskDataset dataset;
+  std::shared_ptr<stream::ExampleStream> stream;  // non-null iff kStream
+  DataSource::StreamSpec stream_spec;             // meaningful iff kStream
+  /// Label string per class id, for CSV-backed kinds (empty for kInline /
+  /// StreamOf, whose label space is already numeric).
+  std::vector<std::string> label_names;
+};
+
+/// Spec-level validation: unset kind, empty inline train split, empty
+/// mixture, non-positive mixture weight, missing/unreadable path, a stream
+/// without max_steps. Cheap (stat-level) — parse errors surface from
+/// OpenSource.
+Status ValidateSource(const DataSource& source);
+
+/// Resolves the spec into training inputs. Validates first (see
+/// ValidateSource), then parses/loads through the shared CSV cache
+/// (util/csv.h) so a file referenced by both the materialization and a
+/// later TaskContext is read and validated once. All files of a multi-file
+/// source share one label enumeration (first-appearance order across files
+/// in spec order), and the streaming pipeline is seeded with that same
+/// enumeration so stream draws and materialized examples agree on ids.
+StatusOr<OpenedSource> OpenSource(const DataSource& source);
+
+}  // namespace data
+}  // namespace rotom
+
+#endif  // ROTOM_DATA_SOURCE_H_

@@ -65,6 +65,43 @@ void Adam::Step() {
   }
 }
 
+NamedTensors Adam::StateTensors(const std::string& prefix) const {
+  NamedTensors out;
+  out.reserve(m_.size() * 2);
+  for (size_t i = 0; i < m_.size(); ++i) {
+    out.emplace_back(prefix + "m." + std::to_string(i), m_[i].Clone());
+    out.emplace_back(prefix + "v." + std::to_string(i), v_[i].Clone());
+  }
+  return out;
+}
+
+Status Adam::LoadStateTensors(const NamedTensors& tensors,
+                              const std::string& prefix, int64_t step) {
+  auto find = [&](const std::string& name) -> const Tensor* {
+    for (const auto& entry : tensors) {
+      if (entry.first == name) return &entry.second;
+    }
+    return nullptr;
+  };
+  for (size_t i = 0; i < m_.size(); ++i) {
+    const std::string mi = prefix + "m." + std::to_string(i);
+    const std::string vi = prefix + "v." + std::to_string(i);
+    const Tensor* m = find(mi);
+    const Tensor* v = find(vi);
+    if (m == nullptr || v == nullptr) {
+      return Status::Error("Adam state missing '" + (m ? vi : mi) + "'");
+    }
+    if (m->shape() != m_[i].shape() || v->shape() != v_[i].shape()) {
+      return Status::Error("Adam state shape mismatch at parameter " +
+                           std::to_string(i));
+    }
+    m_[i].CopyFrom(*m);
+    v_[i].CopyFrom(*v);
+  }
+  step_ = step;
+  return Status::Ok();
+}
+
 float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
   double total = 0.0;
   for (const auto& p : params) {

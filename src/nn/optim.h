@@ -1,9 +1,12 @@
 #ifndef ROTOM_NN_OPTIM_H_
 #define ROTOM_NN_OPTIM_H_
 
+#include <string>
 #include <vector>
 
+#include "tensor/serialize.h"
 #include "tensor/variable.h"
+#include "util/status.h"
 
 namespace rotom {
 namespace nn {
@@ -58,6 +61,21 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  /// Bias-correction step count (number of Step() calls so far).
+  int64_t step_count() const { return step_; }
+
+  /// Snapshots the moment estimates as "<prefix>m.<i>" / "<prefix>v.<i>"
+  /// (parameter order), for embedding in a training checkpoint alongside
+  /// the model weights. The step count travels separately (step_count()),
+  /// since checkpoint scalars are not tensors.
+  NamedTensors StateTensors(const std::string& prefix) const;
+
+  /// Restores moments saved by StateTensors with the same prefix and an
+  /// identically-shaped parameter list, and resets the bias-correction
+  /// count to `step`. Errors on missing entries or shape mismatches.
+  Status LoadStateTensors(const NamedTensors& tensors,
+                          const std::string& prefix, int64_t step);
 
  private:
   float lr_;

@@ -363,5 +363,14 @@ void RunLog::LogEpoch(int64_t epoch, double valid_metric,
   Append(line.Finish());
 }
 
+void RunLog::LogStreamState(int64_t step, int64_t round,
+                            std::string_view state) {
+  RunLogLine line("stream_state");
+  line.Add("step", step);
+  line.Add("round", round);
+  line.Add("state", state);
+  Append(line.Finish());
+}
+
 }  // namespace obs
 }  // namespace rotom

@@ -139,6 +139,13 @@ class RunLog {
   /// omit it).
   void LogEpoch(int64_t epoch, double valid_metric, double keep_fraction);
 
+  /// Appends a `stream_state` event: the serialized stream cursors of the
+  /// last consumed batch at a streaming validation round (step-budgeted
+  /// mode, DESIGN.md §14). The recorded state is the same value written to
+  /// the TrainCheckpoint, so the run log alone pins where a killed run will
+  /// resume.
+  void LogStreamState(int64_t step, int64_t round, std::string_view state);
+
   /// Path of the JSONL file (absolute iff `dir` was).
   const std::string& path() const { return path_; }
 

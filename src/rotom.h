@@ -11,7 +11,10 @@
 //   tensor/   dense float tensors + reverse-mode autograd (Variable/ops)
 //   nn/       layers, attention, transformer encoder/decoder, optimizers
 //   text/     tokenizer, vocabulary, IDF, [COL]/[VAL] record serialization
-//   data/     synthetic EM / EDT / TextCLS benchmark generators
+//   data/     synthetic EM / EDT / TextCLS benchmark generators, CSV
+//             loaders, and the DataSource spec (data/source.h)
+//   stream/   pull-based endless example pipelines (CsvFileSource, Mix,
+//             ShuffleBuffer) for step-budgeted streaming training
 //   augment/  pluggable DA operator registry (Table 3 ops + beyond), synonyms, MixDA
 //   models/   TransformerClassifier (+ MLM / same-origin pre-training),
 //             Seq2SeqModel
@@ -44,7 +47,10 @@
 #include "data/edt_gen.h"
 #include "data/em_gen.h"
 #include "data/loader.h"
+#include "data/source.h"
 #include "data/textcls_gen.h"
+#include "stream/csv_source.h"
+#include "stream/stream.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "invda/invda.h"

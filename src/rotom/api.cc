@@ -25,19 +25,19 @@ Status CheckLabels(const std::vector<data::Example>& examples,
   return Status::Ok();
 }
 
-Status ValidateSpec(const TrainSpec& spec) {
-  if (spec.dataset.train.empty())
+Status ValidateDataset(const data::TaskDataset& dataset, bool streaming) {
+  if (!streaming && dataset.train.empty())
     return Status::Error("TrainSpec: dataset.train is empty");
-  if (spec.dataset.num_classes < 2) {
+  if (dataset.num_classes < 2) {
     return Status::Error("TrainSpec: num_classes must be >= 2, got " +
-                         std::to_string(spec.dataset.num_classes));
+                         std::to_string(dataset.num_classes));
   }
-  const int64_t classes = spec.dataset.num_classes;
-  if (Status s = CheckLabels(spec.dataset.train, classes, "train"); !s.ok())
+  const int64_t classes = dataset.num_classes;
+  if (Status s = CheckLabels(dataset.train, classes, "train"); !s.ok())
     return s;
-  if (Status s = CheckLabels(spec.dataset.valid, classes, "valid"); !s.ok())
+  if (Status s = CheckLabels(dataset.valid, classes, "valid"); !s.ok())
     return s;
-  if (Status s = CheckLabels(spec.dataset.test, classes, "test"); !s.ok())
+  if (Status s = CheckLabels(dataset.test, classes, "test"); !s.ok())
     return s;
   return Status::Ok();
 }
@@ -45,12 +45,49 @@ Status ValidateSpec(const TrainSpec& spec) {
 }  // namespace
 
 StatusOr<TrainReport> Train(const TrainSpec& spec) {
-  if (Status s = ValidateSpec(spec); !s.ok()) return s;
+  // Resolve the data input: the new `source` spec, or the deprecated
+  // in-memory `dataset` field treated as DataSource::Inline. A dataset with
+  // any populated split counts as "set" so e.g. an accidentally empty train
+  // split still reports "train is empty" rather than "no data source".
+  const bool has_legacy =
+      !spec.dataset.train.empty() || !spec.dataset.valid.empty() ||
+      !spec.dataset.test.empty() || !spec.dataset.unlabeled.empty();
+  const bool has_source = spec.source.kind != data::DataSource::Kind::kNone;
+  if (has_legacy && has_source) {
+    return Status::Error(
+        "TrainSpec: set either `source` or the deprecated `dataset`, not "
+        "both");
+  }
+  if (!has_legacy && !has_source) {
+    return Status::Error("TrainSpec: no data source (set TrainSpec.source)");
+  }
 
-  data::TaskDataset dataset = spec.dataset;
+  auto opened = data::OpenSource(
+      has_source ? spec.source : data::DataSource::Inline(spec.dataset));
+  if (!opened.ok()) return opened.status();
+
+  const bool streaming = opened.value().stream != nullptr;
+  data::TaskDataset dataset = std::move(opened.value().dataset);
+  if (Status s = ValidateDataset(dataset, streaming); !s.ok()) return s;
   if (dataset.valid.empty()) dataset.valid = dataset.train;
+  if (streaming && dataset.valid.empty()) {
+    return Status::Error(
+        "TrainSpec: streaming source produced an empty validation split");
+  }
 
-  eval::TaskContext context(std::move(dataset), spec.options);
+  eval::ExperimentOptions options = spec.options;
+  if (streaming) {
+    const data::DataSource::StreamSpec& stream_spec =
+        opened.value().stream_spec;
+    core::StreamingOptions& streaming_options = options.pipeline.streaming;
+    streaming_options.source = opened.value().stream;
+    streaming_options.max_steps = stream_spec.max_steps;
+    streaming_options.valid_every = stream_spec.valid_every;
+    streaming_options.checkpoint_path = stream_spec.checkpoint_path;
+    streaming_options.resume_from = stream_spec.resume_from;
+  }
+
+  eval::TaskContext context(std::move(dataset), std::move(options));
   std::unique_ptr<models::TransformerClassifier> model;
   TrainReport report;
   report.metrics = context.Run(spec.method, spec.seed, &model);

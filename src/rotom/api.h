@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "data/dataset.h"
+#include "data/source.h"
 #include "eval/experiment.h"
 #include "obs/servelog.h"
 #include "serve/obs_http.h"
@@ -64,11 +65,24 @@ using serve::Snapshot;
 using serve::TenantServer;
 using serve::TensorQuantReport;
 
-/// One training request: a task dataset plus the method and knobs to train
+/// One training request: a data source plus the method and knobs to train
 /// it with. Defaults reproduce the paper's headline configuration (the full
 /// Rotom filtering+weighting meta-learner) at this repo's scaled-down sizes.
+///
+/// Data comes in through `source` (data/source.h) — an in-memory dataset
+/// (DataSource::Inline), a CSV file or weighted mixture of files
+/// (DataSource::File / ::Mixture), or a step-budgeted streaming pipeline
+/// (DataSource::Stream / ::StreamOf, DESIGN.md §14). A Stream source makes
+/// Train run the streaming trainer loop: `stream.max_steps` optimizer steps
+/// pulled from the pipeline, validation/checkpointing every
+/// `stream.valid_every` steps, resumable via `stream.resume_from`.
 struct TrainSpec {
+  /// DEPRECATED back-compat shim: equivalent to source =
+  /// DataSource::Inline(dataset). Setting both this and `source` is an
+  /// error. Migrate to `source`; see the deprecation note in DESIGN.md §14.
   data::TaskDataset dataset;
+
+  data::DataSource source;
   eval::Method method = eval::Method::kRotom;
   eval::ExperimentOptions options;
   uint64_t seed = 1;
@@ -84,10 +98,12 @@ struct TrainReport {
 
 /// Validates the spec, trains one model end to end (vocabulary + IDF build,
 /// masked-LM pre-training, the selected method's fine-tuning loop), and
-/// packages the result. Returns an error Status for unusable specs — empty
-/// train set, fewer than two classes, labels outside [0, num_classes) —
-/// instead of CHECK-aborting deep in the trainer. An empty valid set falls
-/// back to validating on train (the paper's labeling-budget-saving setup for
+/// packages the result. Returns an error Status for unusable specs — unset
+/// or doubly-set data source, unreadable path, empty mixture, non-positive
+/// mixture weight, a stream without a step budget, empty train set, fewer
+/// than two classes, labels outside [0, num_classes) — instead of
+/// CHECK-aborting deep in the trainer. An empty valid set falls back to
+/// validating on train (the paper's labeling-budget-saving setup for
 /// EM/EDT).
 StatusOr<TrainReport> Train(const TrainSpec& spec);
 

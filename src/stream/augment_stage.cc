@@ -1,0 +1,54 @@
+#include "stream/augment_stage.h"
+
+#include <utility>
+#include <vector>
+
+#include "augment/registry.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace rotom {
+namespace stream {
+
+AugmentStage::AugmentStage(std::unique_ptr<ExampleStream> inner,
+                           TextTransform transform, uint64_t seed)
+    : inner_(std::move(inner)),
+      transform_(std::move(transform)),
+      seed_(seed) {
+  ROTOM_CHECK(inner_ != nullptr);
+  ROTOM_CHECK(transform_ != nullptr);
+}
+
+StatusOr<data::Example> AugmentStage::Next() {
+  auto example = inner_->Next();
+  if (!example.ok()) return example.status();
+  Rng rng(SplitSeed(seed_, static_cast<uint64_t>(draws_)));
+  example.value().text = transform_(example.value().text, rng);
+  ++draws_;
+  obs::GetCounter("stream.augment.applied").Add();
+  return example;
+}
+
+void AugmentStage::SaveState(const std::string& prefix,
+                             StreamState* state) const {
+  state->Set(prefix, draws_);
+  inner_->SaveState(prefix + ".inner", state);
+}
+
+TextTransform MakeOpSetTransform(const std::string& op_set, bool is_pair_task,
+                                 bool is_record_task,
+                                 const augment::AugmentContext* context) {
+  std::vector<const augment::Operator*> ops =
+      augment::OperatorRegistry::Global().Resolve(op_set, is_pair_task,
+                                                  is_record_task);
+  ROTOM_CHECK(context != nullptr);
+  return [ops = std::move(ops), context](const std::string& text,
+                                         Rng& rng) -> std::string {
+    const augment::Operator& op =
+        *ops[rng.UniformInt(static_cast<int64_t>(ops.size()))];
+    return augment::AugmentText(text, op, *context, rng);
+  };
+}
+
+}  // namespace stream
+}  // namespace rotom

@@ -1,0 +1,53 @@
+#ifndef ROTOM_STREAM_AUGMENT_STAGE_H_
+#define ROTOM_STREAM_AUGMENT_STAGE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "augment/ops.h"
+#include "stream/stream.h"
+
+namespace rotom {
+namespace stream {
+
+/// Text transform applied per drawn example; the Rng is derived per draw by
+/// the stage, so the function itself must be stateless/deterministic given
+/// (text, rng) — same contract as core::TextAugmenter.
+using TextTransform = std::function<std::string(const std::string&, Rng&)>;
+
+/// Applies a transform to every example flowing through, SOTASTREAM-style:
+/// augmentation happens on the fly inside the stream rather than in a data
+/// prep step, so the same source example yields a fresh augmentation each
+/// pass. Randomness is Rng(SplitSeed(seed, draws)) per example — the
+/// augmentation of draw i is independent of everything else, which is what
+/// keeps a prefetching consumer bit-identical to a serial one.
+class AugmentStage : public ExampleStream {
+ public:
+  AugmentStage(std::unique_ptr<ExampleStream> inner, TextTransform transform,
+               uint64_t seed);
+
+  StatusOr<data::Example> Next() override;
+  int64_t draws() const override { return draws_; }
+  void SaveState(const std::string& prefix,
+                 StreamState* state) const override;
+
+ private:
+  std::unique_ptr<ExampleStream> inner_;
+  TextTransform transform_;
+  uint64_t seed_;
+  int64_t draws_ = 0;
+};
+
+/// Builds a transform that samples one operator per example from the
+/// registry set `op_set` resolves to for the task shape (the
+/// augment::OperatorRegistry spec grammar) and applies it with `context`.
+/// `context` must outlive the returned function.
+TextTransform MakeOpSetTransform(const std::string& op_set, bool is_pair_task,
+                                 bool is_record_task,
+                                 const augment::AugmentContext* context);
+
+}  // namespace stream
+}  // namespace rotom
+
+#endif  // ROTOM_STREAM_AUGMENT_STAGE_H_

@@ -1,0 +1,85 @@
+#include "stream/csv_source.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rotom {
+namespace stream {
+
+int64_t LabelTable::IdFor(const std::string& label) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == label) return static_cast<int64_t>(i);
+  }
+  names_.push_back(label);
+  return static_cast<int64_t>(names_.size()) - 1;
+}
+
+namespace {
+
+StatusOr<int64_t> FindHeaderColumn(const std::vector<std::string>& header,
+                                   const std::string& name) {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int64_t>(i);
+  }
+  return Status::Error("column '" + name + "' not found");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CsvFileSource>> CsvFileSource::Open(
+    const std::string& path, const Options& options,
+    std::shared_ptr<LabelTable> labels) {
+  if (labels == nullptr) {
+    return Status::Error("CsvFileSource: null label table");
+  }
+  std::unique_ptr<CsvFileSource> source(new CsvFileSource());
+  source->path_ = path;
+  source->name_ = options.name.empty() ? path : options.name;
+  source->labels_ = std::move(labels);
+  if (auto s = source->reader_.Open(path); !s.ok()) return s;
+  auto text_col = FindHeaderColumn(source->reader_.header(),
+                                   options.text_column);
+  if (!text_col.ok()) return text_col.status();
+  auto label_col = FindHeaderColumn(source->reader_.header(),
+                                    options.label_column);
+  if (!label_col.ok()) return label_col.status();
+  source->text_col_ = text_col.value();
+  source->label_col_ = label_col.value();
+  return source;
+}
+
+StatusOr<data::Example> CsvFileSource::Next() {
+  auto got = reader_.NextRow(&row_);
+  if (!got.ok()) return got.status();
+  if (!got.value()) {
+    // End of pass: re-open and start over. A file emptied of data rows
+    // between passes would loop forever, so treat it as an error.
+    if (auto s = reader_.Open(path_); !s.ok()) return s;
+    ++passes_;
+    obs::GetCounter("stream.csv.reopens").Add();
+    auto retry = reader_.NextRow(&row_);
+    if (!retry.ok()) return retry.status();
+    if (!retry.value()) {
+      return Status::Error(path_ + ": no data rows");
+    }
+  }
+  data::Example example;
+  example.text = row_[static_cast<size_t>(text_col_)];
+  example.label = labels_->IdFor(row_[static_cast<size_t>(label_col_)]);
+  ++draws_;
+  obs::GetCounter("stream.examples").Add();
+  obs::GetCounter("stream.csv.rows").Add();
+  obs::GetCounter("stream.source." + name_ + ".draws").Add();
+  return example;
+}
+
+void CsvFileSource::SaveState(const std::string& prefix,
+                              StreamState* state) const {
+  state->Set(prefix, draws_);
+  state->Set(prefix + ".pass", passes_);
+  state->Set(prefix + ".row", reader_.rows_read());
+}
+
+}  // namespace stream
+}  // namespace rotom

@@ -1,0 +1,78 @@
+#ifndef ROTOM_STREAM_CSV_SOURCE_H_
+#define ROTOM_STREAM_CSV_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/csv.h"
+
+namespace rotom {
+namespace stream {
+
+/// Shared label-string → id enumeration (first-appearance order, matching
+/// data::LoadTextClsCsv). One table is shared across all sources of a
+/// mixture so "positive" maps to the same id no matter which file a draw
+/// came from; the growing enumeration is also how a streaming run learns
+/// its label set without a materialization pass.
+class LabelTable {
+ public:
+  /// Returns the id for `label`, assigning the next id on first sight.
+  int64_t IdFor(const std::string& label);
+
+  const std::vector<std::string>& names() const { return names_; }
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Endless text-classification stream over a CSV file: rows are parsed
+/// incrementally (util::CsvRowReader — the file is never fully resident),
+/// and end-of-file re-opens the file for another pass, so corpus size does
+/// not bound the step budget. Validation matches data::LoadTextClsCsv:
+/// missing file/column and ragged rows are errors.
+class CsvFileSource : public ExampleStream {
+ public:
+  struct Options {
+    std::string text_column = "text";
+    std::string label_column = "label";
+    /// Display name for the stream.source.<name>.draws counter and the
+    /// state key; defaults to the file path.
+    std::string name;
+  };
+
+  /// Opens the file and validates the header. `labels` must outlive the
+  /// source; pass the same table to every source of a mixture.
+  static StatusOr<std::unique_ptr<CsvFileSource>> Open(
+      const std::string& path, const Options& options,
+      std::shared_ptr<LabelTable> labels);
+
+  StatusOr<data::Example> Next() override;
+  int64_t draws() const override { return draws_; }
+  void SaveState(const std::string& prefix,
+                 StreamState* state) const override;
+
+  const std::string& path() const { return path_; }
+  /// Completed passes over the file (0 while inside the first pass).
+  int64_t passes() const { return passes_; }
+
+ private:
+  CsvFileSource() = default;
+
+  std::string path_;
+  std::string name_;
+  int64_t text_col_ = -1;
+  int64_t label_col_ = -1;
+  std::shared_ptr<LabelTable> labels_;
+  CsvRowReader reader_;
+  std::vector<std::string> row_;
+  int64_t draws_ = 0;
+  int64_t passes_ = 0;
+};
+
+}  // namespace stream
+}  // namespace rotom
+
+#endif  // ROTOM_STREAM_CSV_SOURCE_H_

@@ -1,7 +1,16 @@
 #include "util/csv.h"
 
+#include <sys/stat.h>
+
+#include <climits>
+#include <cstdlib>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace rotom {
 
@@ -107,6 +116,141 @@ StatusOr<CsvTable> ReadCsvFile(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return ParseCsv(buf.str());
+}
+
+namespace {
+
+// One cached parse of a CSV file, pinned to the stat() identity it was
+// read under so edits on disk invalidate the entry.
+struct CachedCsv {
+  int64_t size = 0;
+  int64_t mtime = 0;
+  std::shared_ptr<const CsvTable> table;
+};
+
+std::string CanonicalPath(const std::string& path) {
+  char buf[PATH_MAX];
+  if (::realpath(path.c_str(), buf) != nullptr) return std::string(buf);
+  // Nonexistent paths keep their spelling; ReadCsvFile reports the error.
+  return path;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const CsvTable>> ReadCsvFileShared(
+    const std::string& path) {
+  static std::mutex mu;
+  static std::map<std::string, CachedCsv>* cache =
+      new std::map<std::string, CachedCsv>();
+
+  const std::string key = CanonicalPath(path);
+  struct stat st {};
+  const bool have_stat = ::stat(key.c_str(), &st) == 0;
+
+  if (have_stat) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(key);
+    if (it != cache->end() &&
+        it->second.size == static_cast<int64_t>(st.st_size) &&
+        it->second.mtime == static_cast<int64_t>(st.st_mtime)) {
+      obs::GetCounter("csv_cache.hits").Add();
+      return it->second.table;
+    }
+  }
+
+  obs::GetCounter("csv_cache.misses").Add();
+  auto table = ReadCsvFile(key);
+  if (!table.ok()) return table.status();
+  CachedCsv entry;
+  entry.size = have_stat ? static_cast<int64_t>(st.st_size) : 0;
+  entry.mtime = have_stat ? static_cast<int64_t>(st.st_mtime) : 0;
+  entry.table = std::make_shared<const CsvTable>(std::move(table.value()));
+  std::shared_ptr<const CsvTable> result = entry.table;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    (*cache)[key] = std::move(entry);
+  }
+  return result;
+}
+
+Status CsvRowReader::Open(const std::string& path) {
+  if (in_.is_open()) in_.close();
+  in_.clear();
+  path_ = path;
+  open_ = false;
+  header_.clear();
+  rows_read_ = 0;
+  in_.open(path, std::ios::binary);
+  if (!in_) return Status::Error("cannot open " + path);
+  open_ = true;
+  std::vector<std::string> record;
+  auto got = ReadRecord(&record);
+  if (!got.ok()) return got.status();
+  if (!got.value()) return Status::Error("empty CSV input");
+  header_ = std::move(record);
+  return Status::Ok();
+}
+
+StatusOr<bool> CsvRowReader::ReadRecord(std::vector<std::string>* record) {
+  record->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool any = false;
+
+  int ci;
+  while ((ci = in_.get()) != std::ifstream::traits_type::eof()) {
+    const char c = static_cast<char>(ci);
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          field += '"';
+          in_.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      record->push_back(std::move(field));
+      field.clear();
+      field_started = false;
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch.
+    } else if (c == '\n') {
+      record->push_back(std::move(field));
+      return true;
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) return Status::Error("unterminated quoted field in " + path_);
+  if (!any) return false;
+  // File ended without a trailing newline: the pending field closes the
+  // final record.
+  record->push_back(std::move(field));
+  return true;
+}
+
+StatusOr<bool> CsvRowReader::NextRow(std::vector<std::string>* row) {
+  if (!open_) return Status::Error("CsvRowReader: no file open");
+  auto got = ReadRecord(row);
+  if (!got.ok()) return got.status();
+  if (!got.value()) return false;
+  ++rows_read_;
+  if (row->size() != header_.size()) {
+    return Status::Error(path_ + ": ragged CSV row " +
+                         std::to_string(rows_read_) + ": expected " +
+                         std::to_string(header_.size()) + " fields, got " +
+                         std::to_string(row->size()));
+  }
+  return true;
 }
 
 Status WriteCsvFile(const std::string& path, const CsvTable& table) {
